@@ -1,0 +1,16 @@
+//! Figure 5 — bottleneck decomposition (criterion timing of the stages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squall_bench::fig5_bottleneck;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("stages_customer_orders", |b| {
+        b.iter(|| std::hint::black_box(fig5_bottleneck(2.0, 8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

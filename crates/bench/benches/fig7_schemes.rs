@@ -1,0 +1,35 @@
+//! Figure 7 / Tables 1–2 — hypercube scheme comparison on skewed
+//! TPCH9-Partial and WebAnalytics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use squall_core::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
+use squall_data::queries;
+use squall_data::tpch::TpchGen;
+use squall_data::webgraph::WebGraphGen;
+use squall_data::crawlcontent;
+use squall_partition::optimizer::SchemeKind;
+
+fn bench(c: &mut Criterion) {
+    let tpch = TpchGen::new(0.4, 2.0, 7).generate();
+    let q9 = queries::tpch9_partial(&tpch, true);
+    let arcs = WebGraphGen::new(800, 8000, 11).generate();
+    let content = crawlcontent::generate(800, 12);
+    let qweb = queries::webanalytics(&arcs, &content);
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for (qname, q) in [("tpch9_partial_zipf2", &q9), ("webanalytics", &qweb)] {
+        for kind in [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid] {
+            g.bench_with_input(BenchmarkId::new(qname, kind), q, |b, q| {
+                b.iter(|| {
+                    let cfg = MultiwayConfig::new(kind, LocalJoinKind::DBToaster, 8).count_only();
+                    std::hint::black_box(run_multiway(&q.spec, q.data.clone(), &cfg).unwrap())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 8 — DBToaster vs traditional local joins (TPCH9-Partial, Q3,
+//! Google TaskCount, plus the product-skew 3-Reachability variant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use squall_core::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
+use squall_data::queries;
+use squall_data::tpch::TpchGen;
+use squall_data::webgraph::WebGraphGen;
+use squall_data::google_cluster;
+use squall_partition::optimizer::SchemeKind;
+
+fn bench(c: &mut Criterion) {
+    let tpch = TpchGen::new(0.4, 2.0, 13).generate();
+    let q9 = queries::tpch9_partial(&tpch, true);
+    let q3 = queries::tpch_q3(&tpch);
+    let gd = google_cluster::generate(3000, 14);
+    let qtc = queries::google_taskcount(&gd);
+    let arcs = WebGraphGen::new(500, 3000, 15).generate();
+    let qreach = queries::reachability3(&arcs);
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for (qname, q) in [
+        ("a_tpch9_partial", &q9),
+        ("b_tpch_q3", &q3),
+        ("c_google_taskcount", &qtc),
+        ("d_reachability_product_skew", &qreach),
+    ] {
+        for local in [LocalJoinKind::DBToaster, LocalJoinKind::Traditional] {
+            g.bench_with_input(BenchmarkId::new(qname, local), q, |b, q| {
+                b.iter(|| {
+                    let cfg = MultiwayConfig::new(SchemeKind::Hybrid, local, 8).count_only();
+                    std::hint::black_box(run_multiway(&q.spec, q.data.clone(), &cfg).unwrap())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # squall-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§6–§7), plus the §5 ablations. Each `fig*`/`t*`
+//! function runs a scaled-down but shape-preserving version of the paper's
+//! experiment and returns printable rows; the `repro` binary prints them
+//! all, and the Criterion benches in `benches/` time the same runs.
+//!
+//! Scales are laptop-sized: the goal is to reproduce *who wins and by
+//! roughly what factor*, not the absolute numbers from the authors' 120
+//! core cluster (see EXPERIMENTS.md for the paper-vs-measured record).
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,95 @@
+//! The error type shared by all Squall crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, SquallError>;
+
+/// Errors produced anywhere in Squall.
+///
+/// The engine is mostly infallible once a plan has been validated; most of
+/// these variants surface during plan construction, SQL parsing, or when a
+/// resource limit (the per-machine memory budget of §7.3) is exceeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SquallError {
+    /// A schema lookup failed (unknown column or relation name).
+    UnknownColumn(String),
+    /// An unknown relation was referenced.
+    UnknownRelation(String),
+    /// A value had the wrong type for the requested operation.
+    TypeMismatch { expected: &'static str, found: String },
+    /// SQL text could not be parsed.
+    Parse(String),
+    /// A logical or physical plan was malformed.
+    InvalidPlan(String),
+    /// A partitioning scheme could not be constructed (e.g. zero machines).
+    InvalidPartitioning(String),
+    /// A per-machine memory budget was exceeded (the paper's Hash-Hypercube
+    /// "Memory Overflow" on the 80G TPCH9-Partial configuration, Fig. 7).
+    MemoryOverflow { machine: usize, stored: usize, budget: usize },
+    /// The runtime failed (channel disconnect, worker panic, ...).
+    Runtime(String),
+    /// An I/O error (spill store).
+    Io(String),
+}
+
+impl fmt::Display for SquallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SquallError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SquallError::UnknownRelation(r) => write!(f, "unknown relation: {r}"),
+            SquallError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            SquallError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            SquallError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            SquallError::InvalidPartitioning(m) => write!(f, "invalid partitioning: {m}"),
+            SquallError::MemoryOverflow { machine, stored, budget } => write!(
+                f,
+                "memory overflow on machine {machine}: {stored} tuples stored, budget {budget}"
+            ),
+            SquallError::Runtime(m) => write!(f, "runtime error: {m}"),
+            SquallError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SquallError {}
+
+impl From<std::io::Error> for SquallError {
+    fn from(e: std::io::Error) -> Self {
+        SquallError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = SquallError::MemoryOverflow { machine: 3, stored: 10, budget: 5 };
+        let s = e.to_string();
+        assert!(s.contains("machine 3"));
+        assert!(s.contains("budget 5"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SquallError = io.into();
+        assert!(matches!(e, SquallError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SquallError::UnknownColumn("a".into()),
+            SquallError::UnknownColumn("a".into())
+        );
+        assert_ne!(
+            SquallError::UnknownColumn("a".into()),
+            SquallError::UnknownRelation("a".into())
+        );
+    }
+}

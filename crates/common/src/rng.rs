@@ -1,0 +1,150 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The random partitioning schemes (1-Bucket, Random-Hypercube, the random
+//! dimensions of the Hybrid-Hypercube) and all workload generators need
+//! per-task, seedable randomness that is fast and reproducible across runs so
+//! that load/replication measurements (Tables 1 and 2) are exact and the test
+//! suite is deterministic. SplitMix64 passes BigCrush, needs two lines of
+//! state-update code, and has a trivially splittable seed.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds give equal streams.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derive an independent stream for a sub-task (e.g. one per sender
+    /// task so that random routing is deterministic per task).
+    #[inline]
+    pub fn split(&mut self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, n)` using the widening-multiply method.
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn next_range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 as u128 + 1;
+        lo + ((self.next_u64() as u128 * span) >> 64) as i64
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.next_below(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn next_f64_unit_interval() {
+        let mut rng = SplitMix64::new(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} should be near 0.5");
+    }
+
+    #[test]
+    fn next_range_inclusive() {
+        let mut rng = SplitMix64::new(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = rng.next_range(-3, 3);
+            assert!((-3..=3).contains(&v));
+            lo_seen |= v == -3;
+            hi_seen |= v == 3;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut root = SplitMix64::new(42);
+        let mut s1 = root.split(1);
+        let mut s2 = root.split(2);
+        let same = (0..64).filter(|_| s1.next_u64() == s2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+    }
+}

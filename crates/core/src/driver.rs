@@ -1,0 +1,462 @@
+//! The execution driver: one call from a multi-way join query to a running
+//! topology with per-machine metrics.
+//!
+//! This is the "Squall-to-Storm translator" of Figure 1 for the workloads
+//! the paper evaluates: data sources → (partitioning-scheme groupings) →
+//! join component → optional aggregation component. With
+//! `scheme = Hybrid` / `local = DBToaster` the join component is the HyLD
+//! operator of §3.4.
+
+use std::sync::Arc;
+
+use squall_common::{FxHashMap, Result, SquallError, Tuple};
+use squall_expr::MultiJoinSpec;
+use squall_join::{AggSpec, DBToasterJoin, LocalJoin, TraditionalJoin};
+use squall_partition::optimizer::{build_scheme, SchemeKind};
+use squall_partition::HypercubeScheme;
+use squall_runtime::{Grouping, IterSpoutVec, RunOutcome, TopologyBuilder};
+
+/// Which local join algorithm each machine runs (§3.3 / Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalJoinKind {
+    Traditional,
+    DBToaster,
+}
+
+impl std::fmt::Display for LocalJoinKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalJoinKind::Traditional => write!(f, "traditional"),
+            LocalJoinKind::DBToaster => write!(f, "DBToaster"),
+        }
+    }
+}
+
+/// Optional aggregation stage after the join.
+#[derive(Debug, Clone)]
+pub struct AggPlan {
+    /// Group-by columns of the join output schema.
+    pub group_cols: Vec<usize>,
+    pub aggs: Vec<AggSpec>,
+    pub parallelism: usize,
+}
+
+/// Configuration of one multi-way join execution.
+pub struct MultiwayConfig {
+    pub scheme: SchemeKind,
+    pub local: LocalJoinKind,
+    /// Machines for the join component.
+    pub machines: usize,
+    pub seed: u64,
+    /// Per-machine stored-tuple budget (§7.3 memory overflow); `None` =
+    /// unlimited.
+    pub budget: Option<usize>,
+    /// Spout tasks per relation.
+    pub source_parallelism: usize,
+    /// Aggregate the join output (results are then the aggregate rows).
+    pub agg: Option<AggPlan>,
+    /// Collect full join results (`true`) or only per-machine counts
+    /// (`false`; large-output benchmarks). Ignored when `agg` is set.
+    pub collect_results: bool,
+}
+
+impl MultiwayConfig {
+    pub fn new(scheme: SchemeKind, local: LocalJoinKind, machines: usize) -> MultiwayConfig {
+        MultiwayConfig {
+            scheme,
+            local,
+            machines,
+            seed: 42,
+            budget: None,
+            source_parallelism: 1,
+            agg: None,
+            collect_results: true,
+        }
+    }
+
+    pub fn with_budget(mut self, budget: usize) -> MultiwayConfig {
+        self.budget = Some(budget);
+        self
+    }
+
+    pub fn count_only(mut self) -> MultiwayConfig {
+        self.collect_results = false;
+        self
+    }
+
+    pub fn with_agg(mut self, agg: AggPlan) -> MultiwayConfig {
+        self.agg = Some(agg);
+        self
+    }
+}
+
+/// Everything a run reports (the §6 monitoring quantities).
+#[derive(Debug)]
+pub struct JoinReport {
+    /// Join results (or aggregate rows when an [`AggPlan`] was set; or
+    /// empty in count-only mode).
+    pub results: Vec<Tuple>,
+    /// Join results produced (valid in every mode).
+    pub result_count: u64,
+    /// Input tuples fed by the sources.
+    pub input_count: u64,
+    /// Per-join-machine received-tuple loads (Table 1).
+    pub loads: Vec<u64>,
+    /// Replication factor (§6, Table 2): join input ÷ source output.
+    pub replication_factor: f64,
+    /// Skew degree (§6): max load ÷ avg load.
+    pub skew_degree: f64,
+    /// Intermediate network factor (§6).
+    pub network_factor: f64,
+    /// Wall-clock time.
+    pub elapsed: std::time::Duration,
+    /// The scheme actually used (dimension sizes etc.).
+    pub scheme_description: String,
+    /// Set when the run aborted (e.g. memory overflow) — the metrics above
+    /// still describe the partial run, matching the paper's extrapolation
+    /// methodology for the Hash-Hypercube OOM.
+    pub error: Option<SquallError>,
+}
+
+impl JoinReport {
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    pub fn avg_load(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.loads.iter().sum::<u64>() as f64 / self.loads.len() as f64
+        }
+    }
+}
+
+fn make_local(kind: LocalJoinKind, spec: &MultiJoinSpec, count_only: bool) -> Box<dyn LocalJoin> {
+    match (kind, count_only) {
+        (LocalJoinKind::Traditional, _) => Box::new(TraditionalJoin::new(spec)),
+        // Count-only consumers let DBToaster run with aggregated views —
+        // the configuration the paper's Figure 8 measures.
+        (LocalJoinKind::DBToaster, true) => {
+            Box::new(squall_join::dbtoaster::AggregatedDBToaster::minimal(spec))
+        }
+        (LocalJoinKind::DBToaster, false) => Box::new(DBToasterJoin::new(spec)),
+    }
+}
+
+/// Run a multi-way join (optionally + aggregation) end to end.
+///
+/// `data[rel]` is relation `rel`'s input stream. Deterministic: the same
+/// inputs, config and seed produce the same loads and results.
+pub fn run_multiway(
+    spec: &MultiJoinSpec,
+    data: Vec<Vec<Tuple>>,
+    cfg: &MultiwayConfig,
+) -> Result<JoinReport> {
+    if data.len() != spec.n_relations() {
+        return Err(SquallError::InvalidPlan(format!(
+            "{} relations but {} data streams",
+            spec.n_relations(),
+            data.len()
+        )));
+    }
+    let scheme: Arc<HypercubeScheme> =
+        Arc::new(build_scheme(cfg.scheme, spec, cfg.machines, cfg.seed)?);
+    let scheme_description = scheme.describe();
+    let input_count: u64 = data.iter().map(|d| d.len() as u64).sum();
+
+    let mut b = TopologyBuilder::new();
+    // One spout per relation, split across source_parallelism tasks.
+    let mut source_nodes = Vec::with_capacity(data.len());
+    for (rel, tuples) in data.into_iter().enumerate() {
+        let shared = Arc::new(tuples);
+        let par = cfg.source_parallelism.max(1);
+        let node = b.add_spout(format!("src-{}", spec.relations[rel].name), par, move |task| {
+            Box::new(IterSpoutVec::strided(Arc::clone(&shared), task, par))
+        });
+        source_nodes.push(node);
+    }
+
+    // The join component.
+    let spec_arc = Arc::new(spec.clone());
+    let origin_map: FxHashMap<usize, usize> =
+        source_nodes.iter().enumerate().map(|(rel, &node)| (node, rel)).collect();
+    let local = cfg.local;
+    let budget = cfg.budget;
+    let count_only = cfg.agg.is_none() && !cfg.collect_results;
+    let emit = if count_only {
+        crate::operators::JoinEmit::CountOnly
+    } else {
+        crate::operators::JoinEmit::Results
+    };
+    let spec_for_bolt = Arc::clone(&spec_arc);
+    let origin_map = Arc::new(origin_map);
+    let join_node = b.add_bolt("join", cfg.machines, move |task| {
+        let mut bolt = crate::operators::JoinBolt::new(
+            task,
+            origin_map
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            make_local(local, &spec_for_bolt, count_only),
+            spec_for_bolt.n_relations(),
+            emit,
+        );
+        if let Some(budget) = budget {
+            bolt = bolt.with_budget(budget);
+        }
+        Box::new(bolt)
+    });
+    for (rel, &src) in source_nodes.iter().enumerate() {
+        b.connect(src, join_node, Grouping::Custom(Arc::new(scheme.grouping_for(rel))));
+    }
+
+    // Optional aggregation.
+    let mut agg_node = None;
+    if let Some(agg) = &cfg.agg {
+        let group_cols = agg.group_cols.clone();
+        let aggs = agg.aggs.clone();
+        let node = b.add_bolt("agg", agg.parallelism, move |_task| {
+            Box::new(crate::operators::AggBolt::new(group_cols.clone(), aggs.clone(), false))
+        });
+        // Group-key partitioning; a global grouping if no keys.
+        let grouping = if agg.group_cols.is_empty() {
+            Grouping::Global
+        } else {
+            Grouping::Fields(agg.group_cols.clone())
+        };
+        b.connect(join_node, node, grouping);
+        agg_node = Some(node);
+    }
+
+    let outcome: RunOutcome = b.build()?.run();
+    let metrics = &outcome.metrics;
+    let join_metrics = metrics.node(join_node);
+    let result_count = match (&cfg.agg, cfg.collect_results) {
+        (Some(_), _) => join_metrics.total_emitted(),
+        (None, true) => join_metrics.total_emitted(),
+        (None, false) => {
+            // Count-only: the emitted tuples are per-task counters.
+            outcome
+                .outputs
+                .iter()
+                .map(|(_, t)| t.get(0).as_int().unwrap_or(0) as u64)
+                .sum()
+        }
+    };
+    let loads = join_metrics.received.clone();
+    let replication_factor = metrics.replication_factor(join_node, &source_nodes);
+    let skew_degree = join_metrics.skew_degree();
+    let sinks = [agg_node.unwrap_or(join_node)];
+    let network_factor = metrics.intermediate_network_factor(&source_nodes, &sinks);
+    let results = match (&cfg.agg, cfg.collect_results) {
+        (None, false) => Vec::new(),
+        _ => outcome.outputs.into_iter().map(|(_, t)| t).collect(),
+    };
+    Ok(JoinReport {
+        results,
+        result_count,
+        input_count,
+        loads,
+        replication_factor,
+        skew_degree,
+        network_factor,
+        elapsed: outcome.elapsed,
+        scheme_description,
+        error: outcome.error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::{tuple, DataType, Schema, SplitMix64};
+    use squall_expr::{JoinAtom, RelationDef, ScalarExpr};
+    use squall_join::naive::{naive_join, same_multiset};
+
+    fn rst_spec(skew_z: bool) -> MultiJoinSpec {
+        let mut s_schema = Schema::of(&[("y", DataType::Int), ("z", DataType::Int)]);
+        let mut t_schema = Schema::of(&[("z", DataType::Int), ("t", DataType::Int)]);
+        if skew_z {
+            s_schema.set_skewed("z").unwrap();
+            t_schema.set_skewed("z").unwrap();
+        }
+        MultiJoinSpec::new(
+            vec![
+                RelationDef::new("R", Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]), 300),
+                RelationDef::new("S", s_schema, 300),
+                RelationDef::new("T", t_schema, 300),
+            ],
+            vec![JoinAtom::eq(0, 1, 1, 0), JoinAtom::eq(1, 1, 2, 0)],
+        )
+        .unwrap()
+    }
+
+    fn rst_data(n: usize, dom: i64, seed: u64) -> Vec<Vec<Tuple>> {
+        let mut rng = SplitMix64::new(seed);
+        let mut mk = |_: usize| -> Vec<Tuple> {
+            (0..n).map(|_| tuple![rng.next_range(0, dom), rng.next_range(0, dom)]).collect()
+        };
+        vec![mk(0), mk(1), mk(2)]
+    }
+
+    #[test]
+    fn all_schemes_and_locals_match_oracle() {
+        let spec = rst_spec(false);
+        let data = rst_data(120, 12, 5);
+        let oracle = naive_join(&spec, &data);
+        assert!(!oracle.is_empty());
+        for scheme in [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid] {
+            for local in [LocalJoinKind::Traditional, LocalJoinKind::DBToaster] {
+                let cfg = MultiwayConfig::new(scheme, local, 8);
+                let report = run_multiway(&spec, data.clone(), &cfg).unwrap();
+                assert!(report.error.is_none(), "{scheme} {local}: {:?}", report.error);
+                assert!(
+                    same_multiset(&report.results, &oracle),
+                    "{scheme} + {local}: {} results vs oracle {} (scheme {})",
+                    report.results.len(),
+                    oracle.len(),
+                    report.scheme_description,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sources_do_not_change_results() {
+        let spec = rst_spec(false);
+        let data = rst_data(90, 10, 6);
+        let oracle = naive_join(&spec, &data);
+        let mut cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 6);
+        cfg.source_parallelism = 3;
+        let report = run_multiway(&spec, data, &cfg).unwrap();
+        assert!(same_multiset(&report.results, &oracle));
+    }
+
+    #[test]
+    fn count_only_mode_counts_exactly() {
+        let spec = rst_spec(false);
+        let data = rst_data(100, 10, 7);
+        let oracle = naive_join(&spec, &data);
+        let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 4).count_only();
+        let report = run_multiway(&spec, data, &cfg).unwrap();
+        assert!(report.results.is_empty());
+        assert_eq!(report.result_count, oracle.len() as u64);
+    }
+
+    #[test]
+    fn aggregate_stage_runs() {
+        // SELECT R.x, COUNT(*) GROUP BY R.x over the RST join.
+        let spec = rst_spec(false);
+        let data = rst_data(80, 8, 8);
+        let oracle = naive_join(&spec, &data);
+        let cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 4).with_agg(
+            AggPlan { group_cols: vec![0], aggs: vec![AggSpec::count()], parallelism: 3 },
+        );
+        let report = run_multiway(&spec, data, &cfg).unwrap();
+        let total: i64 =
+            report.results.iter().map(|t| t.get(1).as_int().unwrap()).sum();
+        assert_eq!(total as usize, oracle.len(), "counts must sum to the join size");
+        // Groups are disjoint across agg tasks (Fields grouping).
+        let mut keys: Vec<_> = report.results.iter().map(|t| t.get(0).clone()).collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "every group emitted exactly once");
+    }
+
+    #[test]
+    fn sum_aggregate_matches_oracle() {
+        let spec = rst_spec(false);
+        let data = rst_data(80, 8, 9);
+        let oracle = naive_join(&spec, &data);
+        let expected: i64 = oracle.iter().map(|t| t.get(5).as_int().unwrap()).sum();
+        let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::Traditional, 4).with_agg(
+            AggPlan {
+                group_cols: vec![],
+                aggs: vec![AggSpec::sum(ScalarExpr::col(5))],
+                parallelism: 1,
+            },
+        );
+        let report = run_multiway(&spec, data, &cfg).unwrap();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.results[0], tuple![expected]);
+    }
+
+    #[test]
+    fn memory_budget_aborts_with_overflow() {
+        let spec = rst_spec(false);
+        let data = rst_data(400, 4, 10);
+        let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 2)
+            .count_only()
+            .with_budget(50);
+        let report = run_multiway(&spec, data, &cfg).unwrap();
+        assert!(matches!(report.error, Some(SquallError::MemoryOverflow { .. })));
+        // Partial metrics still available for extrapolation (§7.3).
+        assert!(report.input_count > 0);
+    }
+
+    #[test]
+    fn skewed_data_hybrid_beats_hash_on_max_load() {
+        // zipf-style: z concentrated on one value → Hash-Hypercube piles
+        // one machine; Hybrid randomizes the skewed dimension.
+        let spec = rst_spec(true);
+        let mut rng = SplitMix64::new(11);
+        let n = 600;
+        let r: Vec<Tuple> =
+            (0..n).map(|_| tuple![rng.next_range(0, 50), rng.next_range(0, 50)]).collect();
+        // 80% of S.z and T.z are the hot key 7.
+        let mut hot = |rng: &mut SplitMix64| {
+            if rng.next_f64() < 0.8 {
+                7i64
+            } else {
+                rng.next_range(0, 50)
+            }
+        };
+        let s: Vec<Tuple> =
+            (0..n).map(|_| tuple![rng.next_range(0, 50), hot(&mut rng)]).collect();
+        let t: Vec<Tuple> = (0..n).map(|_| tuple![hot(&mut rng), rng.next_range(0, 50)]).collect();
+        let data = vec![r, s, t];
+
+        let hash = run_multiway(
+            &rst_spec(false), // skew flags off → Hash == Hybrid dims; use Hash kind
+            data.clone(),
+            &MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 8).count_only(),
+        )
+        .unwrap();
+        let hybrid = run_multiway(
+            &spec,
+            data.clone(),
+            &MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 8).count_only(),
+        )
+        .unwrap();
+        assert_eq!(hash.result_count, hybrid.result_count, "same join output");
+        assert!(
+            (hybrid.max_load() as f64) < hash.max_load() as f64 * 0.75,
+            "hybrid max load {} should beat hash {} (hybrid scheme: {})",
+            hybrid.max_load(),
+            hash.max_load(),
+            hybrid.scheme_description,
+        );
+        assert!(hybrid.skew_degree < hash.skew_degree);
+    }
+
+    #[test]
+    fn replication_factor_reported() {
+        let spec = rst_spec(false);
+        let data = rst_data(100, 10, 12);
+        let cfg = MultiwayConfig::new(SchemeKind::Random, LocalJoinKind::DBToaster, 8).count_only();
+        let report = run_multiway(&spec, data, &cfg).unwrap();
+        // Random-Hypercube replicates: factor > 1; and loads are balanced.
+        assert!(report.replication_factor > 1.0);
+        assert!(report.skew_degree < 1.5, "random scheme balances load");
+        assert!(report.network_factor > 0.0);
+    }
+
+    #[test]
+    fn mismatched_data_rejected() {
+        let spec = rst_spec(false);
+        let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 2);
+        assert!(run_multiway(&spec, vec![vec![], vec![]], &cfg).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # squall-core
+//!
+//! The paper's system assembled: physical operators (join bolts, aggregate
+//! bolts, select/project bolts), the **HyLD** operator (any hypercube
+//! partitioning scheme × the local DBToaster join, §3.4), the execution
+//! driver that maps a multi-way join query onto a
+//! [`squall_runtime::Topology`], the pipeline-of-2-way-joins comparator
+//! (§7.2), replication-aware peer recovery (§5 "Fault tolerance") and the
+//! Adaptive 1-Bucket simulation ([32]).
+//!
+//! The central design point is *separation of concerns* (§3.4): "Squall
+//! requires no changes in the partitioning scheme and local join when
+//! putting them together in a parallel join operator" — the hypercube
+//! schemes guarantee each machine executes an independent portion of the
+//! join, so each machine simply runs its own [`squall_join::LocalJoin`]
+//! instance. [`driver::run_multiway`] is exactly that composition.
+
+pub mod adaptive_sim;
+pub mod driver;
+pub mod operators;
+pub mod pipeline;
+pub mod recovery;
+
+pub use driver::{run_multiway, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig};
+pub use operators::{AggBolt, JoinBolt, SelectProjectBolt};
+pub use pipeline::run_pipeline;

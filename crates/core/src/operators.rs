@@ -1,0 +1,280 @@
+//! Physical operators: the bolts Squall installs into topologies.
+
+use squall_common::{FxHashMap, Result, SquallError, Tuple};
+use squall_expr::ScalarExpr;
+use squall_join::{AggSpec, GroupByAggregator, LocalJoin, WindowJoin, WindowSpec};
+use squall_runtime::{Bolt, NodeId, OutputCollector};
+
+/// Selection + projection in one bolt (Squall co-locates these with the
+/// data source whenever possible, §2; a standalone bolt is used when the
+/// optimizer cannot).
+pub struct SelectProjectBolt {
+    /// Optional predicate; tuples failing it are dropped.
+    pub predicate: Option<ScalarExpr>,
+    /// Optional projection expressions; `None` passes tuples through.
+    pub projections: Option<Vec<ScalarExpr>>,
+}
+
+impl SelectProjectBolt {
+    pub fn select(predicate: ScalarExpr) -> SelectProjectBolt {
+        SelectProjectBolt { predicate: Some(predicate), projections: None }
+    }
+
+    pub fn project(projections: Vec<ScalarExpr>) -> SelectProjectBolt {
+        SelectProjectBolt { predicate: None, projections: Some(projections) }
+    }
+
+    /// Apply to one tuple without a runtime (used by tests and the naive
+    /// executor).
+    pub fn apply(&self, tuple: &Tuple) -> Result<Option<Tuple>> {
+        if let Some(p) = &self.predicate {
+            if !p.eval_bool(tuple)? {
+                return Ok(None);
+            }
+        }
+        match &self.projections {
+            None => Ok(Some(tuple.clone())),
+            Some(exprs) => {
+                let mut values = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    values.push(e.eval(tuple)?);
+                }
+                Ok(Some(Tuple::new(values)))
+            }
+        }
+    }
+}
+
+impl Bolt for SelectProjectBolt {
+    fn execute(&mut self, _origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()> {
+        if let Some(t) = self.apply(&tuple)? {
+            out.emit(t);
+        }
+        Ok(())
+    }
+}
+
+/// How a join task exposes its results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinEmit {
+    /// Emit every result tuple downstream (needed when an aggregate or
+    /// another operator consumes the join).
+    Results,
+    /// Emit only a per-task `(count)` tuple at end-of-stream — the mode
+    /// used for result-count benchmarks where materializing output would
+    /// dominate.
+    CountOnly,
+}
+
+/// The distributed join task: one [`LocalJoin`] instance per machine
+/// (task), fed by the partitioning scheme's groupings. With a hypercube
+/// grouping and a [`squall_join::DBToasterJoin`] inside, this is the HyLD
+/// operator of §3.4.
+pub struct JoinBolt {
+    /// Maps the upstream node that emitted a tuple to its relation index.
+    origin_to_rel: FxHashMap<NodeId, usize>,
+    join: WindowJoin<Box<dyn LocalJoin>>,
+    /// `tuple[ts_cols[rel]]` supplies the window timestamp; empty for
+    /// full-history semantics (timestamps then count arrivals).
+    ts_cols: Vec<Option<usize>>,
+    arrivals: u64,
+    emit: JoinEmit,
+    /// Per-machine stored-tuple budget (the §7.3 memory-overflow
+    /// experiments); `None` = unlimited.
+    budget: Option<usize>,
+    /// Optional exactly-once ownership filter for range schemes (M-Bucket
+    /// / EWH assign *cells*, so a machine owning several cells of a row
+    /// must keep only the pairs it owns).
+    owner_filter: Option<Box<dyn Fn(usize, &Tuple) -> bool + Send>>,
+    machine: usize,
+    buf: Vec<Tuple>,
+    wbuf: Vec<(Tuple, i64)>,
+    results: u64,
+}
+
+impl JoinBolt {
+    /// A full-history join bolt.
+    pub fn new(
+        machine: usize,
+        origin_to_rel: FxHashMap<NodeId, usize>,
+        join: Box<dyn LocalJoin>,
+        n_relations: usize,
+        emit: JoinEmit,
+    ) -> JoinBolt {
+        JoinBolt {
+            origin_to_rel,
+            join: WindowJoin::new(join, n_relations, WindowSpec::FullHistory),
+            ts_cols: vec![None; n_relations],
+            arrivals: 0,
+            emit,
+            budget: None,
+            owner_filter: None,
+            machine,
+            buf: Vec::new(),
+            wbuf: Vec::new(),
+            results: 0,
+        }
+    }
+
+    /// A windowed join bolt; `ts_cols[rel]` names the timestamp column of
+    /// each relation.
+    pub fn new_windowed(
+        machine: usize,
+        origin_to_rel: FxHashMap<NodeId, usize>,
+        join: Box<dyn LocalJoin>,
+        n_relations: usize,
+        emit: JoinEmit,
+        spec: WindowSpec,
+        ts_cols: Vec<usize>,
+    ) -> JoinBolt {
+        JoinBolt {
+            origin_to_rel,
+            join: WindowJoin::new(join, n_relations, spec),
+            ts_cols: ts_cols.into_iter().map(Some).collect(),
+            arrivals: 0,
+            emit,
+            budget: None,
+            owner_filter: None,
+            machine,
+            buf: Vec::new(),
+            wbuf: Vec::new(),
+            results: 0,
+        }
+    }
+
+    pub fn with_budget(mut self, budget: usize) -> JoinBolt {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Exactly-once filter: `f(relation_of_last_arrival, result)` must
+    /// return true for the bolt to emit (range-scheme cell ownership).
+    pub fn with_owner_filter(
+        mut self,
+        f: Box<dyn Fn(usize, &Tuple) -> bool + Send>,
+    ) -> JoinBolt {
+        self.owner_filter = Some(f);
+        self
+    }
+
+    pub fn results(&self) -> u64 {
+        self.results
+    }
+}
+
+impl Bolt for JoinBolt {
+    fn execute(&mut self, origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()> {
+        let rel = *self
+            .origin_to_rel
+            .get(&origin)
+            .ok_or_else(|| SquallError::Runtime(format!("unknown origin node {origin}")))?;
+        self.arrivals += 1;
+        let ts = match self.ts_cols[rel] {
+            Some(c) => tuple.get(c).as_int()? as u64,
+            None => self.arrivals,
+        };
+        if self.emit == JoinEmit::CountOnly && self.owner_filter.is_none() {
+            // Weighted fast path: aggregated DBToaster views report
+            // (tuple, multiplicity) deltas without materializing hot-key
+            // outputs (§3.3).
+            self.wbuf.clear();
+            self.join.insert_weighted(rel, ts, &tuple, &mut self.wbuf);
+            self.results += self.wbuf.iter().map(|(_, m)| *m.max(&0) as u64).sum::<u64>();
+        } else {
+            self.buf.clear();
+            self.join.insert(rel, ts, &tuple, &mut self.buf);
+            if let Some(filter) = &self.owner_filter {
+                self.buf.retain(|t| filter(rel, t));
+            }
+            self.results += self.buf.len() as u64;
+            if self.emit == JoinEmit::Results {
+                for t in self.buf.drain(..) {
+                    out.emit(t);
+                }
+            }
+        }
+        if let Some(budget) = self.budget {
+            let stored = self.join.inner().stored();
+            if stored > budget {
+                return Err(SquallError::MemoryOverflow {
+                    machine: self.machine,
+                    stored,
+                    budget,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
+        if self.emit == JoinEmit::CountOnly {
+            out.emit(squall_common::tuple![self.results as i64]);
+        }
+        Ok(())
+    }
+}
+
+/// The aggregation task: online (emit the refreshed group row on every
+/// update — full-history IVM semantics) or final (emit the snapshot at
+/// end-of-stream, the mode batch-style tests and benches use).
+pub struct AggBolt {
+    agg: GroupByAggregator,
+    online: bool,
+}
+
+impl AggBolt {
+    pub fn new(group_cols: Vec<usize>, aggs: Vec<AggSpec>, online: bool) -> AggBolt {
+        AggBolt { agg: GroupByAggregator::new(group_cols, aggs), online }
+    }
+}
+
+impl Bolt for AggBolt {
+    fn execute(&mut self, _origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()> {
+        let row = self.agg.update(&tuple)?;
+        if self.online {
+            out.emit(row);
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
+        if !self.online {
+            for row in self.agg.snapshot() {
+                out.emit(row);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::tuple;
+    use squall_expr::{BinOp, ScalarExpr};
+
+    #[test]
+    fn select_project_apply() {
+        let b = SelectProjectBolt {
+            predicate: Some(ScalarExpr::bin(BinOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(3))),
+            projections: Some(vec![ScalarExpr::col(1)]),
+        };
+        assert_eq!(b.apply(&tuple![5, "keep"]).unwrap(), Some(tuple!["keep"]));
+        assert_eq!(b.apply(&tuple![1, "drop"]).unwrap(), None);
+    }
+
+    #[test]
+    fn select_only_passes_through() {
+        let b = SelectProjectBolt::select(ScalarExpr::lit(1));
+        assert_eq!(b.apply(&tuple![9, 9]).unwrap(), Some(tuple![9, 9]));
+    }
+
+    #[test]
+    fn project_only_reshapes() {
+        let b = SelectProjectBolt::project(vec![
+            ScalarExpr::col(1),
+            ScalarExpr::bin(BinOp::Add, ScalarExpr::col(0), ScalarExpr::lit(1)),
+        ]);
+        assert_eq!(b.apply(&tuple![10, 20]).unwrap(), Some(tuple![20, 11]));
+    }
+}

@@ -1,0 +1,222 @@
+//! Replication-aware peer recovery (§5 "Fault tolerance").
+//!
+//! "If the partitioning scheme replicates tuples, a failed node can
+//! recover its state from some of its peers rather than from a disk
+//! checkpoint. For example, if a machine with coordinates {1,1,1} fails,
+//! we can recover its state from any machine {1,*,*} (for R), {*,1,*}
+//! (for S) and {*,*,1} (for T)."
+//!
+//! This module implements that observation as a library feature over any
+//! [`HypercubeScheme`]: given the per-machine stored placements, compute a
+//! recovery plan for a failed machine — which peer supplies each lost
+//! tuple — and report the tuples that are *not* recoverable from peers
+//! (those a non-replicating dimension stored on the failed machine only),
+//! which must come from a checkpoint instead.
+
+use squall_common::{FxHashMap, Tuple};
+use squall_partition::HypercubeScheme;
+
+/// Where one lost tuple can be re-fetched from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredTuple {
+    pub rel: usize,
+    pub tuple: Tuple,
+    /// A peer machine holding a replica.
+    pub from_peer: usize,
+}
+
+/// The outcome of planning recovery for one failed machine.
+#[derive(Debug, Default)]
+pub struct RecoveryPlan {
+    /// Tuples recoverable from peers, with a chosen donor each.
+    pub recovered: Vec<RecoveredTuple>,
+    /// Tuples stored only on the failed machine (peer recovery
+    /// impossible; a disk checkpoint is needed — the §5 trade-off).
+    pub unrecoverable: Vec<(usize, Tuple)>,
+}
+
+/// Tracks where every routed tuple lives, exactly as the runtime placed
+/// it. (In the real system each machine knows its own store; the tracker
+/// is the test/simulation stand-in for the cluster's collective state.)
+#[derive(Debug, Default)]
+pub struct PlacementTracker {
+    /// `(rel, tuple)` → machines holding a replica.
+    placements: FxHashMap<(usize, Tuple), Vec<usize>>,
+}
+
+impl PlacementTracker {
+    pub fn new() -> PlacementTracker {
+        PlacementTracker::default()
+    }
+
+    /// Record one routing decision (the target list a scheme produced).
+    pub fn record(&mut self, rel: usize, tuple: &Tuple, machines: &[usize]) {
+        self.placements
+            .entry((rel, tuple.clone()))
+            .or_default()
+            .extend_from_slice(machines);
+    }
+
+    /// Tuples stored on a machine.
+    pub fn stored_on(&self, machine: usize) -> Vec<(usize, Tuple)> {
+        let mut out: Vec<(usize, Tuple)> = self
+            .placements
+            .iter()
+            .filter(|(_, ms)| ms.contains(&machine))
+            .map(|((rel, t), _)| (*rel, t.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Plan recovery of `failed`: every lost tuple is sourced from the
+    /// lowest-numbered surviving replica.
+    pub fn plan_recovery(&self, failed: usize) -> RecoveryPlan {
+        let mut plan = RecoveryPlan::default();
+        for ((rel, tuple), machines) in &self.placements {
+            if !machines.contains(&failed) {
+                continue;
+            }
+            match machines.iter().copied().filter(|&m| m != failed).min() {
+                Some(peer) => plan.recovered.push(RecoveredTuple {
+                    rel: *rel,
+                    tuple: tuple.clone(),
+                    from_peer: peer,
+                }),
+                None => plan.unrecoverable.push((*rel, tuple.clone())),
+            }
+        }
+        plan.recovered.sort_by(|a, b| (a.rel, &a.tuple).cmp(&(b.rel, &b.tuple)));
+        plan.unrecoverable.sort();
+        plan
+    }
+}
+
+/// Fraction of a scheme's state that peer recovery can restore, per
+/// relation: 1.0 when the relation is replicated across some dimension,
+/// 0.0 when it is fully partitioned (every tuple on exactly one machine).
+pub fn recoverable_fraction(scheme: &HypercubeScheme, rel: usize) -> f64 {
+    if scheme.replication(rel) > 1 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::{tuple, SplitMix64};
+    use squall_partition::hypercube::{Dimension, PartitionKind};
+
+    /// Fig. 2b Random-Hypercube 2×2×2 (8 machines) — every relation
+    /// replicated 4×.
+    fn random_cube() -> HypercubeScheme {
+        let dim = |name: &str, rel: usize| Dimension {
+            name: name.into(),
+            size: 2,
+            kind: PartitionKind::Random,
+            members: vec![(rel, 0)],
+        };
+        HypercubeScheme::new(3, vec![dim("~R", 0), dim("~S", 1), dim("~T", 2)], 3)
+    }
+
+    /// Fig. 2a Hash-Hypercube 2×2: S is fully partitioned (no replicas).
+    fn hash_cube() -> HypercubeScheme {
+        HypercubeScheme::new(
+            3,
+            vec![
+                Dimension {
+                    name: "y".into(),
+                    size: 2,
+                    kind: PartitionKind::Hash,
+                    members: vec![(0, 1), (1, 0)],
+                },
+                Dimension {
+                    name: "z".into(),
+                    size: 2,
+                    kind: PartitionKind::Hash,
+                    members: vec![(1, 1), (2, 0)],
+                },
+            ],
+            3,
+        )
+    }
+
+    fn place(scheme: &HypercubeScheme, n: usize) -> PlacementTracker {
+        let mut tracker = PlacementTracker::new();
+        let mut rng = SplitMix64::new(7);
+        let mut out = vec![];
+        for rel in 0..3 {
+            for i in 0..n {
+                let t = tuple![i as i64, (i * 31 % 17) as i64];
+                scheme.route(rel, &t, &mut rng, &mut out);
+                tracker.record(rel, &t, &out);
+            }
+        }
+        tracker
+    }
+
+    #[test]
+    fn random_hypercube_fully_peer_recoverable() {
+        // §5: "if a machine with coordinates {1,1,1} fails, we can recover
+        // its state from any machine {1,*,*} (for R), {*,1,*} (for S) ..."
+        let scheme = random_cube();
+        let tracker = place(&scheme, 50);
+        for failed in 0..scheme.machines() {
+            let plan = tracker.plan_recovery(failed);
+            assert!(
+                plan.unrecoverable.is_empty(),
+                "machine {failed}: {} unrecoverable",
+                plan.unrecoverable.len()
+            );
+            let lost = tracker.stored_on(failed).len();
+            assert_eq!(plan.recovered.len(), lost, "all lost tuples recovered");
+            for r in &plan.recovered {
+                assert_ne!(r.from_peer, failed);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_hypercube_partitioned_relation_needs_checkpoint() {
+        // S is hashed on both dimensions → stored on exactly one machine:
+        // peer recovery cannot restore it. R and T (replicated across one
+        // axis) are recoverable.
+        let scheme = hash_cube();
+        let tracker = place(&scheme, 50);
+        let mut s_unrecoverable = 0;
+        let mut rt_unrecoverable = 0;
+        for failed in 0..scheme.machines() {
+            let plan = tracker.plan_recovery(failed);
+            for (rel, _) in &plan.unrecoverable {
+                if *rel == 1 {
+                    s_unrecoverable += 1;
+                } else {
+                    rt_unrecoverable += 1;
+                }
+            }
+        }
+        assert_eq!(rt_unrecoverable, 0, "replicated relations are peer-recoverable");
+        assert_eq!(s_unrecoverable, 50, "every S tuple lives on exactly one machine");
+    }
+
+    #[test]
+    fn recoverable_fraction_matches_replication() {
+        assert_eq!(recoverable_fraction(&random_cube(), 0), 1.0);
+        assert_eq!(recoverable_fraction(&hash_cube(), 1), 0.0);
+        assert_eq!(recoverable_fraction(&hash_cube(), 0), 1.0);
+    }
+
+    #[test]
+    fn donor_is_a_true_replica() {
+        let scheme = random_cube();
+        let tracker = place(&scheme, 30);
+        let plan = tracker.plan_recovery(3);
+        for r in &plan.recovered {
+            let machines = &tracker.placements[&(r.rel, r.tuple.clone())];
+            assert!(machines.contains(&r.from_peer));
+            assert!(machines.contains(&3));
+        }
+    }
+}

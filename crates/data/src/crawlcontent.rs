@@ -1,0 +1,47 @@
+//! CrawlContent `{Url, Score}` (§7.1).
+//!
+//! "CrawlContent refers to a relation with the schema {Url, Score}, where
+//! Score stands for the output of any text analysis tools. As the text
+//! analysis tools are out of the scope of this work ... we synthesize
+//! them." — one row per distinct URL (Url is the primary key, hence
+//! skew-free, which the WebAnalytics Hybrid-Hypercube analysis relies on).
+
+use squall_common::{DataType, Schema, SplitMix64, Tuple, Value};
+
+pub fn crawlcontent_schema() -> Schema {
+    Schema::of(&[("Url", DataType::Int), ("Score", DataType::Float)])
+}
+
+/// One `(url, score)` row for every URL id in `0..n_urls`.
+pub fn generate(n_urls: usize, seed: u64) -> Vec<Tuple> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n_urls)
+        .map(|u| Tuple::new(vec![Value::Int(u as i64), Value::Float(rng.next_f64() * 100.0)]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_row_per_url_primary_key() {
+        let rows = generate(1000, 4);
+        assert_eq!(rows.len(), 1000);
+        let mut urls: Vec<i64> = rows.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        urls.sort_unstable();
+        urls.dedup();
+        assert_eq!(urls.len(), 1000, "Url must be unique (primary key)");
+    }
+
+    #[test]
+    fn scores_in_range_and_deterministic() {
+        let a = generate(100, 7);
+        let b = generate(100, 7);
+        assert_eq!(a, b);
+        for t in &a {
+            let s = t.get(1).as_float().unwrap();
+            assert!((0.0..100.0).contains(&s));
+        }
+    }
+}

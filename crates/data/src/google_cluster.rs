@@ -1,0 +1,143 @@
+//! Synthetic Google cluster-monitoring trace (§6, §7.4).
+//!
+//! Three relations mirroring the 2011 trace's event tables, sized so that
+//! "the total size of Machine_Events and Job_Events is only 14.5% of the
+//! relation Task_Events size" (§7.4):
+//!
+//! * `MACHINE_EVENTS(machineID, platform)`
+//! * `JOB_EVENTS(jobID, eventType, scheduling_class)`
+//! * `TASK_EVENTS(jobID, machineID, eventType)`
+//!
+//! Event types follow the trace's encoding; `FAIL = 3`. Task placement is
+//! mildly skewed across machines (busy machines fail more tasks), giving
+//! the TaskCount query a realistic group-size distribution.
+
+use squall_common::{DataType, Schema, SplitMix64, Tuple, Value, Zipf};
+
+/// The trace's FAIL event code.
+pub const FAIL: i64 = 3;
+
+pub fn machine_events_schema() -> Schema {
+    Schema::of(&[("machineID", DataType::Int), ("platform", DataType::Str)])
+}
+
+pub fn job_events_schema() -> Schema {
+    Schema::of(&[
+        ("jobID", DataType::Int),
+        ("eventType", DataType::Int),
+        ("scheduling_class", DataType::Int),
+    ])
+}
+
+pub fn task_events_schema() -> Schema {
+    Schema::of(&[
+        ("jobID", DataType::Int),
+        ("machineID", DataType::Int),
+        ("eventType", DataType::Int),
+    ])
+}
+
+const PLATFORMS: [&str; 3] = ["PlatformA", "PlatformB", "PlatformC"];
+
+#[derive(Debug, Clone)]
+pub struct GoogleClusterData {
+    pub machine_events: Vec<Tuple>,
+    pub job_events: Vec<Tuple>,
+    pub task_events: Vec<Tuple>,
+}
+
+/// Generate `n_tasks` TASK_EVENTS rows plus machine/job tables sized to
+/// 14.5% of that, split ≈ 1:1.45 (machines are fewer than jobs in the
+/// trace).
+pub fn generate(n_tasks: usize, seed: u64) -> GoogleClusterData {
+    let mut rng = SplitMix64::new(seed);
+    let side = ((n_tasks as f64) * 0.145) as usize;
+    let n_machines = (side * 2 / 5).max(4);
+    let n_jobs = side - n_machines;
+
+    let machine_events: Vec<Tuple> = (0..n_machines)
+        .map(|m| {
+            Tuple::new(vec![
+                Value::Int(m as i64),
+                Value::str(PLATFORMS[rng.next_below(PLATFORMS.len())]),
+            ])
+        })
+        .collect();
+
+    let job_events: Vec<Tuple> = (0..n_jobs)
+        .map(|j| {
+            Tuple::new(vec![
+                Value::Int(j as i64),
+                Value::Int(rng.next_below(9) as i64),
+                Value::Int(rng.next_below(4) as i64),
+            ])
+        })
+        .collect();
+
+    // Busy machines attract more tasks (mild zipf), and ~12% of task
+    // events are FAILs (roughly the trace's failure share).
+    let machine_zipf = Zipf::new(n_machines, 0.8);
+    let task_events: Vec<Tuple> = (0..n_tasks)
+        .map(|_| {
+            let event = if rng.next_f64() < 0.12 { FAIL } else { rng.next_below(3) as i64 };
+            Tuple::new(vec![
+                Value::Int(rng.next_below(n_jobs) as i64),
+                Value::Int(machine_zipf.sample(&mut rng) as i64),
+                Value::Int(event),
+            ])
+        })
+        .collect();
+
+    GoogleClusterData { machine_events, job_events, task_events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_sizes_match_paper() {
+        let d = generate(10_000, 1);
+        let side = d.machine_events.len() + d.job_events.len();
+        let ratio = side as f64 / d.task_events.len() as f64;
+        assert!((ratio - 0.145).abs() < 0.01, "side/task ratio {ratio}");
+    }
+
+    #[test]
+    fn fail_events_present_with_trace_share() {
+        let d = generate(20_000, 2);
+        let fails =
+            d.task_events.iter().filter(|t| t.get(2).as_int().unwrap() == FAIL).count();
+        let share = fails as f64 / d.task_events.len() as f64;
+        assert!((share - 0.12).abs() < 0.02, "FAIL share {share}");
+    }
+
+    #[test]
+    fn foreign_keys_valid() {
+        let d = generate(5_000, 3);
+        let n_jobs = d.job_events.len() as i64;
+        let n_machines = d.machine_events.len() as i64;
+        for t in &d.task_events {
+            assert!((0..n_jobs).contains(&t.get(0).as_int().unwrap()));
+            assert!((0..n_machines).contains(&t.get(1).as_int().unwrap()));
+        }
+    }
+
+    #[test]
+    fn machines_have_unique_ids_and_platforms() {
+        let d = generate(5_000, 4);
+        let mut ids: Vec<i64> =
+            d.machine_events.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), d.machine_events.len());
+        for t in &d.machine_events {
+            assert!(PLATFORMS.contains(&t.get(1).as_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(1000, 9).task_events, generate(1000, 9).task_events);
+    }
+}

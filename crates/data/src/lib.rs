@@ -1,0 +1,30 @@
+//! # squall-data
+//!
+//! Synthetic workload generators standing in for the paper's datasets
+//! (§6, §7.1), all seeded and deterministic:
+//!
+//! * [`tpch`] — a scaled-down TPC-H subset (CUSTOMER, ORDERS, LINEITEM,
+//!   PARTSUPP, PART) with TPC-H's relative cardinalities and an optional
+//!   zipf(θ) skew on PARTKEY ("TPC-H dataset with zipfian distribution and
+//!   skew factor of 2", §7.3). Dates are generated as `YYYY-MM-DD` strings
+//!   so the Figure 5 `sel(date)` parsing cost is real.
+//! * [`webgraph`] — a power-law hyperlink graph with one dominant hub
+//!   (the 'blogspot.com' stand-in), replacing the Common Crawl WebGraph.
+//! * [`crawlcontent`] — `{Url, Score}` with synthesized scores (the paper
+//!   itself synthesizes Score).
+//! * [`google_cluster`] — JOB_EVENTS / TASK_EVENTS / MACHINE_EVENTS with
+//!   FAIL events, preserving the trace's relative sizes ("the total size
+//!   of Machine_Events and Job_Events is only 14.5% of Task_Events").
+//! * [`streams`] — ordered/shuffled/drifting streams for the §5 ablations.
+//! * [`queries`] — the paper's evaluation queries as [`MultiJoinSpec`]s
+//!   (3-Reachability, TPCH9-Partial, TPC-H Q3, WebAnalytics, Google
+//!   TaskCount).
+
+pub mod crawlcontent;
+pub mod google_cluster;
+pub mod queries;
+pub mod streams;
+pub mod tpch;
+pub mod webgraph;
+
+pub use squall_expr::MultiJoinSpec;

@@ -1,0 +1,115 @@
+//! Synthetic WebGraph — the Common Crawl hyperlink graph stand-in (§7.1).
+//!
+//! Relation `{FromUrl, ToUrl}` with URLs as integer ids. Targets are drawn
+//! zipf (heavy-tailed in-degree, like real hyperlink graphs); node 0 plays
+//! 'blogspot.com', "which has the highest in-degree in the dataset"
+//! (WebAnalytics query, §7.3). Sources are near-uniform with a small hub
+//! out-degree boost so 2-hop paths through the hub exist.
+
+use squall_common::{DataType, Schema, SplitMix64, Tuple, Value, Zipf};
+
+/// The hub node id ('blogspot.com').
+pub const HUB: i64 = 0;
+
+pub fn webgraph_schema() -> Schema {
+    Schema::of(&[("FromUrl", DataType::Int), ("ToUrl", DataType::Int)])
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WebGraphGen {
+    pub n_nodes: usize,
+    pub n_arcs: usize,
+    /// Zipf exponent of the in-degree distribution (≈1.1–1.5 for real
+    /// hyperlink graphs at host granularity).
+    pub theta: f64,
+    /// Fraction of arcs leaving the hub (gives the hub out-degree the
+    /// WebAnalytics query needs).
+    pub hub_out_fraction: f64,
+    pub seed: u64,
+}
+
+impl WebGraphGen {
+    pub fn new(n_nodes: usize, n_arcs: usize, seed: u64) -> WebGraphGen {
+        WebGraphGen { n_nodes, n_arcs, theta: 1.2, hub_out_fraction: 0.02, seed }
+    }
+
+    /// Generate the arc list.
+    pub fn generate(&self) -> Vec<Tuple> {
+        assert!(self.n_nodes >= 2);
+        let zipf = Zipf::new(self.n_nodes, self.theta);
+        let mut rng = SplitMix64::new(self.seed);
+        (0..self.n_arcs)
+            .map(|_| {
+                let from = if rng.next_f64() < self.hub_out_fraction {
+                    HUB
+                } else {
+                    rng.next_below(self.n_nodes) as i64
+                };
+                // Zipf rank 0 (the hub) gets the highest in-degree.
+                let to = zipf.sample(&mut rng) as i64;
+                Tuple::new(vec![Value::Int(from), Value::Int(to)])
+            })
+            .collect()
+    }
+
+    /// A deterministic fraction of the arcs — the paper runs
+    /// 3-Reachability on a "0.5% sample of the Host WebGraph" so the
+    /// pipeline of 2-way joins fits in memory.
+    pub fn sample(&self, fraction: f64) -> Vec<Tuple> {
+        let all = self.generate();
+        let keep = ((all.len() as f64) * fraction).round() as usize;
+        all.into_iter().take(keep).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_determinism() {
+        let g = WebGraphGen::new(1000, 5000, 3);
+        let a = g.generate();
+        assert_eq!(a.len(), 5000);
+        assert_eq!(a, WebGraphGen::new(1000, 5000, 3).generate());
+    }
+
+    #[test]
+    fn hub_has_highest_in_degree() {
+        let arcs = WebGraphGen::new(2000, 20_000, 5).generate();
+        let mut indeg = vec![0usize; 2000];
+        for t in &arcs {
+            indeg[t.get(1).as_int().unwrap() as usize] += 1;
+        }
+        let hub_deg = indeg[HUB as usize];
+        let max_other = indeg[1..].iter().copied().max().unwrap();
+        assert!(hub_deg > max_other, "hub in-degree {hub_deg} vs max other {max_other}");
+        // Heavy tail: the hub alone takes a sizable share.
+        assert!(hub_deg as f64 / arcs.len() as f64 > 0.05);
+    }
+
+    #[test]
+    fn hub_has_outgoing_arcs() {
+        let arcs = WebGraphGen::new(2000, 20_000, 5).generate();
+        let hub_out = arcs.iter().filter(|t| t.get(0).as_int().unwrap() == HUB).count();
+        assert!(hub_out > 100, "hub must link out for 2-hop paths, got {hub_out}");
+    }
+
+    #[test]
+    fn sample_is_a_prefix_fraction() {
+        let g = WebGraphGen::new(500, 10_000, 9);
+        let s = g.sample(0.005);
+        assert_eq!(s.len(), 50);
+        assert_eq!(s[..], g.generate()[..50]);
+    }
+
+    #[test]
+    fn node_ids_in_range() {
+        let arcs = WebGraphGen::new(100, 1000, 1).generate();
+        for t in &arcs {
+            assert!((0..100).contains(&t.get(0).as_int().unwrap()));
+            assert!((0..100).contains(&t.get(1).as_int().unwrap()));
+        }
+    }
+}

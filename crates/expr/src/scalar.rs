@@ -1,0 +1,413 @@
+//! Scalar expressions over tuples.
+
+use std::fmt;
+
+use squall_common::{DataType, Date, Result, SquallError, Tuple, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Aggregate functions supported by Squall ("we currently support sum, count
+/// and average aggregates", §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::Count => write!(f, "COUNT"),
+            AggFunc::Sum => write!(f, "SUM"),
+            AggFunc::Avg => write!(f, "AVG"),
+        }
+    }
+}
+
+/// A scalar expression evaluated against one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Column reference by position (name resolution happens at plan time).
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<ScalarExpr>, rhs: Box<ScalarExpr> },
+    /// Boolean negation.
+    Not(Box<ScalarExpr>),
+    /// Type cast. `Cast(e, Date)` performs real text parsing when the input
+    /// is a string — the per-tuple cost that dominates the `sel(date)` bar
+    /// of Figure 5.
+    Cast { expr: Box<ScalarExpr>, to: DataType },
+}
+
+impl ScalarExpr {
+    pub fn col(idx: usize) -> ScalarExpr {
+        ScalarExpr::Column(idx)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Literal(v.into())
+    }
+
+    pub fn bin(op: BinOp, lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    pub fn eq(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::bin(BinOp::Eq, lhs, rhs)
+    }
+
+    pub fn and(lhs: ScalarExpr, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::bin(BinOp::And, lhs, rhs)
+    }
+
+    pub fn cast(expr: ScalarExpr, to: DataType) -> ScalarExpr {
+        ScalarExpr::Cast { expr: Box::new(expr), to }
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            ScalarExpr::Column(i) => {
+                if *i >= tuple.arity() {
+                    return Err(SquallError::InvalidPlan(format!(
+                        "column {i} out of range for arity {}",
+                        tuple.arity()
+                    )));
+                }
+                Ok(tuple.get(*i).clone())
+            }
+            ScalarExpr::Literal(v) => Ok(v.clone()),
+            ScalarExpr::Bin { op, lhs, rhs } => {
+                let l = lhs.eval(tuple)?;
+                // Short-circuit booleans.
+                match op {
+                    BinOp::And => {
+                        return if !truthy(&l)? {
+                            Ok(Value::Int(0))
+                        } else {
+                            Ok(Value::Int(truthy(&rhs.eval(tuple)?)? as i64))
+                        };
+                    }
+                    BinOp::Or => {
+                        return if truthy(&l)? {
+                            Ok(Value::Int(1))
+                        } else {
+                            Ok(Value::Int(truthy(&rhs.eval(tuple)?)? as i64))
+                        };
+                    }
+                    _ => {}
+                }
+                let r = rhs.eval(tuple)?;
+                eval_bin(*op, &l, &r)
+            }
+            ScalarExpr::Not(e) => Ok(Value::Int(!truthy(&e.eval(tuple)?)? as i64)),
+            ScalarExpr::Cast { expr, to } => cast_value(expr.eval(tuple)?, *to),
+        }
+    }
+
+    /// Evaluate as a predicate.
+    pub fn eval_bool(&self, tuple: &Tuple) -> Result<bool> {
+        truthy(&self.eval(tuple)?)
+    }
+
+    /// The set of column indexes this expression reads.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Column(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Bin { lhs, rhs, .. } => {
+                lhs.referenced_columns(out);
+                rhs.referenced_columns(out);
+            }
+            ScalarExpr::Not(e) | ScalarExpr::Cast { expr: e, .. } => e.referenced_columns(out),
+        }
+    }
+
+    /// Rewrite column indexes through a mapping (old index → new index).
+    /// Used by projection pushdown when a component narrows its output
+    /// scheme (§2, "each component decides on its output scheme based on the
+    /// fields/expressions that are needed downstream").
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Column(i) => ScalarExpr::Column(map(*i)),
+            ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Bin { op, lhs, rhs } => ScalarExpr::Bin {
+                op: *op,
+                lhs: Box::new(lhs.remap_columns(map)),
+                rhs: Box::new(rhs.remap_columns(map)),
+            },
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.remap_columns(map))),
+            ScalarExpr::Cast { expr, to } => {
+                ScalarExpr::Cast { expr: Box::new(expr.remap_columns(map)), to: *to }
+            }
+        }
+    }
+}
+
+/// Boolean interpretation: non-zero numerics are true.
+fn truthy(v: &Value) -> Result<bool> {
+    match v {
+        Value::Int(i) => Ok(*i != 0),
+        Value::Float(f) => Ok(*f != 0.0),
+        Value::Null => Ok(false),
+        other => {
+            Err(SquallError::TypeMismatch { expected: "boolean-like", found: format!("{other:?}") })
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    if op.is_comparison() {
+        let ord = l.cmp(r);
+        let b = match op {
+            Eq => ord == std::cmp::Ordering::Equal,
+            Ne => ord != std::cmp::Ordering::Equal,
+            Lt => ord == std::cmp::Ordering::Less,
+            Le => ord != std::cmp::Ordering::Greater,
+            Gt => ord == std::cmp::Ordering::Greater,
+            Ge => ord != std::cmp::Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Int(b as i64));
+    }
+    // Arithmetic: stay integral when both sides are ints (except Div by 0).
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                Add => a.wrapping_add(*b),
+                Sub => a.wrapping_sub(*b),
+                Mul => a.wrapping_mul(*b),
+                Div => {
+                    if *b == 0 {
+                        return Ok(Value::Null);
+                    }
+                    a.wrapping_div(*b)
+                }
+                Mod => {
+                    if *b == 0 {
+                        return Ok(Value::Null);
+                    }
+                    a.wrapping_rem(*b)
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(v))
+        }
+        _ => {
+            let a = l.as_float()?;
+            let b = r.as_float()?;
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                Mod => a % b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+fn cast_value(v: Value, to: DataType) -> Result<Value> {
+    match (v, to) {
+        (Value::Int(i), DataType::Int) => Ok(Value::Int(i)),
+        (Value::Float(f), DataType::Int) => Ok(Value::Int(f as i64)),
+        (Value::Str(s), DataType::Int) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| SquallError::Parse(format!("cannot cast {s:?} to INT"))),
+        (Value::Int(i), DataType::Float) => Ok(Value::Float(i as f64)),
+        (Value::Float(f), DataType::Float) => Ok(Value::Float(f)),
+        (Value::Str(s), DataType::Float) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| SquallError::Parse(format!("cannot cast {s:?} to FLOAT"))),
+        (Value::Str(s), DataType::Date) => Date::parse(&s).map(Value::Date),
+        (Value::Date(d), DataType::Date) => Ok(Value::Date(d)),
+        (v, DataType::Str) => Ok(Value::str(v.to_string())),
+        (Value::Null, _) => Ok(Value::Null),
+        (v, t) => Err(SquallError::TypeMismatch { expected: "castable value", found: format!("{v:?} -> {t}") }),
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column(i) => write!(f, "${i}"),
+            ScalarExpr::Literal(v) => write!(f, "{v}"),
+            ScalarExpr::Bin { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            ScalarExpr::Not(e) => write!(f, "NOT ({e})"),
+            ScalarExpr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::tuple;
+
+    #[test]
+    fn column_and_literal() {
+        let t = tuple![5, "x"];
+        assert_eq!(ScalarExpr::col(0).eval(&t).unwrap(), Value::Int(5));
+        assert_eq!(ScalarExpr::lit(9).eval(&t).unwrap(), Value::Int(9));
+        assert!(ScalarExpr::col(7).eval(&t).is_err());
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        let t = tuple![10, 3];
+        let e = ScalarExpr::bin(BinOp::Mod, ScalarExpr::col(0), ScalarExpr::col(1));
+        assert_eq!(e.eval(&t).unwrap(), Value::Int(1));
+        let d = ScalarExpr::bin(BinOp::Div, ScalarExpr::col(0), ScalarExpr::lit(0));
+        assert_eq!(d.eval(&t).unwrap(), Value::Null, "div by zero is NULL");
+    }
+
+    #[test]
+    fn mixed_arithmetic_widens() {
+        let t = tuple![10, 2.5];
+        let e = ScalarExpr::bin(BinOp::Mul, ScalarExpr::col(0), ScalarExpr::col(1));
+        assert_eq!(e.eval(&t).unwrap(), Value::Float(25.0));
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = tuple![2, 3];
+        let lt = ScalarExpr::bin(BinOp::Lt, ScalarExpr::col(0), ScalarExpr::col(1));
+        assert!(lt.eval_bool(&t).unwrap());
+        let ge = ScalarExpr::bin(BinOp::Ge, ScalarExpr::col(0), ScalarExpr::col(1));
+        assert!(!ge.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn paper_join_predicate_shape() {
+        // 2 * R.B < S.C   (§3.3 example) over concatenated tuple [B, C].
+        let t = tuple![4, 9];
+        let e = ScalarExpr::bin(
+            BinOp::Lt,
+            ScalarExpr::bin(BinOp::Mul, ScalarExpr::lit(2), ScalarExpr::col(0)),
+            ScalarExpr::col(1),
+        );
+        assert!(e.eval_bool(&t).unwrap()); // 8 < 9
+        let t2 = tuple![5, 9];
+        assert!(!e.eval_bool(&t2).unwrap()); // 10 < 9 is false
+    }
+
+    #[test]
+    fn boolean_short_circuit() {
+        // AND short-circuits: rhs would error (bad column) but is not reached.
+        let t = tuple![0];
+        let e = ScalarExpr::and(ScalarExpr::col(0), ScalarExpr::col(99));
+        assert!(!e.eval_bool(&t).unwrap());
+        let o = ScalarExpr::bin(BinOp::Or, ScalarExpr::lit(1), ScalarExpr::col(99));
+        assert!(o.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn not() {
+        let t = tuple![1];
+        assert!(!ScalarExpr::Not(Box::new(ScalarExpr::col(0))).eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn cast_str_to_date_parses() {
+        let t = tuple!["1994-07-01"];
+        let e = ScalarExpr::cast(ScalarExpr::col(0), DataType::Date);
+        let v = e.eval(&t).unwrap();
+        assert_eq!(v, Value::Date(Date::parse("1994-07-01").unwrap()));
+        let bad = tuple!["not-a-date"];
+        assert!(e.eval(&bad).is_err());
+    }
+
+    #[test]
+    fn cast_str_to_int() {
+        let t = tuple![" 42 "];
+        let e = ScalarExpr::cast(ScalarExpr::col(0), DataType::Int);
+        assert_eq!(e.eval(&t).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = ScalarExpr::and(
+            ScalarExpr::eq(ScalarExpr::col(2), ScalarExpr::col(0)),
+            ScalarExpr::bin(BinOp::Lt, ScalarExpr::col(2), ScalarExpr::lit(5)),
+        );
+        let mut cols = vec![];
+        e.referenced_columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 2]);
+    }
+
+    #[test]
+    fn remap_columns() {
+        let e = ScalarExpr::eq(ScalarExpr::col(3), ScalarExpr::col(5));
+        let r = e.remap_columns(&|i| i - 3);
+        let t = tuple![7, 0, 7];
+        assert!(r.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let e = ScalarExpr::bin(
+            BinOp::Lt,
+            ScalarExpr::bin(BinOp::Mul, ScalarExpr::lit(2), ScalarExpr::col(0)),
+            ScalarExpr::col(1),
+        );
+        assert_eq!(e.to_string(), "((2 * $0) < $1)");
+    }
+}

@@ -1,0 +1,697 @@
+//! The DBToaster-style local multi-way join — higher-order incremental
+//! view maintenance (Ahmad, Kennedy, Koch & Nikolic [9]; §3.3).
+//!
+//! "Instead of maintaining only the final result, DBToaster maintains all
+//! the intermediate (n−1)-, (n−2)-, …, and 2-way joins. When a new tuple
+//! comes, DBToaster updates the intermediate relations, and produces the
+//! (delta) result by joining the incoming tuple with the corresponding
+//! (n−1)-way materialized join."
+//!
+//! Concretely, for an acyclic join over relations `R₁..Rₙ`, a view `V_S`
+//! is kept for every **connected** subset `S` of relations. When a tuple
+//! `t` arrives at `Rᵢ`, for every connected `S ∋ i` (in any order — the
+//! probed views never contain `i`):
+//!
+//! ```text
+//! ΔV_S  =  t  ⋈  V_C₁ ⋈ … ⋈ V_Cₖ
+//! ```
+//!
+//! where `C₁..Cₖ` are the connected components of `S ∖ {i}` — the delta
+//! factorizes across components because they only connect *through* `Rᵢ`,
+//! so the join is `k` independent index probes plus a cross-combination,
+//! never a recomputation. The delta for the full relation set is the
+//! emitted result.
+
+use squall_common::{FxHashMap, Tuple, Value};
+use squall_expr::join_cond::CmpOp;
+use squall_expr::MultiJoinSpec;
+
+use crate::views::View;
+use crate::LocalJoin;
+
+/// How one segment of a ΔV_S tuple is assembled.
+#[derive(Debug, Clone, Copy)]
+enum Segment {
+    /// Copy the arriving delta tuple.
+    Delta,
+    /// Copy `len` columns starting at `start` from component `comp`'s
+    /// matched view tuple.
+    Comp { comp: usize, start: usize, len: usize },
+}
+
+/// A probe of one component view.
+#[derive(Debug)]
+struct CompProbe {
+    view_id: usize,
+    /// Index on the component view (None ⇒ full scan — happens when only
+    /// theta atoms connect the arriving relation to this component).
+    index_id: Option<usize>,
+    /// Delta-tuple columns forming the probe key (parallel to the index
+    /// columns).
+    my_cols: Vec<usize>,
+    /// Theta filters: (delta column, op, view column).
+    theta: Vec<(usize, CmpOp, usize)>,
+}
+
+/// The maintenance work for one connected subset on one relation's arrival.
+#[derive(Debug)]
+struct SubsetPlan {
+    /// Target view; `None` means this is the full relation set — deltas are
+    /// emitted as query results instead of stored.
+    view_id: Option<usize>,
+    comps: Vec<CompProbe>,
+    assembly: Vec<Segment>,
+}
+
+/// The DBToaster local operator. Build once per machine from the join
+/// spec; see [`LocalJoin`].
+pub struct DBToasterJoin {
+    arities: Vec<usize>,
+    views: Vec<View>,
+    plans: Vec<Vec<SubsetPlan>>,
+}
+
+impl DBToasterJoin {
+    /// Precompute views, indexes and delta plans for the join.
+    ///
+    /// Supports acyclic (and, conservatively, cyclic — extra atoms become
+    /// filters on the probes) connected join graphs over up to 30
+    /// relations (masks are `u32`); practical queries use 2–6.
+    pub fn new(spec: &MultiJoinSpec) -> DBToasterJoin {
+        let n = spec.n_relations();
+        assert!(n >= 1 && n <= 30, "unsupported relation count {n}");
+        let arities: Vec<usize> = spec.relations.iter().map(|r| r.schema.arity()).collect();
+        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+        // Adjacency from atoms.
+        let mut adj = vec![0u32; n];
+        for a in &spec.atoms {
+            adj[a.left_rel] |= 1 << a.right_rel;
+            adj[a.right_rel] |= 1 << a.left_rel;
+        }
+        let connected = |mask: u32| -> bool {
+            if mask == 0 {
+                return false;
+            }
+            let start = mask.trailing_zeros() as usize;
+            let mut seen = 1u32 << start;
+            let mut frontier = seen;
+            while frontier != 0 {
+                let mut next = 0u32;
+                let mut f = frontier;
+                while f != 0 {
+                    let r = f.trailing_zeros() as usize;
+                    f &= f - 1;
+                    next |= adj[r] & mask & !seen;
+                }
+                seen |= next;
+                frontier = next;
+            }
+            seen == mask
+        };
+        let components = |mask: u32| -> Vec<u32> {
+            let mut rest = mask;
+            let mut comps = Vec::new();
+            while rest != 0 {
+                let start = rest.trailing_zeros() as usize;
+                let mut seen = 1u32 << start;
+                let mut frontier = seen;
+                while frontier != 0 {
+                    let mut next = 0u32;
+                    let mut f = frontier;
+                    while f != 0 {
+                        let r = f.trailing_zeros() as usize;
+                        f &= f - 1;
+                        next |= adj[r] & mask & !seen;
+                    }
+                    seen |= next;
+                    frontier = next;
+                }
+                comps.push(seen);
+                rest &= !seen;
+            }
+            comps
+        };
+        let members_of = |mask: u32| -> Vec<usize> {
+            (0..n).filter(|&r| mask & (1 << r) != 0).collect()
+        };
+
+        // Views for every connected proper subset.
+        let mut views: Vec<View> = Vec::new();
+        let mut view_of: FxHashMap<u32, usize> = FxHashMap::default();
+        for mask in 1..full {
+            if connected(mask) {
+                view_of.insert(mask, views.len());
+                views.push(View::new(members_of(mask), &arities));
+            }
+        }
+
+        // Delta plans per arriving relation.
+        let mut plans: Vec<Vec<SubsetPlan>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rel_plans = Vec::new();
+            for mask in 1..=full {
+                if mask & (1 << i) == 0 || !connected(mask) {
+                    continue;
+                }
+                let rest = mask & !(1 << i);
+                let comp_masks = components(rest);
+                // Probes.
+                let mut comps = Vec::with_capacity(comp_masks.len());
+                for &cm in &comp_masks {
+                    let vid = view_of[&cm];
+                    let mut my_cols = Vec::new();
+                    let mut view_cols = Vec::new();
+                    let mut theta = Vec::new();
+                    for (other, my_col, op, other_col) in spec.atoms_of(i) {
+                        if cm & (1 << other) == 0 {
+                            continue;
+                        }
+                        let view_col = views[vid].offset_of(other) + other_col;
+                        if op == CmpOp::Eq {
+                            my_cols.push(my_col);
+                            view_cols.push(view_col);
+                        } else {
+                            theta.push((my_col, op, view_col));
+                        }
+                    }
+                    let index_id = if view_cols.is_empty() {
+                        None
+                    } else {
+                        Some(views[vid].ensure_index(view_cols))
+                    };
+                    comps.push(CompProbe { view_id: vid, index_id, my_cols, theta });
+                }
+                // Assembly: S's members in sorted order, each drawn from the
+                // delta or from its component's matched tuple.
+                let mut assembly = Vec::new();
+                for &m in &members_of(mask) {
+                    if m == i {
+                        assembly.push(Segment::Delta);
+                    } else {
+                        let (ci, &cm) = comp_masks
+                            .iter()
+                            .enumerate()
+                            .find(|(_, &cm)| cm & (1 << m) != 0)
+                            .expect("member belongs to a component");
+                        let comp_view = &views[view_of[&cm]];
+                        assembly.push(Segment::Comp {
+                            comp: ci,
+                            start: comp_view.offset_of(m),
+                            len: arities[m],
+                        });
+                    }
+                }
+                let view_id = if mask == full { None } else { Some(view_of[&mask]) };
+                rel_plans.push(SubsetPlan { view_id, comps, assembly });
+            }
+            plans.push(rel_plans);
+        }
+        DBToasterJoin { arities, views, plans }
+    }
+
+    /// Stored tuples in a specific intermediate view (diagnostics).
+    pub fn view_sizes(&self) -> Vec<(Vec<usize>, usize)> {
+        self.views.iter().map(|v| (v.members.clone(), v.len())).collect()
+    }
+
+    fn apply_delta(&mut self, rel: usize, tuple: &Tuple, mult: i64, mut out: Sink<'_>) {
+        debug_assert_eq!(tuple.arity(), self.arities[rel], "arity mismatch for relation {rel}");
+        let mut key_buf: Vec<Value> = Vec::new();
+        for plan in &self.plans[rel] {
+            // Probe every component; collect owned matches (the views are
+            // mutated afterwards).
+            let mut matches: Vec<Vec<(Tuple, i64)>> = Vec::with_capacity(plan.comps.len());
+            let mut dead = false;
+            for cp in &plan.comps {
+                let view = &self.views[cp.view_id];
+                let filter = |t: &Tuple| {
+                    cp.theta.iter().all(|&(mc, op, vc)| op.eval(tuple.get(mc), t.get(vc)))
+                };
+                let found: Vec<(Tuple, i64)> = match cp.index_id {
+                    Some(ix) => {
+                        key_buf.clear();
+                        key_buf.extend(cp.my_cols.iter().map(|&c| tuple.get(c).clone()));
+                        view.probe(ix, &key_buf)
+                            .filter(|(t, _)| filter(t))
+                            .map(|(t, m)| (t.clone(), m))
+                            .collect()
+                    }
+                    None => view
+                        .scan()
+                        .filter(|(t, _)| filter(t))
+                        .map(|(t, m)| (t.clone(), m))
+                        .collect(),
+                };
+                if found.is_empty() {
+                    dead = true;
+                    break;
+                }
+                matches.push(found);
+            }
+            if dead {
+                continue;
+            }
+            // Cross-combine the component matches.
+            let mut idx = vec![0usize; matches.len()];
+            loop {
+                let mut values = Vec::new();
+                let mut delta_mult = mult;
+                for seg in &plan.assembly {
+                    match *seg {
+                        Segment::Delta => values.extend_from_slice(tuple.values()),
+                        Segment::Comp { comp, start, len } => {
+                            let (t, _) = &matches[comp][idx[comp]];
+                            values.extend_from_slice(&t.values()[start..start + len]);
+                        }
+                    }
+                }
+                for (c, &i) in idx.iter().enumerate() {
+                    delta_mult *= matches[c][i].1;
+                }
+                let merged = Tuple::new(values);
+                match plan.view_id {
+                    Some(vid) => self.views[vid].update(&merged, delta_mult),
+                    None => {
+                        if delta_mult > 0 {
+                            match &mut out {
+                                Sink::None => {}
+                                Sink::Expand(v) => {
+                                    for _ in 0..delta_mult {
+                                        v.push(merged.clone());
+                                    }
+                                }
+                                Sink::Weighted(v) => v.push((merged.clone(), delta_mult)),
+                            }
+                        }
+                    }
+                }
+                // Advance the odometer.
+                let mut c = 0;
+                loop {
+                    if c == idx.len() {
+                        break;
+                    }
+                    idx[c] += 1;
+                    if idx[c] < matches[c].len() {
+                        break;
+                    }
+                    idx[c] = 0;
+                    c += 1;
+                }
+                if c == idx.len() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Where result deltas go.
+enum Sink<'a> {
+    None,
+    Expand(&'a mut Vec<Tuple>),
+    Weighted(&'a mut Vec<(Tuple, i64)>),
+}
+
+impl LocalJoin for DBToasterJoin {
+    fn insert(&mut self, rel: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        self.apply_delta(rel, tuple, 1, Sink::Expand(out));
+    }
+
+    fn remove(&mut self, rel: usize, tuple: &Tuple) {
+        self.apply_delta(rel, tuple, -1, Sink::None);
+    }
+
+    fn stored(&self) -> usize {
+        self.views.iter().map(|v| v.len()).sum()
+    }
+
+    fn insert_weighted(&mut self, rel: usize, tuple: &Tuple, out: &mut Vec<(Tuple, i64)>) {
+        self.apply_delta(rel, tuple, 1, Sink::Weighted(out));
+    }
+}
+
+/// DBToaster with *aggregated views* — the higher-order IVM trick that
+/// makes the §3.3/Figure 8 gap: every relation is projected onto the
+/// columns that future probes or the downstream aggregate actually need,
+/// so duplicate keys collapse into multiplicities and a hot-key arrival
+/// probes O(distinct keys) instead of enumerating O(matches) stored
+/// tuples. Results come out as `(projected tuple, multiplicity)` — exactly
+/// what COUNT/SUM consumers need.
+pub struct AggregatedDBToaster {
+    inner: DBToasterJoin,
+    /// Per relation: the original columns retained (sorted).
+    kept: Vec<Vec<usize>>,
+}
+
+impl AggregatedDBToaster {
+    /// Keep only join-key columns plus `extra[rel]` (columns the
+    /// downstream aggregate reads). Correctness: projection preserves the
+    /// join result's *multiset cardinality* per retained column
+    /// combination, which is exactly what weighted consumers use.
+    pub fn new(spec: &MultiJoinSpec, extra: &[Vec<usize>]) -> AggregatedDBToaster {
+        use squall_expr::RelationDef;
+        assert_eq!(extra.len(), spec.n_relations());
+        let mut kept: Vec<Vec<usize>> = vec![Vec::new(); spec.n_relations()];
+        for a in &spec.atoms {
+            for &(r, c) in &[(a.left_rel, a.left_col), (a.right_rel, a.right_col)] {
+                if !kept[r].contains(&c) {
+                    kept[r].push(c);
+                }
+            }
+        }
+        for (r, cols) in extra.iter().enumerate() {
+            for &c in cols {
+                if !kept[r].contains(&c) {
+                    kept[r].push(c);
+                }
+            }
+        }
+        for (r, cols) in kept.iter_mut().enumerate() {
+            if cols.is_empty() {
+                cols.push(0);
+            }
+            cols.sort_unstable();
+            let _ = r;
+        }
+        // Projected spec: schemas narrowed, atoms remapped.
+        let relations: Vec<RelationDef> = spec
+            .relations
+            .iter()
+            .enumerate()
+            .map(|(r, def)| {
+                RelationDef::new(def.name.clone(), def.schema.project(&kept[r]), def.est_size)
+            })
+            .collect();
+        let atoms = spec
+            .atoms
+            .iter()
+            .map(|a| squall_expr::JoinAtom {
+                left_rel: a.left_rel,
+                left_col: kept[a.left_rel].iter().position(|&c| c == a.left_col).unwrap(),
+                op: a.op,
+                right_rel: a.right_rel,
+                right_col: kept[a.right_rel].iter().position(|&c| c == a.right_col).unwrap(),
+            })
+            .collect();
+        let projected = MultiJoinSpec::new(relations, atoms).expect("projection preserves validity");
+        AggregatedDBToaster { inner: DBToasterJoin::new(&projected), kept }
+    }
+
+    /// Join-keys-only variant (COUNT(*) queries).
+    pub fn minimal(spec: &MultiJoinSpec) -> AggregatedDBToaster {
+        AggregatedDBToaster::new(spec, &vec![Vec::new(); spec.n_relations()])
+    }
+}
+
+impl LocalJoin for AggregatedDBToaster {
+    fn insert(&mut self, rel: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        self.inner.insert(rel, &tuple.project(&self.kept[rel]), out)
+    }
+
+    fn remove(&mut self, rel: usize, tuple: &Tuple) {
+        self.inner.remove(rel, &tuple.project(&self.kept[rel]))
+    }
+
+    fn stored(&self) -> usize {
+        self.inner.stored()
+    }
+
+    fn insert_weighted(&mut self, rel: usize, tuple: &Tuple, out: &mut Vec<(Tuple, i64)>) {
+        self.inner.insert_weighted(rel, &tuple.project(&self.kept[rel]), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{naive_join, same_multiset};
+    use squall_common::{tuple, DataType, Schema, SplitMix64};
+    use squall_expr::{JoinAtom, RelationDef};
+
+    fn run_online(join: &mut dyn LocalJoin, relations: &[Vec<Tuple>], seed: u64) -> Vec<Tuple> {
+        // Interleave arrivals in a deterministic random order — online
+        // operators must be order-insensitive in their final output.
+        let mut arrivals: Vec<(usize, Tuple)> = relations
+            .iter()
+            .enumerate()
+            .flat_map(|(r, ts)| ts.iter().map(move |t| (r, t.clone())))
+            .collect();
+        SplitMix64::new(seed).shuffle(&mut arrivals);
+        let mut out = Vec::new();
+        for (rel, t) in arrivals {
+            join.insert(rel, &t, &mut out);
+        }
+        out
+    }
+
+    fn chain3() -> MultiJoinSpec {
+        let mk = |n: &str| {
+            RelationDef::new(n, Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]), 0)
+        };
+        MultiJoinSpec::new(
+            vec![mk("R"), mk("S"), mk("T")],
+            vec![JoinAtom::eq(0, 1, 1, 0), JoinAtom::eq(1, 1, 2, 0)],
+        )
+        .unwrap()
+    }
+
+    fn rand_rel(n: usize, key_dom: i64, rng: &mut SplitMix64) -> Vec<Tuple> {
+        (0..n)
+            .map(|_| tuple![rng.next_range(0, key_dom), rng.next_range(0, key_dom)])
+            .collect()
+    }
+
+    #[test]
+    fn two_way_matches_oracle() {
+        let spec = MultiJoinSpec::new(
+            vec![
+                RelationDef::new("R", Schema::of(&[("a", DataType::Int)]), 0),
+                RelationDef::new("S", Schema::of(&[("a", DataType::Int)]), 0),
+            ],
+            vec![JoinAtom::eq(0, 0, 1, 0)],
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(1);
+        let r: Vec<Tuple> = (0..60).map(|_| tuple![rng.next_range(0, 15)]).collect();
+        let s: Vec<Tuple> = (0..60).map(|_| tuple![rng.next_range(0, 15)]).collect();
+        let mut j = DBToasterJoin::new(&spec);
+        let online = run_online(&mut j, &[r.clone(), s.clone()], 7);
+        let oracle = naive_join(&spec, &[r, s]);
+        assert!(same_multiset(&online, &oracle), "{} vs {}", online.len(), oracle.len());
+        assert!(!online.is_empty());
+    }
+
+    #[test]
+    fn three_way_chain_matches_oracle() {
+        let spec = chain3();
+        let mut rng = SplitMix64::new(2);
+        let rels = vec![
+            rand_rel(40, 8, &mut rng),
+            rand_rel(40, 8, &mut rng),
+            rand_rel(40, 8, &mut rng),
+        ];
+        let mut j = DBToasterJoin::new(&spec);
+        let online = run_online(&mut j, &rels, 9);
+        let oracle = naive_join(&spec, &rels);
+        assert!(same_multiset(&online, &oracle), "{} vs {}", online.len(), oracle.len());
+        assert!(!online.is_empty());
+    }
+
+    #[test]
+    fn intermediate_views_are_materialized() {
+        // For R ⋈ S ⋈ T, DBToaster keeps {R}, {S}, {T}, {R,S}, {S,T} —
+        // and NOT the disconnected {R,T} (that would be a cross product).
+        let spec = chain3();
+        let j = DBToasterJoin::new(&spec);
+        let members: Vec<Vec<usize>> = j.view_sizes().into_iter().map(|(m, _)| m).collect();
+        assert!(members.contains(&vec![0]));
+        assert!(members.contains(&vec![0, 1]));
+        assert!(members.contains(&vec![1, 2]));
+        assert!(!members.contains(&vec![0, 2]), "disconnected subsets must not be views");
+        assert_eq!(members.len(), 5);
+    }
+
+    #[test]
+    fn four_way_chain_matches_oracle() {
+        let mk = |n: &str| {
+            RelationDef::new(n, Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]), 0)
+        };
+        let spec = MultiJoinSpec::new(
+            vec![mk("R"), mk("S"), mk("T"), mk("U")],
+            vec![
+                JoinAtom::eq(0, 1, 1, 0),
+                JoinAtom::eq(1, 1, 2, 0),
+                JoinAtom::eq(2, 1, 3, 0),
+            ],
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(5);
+        let rels: Vec<Vec<Tuple>> = (0..4).map(|_| rand_rel(25, 5, &mut rng)).collect();
+        let mut j = DBToasterJoin::new(&spec);
+        let online = run_online(&mut j, &rels, 11);
+        let oracle = naive_join(&spec, &rels);
+        assert!(same_multiset(&online, &oracle), "{} vs {}", online.len(), oracle.len());
+        assert!(!online.is_empty());
+    }
+
+    #[test]
+    fn star_join_cross_components() {
+        // F(a,b) ⋈ D1(a) ⋈ D2(b): on an F arrival the rest {D1, D2} is
+        // disconnected — the delta must cross-combine two probes.
+        let spec = MultiJoinSpec::new(
+            vec![
+                RelationDef::new(
+                    "F",
+                    Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+                    0,
+                ),
+                RelationDef::new("D1", Schema::of(&[("a", DataType::Int)]), 0),
+                RelationDef::new("D2", Schema::of(&[("b", DataType::Int)]), 0),
+            ],
+            vec![JoinAtom::eq(0, 0, 1, 0), JoinAtom::eq(0, 1, 2, 0)],
+        )
+        .unwrap();
+        let f = vec![tuple![1, 2], tuple![1, 3]];
+        let d1 = vec![tuple![1], tuple![1]];
+        let d2 = vec![tuple![2], tuple![3]];
+        let mut j = DBToasterJoin::new(&spec);
+        let online = run_online(&mut j, &[f.clone(), d1.clone(), d2.clone()], 13);
+        let oracle = naive_join(&spec, &[f, d1, d2]);
+        assert!(same_multiset(&online, &oracle), "{} vs {}", online.len(), oracle.len());
+        assert_eq!(online.len(), 4);
+    }
+
+    #[test]
+    fn theta_join_atoms_as_filters() {
+        // R.a = S.a AND R.b < S.b — mixed condition (§3.3's example shape).
+        let mk = |n: &str| {
+            RelationDef::new(n, Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]), 0)
+        };
+        let spec = MultiJoinSpec::new(
+            vec![mk("R"), mk("S")],
+            vec![
+                JoinAtom::eq(0, 0, 1, 0),
+                JoinAtom {
+                    left_rel: 0,
+                    left_col: 1,
+                    op: CmpOp::Lt,
+                    right_rel: 1,
+                    right_col: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(21);
+        let rels = vec![rand_rel(50, 6, &mut rng), rand_rel(50, 6, &mut rng)];
+        let mut j = DBToasterJoin::new(&spec);
+        let online = run_online(&mut j, &rels, 3);
+        let oracle = naive_join(&spec, &rels);
+        assert!(same_multiset(&online, &oracle), "{} vs {}", online.len(), oracle.len());
+        assert!(!online.is_empty());
+    }
+
+    #[test]
+    fn pure_inequality_join_uses_scans() {
+        let mk = |n: &str| RelationDef::new(n, Schema::of(&[("a", DataType::Int)]), 0);
+        let spec = MultiJoinSpec::new(
+            vec![mk("R"), mk("S")],
+            vec![JoinAtom { left_rel: 0, left_col: 0, op: CmpOp::Lt, right_rel: 1, right_col: 0 }],
+        )
+        .unwrap();
+        let r: Vec<Tuple> = (0..20).map(|i| tuple![i]).collect();
+        let s: Vec<Tuple> = (0..20).map(|i| tuple![i]).collect();
+        let mut j = DBToasterJoin::new(&spec);
+        let online = run_online(&mut j, &[r.clone(), s.clone()], 17);
+        let oracle = naive_join(&spec, &[r, s]);
+        assert!(same_multiset(&online, &oracle));
+        assert_eq!(online.len(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn duplicates_multiply() {
+        let spec = MultiJoinSpec::new(
+            vec![
+                RelationDef::new("R", Schema::of(&[("a", DataType::Int)]), 0),
+                RelationDef::new("S", Schema::of(&[("a", DataType::Int)]), 0),
+            ],
+            vec![JoinAtom::eq(0, 0, 1, 0)],
+        )
+        .unwrap();
+        let mut j = DBToasterJoin::new(&spec);
+        let mut out = Vec::new();
+        j.insert(0, &tuple![7], &mut out);
+        j.insert(0, &tuple![7], &mut out);
+        assert!(out.is_empty());
+        j.insert(1, &tuple![7], &mut out);
+        assert_eq!(out.len(), 2, "two stored R copies × one S arrival");
+    }
+
+    #[test]
+    fn removal_stops_future_matches() {
+        let spec = chain3();
+        let mut j = DBToasterJoin::new(&spec);
+        let mut out = Vec::new();
+        j.insert(0, &tuple![0, 1], &mut out);
+        j.insert(1, &tuple![1, 2], &mut out);
+        assert!(out.is_empty());
+        j.remove(0, &tuple![0, 1]);
+        j.insert(2, &tuple![2, 9], &mut out);
+        assert!(out.is_empty(), "removed R tuple must not contribute");
+        // Re-add: now the triple completes on the T side already present.
+        j.insert(0, &tuple![0, 1], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], tuple![0, 1, 1, 2, 2, 9]);
+    }
+
+    #[test]
+    fn removal_keeps_views_consistent() {
+        let spec = chain3();
+        let mut rng = SplitMix64::new(33);
+        let rels = vec![
+            rand_rel(30, 5, &mut rng),
+            rand_rel(30, 5, &mut rng),
+            rand_rel(30, 5, &mut rng),
+        ];
+        let mut j = DBToasterJoin::new(&spec);
+        let mut out = Vec::new();
+        for (rel, ts) in rels.iter().enumerate() {
+            for t in ts {
+                j.insert(rel, t, &mut out);
+            }
+        }
+        // Remove everything; all views must drain to empty.
+        for (rel, ts) in rels.iter().enumerate() {
+            for t in ts {
+                j.remove(rel, t);
+            }
+        }
+        assert_eq!(j.stored(), 0, "views must be empty after removing all input");
+    }
+
+    #[test]
+    fn single_relation_emits_identity() {
+        let spec = MultiJoinSpec::new(
+            vec![RelationDef::new("R", Schema::of(&[("a", DataType::Int)]), 0)],
+            vec![],
+        )
+        .unwrap();
+        let mut j = DBToasterJoin::new(&spec);
+        let mut out = Vec::new();
+        j.insert(0, &tuple![5], &mut out);
+        assert_eq!(out, vec![tuple![5]]);
+    }
+
+    #[test]
+    fn stored_counts_views() {
+        let spec = chain3();
+        let mut j = DBToasterJoin::new(&spec);
+        let mut out = Vec::new();
+        j.insert(0, &tuple![0, 1], &mut out);
+        assert_eq!(j.stored(), 1); // V{R}
+        j.insert(1, &tuple![1, 2], &mut out);
+        // V{R}, V{S}, V{RS}.
+        assert_eq!(j.stored(), 3);
+    }
+}

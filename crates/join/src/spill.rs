@@ -1,0 +1,254 @@
+//! Disk spilling — the BerkeleyDB-connector replacement (§2: "Squall is a
+//! main-memory system. It also offers connectivity to BerkeleyDB, which
+//! spills tuples to disk when main memory is insufficient. However,
+//! throughput and latency are orders of magnitude better when only
+//! main-memory is used.")
+//!
+//! [`SpillStore`] keeps tuples in memory up to a byte budget, then appends
+//! overflow to a temporary file with a simple length-prefixed binary codec.
+//! Scans replay memory first, then the file.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use squall_common::{Date, Result, SquallError, Tuple, Value};
+
+/// Append-only tuple store with a memory budget and disk overflow.
+pub struct SpillStore {
+    mem: Vec<Tuple>,
+    mem_bytes: usize,
+    budget_bytes: usize,
+    spilled: usize,
+    writer: Option<BufWriter<File>>,
+    path: Option<PathBuf>,
+}
+
+impl SpillStore {
+    /// A store that spills to a fresh temp file once memory exceeds
+    /// `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> SpillStore {
+        SpillStore { mem: Vec::new(), mem_bytes: 0, budget_bytes, spilled: 0, writer: None, path: None }
+    }
+
+    /// Append one tuple.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if self.mem_bytes + tuple.approx_bytes() <= self.budget_bytes || self.budget_bytes == 0 && self.mem.is_empty() {
+            self.mem_bytes += tuple.approx_bytes();
+            self.mem.push(tuple);
+            return Ok(());
+        }
+        if self.writer.is_none() {
+            let dir = std::env::temp_dir();
+            let path = dir.join(format!(
+                "squall-spill-{}-{:x}.bin",
+                std::process::id(),
+                self as *const _ as usize
+            ));
+            let file = File::create(&path)?;
+            self.path = Some(path);
+            self.writer = Some(BufWriter::new(file));
+        }
+        let w = self.writer.as_mut().expect("writer created above");
+        encode_tuple(w, &tuple)?;
+        self.spilled += 1;
+        Ok(())
+    }
+
+    /// Total stored tuples.
+    pub fn len(&self) -> usize {
+        self.mem.len() + self.spilled
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tuples currently held in memory / spilled to disk.
+    pub fn mem_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    pub fn spilled_len(&self) -> usize {
+        self.spilled
+    }
+
+    /// Scan everything: memory first, then the spill file. (The
+    /// orders-of-magnitude slowdown the paper mentions shows up here as
+    /// real file I/O.)
+    pub fn scan(&mut self) -> Result<Vec<Tuple>> {
+        let mut out = self.mem.clone();
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+            let path = self.path.as_ref().expect("path set with writer");
+            let mut reader = BufReader::new(File::open(path)?);
+            for _ in 0..self.spilled {
+                out.push(decode_tuple(&mut reader)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        if let Some(p) = &self.path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_DATE: u8 = 4;
+
+fn encode_tuple(w: &mut impl Write, t: &Tuple) -> Result<()> {
+    w.write_all(&(t.arity() as u32).to_le_bytes())?;
+    for v in t.values() {
+        match v {
+            Value::Null => w.write_all(&[TAG_NULL])?,
+            Value::Int(i) => {
+                w.write_all(&[TAG_INT])?;
+                w.write_all(&i.to_le_bytes())?;
+            }
+            Value::Float(f) => {
+                w.write_all(&[TAG_FLOAT])?;
+                w.write_all(&f.to_bits().to_le_bytes())?;
+            }
+            Value::Str(s) => {
+                w.write_all(&[TAG_STR])?;
+                w.write_all(&(s.len() as u32).to_le_bytes())?;
+                w.write_all(s.as_bytes())?;
+            }
+            Value::Date(d) => {
+                w.write_all(&[TAG_DATE])?;
+                w.write_all(&d.0.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_tuple(r: &mut impl Read) -> Result<Tuple> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let arity = u32::from_le_bytes(len4) as usize;
+    if arity > 1 << 20 {
+        return Err(SquallError::Io("corrupt spill file: absurd arity".into()));
+    }
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let v = match tag[0] {
+            TAG_NULL => Value::Null,
+            TAG_INT => {
+                let mut b = [0u8; 8];
+                r.read_exact(&mut b)?;
+                Value::Int(i64::from_le_bytes(b))
+            }
+            TAG_FLOAT => {
+                let mut b = [0u8; 8];
+                r.read_exact(&mut b)?;
+                Value::Float(f64::from_bits(u64::from_le_bytes(b)))
+            }
+            TAG_STR => {
+                let mut b = [0u8; 4];
+                r.read_exact(&mut b)?;
+                let n = u32::from_le_bytes(b) as usize;
+                let mut buf = vec![0u8; n];
+                r.read_exact(&mut buf)?;
+                Value::Str(
+                    String::from_utf8(buf)
+                        .map_err(|_| SquallError::Io("corrupt spill file: bad utf8".into()))?
+                        .into(),
+                )
+            }
+            TAG_DATE => {
+                let mut b = [0u8; 4];
+                r.read_exact(&mut b)?;
+                Value::Date(Date(i32::from_le_bytes(b)))
+            }
+            other => return Err(SquallError::Io(format!("corrupt spill file: tag {other}"))),
+        };
+        values.push(v);
+    }
+    Ok(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::tuple;
+
+    #[test]
+    fn all_in_memory_under_budget() {
+        let mut s = SpillStore::new(1 << 20);
+        for i in 0..100i64 {
+            s.push(tuple![i, "x"]).unwrap();
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.spilled_len(), 0);
+        let all = s.scan().unwrap();
+        assert_eq!(all.len(), 100);
+        assert_eq!(all[7], tuple![7, "x"]);
+    }
+
+    #[test]
+    fn overflow_spills_and_scans_back() {
+        let mut s = SpillStore::new(600);
+        for i in 0..1000i64 {
+            s.push(tuple![i, i * 2, format!("payload-{i}")]).unwrap();
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.spilled_len() > 900, "most tuples should be on disk");
+        assert!(s.mem_len() < 100);
+        let all = s.scan().unwrap();
+        assert_eq!(all.len(), 1000);
+        // Order: memory first, then disk, both append-ordered.
+        let mem = s.mem_len() as i64;
+        assert_eq!(all[0], tuple![0, 0, "payload-0"]);
+        assert_eq!(all[mem as usize], tuple![mem, mem * 2, format!("payload-{mem}")]);
+        assert_eq!(all[999], tuple![999, 1998, "payload-999"]);
+    }
+
+    #[test]
+    fn roundtrips_every_value_type() {
+        let mut s = SpillStore::new(0); // everything after the first goes to disk
+        let t1 = tuple![42, 2.5, "héllo", Value::Null];
+        let mut t2v = t1.values().to_vec();
+        t2v.push(Value::Date(Date::parse("1994-06-30").unwrap()));
+        let t2 = Tuple::new(t2v);
+        s.push(t1.clone()).unwrap();
+        s.push(t2.clone()).unwrap();
+        let all = s.scan().unwrap();
+        assert_eq!(all, vec![t1, t2]);
+    }
+
+    #[test]
+    fn scan_is_repeatable() {
+        let mut s = SpillStore::new(100);
+        for i in 0..50i64 {
+            s.push(tuple![i]).unwrap();
+        }
+        let a = s.scan().unwrap();
+        let b = s.scan().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spill_file_removed_on_drop() {
+        let path;
+        {
+            let mut s = SpillStore::new(0);
+            s.push(tuple![1]).unwrap();
+            s.push(tuple![2]).unwrap();
+            s.scan().unwrap();
+            path = s.path.clone().expect("spilled");
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "temp file must be cleaned up");
+    }
+}

@@ -1,0 +1,187 @@
+//! Counted materialized views with hash indexes — the storage layer shared
+//! by both local join algorithms.
+//!
+//! A view holds the (multiset) result of joining one subset of the input
+//! relations; tuples carry multiplicities so duplicate inputs and window
+//! deletions (negative deltas) are exact. Each view keeps one hash index
+//! per distinct probe-key column set; probes with no equi columns scan.
+
+use squall_common::{FxHashMap, Tuple, Value};
+
+/// A multiset of tuples with optional hash indexes.
+#[derive(Debug, Default)]
+pub struct View {
+    /// Relations whose concatenation forms this view's rows (sorted).
+    pub members: Vec<usize>,
+    /// Column offset of each member inside a row.
+    pub offsets: Vec<usize>,
+    rows: FxHashMap<Tuple, i64>,
+    indexes: Vec<ViewIndex>,
+    /// Σ multiplicities (stored tuple count).
+    count: i64,
+}
+
+#[derive(Debug)]
+struct ViewIndex {
+    cols: Vec<usize>,
+    map: FxHashMap<Vec<Value>, FxHashMap<Tuple, i64>>,
+}
+
+impl View {
+    /// An empty view over the given member relations (with arities taken
+    /// from `arities[rel]`).
+    pub fn new(members: Vec<usize>, arities: &[usize]) -> View {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted");
+        let mut offsets = Vec::with_capacity(members.len());
+        let mut off = 0;
+        for &m in &members {
+            offsets.push(off);
+            off += arities[m];
+        }
+        View { members, offsets, rows: FxHashMap::default(), indexes: Vec::new(), count: 0 }
+    }
+
+    /// Column offset of member relation `rel` within rows of this view.
+    pub fn offset_of(&self, rel: usize) -> usize {
+        let i = self.members.iter().position(|&m| m == rel).expect("rel is a member");
+        self.offsets[i]
+    }
+
+    /// Ensure an index on the given columns exists; returns its id.
+    pub fn ensure_index(&mut self, cols: Vec<usize>) -> usize {
+        if let Some(i) = self.indexes.iter().position(|ix| ix.cols == cols) {
+            return i;
+        }
+        debug_assert!(self.rows.is_empty(), "indexes are created before data arrives");
+        self.indexes.push(ViewIndex { cols, map: FxHashMap::default() });
+        self.indexes.len() - 1
+    }
+
+    /// Apply a delta: multiplicity `mult` (±) for `tuple`.
+    pub fn update(&mut self, tuple: &Tuple, mult: i64) {
+        if mult == 0 {
+            return;
+        }
+        self.count += mult;
+        let entry = self.rows.entry(tuple.clone()).or_insert(0);
+        *entry += mult;
+        let gone = *entry <= 0;
+        if gone {
+            self.rows.remove(tuple);
+        }
+        for ix in &mut self.indexes {
+            let key = tuple.key(&ix.cols);
+            let bucket = ix.map.entry(key).or_default();
+            let e = bucket.entry(tuple.clone()).or_insert(0);
+            *e += mult;
+            if *e <= 0 {
+                bucket.remove(tuple);
+                if bucket.is_empty() {
+                    let key = tuple.key(&ix.cols);
+                    ix.map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Probe by index id and key; yields `(tuple, multiplicity)`.
+    pub fn probe<'a>(
+        &'a self,
+        index_id: usize,
+        key: &[Value],
+    ) -> Box<dyn Iterator<Item = (&'a Tuple, i64)> + 'a> {
+        match self.indexes[index_id].map.get(key) {
+            Some(bucket) => Box::new(bucket.iter().map(|(t, &m)| (t, m))),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Full scan (used when no equi atoms connect the probing relation).
+    pub fn scan(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.rows.iter().map(|(t, &m)| (t, m))
+    }
+
+    /// Multiplicity of one tuple.
+    pub fn multiplicity(&self, tuple: &Tuple) -> i64 {
+        self.rows.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Σ multiplicities.
+    pub fn len(&self) -> usize {
+        self.count.max(0) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count <= 0
+    }
+
+    /// Distinct stored rows.
+    pub fn distinct_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::tuple;
+
+    #[test]
+    fn insert_probe_by_index() {
+        let mut v = View::new(vec![0], &[2]);
+        let ix = v.ensure_index(vec![0]);
+        v.update(&tuple![1, 10], 1);
+        v.update(&tuple![1, 20], 1);
+        v.update(&tuple![2, 30], 1);
+        let hits: Vec<_> = v.probe(ix, &[Value::Int(1)]).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(v.probe(ix, &[Value::Int(9)]).next().is_none());
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn multiplicities_accumulate_and_cancel() {
+        let mut v = View::new(vec![0], &[1]);
+        let ix = v.ensure_index(vec![0]);
+        v.update(&tuple![5], 1);
+        v.update(&tuple![5], 1);
+        assert_eq!(v.multiplicity(&tuple![5]), 2);
+        assert_eq!(v.len(), 2);
+        v.update(&tuple![5], -1);
+        assert_eq!(v.multiplicity(&tuple![5]), 1);
+        let hits: Vec<_> = v.probe(ix, &[Value::Int(5)]).collect();
+        assert_eq!(hits, vec![(&tuple![5], 1)]);
+        v.update(&tuple![5], -1);
+        assert!(v.is_empty());
+        assert!(v.probe(ix, &[Value::Int(5)]).next().is_none());
+    }
+
+    #[test]
+    fn composite_index_keys() {
+        let mut v = View::new(vec![1], &[0, 3]);
+        let ix = v.ensure_index(vec![0, 2]);
+        v.update(&tuple![1, 2, 3], 1);
+        v.update(&tuple![1, 9, 3], 1);
+        v.update(&tuple![1, 2, 4], 1);
+        let hits: Vec<_> = v.probe(ix, &[Value::Int(1), Value::Int(3)]).collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn offsets_for_multi_member_views() {
+        let v = View::new(vec![0, 2, 3], &[2, 5, 3, 1]);
+        assert_eq!(v.offset_of(0), 0);
+        assert_eq!(v.offset_of(2), 2);
+        assert_eq!(v.offset_of(3), 5);
+    }
+
+    #[test]
+    fn scan_lists_everything() {
+        let mut v = View::new(vec![0], &[1]);
+        v.update(&tuple![1], 2);
+        v.update(&tuple![2], 1);
+        let total: i64 = v.scan().map(|(_, m)| m).sum();
+        assert_eq!(total, 3);
+        assert_eq!(v.distinct_rows(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Window semantics on top of the full-history engine (§2).
+//!
+//! "Squall provides both full-history and window semantics for its
+//! operators. It implements typical stream primitives, such as tumbling and
+//! sliding windows, by adding the window expiration logic on top of the
+//! full-history engine." — [`WindowJoin`] wraps any [`LocalJoin`], buffers
+//! `(timestamp, tuple)` pairs per relation, and removes expired state
+//! before each insertion. Results are therefore produced exactly for input
+//! pairs/triples co-resident in the window.
+
+use std::collections::VecDeque;
+
+use squall_common::Tuple;
+
+use crate::LocalJoin;
+
+/// Window shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Keep everything (incremental view maintenance).
+    FullHistory,
+    /// Non-overlapping windows of `width` time units: state resets at each
+    /// boundary `k·width`.
+    Tumbling { width: u64 },
+    /// Keep tuples whose timestamp is within `size` of the newest input.
+    Sliding { size: u64 },
+}
+
+/// A windowed local join: any full-history [`LocalJoin`] plus expiration.
+pub struct WindowJoin<J: LocalJoin> {
+    inner: J,
+    spec: WindowSpec,
+    /// Per-relation FIFO of live tuples (timestamps are non-decreasing per
+    /// stream, as produced by the runtime's ordered channels).
+    live: Vec<VecDeque<(u64, Tuple)>>,
+    /// Tumbling only: the current window's index.
+    current_window: u64,
+}
+
+impl<J: LocalJoin> WindowJoin<J> {
+    pub fn new(inner: J, n_relations: usize, spec: WindowSpec) -> WindowJoin<J> {
+        WindowJoin {
+            inner,
+            spec,
+            live: (0..n_relations).map(|_| VecDeque::new()).collect(),
+            current_window: 0,
+        }
+    }
+
+    /// Insert a timestamped tuple; expired state is evicted first, so the
+    /// emitted results are exactly the in-window joins.
+    pub fn insert(&mut self, rel: usize, ts: u64, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        self.expire(ts);
+        self.live[rel].push_back((ts, tuple.clone()));
+        self.inner.insert(rel, tuple, out);
+    }
+
+    /// Weighted-result variant (see [`LocalJoin::insert_weighted`]).
+    pub fn insert_weighted(
+        &mut self,
+        rel: usize,
+        ts: u64,
+        tuple: &Tuple,
+        out: &mut Vec<(Tuple, i64)>,
+    ) {
+        self.expire(ts);
+        self.live[rel].push_back((ts, tuple.clone()));
+        self.inner.insert_weighted(rel, tuple, out);
+    }
+
+    fn expire(&mut self, now: u64) {
+        match self.spec {
+            WindowSpec::FullHistory => {}
+            WindowSpec::Sliding { size } => {
+                let cutoff = now.saturating_sub(size);
+                for rel in 0..self.live.len() {
+                    while let Some((ts, _)) = self.live[rel].front() {
+                        if *ts < cutoff {
+                            let (_, t) = self.live[rel].pop_front().expect("front exists");
+                            self.inner.remove(rel, &t);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            WindowSpec::Tumbling { width } => {
+                let win = now / width;
+                if win != self.current_window {
+                    // Window boundary: drop all state.
+                    for rel in 0..self.live.len() {
+                        while let Some((_, t)) = self.live[rel].pop_front() {
+                            self.inner.remove(rel, &t);
+                        }
+                    }
+                    self.current_window = win;
+                }
+            }
+        }
+    }
+
+    /// Tuples currently held in the window (all relations).
+    pub fn live_tuples(&self) -> usize {
+        self.live.iter().map(|q| q.len()).sum()
+    }
+
+    pub fn inner(&self) -> &J {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbtoaster::DBToasterJoin;
+    use crate::traditional::TraditionalJoin;
+    use squall_common::{tuple, DataType, Schema};
+    use squall_expr::{JoinAtom, MultiJoinSpec, RelationDef};
+
+    fn two_way() -> MultiJoinSpec {
+        MultiJoinSpec::new(
+            vec![
+                RelationDef::new("R", Schema::of(&[("a", DataType::Int)]), 0),
+                RelationDef::new("S", Schema::of(&[("a", DataType::Int)]), 0),
+            ],
+            vec![JoinAtom::eq(0, 0, 1, 0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_history_never_expires() {
+        let spec = two_way();
+        let mut w = WindowJoin::new(DBToasterJoin::new(&spec), 2, WindowSpec::FullHistory);
+        let mut out = Vec::new();
+        w.insert(0, 0, &tuple![1], &mut out);
+        w.insert(1, 1_000_000, &tuple![1], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn sliding_window_expires_old_state() {
+        let spec = two_way();
+        let mut w = WindowJoin::new(DBToasterJoin::new(&spec), 2, WindowSpec::Sliding { size: 10 });
+        let mut out = Vec::new();
+        w.insert(0, 0, &tuple![1], &mut out);
+        // Within the window: matches.
+        w.insert(1, 5, &tuple![1], &mut out);
+        assert_eq!(out.len(), 1);
+        // Far in the future: the R tuple (ts 0) has expired.
+        out.clear();
+        w.insert(1, 100, &tuple![1], &mut out);
+        assert!(out.is_empty(), "expired tuple must not join");
+        // But the ts=5 S tuple expired too; new R at 101 only sees S@100.
+        out.clear();
+        w.insert(0, 101, &tuple![1], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn sliding_window_matches_filter_oracle() {
+        // Oracle: (r, s) joins iff |ts_r − ts_s| ≤ size and keys match —
+        // checked over an interleaved stream.
+        let spec = two_way();
+        let size = 8u64;
+        let mut w =
+            WindowJoin::new(TraditionalJoin::new(&spec), 2, WindowSpec::Sliding { size });
+        let mut rng = squall_common::SplitMix64::new(14);
+        let mut events: Vec<(usize, u64, Tuple)> = Vec::new();
+        let mut ts = 0u64;
+        for _ in 0..200 {
+            ts += rng.next_below(4) as u64;
+            events.push((rng.next_below(2), ts, tuple![rng.next_range(0, 5)]));
+        }
+        let mut online = Vec::new();
+        for (rel, ts, t) in &events {
+            w.insert(*rel, *ts, t, &mut online);
+        }
+        // The oracle counts unordered matching pairs within the window.
+        // (The eager eviction at insert time uses a strict cutoff; mirror
+        // it exactly.)
+        let mut expected = 0usize;
+        for (i, (rel_a, ts_a, a)) in events.iter().enumerate() {
+            for (rel_b, ts_b, b) in events.iter().take(i) {
+                if rel_a != rel_b && a == b && ts_a.saturating_sub(size) <= *ts_b {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(online.len(), expected);
+    }
+
+    #[test]
+    fn tumbling_window_resets_state() {
+        let spec = two_way();
+        let mut w =
+            WindowJoin::new(DBToasterJoin::new(&spec), 2, WindowSpec::Tumbling { width: 10 });
+        let mut out = Vec::new();
+        w.insert(0, 1, &tuple![1], &mut out);
+        w.insert(1, 5, &tuple![1], &mut out);
+        assert_eq!(out.len(), 1, "same window joins");
+        out.clear();
+        // ts 12 is in the next window: state was reset.
+        w.insert(1, 12, &tuple![1], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(w.live_tuples(), 1);
+        // Same (new) window still joins.
+        w.insert(0, 13, &tuple![1], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn window_keeps_inner_state_bounded() {
+        let spec = two_way();
+        let mut w =
+            WindowJoin::new(DBToasterJoin::new(&spec), 2, WindowSpec::Sliding { size: 5 });
+        let mut out = Vec::new();
+        for ts in 0..1000u64 {
+            w.insert((ts % 2) as usize, ts, &tuple![(ts % 7) as i64], &mut out);
+        }
+        assert!(w.live_tuples() <= 8, "live {} should be ≈ window size", w.live_tuples());
+        assert!(w.inner().stored() <= 16, "inner state must stay bounded");
+    }
+}

@@ -1,0 +1,213 @@
+//! Run-time statistics for partitioning decisions.
+//!
+//! The Hybrid-Hypercube only needs to know whether each join key is
+//! skew-free (§3.4); this module estimates that from samples or from the
+//! live stream:
+//!
+//! * [`SpaceSaving`] — the classic top-k heavy-hitter sketch, used to
+//!   estimate the most-frequent-key share `L_mf / L`;
+//! * [`SkewEstimate`] — the top-frequency + distinct-count summary feeding
+//!   the §3.4 cost comparison `(L − L_mf)/p + L_mf` vs `L/p`.
+
+use squall_common::{FxHashMap, FxHashSet, Value};
+
+/// The Space-Saving heavy hitter sketch (Metwally et al.): maintains at
+/// most `capacity` counters; the most frequent keys' counts are
+/// overestimated by at most the smallest counter.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: FxHashMap<Value, u64>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    pub fn new(capacity: usize) -> SpaceSaving {
+        assert!(capacity > 0);
+        SpaceSaving { capacity, counters: FxHashMap::default(), total: 0 }
+    }
+
+    /// Observe one key.
+    pub fn offer(&mut self, key: &Value) {
+        self.total += 1;
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key.clone(), 1);
+            return;
+        }
+        // Evict the minimum counter and inherit its count (+1).
+        let (min_key, min_count) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, &c)| c)
+            .map(|(k, &c)| (k.clone(), c))
+            .expect("capacity > 0");
+        self.counters.remove(&min_key);
+        self.counters.insert(key.clone(), min_count + 1);
+    }
+
+    /// Total keys observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Top keys with (over-)estimated counts, descending.
+    pub fn top(&self, k: usize) -> Vec<(Value, u64)> {
+        let mut v: Vec<(Value, u64)> = self.counters.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Estimated frequency (share of the stream) of the most popular key —
+    /// the `L_mf/L` input of the §3.4 cost model.
+    pub fn top_frequency(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let max = self.counters.values().copied().max().unwrap_or(0);
+        max as f64 / self.total as f64
+    }
+}
+
+/// Skew summary of one attribute, built from a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewEstimate {
+    /// Share of the hottest key.
+    pub top_frequency: f64,
+    /// Distinct keys seen (capped by the sketch capacity — a lower bound).
+    pub distinct: usize,
+    /// Sample size.
+    pub sample_size: u64,
+}
+
+impl SkewEstimate {
+    /// Summarize a value sample.
+    pub fn from_sample<'a>(values: impl IntoIterator<Item = &'a Value>) -> SkewEstimate {
+        let mut sketch = SpaceSaving::new(256);
+        let mut distinct: FxHashSet<Value> = FxHashSet::default();
+        let mut n = 0u64;
+        for v in values {
+            sketch.offer(v);
+            if distinct.len() < 100_000 {
+                distinct.insert(v.clone());
+            }
+            n += 1;
+        }
+        SkewEstimate { top_frequency: sketch.top_frequency(), distinct: distinct.len(), sample_size: n }
+    }
+
+    /// §3.4 offline chooser: estimated max load per machine under hash
+    /// partitioning, `(L − L_mf)/p + L_mf`, normalized by `L` (so the
+    /// result is the *fraction* of the relation on the hottest machine).
+    pub fn hash_load_fraction(&self, machines: usize) -> f64 {
+        let f = self.top_frequency;
+        // Fewer distinct keys than machines leaves machines idle: the
+        // effective parallelism is the distinct count.
+        let p = machines.min(self.distinct.max(1)) as f64;
+        ((1.0 - f) / p + f).min(1.0)
+    }
+
+    /// Max-load fraction under random partitioning: `1/p`.
+    pub fn random_load_fraction(&self, machines: usize) -> f64 {
+        1.0 / machines as f64
+    }
+
+    /// Should this attribute be marked skewed (forcing random
+    /// partitioning)? `slack` is the tolerated hash-over-random ratio
+    /// (random also costs replication elsewhere, so hash gets the benefit
+    /// of the doubt up to `1 + slack`).
+    pub fn is_skewed(&self, machines: usize, slack: f64) -> bool {
+        self.hash_load_fraction(machines) > self.random_load_fraction(machines) * (1.0 + slack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::{SplitMix64, Zipf};
+
+    #[test]
+    fn space_saving_exact_when_under_capacity() {
+        let mut s = SpaceSaving::new(16);
+        for i in 0..10i64 {
+            for _ in 0..=i {
+                s.offer(&Value::Int(i));
+            }
+        }
+        let top = s.top(3);
+        assert_eq!(top[0], (Value::Int(9), 10));
+        assert_eq!(top[1], (Value::Int(8), 9));
+        assert_eq!(s.total(), 55);
+        assert!((s.top_frequency() - 10.0 / 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn space_saving_finds_heavy_hitter_beyond_capacity() {
+        let mut s = SpaceSaving::new(8);
+        let mut rng = SplitMix64::new(5);
+        // 50% of the stream is key 0; the rest spread over 10k keys.
+        for _ in 0..20_000 {
+            if rng.next_f64() < 0.5 {
+                s.offer(&Value::Int(0));
+            } else {
+                s.offer(&Value::Int(1 + rng.next_below(10_000) as i64));
+            }
+        }
+        let top = s.top(1);
+        assert_eq!(top[0].0, Value::Int(0));
+        let f = s.top_frequency();
+        assert!((f - 0.5).abs() < 0.1, "estimated top frequency {f}");
+    }
+
+    #[test]
+    fn zipf_two_is_detected_as_skewed() {
+        // The paper's workloads use zipf(2): top key ≈ 0.6 of the stream.
+        let z = Zipf::new(100_000, 2.0);
+        let mut rng = SplitMix64::new(9);
+        let values: Vec<Value> =
+            (0..30_000).map(|_| Value::Int(z.sample(&mut rng) as i64)).collect();
+        let est = SkewEstimate::from_sample(values.iter());
+        assert!(est.top_frequency > 0.5);
+        assert!(est.is_skewed(8, 0.5));
+        assert!(est.is_skewed(100, 0.5));
+    }
+
+    #[test]
+    fn uniform_is_not_skewed() {
+        let mut rng = SplitMix64::new(9);
+        let values: Vec<Value> =
+            (0..30_000).map(|_| Value::Int(rng.next_below(100_000) as i64)).collect();
+        let est = SkewEstimate::from_sample(values.iter());
+        assert!(est.top_frequency < 0.01);
+        assert!(!est.is_skewed(8, 0.5));
+    }
+
+    #[test]
+    fn small_domain_counts_as_skewed_via_idle_machines() {
+        // 5 distinct keys on 64 machines: hash load fraction ≥ 1/5 ≫ 1/64.
+        let values: Vec<Value> = (0..1000).map(|i| Value::Int(i % 5)).collect();
+        let est = SkewEstimate::from_sample(values.iter());
+        assert_eq!(est.distinct, 5);
+        assert!(est.hash_load_fraction(64) >= 0.2);
+        assert!(est.is_skewed(64, 0.5));
+        // Even on 4 machines, 5 keys force one machine to own 2 of 5 keys
+        // (0.4 of the load vs 0.25 random): still skewed.
+        assert!(est.is_skewed(4, 0.5));
+        // A 40-key domain on 4 machines is fine.
+        let wide: Vec<Value> = (0..1000).map(|i| Value::Int(i % 40)).collect();
+        let est2 = SkewEstimate::from_sample(wide.iter());
+        assert!(!est2.is_skewed(4, 0.5));
+    }
+
+    #[test]
+    fn cost_model_matches_paper_formula() {
+        // (L − L_mf)/p + L_mf with L normalized to 1.
+        let est = SkewEstimate { top_frequency: 0.3, distinct: 1_000_000, sample_size: 1000 };
+        let expected = (1.0 - 0.3) / 10.0 + 0.3;
+        assert!((est.hash_load_fraction(10) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+//! The catalog: named relations with schemas and (in this in-process
+//! engine) their data.
+
+use std::sync::Arc;
+
+use squall_common::{Result, Schema, SquallError, Tuple};
+
+/// One registered relation.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub name: String,
+    pub schema: Schema,
+    pub data: Arc<Vec<Tuple>>,
+}
+
+/// A set of registered relations the planner resolves names against.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: Vec<TableDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a relation.
+    pub fn register(&mut self, name: impl Into<String>, schema: Schema, data: Vec<Tuple>) {
+        let name = name.into();
+        debug_assert!(
+            data.iter().all(|t| t.arity() == schema.arity()),
+            "data must match schema arity"
+        );
+        self.tables.retain(|t| t.name != name);
+        self.tables.push(TableDef { name, schema, data: Arc::new(data) });
+    }
+
+    pub fn get(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| SquallError::UnknownRelation(name.to_string()))
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::{tuple, DataType};
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1], tuple![2]]);
+        assert_eq!(c.get("R").unwrap().data.len(), 2);
+        assert!(c.get("S").is_err());
+        assert_eq!(c.names(), vec!["R"]);
+    }
+
+    #[test]
+    fn reregister_replaces() {
+        let mut c = Catalog::new();
+        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1]]);
+        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1], tuple![2]]);
+        assert_eq!(c.get("R").unwrap().data.len(), 2);
+        assert_eq!(c.names().len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # squall-plan
+//!
+//! Logical query plans and Squall's query optimizer (§2).
+//!
+//! A [`logical::Query`] is a select-project-join-aggregate block built by
+//! name — the programmatic counterpart of the paper's *functional*
+//! interface ("a modern Scala collections API"); the SQL interface
+//! (`squall-sql`) parses into the same structure. The optimizer then does
+//! what §2 describes:
+//!
+//! * **selection pushdown** — single-table conjuncts move into the source
+//!   components;
+//! * **output-scheme pruning** — each component ships only the columns
+//!   needed downstream ("each component decides on its output scheme based
+//!   on the fields/expressions that are needed downstream");
+//! * **statistics & skew detection** — post-selection join-key samples are
+//!   sketched ([`squall_partition::SkewEstimate`]) to set the skew flags
+//!   the Hybrid-Hypercube needs (§3.4);
+//! * **scheme & parallelism selection** — Hybrid-Hypercube by default
+//!   (it subsumes Hash and Random, §3.1), with the join parallelism from
+//!   the execution config.
+//!
+//! [`physical::PhysicalQuery::execute`] runs the result on the
+//! `squall-runtime` substrate via `squall-core`'s driver.
+
+pub mod catalog;
+pub mod logical;
+pub mod physical;
+
+pub use catalog::Catalog;
+pub use logical::{agg, col, lit, Expr, Query};
+pub use physical::{ExecConfig, PhysicalQuery, QueryResult};

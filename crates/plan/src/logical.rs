@@ -1,0 +1,190 @@
+//! Name-based logical expressions and the query block — the functional
+//! interface (§2: "a modern Scala collections API" analog in Rust).
+//!
+//! ```
+//! use squall_plan::{col, lit, Query, agg};
+//! use squall_expr::{AggFunc, BinOp};
+//!
+//! // SELECT W1.FromUrl, COUNT(*) FROM WebGraph W1, WebGraph W2
+//! // WHERE W1.ToUrl = W2.FromUrl GROUP BY W1.FromUrl
+//! let q = Query::from_tables([("WebGraph", "W1"), ("WebGraph", "W2")])
+//!     .filter(col("W1.ToUrl").eq(col("W2.FromUrl")))
+//!     .group_by([col("W1.FromUrl")])
+//!     .select([col("W1.FromUrl"), agg(AggFunc::Count, None)]);
+//! assert_eq!(q.tables.len(), 2);
+//! ```
+
+use squall_common::Value;
+use squall_expr::{AggFunc, BinOp};
+
+/// An unresolved (name-based) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference: `"alias.column"` or a bare, unambiguous
+    /// `"column"`.
+    Col(String),
+    Lit(Value),
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Not(Box<Expr>),
+    /// Aggregate call — legal only in the SELECT list.
+    Agg { func: AggFunc, arg: Option<Box<Expr>> },
+}
+
+impl Expr {
+    pub fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin { op, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+
+    /// Column names referenced (aggregate args included).
+    pub fn columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Col(c) => {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.columns(out);
+                rhs.columns(out);
+            }
+            Expr::Not(e) => e.columns(out),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.columns(out);
+                }
+            }
+        }
+    }
+
+    /// Does the expression contain an aggregate call?
+    pub fn has_agg(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Bin { lhs, rhs, .. } => lhs.has_agg() || rhs.has_agg(),
+            Expr::Not(e) => e.has_agg(),
+            _ => false,
+        }
+    }
+}
+
+/// `col("W1.FromUrl")`.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Col(name.into())
+}
+
+/// `lit(3)`, `lit("blogspot.com")`.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+/// `agg(AggFunc::Count, None)`, `agg(AggFunc::Sum, Some(col("T.E")))`.
+pub fn agg(func: AggFunc, arg: Option<Expr>) -> Expr {
+    Expr::Agg { func, arg: arg.map(Box::new) }
+}
+
+/// One select-project-join-aggregate block.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// `(table name, alias)` in FROM order.
+    pub tables: Vec<(String, String)>,
+    /// WHERE conjuncts.
+    pub filters: Vec<Expr>,
+    /// SELECT items with optional output names.
+    pub select: Vec<(Expr, Option<String>)>,
+    /// GROUP BY column references.
+    pub group_by: Vec<Expr>,
+}
+
+impl Query {
+    /// `FROM t1 a1, t2 a2, …`; pass the table name twice to use it as its
+    /// own alias.
+    pub fn from_tables<'a>(tables: impl IntoIterator<Item = (&'a str, &'a str)>) -> Query {
+        Query {
+            tables: tables.into_iter().map(|(t, a)| (t.to_string(), a.to_string())).collect(),
+            ..Query::default()
+        }
+    }
+
+    /// Add a WHERE conjunct (ANDs decompose into several `filter` calls or
+    /// one `and` expression — both classify identically).
+    pub fn filter(mut self, e: Expr) -> Query {
+        // Flatten top-level ANDs so pushdown sees the conjuncts.
+        fn flatten(e: Expr, out: &mut Vec<Expr>) {
+            match e {
+                Expr::Bin { op: BinOp::And, lhs, rhs } => {
+                    flatten(*lhs, out);
+                    flatten(*rhs, out);
+                }
+                other => out.push(other),
+            }
+        }
+        flatten(e, &mut self.filters);
+        self
+    }
+
+    pub fn select(mut self, items: impl IntoIterator<Item = Expr>) -> Query {
+        self.select = items.into_iter().map(|e| (e, None)).collect();
+        self
+    }
+
+    pub fn select_as<'a>(
+        mut self,
+        items: impl IntoIterator<Item = (Expr, &'a str)>,
+    ) -> Query {
+        self.select = items.into_iter().map(|(e, n)| (e, Some(n.to_string()))).collect();
+        self
+    }
+
+    pub fn group_by(mut self, cols: impl IntoIterator<Item = Expr>) -> Query {
+        self.group_by = cols.into_iter().collect();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")).and(col("R.b").gt(lit(3))))
+            .group_by([col("R.a")])
+            .select([col("R.a"), agg(AggFunc::Count, None)]);
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.filters.len(), 2, "AND flattens into conjuncts");
+        assert_eq!(q.select.len(), 2);
+        assert!(q.select[1].0.has_agg());
+    }
+
+    #[test]
+    fn expr_columns_dedup() {
+        let e = col("R.a").eq(col("S.a")).and(col("R.a").gt(lit(1)));
+        let mut cols = vec![];
+        e.columns(&mut cols);
+        assert_eq!(cols, vec!["R.a".to_string(), "S.a".to_string()]);
+    }
+
+    #[test]
+    fn agg_detection() {
+        assert!(agg(AggFunc::Sum, Some(col("x"))).has_agg());
+        assert!(!col("x").has_agg());
+    }
+}

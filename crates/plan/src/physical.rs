@@ -1,0 +1,816 @@
+//! The optimizer and executor: logical query block → physical multi-way
+//! join plan → topology run.
+//!
+//! Implements the §2 optimizer behaviours on real structures:
+//! selection pushdown, derived-column creation for expression join
+//! predicates (the paper's `2·R.B < S.C` becomes a derived column compared
+//! to `S.C`), output-scheme pruning (only downstream-needed columns are
+//! shipped), sample-based skew detection (§3.4) and scheme selection.
+
+use std::sync::Arc;
+
+use squall_common::{DataType, Field, Result, Schema, SquallError, Tuple, Value};
+use squall_expr::join_cond::CmpOp;
+use squall_expr::{AggFunc, JoinAtom, MultiJoinSpec, RelationDef, ScalarExpr};
+use squall_join::{AggSpec, GroupByAggregator};
+use squall_core::driver::{run_multiway, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig};
+use squall_partition::optimizer::SchemeKind;
+use squall_partition::SkewEstimate;
+
+use crate::catalog::Catalog;
+use crate::logical::{Expr, Query};
+
+/// Execution knobs.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Join component parallelism (the number of "machines").
+    pub machines: usize,
+    /// Force a scheme; `None` = Hybrid-Hypercube (it subsumes the others,
+    /// §3.1).
+    pub scheme: Option<SchemeKind>,
+    pub local: LocalJoinKind,
+    pub seed: u64,
+    pub agg_parallelism: usize,
+    /// Tolerated hash-over-random load ratio before an attribute is marked
+    /// skewed (§3.4 chooser).
+    pub skew_slack: f64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            machines: 4,
+            scheme: None,
+            local: LocalJoinKind::DBToaster,
+            seed: 42,
+            agg_parallelism: 2,
+            skew_slack: 0.5,
+        }
+    }
+}
+
+/// The final answer.
+#[derive(Debug)]
+pub struct QueryResult {
+    pub rows: Vec<Tuple>,
+    /// Output column names, in SELECT order.
+    pub schema: Schema,
+    /// The distributed join's run report (None for single-table queries,
+    /// which run locally).
+    pub report: Option<JoinReport>,
+}
+
+/// One resolved, optimized source.
+#[derive(Debug, Clone)]
+struct PhysTable {
+    name: String,
+    alias: String,
+    /// Pushed-down predicate over the *original* table schema.
+    filter: Option<ScalarExpr>,
+    /// Derived columns appended after the original columns (expression
+    /// join predicates), over the original schema.
+    derived: Vec<ScalarExpr>,
+    /// Columns kept (into original ⊕ derived coordinates), sorted.
+    kept: Vec<usize>,
+    /// The projected, qualified schema fed to the join.
+    schema: Schema,
+}
+
+/// How one SELECT item is produced from the engine output.
+#[derive(Debug, Clone)]
+enum FinalItem {
+    /// Index into the (group keys ++ agg values) aggregate row.
+    AggRow(usize),
+    /// Expression over the join output row (non-aggregated queries).
+    JoinExpr(ScalarExpr),
+}
+
+/// An optimized query ready to run.
+#[derive(Debug)]
+pub struct PhysicalQuery {
+    tables: Vec<PhysTable>,
+    atoms: Vec<JoinAtom>,
+    /// Group-by columns in join-output coordinates.
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    final_items: Vec<FinalItem>,
+    out_schema: Schema,
+    is_aggregate: bool,
+}
+
+impl PhysicalQuery {
+    /// Resolve and optimize a logical block.
+    pub fn plan(q: &Query, catalog: &Catalog) -> Result<PhysicalQuery> {
+        if q.tables.is_empty() {
+            return Err(SquallError::InvalidPlan("FROM clause is empty".into()));
+        }
+        if q.select.is_empty() {
+            return Err(SquallError::InvalidPlan("SELECT list is empty".into()));
+        }
+        // Qualified schemas and global offsets over the ORIGINAL columns.
+        let mut schemas: Vec<Schema> = Vec::new();
+        for (tname, alias) in &q.tables {
+            schemas.push(catalog.get(tname)?.schema.qualified(alias));
+        }
+        let mut offsets = Vec::with_capacity(schemas.len());
+        {
+            let mut off = 0;
+            for s in &schemas {
+                offsets.push(off);
+                off += s.arity();
+            }
+        }
+        // Name resolution: "alias.col" exact, bare "col" if unique.
+        let resolve = |name: &str| -> Result<(usize, usize)> {
+            let mut hit = None;
+            for (ti, s) in schemas.iter().enumerate() {
+                for ci in 0..s.arity() {
+                    let f = &s.field(ci).name;
+                    let matches = f == name
+                        || (!name.contains('.') && f.split('.').nth(1) == Some(name));
+                    if matches {
+                        if hit.is_some() {
+                            return Err(SquallError::InvalidPlan(format!(
+                                "ambiguous column {name}"
+                            )));
+                        }
+                        hit = Some((ti, ci));
+                    }
+                }
+            }
+            hit.ok_or_else(|| SquallError::UnknownColumn(name.to_string()))
+        };
+        // Expr → ScalarExpr over (table, col) global coordinates; rejects
+        // aggregates.
+        fn to_scalar(
+            e: &Expr,
+            resolve: &dyn Fn(&str) -> Result<(usize, usize)>,
+            offsets: &[usize],
+        ) -> Result<ScalarExpr> {
+            Ok(match e {
+                Expr::Col(n) => {
+                    let (t, c) = resolve(n)?;
+                    ScalarExpr::Column(offsets[t] + c)
+                }
+                Expr::Lit(v) => ScalarExpr::Literal(v.clone()),
+                Expr::Bin { op, lhs, rhs } => ScalarExpr::Bin {
+                    op: *op,
+                    lhs: Box::new(to_scalar(lhs, resolve, offsets)?),
+                    rhs: Box::new(to_scalar(rhs, resolve, offsets)?),
+                },
+                Expr::Not(x) => ScalarExpr::Not(Box::new(to_scalar(x, resolve, offsets)?)),
+                Expr::Agg { .. } => {
+                    return Err(SquallError::InvalidPlan(
+                        "aggregate calls are only allowed in SELECT".into(),
+                    ))
+                }
+            })
+        }
+        let resolve_fn = |n: &str| resolve(n);
+
+        // Tables of a resolved global expression.
+        let tables_of = |e: &ScalarExpr| -> Vec<usize> {
+            let mut cols = vec![];
+            e.referenced_columns(&mut cols);
+            let mut ts: Vec<usize> = cols
+                .into_iter()
+                .map(|g| offsets.iter().rposition(|&o| o <= g).expect("offset"))
+                .collect();
+            ts.sort_unstable();
+            ts.dedup();
+            ts
+        };
+
+        // Classify WHERE conjuncts.
+        let mut pushed: Vec<Vec<ScalarExpr>> = vec![Vec::new(); q.tables.len()];
+        let mut derived: Vec<Vec<ScalarExpr>> = vec![Vec::new(); q.tables.len()];
+        // Raw atoms as (table, original-or-derived col id) pairs; derived
+        // ids are original_arity + k.
+        let mut raw_atoms: Vec<((usize, usize), CmpOp, (usize, usize))> = Vec::new();
+        for f in &q.filters {
+            let g = to_scalar(f, &resolve_fn, &offsets)?;
+            let touched = tables_of(&g);
+            match touched.len() {
+                0 => {
+                    return Err(SquallError::InvalidPlan(format!(
+                        "constant predicate not supported: {f:?}"
+                    )))
+                }
+                1 => {
+                    let t = touched[0];
+                    // Remap to table-local coordinates.
+                    let local = g.remap_columns(&|gc| gc - offsets[t]);
+                    pushed[t].push(local);
+                }
+                2 => {
+                    // Must be `sideA op sideB` with each side on one table.
+                    let (op, lhs, rhs) = match &g {
+                        ScalarExpr::Bin { op, lhs, rhs } if op.is_comparison() => {
+                            (*op, lhs.as_ref().clone(), rhs.as_ref().clone())
+                        }
+                        _ => {
+                            return Err(SquallError::InvalidPlan(format!(
+                                "unsupported join predicate shape: {f:?}"
+                            )))
+                        }
+                    };
+                    let (lt, rt) = (tables_of(&lhs), tables_of(&rhs));
+                    if lt.len() != 1 || rt.len() != 1 || lt == rt {
+                        return Err(SquallError::InvalidPlan(format!(
+                            "join predicate must compare two tables: {f:?}"
+                        )));
+                    }
+                    let (lt, rt) = (lt[0], rt[0]);
+                    // Plain column or derived expression per side.
+                    let mut side_col = |t: usize, e: ScalarExpr| -> usize {
+                        match e {
+                            ScalarExpr::Column(g) => g - offsets[t],
+                            other => {
+                                let local = other.remap_columns(&|gc| gc - offsets[t]);
+                                derived[t].push(local);
+                                schemas[t].arity() + derived[t].len() - 1
+                            }
+                        }
+                    };
+                    let lcol = side_col(lt, lhs);
+                    let rcol = side_col(rt, rhs);
+                    let cmp = CmpOp::from_binop(op).expect("comparison checked");
+                    raw_atoms.push(((lt, lcol), cmp, (rt, rcol)));
+                }
+                _ => {
+                    return Err(SquallError::InvalidPlan(format!(
+                        "predicates over 3+ tables are not supported: {f:?}"
+                    )))
+                }
+            }
+        }
+
+        // Aggregation shape.
+        let has_group = !q.group_by.is_empty();
+        let has_agg_items = q.select.iter().any(|(e, _)| e.has_agg());
+        let is_aggregate = has_group || has_agg_items;
+        let group_globals: Vec<usize> = q
+            .group_by
+            .iter()
+            .map(|e| match e {
+                Expr::Col(n) => {
+                    let (t, c) = resolve(n)?;
+                    Ok(offsets[t] + c)
+                }
+                _ => Err(SquallError::InvalidPlan("GROUP BY supports plain columns".into())),
+            })
+            .collect::<Result<_>>()?;
+
+        // Needed original columns per table: atoms + select + group by.
+        let mut needed: Vec<Vec<usize>> = vec![Vec::new(); q.tables.len()];
+        let need_global = |g: usize, needed: &mut Vec<Vec<usize>>| {
+            let t = offsets.iter().rposition(|&o| o <= g).expect("offset");
+            let c = g - offsets[t];
+            if !needed[t].contains(&c) {
+                needed[t].push(c);
+            }
+        };
+        for ((lt, lc), _, (rt, rc)) in &raw_atoms {
+            if *lc < schemas[*lt].arity() {
+                need_global(offsets[*lt] + lc, &mut needed);
+            }
+            if *rc < schemas[*rt].arity() {
+                need_global(offsets[*rt] + rc, &mut needed);
+            }
+        }
+        let mut select_scalars: Vec<Option<ScalarExpr>> = Vec::new();
+        for (e, _) in &q.select {
+            if e.has_agg() {
+                // Aggregate arguments are evaluated at the aggregation
+                // stage over the join output — their columns must survive
+                // the output-scheme pruning.
+                let mut names = vec![];
+                e.columns(&mut names);
+                for n in &names {
+                    let (t, c) = resolve(n)?;
+                    need_global(offsets[t] + c, &mut needed);
+                }
+                select_scalars.push(None);
+            } else {
+                let g = to_scalar(e, &resolve_fn, &offsets)?;
+                let mut cols = vec![];
+                g.referenced_columns(&mut cols);
+                for c in cols {
+                    need_global(c, &mut needed);
+                }
+                select_scalars.push(Some(g));
+            }
+        }
+        for &g in &group_globals {
+            need_global(g, &mut needed);
+        }
+        // Derived columns referenced cols are needed only at the source —
+        // they are computed there, not shipped as inputs.
+
+        // Build physical tables: kept = needed originals (sorted) +
+        // derived (always kept).
+        let mut tables = Vec::with_capacity(q.tables.len());
+        for (t, (tname, alias)) in q.tables.iter().enumerate() {
+            let mut kept = needed[t].clone();
+            kept.sort_unstable();
+            // A relation contributing no columns still needs one column to
+            // exist as a stream; keep column 0.
+            if kept.is_empty() && derived[t].is_empty() {
+                kept.push(0);
+            }
+            let orig_arity = schemas[t].arity();
+            let mut fields: Vec<Field> =
+                kept.iter().map(|&c| schemas[t].field(c).clone()).collect();
+            for (k, _) in derived[t].iter().enumerate() {
+                fields.push(Field::new(format!("{alias}.$expr{k}"), DataType::Int));
+            }
+            let mut all_kept = kept.clone();
+            for k in 0..derived[t].len() {
+                all_kept.push(orig_arity + k);
+            }
+            let filter = pushed[t].iter().cloned().reduce(ScalarExpr::and);
+            tables.push(PhysTable {
+                name: tname.clone(),
+                alias: alias.clone(),
+                filter,
+                derived: derived[t].clone(),
+                kept: all_kept,
+                schema: Schema::new(fields),
+            });
+        }
+        // Old (table, col-with-derived) → new join-output coordinates.
+        let mut new_offsets = Vec::with_capacity(tables.len());
+        {
+            let mut off = 0;
+            for t in &tables {
+                new_offsets.push(off);
+                off += t.schema.arity();
+            }
+        }
+        let new_local = |t: usize, c: usize| -> usize {
+            tables[t].kept.iter().position(|&k| k == c).expect("kept column")
+        };
+        let atoms: Vec<JoinAtom> = raw_atoms
+            .iter()
+            .map(|&((lt, lc), op, (rt, rc))| JoinAtom {
+                left_rel: lt,
+                left_col: new_local(lt, lc),
+                op,
+                right_rel: rt,
+                right_col: new_local(rt, rc),
+            })
+            .collect();
+        let remap_global = |g: usize| -> usize {
+            let t = offsets.iter().rposition(|&o| o <= g).expect("offset");
+            new_offsets[t] + new_local(t, g - offsets[t])
+        };
+        let group_cols: Vec<usize> = group_globals.iter().map(|&g| remap_global(g)).collect();
+
+        // SELECT items → aggregate specs / final projection.
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        let mut final_items = Vec::with_capacity(q.select.len());
+        let mut out_fields = Vec::with_capacity(q.select.len());
+        for ((e, name), scalar) in q.select.iter().zip(&select_scalars) {
+            let out_name = name.clone().unwrap_or_else(|| display_name(e));
+            let dtype = DataType::Float; // nominal; results carry real types
+            out_fields.push(Field::new(out_name, dtype));
+            if is_aggregate {
+                match e {
+                    Expr::Agg { func, arg } => {
+                        let input = match arg {
+                            Some(a) => {
+                                let g = to_scalar(a, &resolve_fn, &offsets)?;
+                                Some(g.remap_columns(&remap_global))
+                            }
+                            None => None,
+                        };
+                        let spec = match func {
+                            AggFunc::Count => AggSpec::count(),
+                            AggFunc::Sum => AggSpec::sum(input.ok_or_else(|| {
+                                SquallError::InvalidPlan("SUM needs an argument".into())
+                            })?),
+                            AggFunc::Avg => AggSpec::avg(input.ok_or_else(|| {
+                                SquallError::InvalidPlan("AVG needs an argument".into())
+                            })?),
+                        };
+                        aggs.push(spec);
+                        final_items
+                            .push(FinalItem::AggRow(group_cols.len() + aggs.len() - 1));
+                    }
+                    Expr::Col(n) => {
+                        let (t, c) = resolve(n)?;
+                        let join_col = remap_global(offsets[t] + c);
+                        let pos =
+                            group_cols.iter().position(|&g| g == join_col).ok_or_else(|| {
+                                SquallError::InvalidPlan(format!(
+                                    "column {n} must appear in GROUP BY"
+                                ))
+                            })?;
+                        final_items.push(FinalItem::AggRow(pos));
+                    }
+                    _ => {
+                        return Err(SquallError::InvalidPlan(
+                            "aggregate queries select columns or aggregates".into(),
+                        ))
+                    }
+                }
+            } else {
+                let g = scalar.as_ref().expect("non-aggregate item resolved");
+                final_items.push(FinalItem::JoinExpr(g.remap_columns(&remap_global)));
+            }
+        }
+        if is_aggregate && aggs.is_empty() {
+            return Err(SquallError::InvalidPlan(
+                "GROUP BY without aggregates is not supported".into(),
+            ));
+        }
+
+        Ok(PhysicalQuery {
+            tables,
+            atoms,
+            group_cols,
+            aggs,
+            final_items,
+            out_schema: Schema::new(out_fields),
+            is_aggregate,
+        })
+    }
+
+    /// Apply a table's pushed filter, derived columns and projection.
+    fn prepare_table(&self, t: usize, data: &[Tuple]) -> Result<Vec<Tuple>> {
+        let pt = &self.tables[t];
+        let mut out = Vec::with_capacity(data.len());
+        for tuple in data {
+            if let Some(f) = &pt.filter {
+                if !f.eval_bool(tuple)? {
+                    continue;
+                }
+            }
+            let orig_arity = tuple.arity();
+            let mut extended: Option<Vec<Value>> = None;
+            if !pt.derived.is_empty() {
+                let mut v = tuple.values().to_vec();
+                for d in &pt.derived {
+                    v.push(d.eval(tuple)?);
+                }
+                extended = Some(v);
+            }
+            let values: Vec<Value> = pt
+                .kept
+                .iter()
+                .map(|&c| match &extended {
+                    Some(v) => v[c].clone(),
+                    None => {
+                        debug_assert!(c < orig_arity);
+                        tuple.get(c).clone()
+                    }
+                })
+                .collect();
+            out.push(Tuple::new(values));
+        }
+        Ok(out)
+    }
+
+    /// Execute against the catalog.
+    pub fn execute(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<QueryResult> {
+        // 1. Source-side work: filter, derive, project (the co-located
+        //    source components of §2).
+        let mut data: Vec<Vec<Tuple>> = Vec::with_capacity(self.tables.len());
+        for (t, pt) in self.tables.iter().enumerate() {
+            let raw = Arc::clone(&catalog.get(&pt.name)?.data);
+            data.push(self.prepare_table(t, &raw)?);
+        }
+
+        // Single-table queries run locally (no distribution needed).
+        if self.tables.len() == 1 {
+            let rows = self.finalize_local(std::mem::take(&mut data[0]))?;
+            return Ok(QueryResult { rows, schema: self.out_schema.clone(), report: None });
+        }
+
+        // 2. Statistics: post-selection skew detection per join-key
+        //    occurrence (§3.4).
+        let mut rels: Vec<RelationDef> = self
+            .tables
+            .iter()
+            .zip(&data)
+            .map(|(pt, d)| RelationDef::new(pt.alias.clone(), pt.schema.clone(), d.len() as u64))
+            .collect();
+        for a in &self.atoms {
+            for &(t, c) in &[(a.left_rel, a.left_col), (a.right_rel, a.right_col)] {
+                let sample: Vec<Value> =
+                    data[t].iter().take(20_000).map(|row| row.get(c).clone()).collect();
+                let est = SkewEstimate::from_sample(sample.iter());
+                if est.is_skewed(cfg.machines, cfg.skew_slack) {
+                    let name = rels[t].schema.field(c).name.clone();
+                    rels[t].schema.set_skewed(&name)?;
+                }
+            }
+        }
+        let spec = MultiJoinSpec::new(rels, self.atoms.clone())?;
+        if !spec.is_connected() {
+            return Err(SquallError::InvalidPlan(
+                "join graph is disconnected (Cartesian products unsupported)".into(),
+            ));
+        }
+
+        // 3. Distributed execution.
+        let scheme = cfg.scheme.unwrap_or(SchemeKind::Hybrid);
+        let mut mcfg = MultiwayConfig::new(scheme, cfg.local, cfg.machines);
+        mcfg.seed = cfg.seed;
+        if self.is_aggregate {
+            mcfg = mcfg.with_agg(AggPlan {
+                group_cols: self.group_cols.clone(),
+                aggs: self.aggs.clone(),
+                parallelism: cfg.agg_parallelism.max(1),
+            });
+        }
+        let report = run_multiway(&spec, data, &mcfg)?;
+        if let Some(e) = &report.error {
+            return Err(e.clone());
+        }
+
+        // 4. Final projection into SELECT order.
+        let mut rows = Vec::with_capacity(report.results.len());
+        for r in &report.results {
+            rows.push(self.project_final(r)?);
+        }
+        if rows.is_empty() && self.is_aggregate && self.group_cols.is_empty() {
+            rows.push(self.empty_agg_row());
+        }
+        rows.sort();
+        Ok(QueryResult { rows, schema: self.out_schema.clone(), report: Some(report) })
+    }
+
+    /// Single-table path: aggregate or project locally.
+    fn finalize_local(&self, data: Vec<Tuple>) -> Result<Vec<Tuple>> {
+        if self.is_aggregate {
+            let mut agg = GroupByAggregator::new(self.group_cols.clone(), self.aggs.clone());
+            for t in &data {
+                agg.update(t)?;
+            }
+            let mut rows = Vec::new();
+            for row in agg.snapshot() {
+                rows.push(self.project_final(&row)?);
+            }
+            if rows.is_empty() && self.group_cols.is_empty() {
+                rows.push(self.empty_agg_row());
+            }
+            rows.sort();
+            Ok(rows)
+        } else {
+            let mut rows = Vec::with_capacity(data.len());
+            for t in &data {
+                rows.push(self.project_final(t)?);
+            }
+            rows.sort();
+            Ok(rows)
+        }
+    }
+
+    /// SQL semantics for a global aggregate over zero rows: one row with
+    /// COUNT = 0 and NULL sums/averages.
+    fn empty_agg_row(&self) -> Tuple {
+        let values: Vec<Value> = self
+            .final_items
+            .iter()
+            .map(|item| match item {
+                FinalItem::AggRow(i) => {
+                    let agg_idx = i - self.group_cols.len();
+                    match self.aggs[agg_idx].func {
+                        AggFunc::Count => Value::Int(0),
+                        _ => Value::Null,
+                    }
+                }
+                FinalItem::JoinExpr(_) => Value::Null,
+            })
+            .collect();
+        Tuple::new(values)
+    }
+
+    fn project_final(&self, row: &Tuple) -> Result<Tuple> {
+        let mut values = Vec::with_capacity(self.final_items.len());
+        for item in &self.final_items {
+            values.push(match item {
+                FinalItem::AggRow(i) => row.get(*i).clone(),
+                FinalItem::JoinExpr(e) => e.eval(row)?,
+            });
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Human-readable plan description (the EXPLAIN of the demo UI).
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        for t in &self.tables {
+            s.push_str(&format!(
+                "source {} as {}: keep {:?}{}{}\n",
+                t.name,
+                t.alias,
+                t.kept,
+                t.filter.as_ref().map(|f| format!(", filter {f}")).unwrap_or_default(),
+                if t.derived.is_empty() {
+                    String::new()
+                } else {
+                    format!(", derive {} expr(s)", t.derived.len())
+                },
+            ));
+        }
+        s.push_str(&format!("join atoms: {:?}\n", self.atoms));
+        if self.is_aggregate {
+            s.push_str(&format!(
+                "aggregate: group by {:?}, {} agg(s)\n",
+                self.group_cols,
+                self.aggs.len()
+            ));
+        }
+        s
+    }
+
+    pub fn output_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+}
+
+fn display_name(e: &Expr) -> String {
+    match e {
+        Expr::Col(n) => n.clone(),
+        Expr::Agg { func, arg } => match arg {
+            Some(a) => format!("{func}({})", display_name(a)),
+            None => format!("{func}(*)"),
+        },
+        Expr::Lit(v) => v.to_string(),
+        Expr::Bin { op, lhs, rhs } => {
+            format!("({} {op} {})", display_name(lhs), display_name(rhs))
+        }
+        Expr::Not(x) => format!("NOT {}", display_name(x)),
+    }
+}
+
+/// Plan + execute in one call.
+pub fn execute_query(q: &Query, catalog: &Catalog, cfg: &ExecConfig) -> Result<QueryResult> {
+    PhysicalQuery::plan(q, catalog)?.execute(catalog, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{agg, col, lit};
+    use squall_common::tuple;
+    use squall_expr::BinOp;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "R",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+            vec![tuple![1, 10], tuple![2, 20], tuple![3, 30], tuple![2, 25]],
+        );
+        c.register(
+            "S",
+            Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
+            vec![tuple![2, 100], tuple![3, 200], tuple![4, 300], tuple![2, 150]],
+        );
+        c.register(
+            "T",
+            Schema::of(&[("c", DataType::Int), ("d", DataType::Int)]),
+            vec![tuple![100, 7], tuple![200, 8], tuple![999, 9]],
+        );
+        c
+    }
+
+    #[test]
+    fn spj_two_way() {
+        // SELECT R.b, S.c FROM R, S WHERE R.a = S.a AND R.b > 15.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")).and(col("R.b").gt(lit(15))))
+            .select([col("R.b"), col("S.c")]);
+        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        // R rows with b>15: (2,20),(3,30),(2,25); joins: 2→(100,150), 3→200.
+        assert_eq!(
+            res.rows,
+            vec![
+                tuple![20, 100],
+                tuple![20, 150],
+                tuple![25, 100],
+                tuple![25, 150],
+                tuple![30, 200]
+            ]
+        );
+        assert!(res.report.is_some());
+    }
+
+    #[test]
+    fn three_way_chain_with_count() {
+        // SELECT T.d, COUNT(*) FROM R,S,T WHERE R.a=S.a AND S.c=T.c
+        // GROUP BY T.d.
+        let q = Query::from_tables([("R", "R"), ("S", "S"), ("T", "T")])
+            .filter(col("R.a").eq(col("S.a")))
+            .filter(col("S.c").eq(col("T.c")))
+            .group_by([col("T.d")])
+            .select([col("T.d"), agg(AggFunc::Count, None)]);
+        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        // Joins: R.a=2 (2 rows) × S(2,100),(2,150) ; R.a=3 × S(3,200).
+        // T: c=100→d7, c=200→d8. Count d=7: R{2,2}×S(2,100) = 2; d=8:
+        // R{3}×S(3,200) = 1.
+        assert_eq!(res.rows, vec![tuple![7, 2], tuple![8, 1]]);
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .select([agg(AggFunc::Count, None), agg(AggFunc::Sum, Some(col("S.c")))]);
+        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        // Matches: (2,*)x2 rows R × 2 rows S = 4, (3,*) 1×1 = 1 → 5 rows;
+        // sum of S.c over matches: 2-rows contribute (100+150)*2, 3-row 200.
+        assert_eq!(res.rows, vec![tuple![5, 700]]);
+    }
+
+    #[test]
+    fn expression_join_predicate_derives_column() {
+        // SELECT COUNT(*) FROM R, S WHERE 2 * R.a = S.a  → derived column
+        // on R (the paper's 2·R.B < S.C shape).
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(lit(2).bin(BinOp::Mul, col("R.a")).eq(col("S.a")))
+            .select([agg(AggFunc::Count, None)]);
+        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        // 2*R.a ∈ {2,4,6,4}; S.a ∈ {2,3,4,2}: matches 2→2 (a=1, two S rows),
+        // 4→4 (two R rows a=2 × one S row) = 2+2 = 4.
+        assert_eq!(res.rows, vec![tuple![4]]);
+    }
+
+    #[test]
+    fn single_table_query_runs_locally() {
+        let q = Query::from_tables([("R", "R")])
+            .filter(col("R.b").gt(lit(15)))
+            .group_by([col("R.a")])
+            .select([col("R.a"), agg(AggFunc::Count, None)]);
+        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows, vec![tuple![2, 2], tuple![3, 1]]);
+        assert!(res.report.is_none());
+    }
+
+    #[test]
+    fn bare_column_names_resolve_when_unique() {
+        let q = Query::from_tables([("R", "R"), ("T", "T")])
+            .filter(col("b").eq(col("d"))) // R.b and T.d are unique names
+            .select([agg(AggFunc::Count, None)]);
+        // No matches (b ∈ {10..30}, d ∈ {7,8,9}) but it must plan fine.
+        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows, vec![tuple![0i64]]);
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns_rejected() {
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("a").eq(lit(1)))
+            .select([col("R.b")]);
+        assert!(matches!(
+            PhysicalQuery::plan(&q, &catalog()),
+            Err(SquallError::InvalidPlan(_))
+        ));
+        let q2 = Query::from_tables([("R", "R")]).select([col("R.zzz")]);
+        assert!(matches!(
+            PhysicalQuery::plan(&q2, &catalog()),
+            Err(SquallError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select([col("R.b"), agg(AggFunc::Count, None)]);
+        assert!(PhysicalQuery::plan(&q, &catalog()).is_err());
+    }
+
+    #[test]
+    fn disconnected_join_rejected() {
+        let q = Query::from_tables([("R", "R"), ("T", "T")]).select([col("R.a")]);
+        let p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        assert!(p.execute(&catalog(), &ExecConfig::default()).is_err());
+    }
+
+    #[test]
+    fn explain_mentions_pushdown() {
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")).and(col("R.b").gt(lit(15))))
+            .select([col("S.c")]);
+        let p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        let e = p.explain();
+        assert!(e.contains("filter"), "{e}");
+        assert!(e.contains("join atoms"), "{e}");
+    }
+
+    #[test]
+    fn output_scheme_prunes_columns() {
+        // Only R.a (join key) and S.c (selected) are needed; R.b unused.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .select([col("S.c")]);
+        let p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        assert_eq!(p.tables[0].kept, vec![0], "R ships only the join key");
+        assert_eq!(p.tables[1].kept, vec![0, 1]);
+    }
+}

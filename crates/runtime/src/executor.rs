@@ -1,0 +1,488 @@
+//! Thread-per-task execution of a topology.
+//!
+//! Each task (the paper's "machine") runs on its own OS thread and owns its
+//! operator state exclusively — a faithful shared-nothing model (§2: "Squall
+//! assumes a shared-nothing architecture"). Tasks communicate only through
+//! bounded channels; a full downstream queue blocks the sender, giving the
+//! same backpressure behaviour Storm's max-spout-pending provides.
+//!
+//! ## Termination
+//! Sources are bounded streams; when a spout is exhausted it punctuates all
+//! downstream tasks with `Eos`. A bolt task finishes once it has received
+//! one `Eos` from every upstream task, then runs `Bolt::finish` and
+//! punctuates its own downstreams. The topology is a DAG, so this
+//! terminates.
+//!
+//! ## Failures
+//! A task that returns an error (e.g. [`SquallError::MemoryOverflow`] when a
+//! skewed Hash-Hypercube machine exceeds its budget, §7.3) records the
+//! error, raises a global abort flag and keeps *draining* its input so
+//! upstream tasks can terminate. Spouts stop producing when they observe
+//! the flag. The run returns the partial outputs, the metrics accumulated
+//! so far and the error — exactly what the paper's "extrapolate from tuples
+//! processed before running out of memory" methodology needs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use squall_common::{SquallError, Tuple};
+
+use crate::message::{Message, NodeId};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::topology::{EdgeOut, NodeKind, OutputCollector, Topology};
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Tuples emitted by sink nodes, tagged with the emitting node.
+    pub outputs: Vec<(NodeId, Tuple)>,
+    /// Frozen per-task counters.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// First error raised by any task, if the run aborted.
+    pub error: Option<SquallError>,
+}
+
+impl RunOutcome {
+    /// Output tuples without node tags (single-sink convenience).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.outputs.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    /// Fail the caller if the run aborted.
+    pub fn into_result(self) -> squall_common::Result<RunOutcome> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self),
+        }
+    }
+}
+
+struct Shared {
+    abort: AtomicBool,
+    error: Mutex<Option<SquallError>>,
+}
+
+impl Shared {
+    fn raise(&self, e: SquallError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.abort.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Topology {
+    /// Execute the topology to completion and collect sink output,
+    /// metrics and timing.
+    pub fn run(self) -> RunOutcome {
+        let n_nodes = self.nodes.len();
+        let names: Vec<String> = self.nodes.iter().map(|n| n.name.clone()).collect();
+        let parallelism: Vec<usize> = self.nodes.iter().map(|n| n.parallelism).collect();
+        let registry = Arc::new(MetricsRegistry::new(names, &parallelism));
+        let shared = Arc::new(Shared { abort: AtomicBool::new(false), error: Mutex::new(None) });
+
+        // Input channel per task (spouts get one too, unused, for
+        // uniformity — it is dropped immediately).
+        let mut senders: Vec<Vec<Sender<Message>>> = Vec::with_capacity(n_nodes);
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = Vec::with_capacity(n_nodes);
+        for node in &self.nodes {
+            let mut s = Vec::with_capacity(node.parallelism);
+            let mut r = Vec::with_capacity(node.parallelism);
+            for _ in 0..node.parallelism {
+                let (tx, rx) = bounded::<Message>(self.channel_capacity);
+                s.push(tx);
+                r.push(Some(rx));
+            }
+            senders.push(s);
+            receivers.push(r);
+        }
+
+        let (sink_tx, sink_rx) = unbounded::<(NodeId, Tuple)>();
+        let sinks = self.sinks();
+
+        // Expected EOS per node = total upstream tasks.
+        let expected_eos: Vec<usize> = (0..n_nodes)
+            .map(|i| {
+                self.edges
+                    .iter()
+                    .filter(|e| e.to == i)
+                    .map(|e| parallelism[e.from])
+                    .sum()
+            })
+            .collect();
+
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for (node_id, node) in self.nodes.into_iter().enumerate() {
+            let is_sink = sinks.contains(&node_id);
+            for task in 0..node.parallelism {
+                // Build this task's output side.
+                let edges: Vec<EdgeOut> = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.from == node_id)
+                    .map(|e| EdgeOut {
+                        grouping: e.grouping.clone(),
+                        targets: senders[e.to].clone(),
+                        seq: 0,
+                    })
+                    .collect();
+                let counters = registry.task(node_id, task);
+                let mut out = OutputCollector {
+                    node: node_id,
+                    task,
+                    edges,
+                    sink: sink_tx.clone(),
+                    is_sink,
+                    counters: Arc::clone(&counters),
+                    scratch: Vec::with_capacity(8),
+                    disconnected: false,
+                };
+                let shared = Arc::clone(&shared);
+                match &node.kind {
+                    NodeKind::Spout(factory) => {
+                        let mut spout = factory(task);
+                        // Spouts never receive; drop the channel so senders
+                        // to it (there are none) would fail fast.
+                        receivers[node_id][task] = None;
+                        handles.push(std::thread::spawn(move || {
+                            while !shared.abort.load(Ordering::Relaxed) {
+                                match spout.next() {
+                                    Some(t) => out.emit(t),
+                                    None => break,
+                                }
+                            }
+                            send_eos(&mut out);
+                        }));
+                    }
+                    NodeKind::Bolt(factory) => {
+                        let mut bolt = factory(task);
+                        let rx = receivers[node_id][task]
+                            .take()
+                            .expect("bolt receiver already taken");
+                        let expected = expected_eos[node_id];
+                        handles.push(std::thread::spawn(move || {
+                            let mut eos_seen = 0usize;
+                            let mut failed = false;
+                            while eos_seen < expected {
+                                let msg = match rx.recv() {
+                                    Ok(m) => m,
+                                    // All senders gone (upstream aborted
+                                    // without punctuating) — stop.
+                                    Err(_) => break,
+                                };
+                                match msg {
+                                    Message::Data { origin, tuple } => {
+                                        counters.received.fetch_add(1, Ordering::Relaxed);
+                                        if failed || shared.abort.load(Ordering::Relaxed) {
+                                            continue; // drain-and-discard
+                                        }
+                                        if let Err(e) = bolt.execute(origin, tuple, &mut out) {
+                                            shared.raise(e);
+                                            failed = true;
+                                        }
+                                    }
+                                    Message::Eos => eos_seen += 1,
+                                }
+                            }
+                            if !failed && !shared.abort.load(Ordering::Relaxed) {
+                                if let Err(e) = bolt.finish(&mut out) {
+                                    shared.raise(e);
+                                }
+                            }
+                            send_eos(&mut out);
+                        }));
+                    }
+                }
+            }
+        }
+        // Drop our copies so channels close when tasks finish.
+        drop(sink_tx);
+        drop(senders);
+
+        let mut outputs = Vec::new();
+        while let Ok(item) = sink_rx.recv() {
+            outputs.push(item);
+        }
+        for h in handles {
+            // A panicking task is a bug in an operator; surface it.
+            if h.join().is_err() {
+                shared.raise(SquallError::Runtime("task panicked".into()));
+            }
+        }
+        let elapsed = start.elapsed();
+        let error = shared.error.lock().take();
+        RunOutcome { outputs, metrics: registry.snapshot(), elapsed, error }
+    }
+}
+
+/// Punctuate every downstream task once.
+fn send_eos(out: &mut OutputCollector) {
+    for edge in &out.edges {
+        for target in &edge.targets {
+            let _ = target.send(Message::Eos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::Grouping;
+    use crate::topology::{FnBolt, IterSpout, TopologyBuilder};
+    use squall_common::{tuple, Result, Value};
+
+    fn int_spout(lo: i64, hi: i64) -> impl Fn(usize) -> Box<dyn crate::topology::Spout> {
+        move |_task| Box::new(IterSpout((lo..hi).map(|i| tuple![i])))
+    }
+
+    #[test]
+    fn single_spout_single_bolt_pipeline() {
+        let mut b = TopologyBuilder::new();
+        let src = b.add_spout("src", 1, int_spout(0, 100));
+        let double = b.add_bolt("double", 1, |_| {
+            Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
+                let v = t.get(0).as_int()?;
+                out.emit(tuple![v * 2]);
+                Ok(())
+            }))
+        });
+        b.connect(src, double, Grouping::Shuffle);
+        let outcome = b.build().unwrap().run();
+        assert!(outcome.error.is_none());
+        let mut vals: Vec<i64> =
+            outcome.outputs.iter().map(|(_, t)| t.get(0).as_int().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        // Metrics: bolt received all 100.
+        assert_eq!(outcome.metrics.node(1).total_received(), 100);
+        assert_eq!(outcome.metrics.node(0).total_emitted(), 100);
+    }
+
+    #[test]
+    fn parallel_bolt_with_fields_grouping_partitions_by_key() {
+        let mut b = TopologyBuilder::new();
+        let src = b.add_spout("src", 2, |task| {
+            let lo = task as i64 * 500;
+            Box::new(IterSpout((lo..lo + 500).map(|i| tuple![i % 10, i])))
+        });
+        // Each task counts tuples per key; with Fields([0]) all tuples of a
+        // key land on one task.
+        let count = b.add_bolt("count", 4, |_| {
+            let mut seen: Vec<(Value, i64)> = Vec::new();
+            Box::new(FnBolt(move |_o, t: Tuple, out: &mut OutputCollector| {
+                let k = t.get(0).clone();
+                match seen.iter_mut().find(|(key, _)| *key == k) {
+                    Some((_, c)) => *c += 1,
+                    None => seen.push((k.clone(), 1)),
+                }
+                // On the 100th tuple of a key, report.
+                if seen.iter().find(|(key, _)| *key == k).unwrap().1 == 100 {
+                    out.emit(tuple![k.as_int()?, 100]);
+                }
+                Ok(())
+            }))
+        });
+        b.connect(src, count, Grouping::Fields(vec![0]));
+        let outcome = b.build().unwrap().run();
+        assert!(outcome.error.is_none());
+        // All 10 keys hit their 100-count exactly once.
+        assert_eq!(outcome.outputs.len(), 10);
+        assert_eq!(outcome.metrics.node(1).total_received(), 1000);
+    }
+
+    #[test]
+    fn all_grouping_replicates_to_every_task() {
+        let mut b = TopologyBuilder::new();
+        let src = b.add_spout("src", 1, int_spout(0, 50));
+        let sink = b.add_bolt("sink", 3, |_| {
+            Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
+                out.emit(t);
+                Ok(())
+            }))
+        });
+        b.connect(src, sink, Grouping::All);
+        let outcome = b.build().unwrap().run();
+        assert_eq!(outcome.outputs.len(), 150);
+        let m = outcome.metrics.node(1);
+        assert_eq!(m.received, vec![50, 50, 50]);
+        // Replication factor = 150 received / 50 produced upstream = 3.
+        assert!((outcome.metrics.replication_factor(1, &[0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_spouts_into_one_joiner_distinguished_by_origin() {
+        let mut b = TopologyBuilder::new();
+        let left = b.add_spout("left", 1, int_spout(0, 10));
+        let right = b.add_spout("right", 1, int_spout(100, 110));
+        let merge = b.add_bolt("merge", 1, move |_| {
+            Box::new(FnBolt(move |origin, t: Tuple, out: &mut OutputCollector| {
+                out.emit(tuple![origin as i64, t.get(0).as_int()?]);
+                Ok(())
+            }))
+        });
+        b.connect(left, merge, Grouping::Global);
+        b.connect(right, merge, Grouping::Global);
+        let outcome = b.build().unwrap().run();
+        let lefts =
+            outcome.outputs.iter().filter(|(_, t)| t.get(0) == &Value::Int(0)).count();
+        let rights =
+            outcome.outputs.iter().filter(|(_, t)| t.get(0) == &Value::Int(1)).count();
+        assert_eq!((lefts, rights), (10, 10));
+    }
+
+    #[test]
+    fn finish_runs_after_all_eos() {
+        let mut b = TopologyBuilder::new();
+        let src = b.add_spout("src", 3, int_spout(0, 30));
+        struct Summer {
+            sum: i64,
+        }
+        impl crate::topology::Bolt for Summer {
+            fn execute(&mut self, _o: NodeId, t: Tuple, _out: &mut OutputCollector) -> Result<()> {
+                self.sum += t.get(0).as_int()?;
+                Ok(())
+            }
+            fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
+                out.emit(tuple![self.sum]);
+                Ok(())
+            }
+        }
+        let agg = b.add_bolt("agg", 1, |_| Box::new(Summer { sum: 0 }));
+        b.connect(src, agg, Grouping::Global);
+        let outcome = b.build().unwrap().run();
+        assert_eq!(outcome.outputs.len(), 1);
+        // Each of 3 spout tasks emits 0..30 → 3 * (0+..+29) = 3*435.
+        assert_eq!(outcome.outputs[0].1.get(0).as_int().unwrap(), 3 * 435);
+    }
+
+    #[test]
+    fn multi_stage_pipeline() {
+        let mut b = TopologyBuilder::new();
+        let src = b.add_spout("src", 2, int_spout(0, 100));
+        let stage1 = b.add_bolt("inc", 2, |_| {
+            Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
+                out.emit(tuple![t.get(0).as_int()? + 1]);
+                Ok(())
+            }))
+        });
+        let stage2 = b.add_bolt("filter", 3, |_| {
+            Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
+                if t.get(0).as_int()? % 2 == 0 {
+                    out.emit(t);
+                }
+                Ok(())
+            }))
+        });
+        b.connect(src, stage1, Grouping::Shuffle);
+        b.connect(stage1, stage2, Grouping::Shuffle);
+        let outcome = b.build().unwrap().run();
+        assert!(outcome.error.is_none());
+        // 2 spout tasks × values 1..=100, evens only → 50 each.
+        assert_eq!(outcome.outputs.len(), 100);
+    }
+
+    #[test]
+    fn error_aborts_run_and_reports() {
+        let mut b = TopologyBuilder::new();
+        let src = b.add_spout("src", 1, int_spout(0, 1_000_000));
+        let bomb = b.add_bolt("bomb", 1, |_| {
+            let mut n = 0;
+            Box::new(FnBolt(move |_o, _t: Tuple, _out: &mut OutputCollector| {
+                n += 1;
+                if n > 100 {
+                    Err(SquallError::MemoryOverflow { machine: 0, stored: n, budget: 100 })
+                } else {
+                    Ok(())
+                }
+            }))
+        });
+        b.connect(src, bomb, Grouping::Shuffle);
+        let outcome = b.build().unwrap().run();
+        assert!(matches!(outcome.error, Some(SquallError::MemoryOverflow { .. })));
+        // The spout observed the abort and stopped long before 1M tuples.
+        assert!(outcome.metrics.node(0).total_emitted() < 1_000_000);
+        assert!(outcome.into_result().is_err());
+    }
+
+    #[test]
+    fn panic_in_bolt_is_reported_not_hung() {
+        let mut b = TopologyBuilder::new();
+        let src = b.add_spout("src", 1, int_spout(0, 10));
+        let bad = b.add_bolt("bad", 1, |_| {
+            Box::new(FnBolt(|_o, _t: Tuple, _out: &mut OutputCollector| -> Result<()> {
+                panic!("operator bug")
+            }))
+        });
+        b.connect(src, bad, Grouping::Shuffle);
+        let outcome = b.build().unwrap().run();
+        assert!(matches!(outcome.error, Some(SquallError::Runtime(_))));
+    }
+
+    #[test]
+    fn builder_rejects_cycles_and_bad_edges() {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_spout("s", 1, int_spout(0, 1));
+        let x = b.add_bolt("x", 1, |_| {
+            Box::new(FnBolt(|_o, _t: Tuple, _out: &mut OutputCollector| Ok(())))
+        });
+        let y = b.add_bolt("y", 1, |_| {
+            Box::new(FnBolt(|_o, _t: Tuple, _out: &mut OutputCollector| Ok(())))
+        });
+        b.connect(s, x, Grouping::Shuffle);
+        b.connect(x, y, Grouping::Shuffle);
+        b.connect(y, x, Grouping::Shuffle); // cycle
+        assert!(b.build().is_err());
+
+        let mut b2 = TopologyBuilder::new();
+        let s2 = b2.add_spout("s", 1, int_spout(0, 1));
+        let x2 = b2.add_bolt("x", 1, |_| {
+            Box::new(FnBolt(|_o, _t: Tuple, _out: &mut OutputCollector| Ok(())))
+        });
+        b2.connect(x2, s2, Grouping::Shuffle); // into a spout
+        assert!(b2.build().is_err());
+
+        let mut b3 = TopologyBuilder::new();
+        let _s3 = b3.add_spout("s", 1, int_spout(0, 1));
+        let _orphan = b3.add_bolt("o", 1, |_| {
+            Box::new(FnBolt(|_o, _t: Tuple, _out: &mut OutputCollector| Ok(())))
+        });
+        assert!(b3.build().is_err(), "bolt without input is invalid");
+    }
+
+    #[test]
+    fn backpressure_small_capacity_still_completes() {
+        let mut b = TopologyBuilder::new().channel_capacity(2);
+        let src = b.add_spout("src", 4, int_spout(0, 1000));
+        let slow = b.add_bolt("slow", 1, |_| {
+            Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
+                out.emit(t);
+                Ok(())
+            }))
+        });
+        b.connect(src, slow, Grouping::Global);
+        let outcome = b.build().unwrap().run();
+        assert_eq!(outcome.outputs.len(), 4000);
+    }
+
+    #[test]
+    fn sources_and_sinks_identified() {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_spout("s", 1, int_spout(0, 1));
+        let x = b.add_bolt("x", 1, |_| {
+            Box::new(FnBolt(|_o, _t: Tuple, _out: &mut OutputCollector| Ok(())))
+        });
+        b.connect(s, x, Grouping::Shuffle);
+        let t = b.build().unwrap();
+        assert_eq!(t.sources(), vec![0]);
+        assert_eq!(t.sinks(), vec![1]);
+        assert_eq!(t.node_name(0), "s");
+        assert_eq!(t.parallelism(1), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Messages exchanged between tasks.
+
+use squall_common::Tuple;
+
+/// Identifier of a topology node (spout or bolt). Tasks of a node are
+/// addressed as `(NodeId, task_index)`.
+pub type NodeId = usize;
+
+/// A message on a task's input channel.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// A data tuple, tagged with the node it was emitted by (bolts with
+    /// several upstream streams — e.g. joiners — dispatch on the origin,
+    /// exactly like Storm bolts dispatch on the source component id).
+    Data { origin: NodeId, tuple: Tuple },
+    /// End-of-stream punctuation from one upstream *task*. A task finishes
+    /// once it has received one `Eos` per upstream task.
+    Eos,
+}

@@ -1,0 +1,261 @@
+//! Per-task load accounting.
+//!
+//! The paper's evaluation quantities are all functions of per-task tuple
+//! counts (§6, §7.3):
+//!
+//! * **load per machine** — tuples received by a task (Table 1);
+//! * **skew degree** — max partition size ÷ average partition size;
+//! * **replication factor** — a component's input tuples ÷ the tuples
+//!   produced by its immediate upstream components (Table 2);
+//! * **intermediate network factor** — Σ(task input+output) ÷ (query input
+//!   + query output).
+//!
+//! Counters are atomics updated lock-free on the hot path and snapshotted
+//! into plain data once a run finishes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::message::NodeId;
+
+/// Live counters for one task.
+#[derive(Debug, Default)]
+pub struct TaskCounters {
+    /// Data tuples received on the input channel.
+    pub received: AtomicU64,
+    /// Data tuple deliveries sent downstream (one per target task, so a
+    /// broadcast of one tuple to 8 tasks counts 8 — this is what the wire
+    /// would carry, and what replication measures).
+    pub sent: AtomicU64,
+    /// Tuples emitted by the task's user logic before routing (one per
+    /// `emit` call).
+    pub emitted: AtomicU64,
+}
+
+/// Live metrics registry shared by all tasks of a running topology.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// `per_node[node][task]`.
+    per_node: Vec<Vec<Arc<TaskCounters>>>,
+    names: Vec<String>,
+}
+
+impl MetricsRegistry {
+    pub fn new(names: Vec<String>, parallelism: &[usize]) -> MetricsRegistry {
+        let per_node = parallelism
+            .iter()
+            .map(|&p| (0..p).map(|_| Arc::new(TaskCounters::default())).collect())
+            .collect();
+        MetricsRegistry { per_node, names }
+    }
+
+    pub fn task(&self, node: NodeId, task: usize) -> Arc<TaskCounters> {
+        Arc::clone(&self.per_node[node][task])
+    }
+
+    /// Freeze the counters into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            nodes: self
+                .per_node
+                .iter()
+                .enumerate()
+                .map(|(i, tasks)| NodeMetrics {
+                    node: i,
+                    name: self.names[i].clone(),
+                    received: tasks.iter().map(|t| t.received.load(Ordering::Relaxed)).collect(),
+                    sent: tasks.iter().map(|t| t.sent.load(Ordering::Relaxed)).collect(),
+                    emitted: tasks.iter().map(|t| t.emitted.load(Ordering::Relaxed)).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Frozen per-task counts for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMetrics {
+    pub node: NodeId,
+    pub name: String,
+    pub received: Vec<u64>,
+    pub sent: Vec<u64>,
+    pub emitted: Vec<u64>,
+}
+
+impl NodeMetrics {
+    /// Maximum load per machine (Table 1, "Maximum").
+    pub fn max_load(&self) -> u64 {
+        self.received.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average load per machine (Table 1, "Average").
+    pub fn avg_load(&self) -> f64 {
+        if self.received.is_empty() {
+            0.0
+        } else {
+            self.total_received() as f64 / self.received.len() as f64
+        }
+    }
+
+    /// Total tuples received by the component.
+    pub fn total_received(&self) -> u64 {
+        self.received.iter().sum()
+    }
+
+    /// Total tuples emitted by user logic.
+    pub fn total_emitted(&self) -> u64 {
+        self.emitted.iter().sum()
+    }
+
+    /// Total downstream deliveries.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Skew degree: largest partition ÷ average partition (§6).
+    pub fn skew_degree(&self) -> f64 {
+        let avg = self.avg_load();
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_load() as f64 / avg
+        }
+    }
+}
+
+/// All nodes' frozen metrics for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub nodes: Vec<NodeMetrics>,
+}
+
+impl MetricsSnapshot {
+    pub fn node(&self, id: NodeId) -> &NodeMetrics {
+        &self.nodes[id]
+    }
+
+    pub fn by_name(&self, name: &str) -> Option<&NodeMetrics> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Replication factor of a component (§6): its input tuple count
+    /// divided by the total tuples *emitted* by the given upstream nodes.
+    pub fn replication_factor(&self, component: NodeId, upstream: &[NodeId]) -> f64 {
+        let input = self.node(component).total_received() as f64;
+        let produced: u64 = upstream.iter().map(|&u| self.node(u).total_emitted()).sum();
+        if produced == 0 {
+            0.0
+        } else {
+            input / produced as f64
+        }
+    }
+
+    /// Intermediate network factor of a whole query (§6): the sum of every
+    /// component task's input and output divided by (query input + query
+    /// output). `sources` are the spout nodes, `sinks` the final nodes.
+    pub fn intermediate_network_factor(&self, sources: &[NodeId], sinks: &[NodeId]) -> f64 {
+        let all_io: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.total_received() + n.total_sent())
+            .sum();
+        let query_in: u64 = sources.iter().map(|&s| self.node(s).total_emitted()).sum();
+        let query_out: u64 = sinks.iter().map(|&s| self.node(s).total_emitted()).sum();
+        let denom = query_in + query_out;
+        if denom == 0 {
+            0.0
+        } else {
+            all_io as f64 / denom as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(received: Vec<Vec<u64>>, emitted: Vec<Vec<u64>>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            nodes: received
+                .into_iter()
+                .zip(emitted)
+                .enumerate()
+                .map(|(i, (r, e))| NodeMetrics {
+                    node: i,
+                    name: format!("n{i}"),
+                    sent: e.clone(),
+                    received: r,
+                    emitted: e,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn max_avg_and_skew_degree() {
+        let s = snap(vec![vec![10, 20, 30, 40]], vec![vec![0, 0, 0, 0]]);
+        let n = s.node(0);
+        assert_eq!(n.max_load(), 40);
+        assert_eq!(n.avg_load(), 25.0);
+        assert_eq!(n.skew_degree(), 1.6);
+    }
+
+    #[test]
+    fn replication_factor_matches_definition() {
+        // Upstream emits 100 tuples; joiner receives 130 (broadcast overlap)
+        // → replication factor 1.3.
+        let s = snap(vec![vec![0], vec![130]], vec![vec![100], vec![0]]);
+        assert!((s.replication_factor(1, &[0]) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_balance_has_skew_degree_one() {
+        let s = snap(vec![vec![5, 5, 5]], vec![vec![0, 0, 0]]);
+        assert_eq!(s.node(0).skew_degree(), 1.0);
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrip() {
+        let reg = MetricsRegistry::new(vec!["a".into(), "b".into()], &[2, 1]);
+        reg.task(0, 1).received.fetch_add(7, Ordering::Relaxed);
+        reg.task(1, 0).emitted.fetch_add(3, Ordering::Relaxed);
+        let s = reg.snapshot();
+        assert_eq!(s.node(0).received, vec![0, 7]);
+        assert_eq!(s.node(1).emitted, vec![3]);
+        assert_eq!(s.by_name("b").unwrap().node, 1);
+        assert!(s.by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn intermediate_network_factor() {
+        // Source emits 100 (sent 100); joiner receives 100, emits/sends 10;
+        // sink receives 10, emits 10.
+        let s = MetricsSnapshot {
+            nodes: vec![
+                NodeMetrics {
+                    node: 0,
+                    name: "src".into(),
+                    received: vec![0],
+                    sent: vec![100],
+                    emitted: vec![100],
+                },
+                NodeMetrics {
+                    node: 1,
+                    name: "join".into(),
+                    received: vec![100],
+                    sent: vec![10],
+                    emitted: vec![10],
+                },
+                NodeMetrics {
+                    node: 2,
+                    name: "sink".into(),
+                    received: vec![10],
+                    sent: vec![0],
+                    emitted: vec![10],
+                },
+            ],
+        };
+        // all_io = (0+100) + (100+10) + (10+0) = 220; denom = 100 + 10.
+        assert!((s.intermediate_network_factor(&[0], &[2]) - 2.0).abs() < 1e-12);
+    }
+}

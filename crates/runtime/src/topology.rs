@@ -1,0 +1,314 @@
+//! Topology construction: spouts, bolts, edges, validation.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use squall_common::{Result, SquallError, Tuple};
+
+use crate::grouping::Grouping;
+use crate::message::{Message, NodeId};
+use crate::metrics::TaskCounters;
+
+/// A data source. Each task of a spout node owns one `Spout` instance and
+/// calls `next` until it returns `None` (bounded streams) or the run is
+/// aborted. Online/unbounded execution is modeled by long streams — the
+/// engine itself never requires an end.
+pub trait Spout: Send {
+    fn next(&mut self) -> Option<Tuple>;
+}
+
+/// A computation node. Each task owns one `Bolt` instance.
+pub trait Bolt: Send {
+    /// Process one input tuple. `origin` is the upstream node that emitted
+    /// it (joiners dispatch on it to tell their relations apart).
+    fn execute(&mut self, origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()>;
+
+    /// Called once after every upstream task has signalled end-of-stream;
+    /// used by blocking-at-the-end operators (final aggregation emission).
+    fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
+        let _ = out;
+        Ok(())
+    }
+}
+
+/// Blanket spout over an iterator.
+pub struct IterSpout<I: Iterator<Item = Tuple> + Send>(pub I);
+
+impl<I: Iterator<Item = Tuple> + Send> Spout for IterSpout<I> {
+    fn next(&mut self) -> Option<Tuple> {
+        self.0.next()
+    }
+}
+
+/// A spout over a shared tuple vector: task `start` of `stride` emits
+/// elements `start, start+stride, …` — the standard way to split one
+/// in-memory relation across several spout tasks.
+pub struct IterSpoutVec {
+    data: std::sync::Arc<Vec<Tuple>>,
+    pos: usize,
+    stride: usize,
+}
+
+impl IterSpoutVec {
+    pub fn strided(data: std::sync::Arc<Vec<Tuple>>, start: usize, stride: usize) -> IterSpoutVec {
+        assert!(stride > 0);
+        IterSpoutVec { data, pos: start, stride }
+    }
+}
+
+impl Spout for IterSpoutVec {
+    fn next(&mut self) -> Option<Tuple> {
+        let t = self.data.get(self.pos)?.clone();
+        self.pos += self.stride;
+        Some(t)
+    }
+}
+
+/// A bolt defined by a closure (handy in tests and examples).
+pub struct FnBolt<F>(pub F);
+
+impl<F> Bolt for FnBolt<F>
+where
+    F: FnMut(NodeId, Tuple, &mut OutputCollector) -> Result<()> + Send,
+{
+    fn execute(&mut self, origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()> {
+        (self.0)(origin, tuple, out)
+    }
+}
+
+pub(crate) type SpoutFactory = Box<dyn Fn(usize) -> Box<dyn Spout> + Send>;
+pub(crate) type BoltFactory = Box<dyn Fn(usize) -> Box<dyn Bolt> + Send>;
+
+pub(crate) enum NodeKind {
+    Spout(SpoutFactory),
+    Bolt(BoltFactory),
+}
+
+pub(crate) struct NodeDef {
+    pub name: String,
+    pub parallelism: usize,
+    pub kind: NodeKind,
+}
+
+#[derive(Clone)]
+pub(crate) struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub grouping: Grouping,
+}
+
+/// Incrementally builds a [`Topology`] (the Squall-to-Storm translator of
+/// Figure 1 targets exactly this interface).
+pub struct TopologyBuilder {
+    pub(crate) nodes: Vec<NodeDef>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) channel_capacity: usize,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder::new()
+    }
+}
+
+impl TopologyBuilder {
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder { nodes: Vec::new(), edges: Vec::new(), channel_capacity: 1024 }
+    }
+
+    /// Bound on each task's input queue; full queues block senders, which
+    /// is the runtime's backpressure mechanism.
+    pub fn channel_capacity(mut self, cap: usize) -> TopologyBuilder {
+        assert!(cap > 0);
+        self.channel_capacity = cap;
+        self
+    }
+
+    /// Add a spout node; `factory(task_index)` builds each task's source.
+    pub fn add_spout<F>(&mut self, name: impl Into<String>, parallelism: usize, factory: F) -> NodeId
+    where
+        F: Fn(usize) -> Box<dyn Spout> + Send + 'static,
+    {
+        assert!(parallelism > 0, "parallelism must be positive");
+        self.nodes.push(NodeDef {
+            name: name.into(),
+            parallelism,
+            kind: NodeKind::Spout(Box::new(factory)),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Add a bolt node; `factory(task_index)` builds each task's operator.
+    pub fn add_bolt<F>(&mut self, name: impl Into<String>, parallelism: usize, factory: F) -> NodeId
+    where
+        F: Fn(usize) -> Box<dyn Bolt> + Send + 'static,
+    {
+        assert!(parallelism > 0, "parallelism must be positive");
+        self.nodes.push(NodeDef {
+            name: name.into(),
+            parallelism,
+            kind: NodeKind::Bolt(Box::new(factory)),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Connect `from → to` with a grouping.
+    pub fn connect(&mut self, from: NodeId, to: NodeId, grouping: Grouping) {
+        self.edges.push(Edge { from, to, grouping });
+    }
+
+    /// Validate and freeze.
+    pub fn build(self) -> Result<Topology> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Err(SquallError::InvalidPlan("empty topology".into()));
+        }
+        for e in &self.edges {
+            if e.from >= n || e.to >= n {
+                return Err(SquallError::InvalidPlan(format!(
+                    "edge {} -> {} references missing node",
+                    e.from, e.to
+                )));
+            }
+            if matches!(self.nodes[e.to].kind, NodeKind::Spout(_)) {
+                return Err(SquallError::InvalidPlan("spouts cannot have inputs".into()));
+            }
+            let dup = self
+                .edges
+                .iter()
+                .filter(|o| o.from == e.from && o.to == e.to)
+                .count();
+            if dup > 1 {
+                return Err(SquallError::InvalidPlan(format!(
+                    "duplicate edge {} -> {}",
+                    e.from, e.to
+                )));
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.kind, NodeKind::Bolt(_)) && !self.edges.iter().any(|e| e.to == i) {
+                return Err(SquallError::InvalidPlan(format!(
+                    "bolt '{}' has no input edge",
+                    node.name
+                )));
+            }
+        }
+        // DAG check: Kahn's algorithm.
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for e in self.edges.iter().filter(|e| e.from == u) {
+                indeg[e.to] -= 1;
+                if indeg[e.to] == 0 {
+                    queue.push(e.to);
+                }
+            }
+        }
+        if visited != n {
+            return Err(SquallError::InvalidPlan("topology contains a cycle".into()));
+        }
+        Ok(Topology { nodes: self.nodes, edges: self.edges, channel_capacity: self.channel_capacity })
+    }
+}
+
+/// A validated, runnable topology. See [`crate::executor`] for execution.
+pub struct Topology {
+    pub(crate) nodes: Vec<NodeDef>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) channel_capacity: usize,
+}
+
+impl Topology {
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id].name
+    }
+
+    pub fn parallelism(&self, id: NodeId) -> usize {
+        self.nodes[id].parallelism
+    }
+
+    /// Nodes with no outgoing edges — their emissions become the query
+    /// output.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| !self.edges.iter().any(|e| e.from == i))
+            .collect()
+    }
+
+    /// Nodes with no incoming edges (the spouts).
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| !self.edges.iter().any(|e| e.to == i))
+            .collect()
+    }
+}
+
+/// One outgoing edge of a running task.
+pub(crate) struct EdgeOut {
+    pub grouping: Grouping,
+    pub targets: Vec<Sender<Message>>,
+    pub seq: u64,
+}
+
+/// The emission interface handed to spout/bolt tasks.
+///
+/// `emit` routes a tuple over every outgoing edge according to that edge's
+/// grouping; for sink nodes (no outgoing edges) the tuple is delivered to
+/// the run's output collector instead.
+pub struct OutputCollector {
+    pub(crate) node: NodeId,
+    pub(crate) task: usize,
+    pub(crate) edges: Vec<EdgeOut>,
+    pub(crate) sink: Sender<(NodeId, Tuple)>,
+    pub(crate) is_sink: bool,
+    pub(crate) counters: Arc<TaskCounters>,
+    pub(crate) scratch: Vec<usize>,
+    pub(crate) disconnected: bool,
+}
+
+impl OutputCollector {
+    /// Emit one tuple downstream (or to the query output for sinks).
+    pub fn emit(&mut self, tuple: Tuple) {
+        self.counters.emitted.fetch_add(1, Ordering::Relaxed);
+        if self.is_sink {
+            // Output channel is unbounded; ignore disconnects (the caller
+            // may have stopped listening after an abort).
+            let _ = self.sink.send((self.node, tuple));
+            return;
+        }
+        // Hoisted locals to appease the borrow checker.
+        let task = self.task;
+        let mut sent = 0u64;
+        for edge in &mut self.edges {
+            edge.grouping.route(task, edge.seq, &tuple, edge.targets.len(), &mut self.scratch);
+            edge.seq += 1;
+            for &t in &self.scratch {
+                if edge.targets[t]
+                    .send(Message::Data { origin: self.node, tuple: tuple.clone() })
+                    .is_err()
+                {
+                    self.disconnected = true;
+                } else {
+                    sent += 1;
+                }
+            }
+        }
+        self.counters.sent.fetch_add(sent, Ordering::Relaxed);
+    }
+
+    /// The executing task's index (the paper's "machine" id within the
+    /// component).
+    pub fn task_index(&self) -> usize {
+        self.task
+    }
+}

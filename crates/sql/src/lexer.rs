@@ -1,0 +1,194 @@
+//! SQL tokenizer.
+
+use squall_common::{Result, SquallError};
+
+/// A lexical token. Keywords are case-insensitive and normalized to
+/// uppercase; identifiers keep their case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (SELECT, FROM, WHERE, GROUP, BY, AS, AND, OR, NOT, COUNT,
+    /// SUM, AVG).
+    Keyword(String),
+    /// Possibly qualified identifier (`a` or `a.b`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Punctuation / operator: `( ) , * + - / % = <> < <= > >=`.
+    Sym(&'static str),
+}
+
+const KEYWORDS: [&str; 11] =
+    ["SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "COUNT", "SUM"];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            // Qualified name a.b (only when followed by an ident part).
+            if i + 1 < chars.len() && chars[i] == '.' && is_ident_start(chars[i + 1]) {
+                i += 1; // consume '.'
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+            }
+            let word: String = chars[start..i].iter().collect();
+            let upper = word.to_ascii_uppercase();
+            if KEYWORDS.contains(&upper.as_str()) || upper == "AVG" {
+                tokens.push(Token::Keyword(upper));
+            } else {
+                tokens.push(Token::Ident(word));
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let is_float = i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit();
+            if is_float {
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::Float(text.parse().map_err(|_| {
+                    SquallError::Parse(format!("bad float literal {text}"))
+                })?));
+            } else {
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::Int(text.parse().map_err(|_| {
+                    SquallError::Parse(format!("bad integer literal {text}"))
+                })?));
+            }
+            continue;
+        }
+        if c == '\'' {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            if j == chars.len() {
+                return Err(SquallError::Parse("unterminated string literal".into()));
+            }
+            tokens.push(Token::Str(chars[start..j].iter().collect()));
+            i = j + 1;
+            continue;
+        }
+        // Multi-char operators first.
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        let sym = match two.as_str() {
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "<>" => Some("<>"),
+            "!=" => Some("<>"),
+            _ => None,
+        };
+        if let Some(s) = sym {
+            tokens.push(Token::Sym(s));
+            i += 2;
+            continue;
+        }
+        let one = match c {
+            '(' => "(",
+            ')' => ")",
+            ',' => ",",
+            '*' => "*",
+            '+' => "+",
+            '-' => "-",
+            '/' => "/",
+            '%' => "%",
+            '=' => "=",
+            '<' => "<",
+            '>' => ">",
+            other => {
+                return Err(SquallError::Parse(format!("unexpected character {other:?}")));
+            }
+        };
+        tokens.push(Token::Sym(one));
+        i += 1;
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = tokenize("select From wHeRe").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("FROM".into()),
+                Token::Keyword("WHERE".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_identifiers() {
+        let t = tokenize("W1.FromUrl = w2.ToUrl").unwrap();
+        assert_eq!(t[0], Token::Ident("W1.FromUrl".into()));
+        assert_eq!(t[1], Token::Sym("="));
+        assert_eq!(t[2], Token::Ident("w2.ToUrl".into()));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let t = tokenize("42 3.5 'blogspot.com'").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Int(42), Token::Float(3.5), Token::Str("blogspot.com".into())]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("<= >= <> != < > = + - * / % ( ) ,").unwrap();
+        let syms: Vec<&str> = t
+            .iter()
+            .map(|tok| match tok {
+                Token::Sym(s) => *s,
+                _ => panic!("expected symbol"),
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec!["<=", ">=", "<>", "<>", "<", ">", "=", "+", "-", "*", "/", "%", "(", ")", ","]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! Recursive-descent parser: tokens → [`squall_plan::Query`].
+
+use squall_common::{Result, SquallError, Value};
+use squall_expr::{AggFunc, BinOp};
+use squall_plan::logical::{Expr, Query};
+
+use crate::lexer::{tokenize, Token};
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(SquallError::Parse(format!("trailing input at token {:?}", p.peek())));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(SquallError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(SquallError::Parse(format!("expected '{s}', found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SquallError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let mut select = Vec::new();
+        loop {
+            let item = self.select_item()?;
+            select.push(item);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let mut tables = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let alias = if self.eat_keyword("AS") {
+                self.ident()?
+            } else if let Some(Token::Ident(_)) = self.peek() {
+                self.ident()?
+            } else {
+                name.clone()
+            };
+            tables.push((name, alias));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let mut q = Query { tables, filters: vec![], select, group_by: vec![] };
+        if self.eat_keyword("WHERE") {
+            let cond = self.disjunction()?;
+            q = q.filter(cond);
+        }
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let mut group = Vec::new();
+            loop {
+                group.push(Expr::Col(self.ident()?));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            q.group_by = group;
+        }
+        Ok(q)
+    }
+
+    fn select_item(&mut self) -> Result<(Expr, Option<String>)> {
+        let e = match self.peek() {
+            Some(Token::Keyword(k)) if k == "COUNT" || k == "SUM" || k == "AVG" => {
+                let func = match k.as_str() {
+                    "COUNT" => AggFunc::Count,
+                    "SUM" => AggFunc::Sum,
+                    _ => AggFunc::Avg,
+                };
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let arg = if func == AggFunc::Count && self.eat_sym("*") {
+                    None
+                } else {
+                    Some(Box::new(self.additive()?))
+                };
+                self.expect_sym(")")?;
+                Expr::Agg { func, arg }
+            }
+            _ => self.additive()?,
+        };
+        let alias = if self.eat_keyword("AS") { Some(self.ident()?) } else { None };
+        Ok((e, alias))
+    }
+
+    /// OR-separated (lowest precedence).
+    fn disjunction(&mut self) -> Result<Expr> {
+        let mut e = self.conjunction()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.conjunction()?;
+            e = e.bin(BinOp::Or, rhs);
+        }
+        Ok(e)
+    }
+
+    fn conjunction(&mut self) -> Result<Expr> {
+        let mut e = self.comparison()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.comparison()?;
+            e = e.bin(BinOp::And, rhs);
+        }
+        Ok(e)
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            return Ok(Expr::Not(Box::new(self.comparison()?)));
+        }
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Sym("=")) => BinOp::Eq,
+            Some(Token::Sym("<>")) => BinOp::Ne,
+            Some(Token::Sym("<")) => BinOp::Lt,
+            Some(Token::Sym("<=")) => BinOp::Le,
+            Some(Token::Sym(">")) => BinOp::Gt,
+            Some(Token::Sym(">=")) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.additive()?;
+        Ok(lhs.bin(op, rhs))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("+")) => BinOp::Add,
+                Some(Token::Sym("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            e = e.bin(op, rhs);
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("*")) => BinOp::Mul,
+                Some(Token::Sym("/")) => BinOp::Div,
+                Some(Token::Sym("%")) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.primary()?;
+            e = e.bin(op, rhs);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(Expr::Col(s)),
+            Some(Token::Int(i)) => Ok(Expr::Lit(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(Expr::Lit(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::str(s))),
+            Some(Token::Sym("(")) => {
+                let e = self.disjunction()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Sym("-")) => {
+                let e = self.primary()?;
+                Ok(Expr::Lit(Value::Int(0)).bin(BinOp::Sub, e))
+            }
+            other => Err(SquallError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_one_query() {
+        // The architecture figure's query: SELECT SUM(T.E) FROM R,S,T
+        // WHERE R.B = S.B AND S.D = T.D AND S.C > 3.
+        let q = parse(
+            "SELECT SUM(T.E) FROM R, S, T WHERE R.B = S.B AND S.D = T.D AND S.C > 3",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 3);
+        assert_eq!(q.filters.len(), 3, "AND flattens");
+        assert!(q.select[0].0.has_agg());
+        assert!(q.group_by.is_empty());
+    }
+
+    #[test]
+    fn reachability_query() {
+        let q = parse(
+            "SELECT W1.FromUrl, COUNT(*) \
+             FROM WebGraph AS W1, WebGraph AS W2, WebGraph AS W3 \
+             WHERE W1.ToUrl = W2.FromUrl AND W2.ToUrl = W3.FromUrl \
+             GROUP BY W1.FromUrl",
+        )
+        .unwrap();
+        assert_eq!(q.tables[1], ("WebGraph".to_string(), "W2".to_string()));
+        assert_eq!(q.group_by, vec![Expr::Col("W1.FromUrl".into())]);
+        assert_eq!(q.select.len(), 2);
+    }
+
+    #[test]
+    fn webanalytics_query_with_string_literals() {
+        let q = parse(
+            "SELECT W1.FromUrl, Score, COUNT(*) \
+             FROM WebGraph W1, WebGraph W2, CrawlContent C \
+             WHERE W1.ToUrl = 'blogspot.com' AND W2.FromUrl = 'blogspot.com' \
+               AND W1.ToUrl = W2.FromUrl AND W1.FromUrl = C.Url \
+             GROUP BY W1.FromUrl, Score",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 3);
+        assert_eq!(q.filters.len(), 4);
+        assert_eq!(q.group_by.len(), 2);
+        // Implicit aliases (no AS keyword).
+        assert_eq!(q.tables[0].1, "W1");
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let q = parse("SELECT a FROM R WHERE 2 * b + 1 < c").unwrap();
+        // (2*b)+1 < c.
+        match &q.filters[0] {
+            Expr::Bin { op: BinOp::Lt, lhs, .. } => match lhs.as_ref() {
+                Expr::Bin { op: BinOp::Add, lhs: mul, .. } => {
+                    assert!(matches!(mul.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected Add, got {other:?}"),
+            },
+            other => panic!("expected Lt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aliases_and_sum_alias() {
+        let q = parse("SELECT SUM(x) AS total, y AS key FROM R GROUP BY y").unwrap();
+        assert_eq!(q.select[0].1.as_deref(), Some("total"));
+        assert_eq!(q.select[1].1.as_deref(), Some("key"));
+    }
+
+    #[test]
+    fn parenthesized_or() {
+        let q = parse("SELECT a FROM R WHERE (a = 1 OR a = 2) AND b > 0").unwrap();
+        // The parenthesized OR is one conjunct, b > 0 the other.
+        assert_eq!(q.filters.len(), 2);
+    }
+
+    #[test]
+    fn avg_and_negative_literals() {
+        let q = parse("SELECT AVG(x) FROM R WHERE x > -5").unwrap();
+        assert!(q.select[0].0.has_agg());
+        assert_eq!(q.filters.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("SELECT FROM R").is_err());
+        assert!(parse("SELECT a R").is_err());
+        assert!(parse("SELECT a FROM R WHERE").is_err());
+        assert!(parse("SELECT a FROM R extra garbage ,").is_err());
+        assert!(parse("SELECT COUNT( FROM R").is_err());
+    }
+
+    #[test]
+    fn taskcount_query() {
+        let q = parse(
+            "SELECT MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform, COUNT(*) \
+             FROM JOB_EVENTS, TASK_EVENTS, MACHINE_EVENTS \
+             WHERE TASK_EVENTS.eventType = 3 \
+               AND JOB_EVENTS.jobID = TASK_EVENTS.jobID \
+               AND MACHINE_EVENTS.machineID = TASK_EVENTS.machineID \
+             GROUP BY MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 3);
+        assert_eq!(q.filters.len(), 3);
+        assert_eq!(q.group_by.len(), 2);
+    }
+}

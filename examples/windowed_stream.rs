@@ -1,0 +1,102 @@
+//! Window semantics (§2): a sliding-window stream join built directly on
+//! the imperative interface — topology, groupings and windowed join bolt
+//! by hand, the way the paper's imperative interface exposes the physical
+//! plan.
+//!
+//! Scenario: match ad impressions to clicks within a 30-time-unit sliding
+//! window (the click-stream analytics motivation of §1).
+//!
+//! ```text
+//! cargo run --release --example windowed_stream
+//! ```
+
+use std::sync::Arc;
+
+use squall::common::{tuple, DataType, FxHashMap, Schema, SplitMix64, Tuple};
+use squall::engine::operators::{JoinBolt, JoinEmit};
+use squall::expr::{JoinAtom, MultiJoinSpec, RelationDef};
+use squall::join::{DBToasterJoin, WindowSpec};
+use squall::runtime::{Grouping, IterSpoutVec, TopologyBuilder};
+
+fn main() {
+    // impressions(ad_id, ts), clicks(ad_id, ts): matching ad within 30
+    // ticks counts as a conversion.
+    let mut rng = SplitMix64::new(7);
+    let mut impressions = Vec::new();
+    let mut clicks = Vec::new();
+    let mut ts = 0i64;
+    for _ in 0..30_000 {
+        ts += rng.next_range(0, 2);
+        let ad = rng.next_range(0, 500);
+        impressions.push(tuple![ad, ts]);
+        if rng.next_f64() < 0.1 {
+            clicks.push(tuple![ad, ts + rng.next_range(0, 40)]);
+        }
+    }
+    clicks.sort_by_key(|t| t.get(1).as_int().unwrap());
+
+    let spec = MultiJoinSpec::new(
+        vec![
+            RelationDef::new(
+                "impressions",
+                Schema::of(&[("ad_id", DataType::Int), ("ts", DataType::Int)]),
+                impressions.len() as u64,
+            ),
+            RelationDef::new(
+                "clicks",
+                Schema::of(&[("ad_id", DataType::Int), ("ts", DataType::Int)]),
+                clicks.len() as u64,
+            ),
+        ],
+        vec![JoinAtom::eq(0, 0, 1, 0)],
+    )
+    .unwrap();
+
+    // Imperative interface: build the topology by hand.
+    let mut b = TopologyBuilder::new();
+    let imp = Arc::new(impressions);
+    let clk = Arc::new(clicks);
+    let imp_node = {
+        let d = Arc::clone(&imp);
+        b.add_spout("impressions", 1, move |t| Box::new(IterSpoutVec::strided(Arc::clone(&d), t, 1)))
+    };
+    let clk_node = {
+        let d = Arc::clone(&clk);
+        b.add_spout("clicks", 1, move |t| Box::new(IterSpoutVec::strided(Arc::clone(&d), t, 1)))
+    };
+    let spec2 = Arc::new(spec);
+    let machines = 4;
+    let join_node = b.add_bolt("window-join", machines, move |task| {
+        let mut map = FxHashMap::default();
+        map.insert(imp_node, 0usize);
+        map.insert(clk_node, 1usize);
+        Box::new(JoinBolt::new_windowed(
+            task,
+            map,
+            Box::new(DBToasterJoin::new(&spec2)),
+            2,
+            JoinEmit::Results,
+            WindowSpec::Sliding { size: 30 },
+            vec![1, 1], // ts column of each relation
+        ))
+    });
+    // Hash both sides on ad_id: an equi-join on a skew-free key.
+    b.connect(imp_node, join_node, Grouping::Fields(vec![0]));
+    b.connect(clk_node, join_node, Grouping::Fields(vec![0]));
+
+    let outcome = b.build().unwrap().run();
+    assert!(outcome.error.is_none(), "{:?}", outcome.error);
+    let conversions: Vec<Tuple> = outcome.tuples();
+    println!(
+        "{} impressions, {} clicks → {} in-window conversions",
+        imp.len(),
+        clk.len(),
+        conversions.len()
+    );
+    let m = outcome.metrics.node(join_node);
+    println!(
+        "window-join loads: {:?} (skew degree {:.2}); state stayed bounded by the window",
+        m.received,
+        m.skew_degree()
+    );
+}

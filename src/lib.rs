@@ -1,0 +1,52 @@
+//! # Squall: Scalable Real-time Analytics — Rust reproduction
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *Squall: Scalable Real-time Analytics* (Vitorovic et al., PVLDB 9(10),
+//! 2016): an online distributed query engine with skew-resilient, adaptive
+//! join operators.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`common`] | values, tuples, schemas, hashing, RNG, zipf |
+//! | [`expr`] | scalar expressions, join conditions, multi-way join specs |
+//! | [`runtime`] | the Storm-substitute: topologies, spouts/bolts, groupings |
+//! | [`partition`] | Hash-/Random-/**Hybrid**-Hypercube, 1-Bucket, M-Bucket, EWH, adaptive resizing |
+//! | [`join`] | traditional & DBToaster local joins, aggregates, windows, spill |
+//! | [`engine`] | HyLD operator, execution driver, pipelines, recovery |
+//! | [`plan`] | logical plans, optimizer, executor (the functional interface) |
+//! | [`sql`] | the SQL interface |
+//! | [`data`] | TPC-H / WebGraph / Google-cluster workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use squall::plan::{Catalog, ExecConfig};
+//! use squall::common::{tuple, DataType, Schema};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register(
+//!     "R",
+//!     Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+//!     vec![tuple![1, 10], tuple![2, 20]],
+//! );
+//! catalog.register(
+//!     "S",
+//!     Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
+//!     vec![tuple![2, 7], tuple![3, 8]],
+//! );
+//! let q = squall::sql::parse("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap();
+//! let result = squall::plan::physical::execute_query(&q, &catalog, &ExecConfig::default()).unwrap();
+//! assert_eq!(result.rows, vec![tuple![20, 7]]);
+//! ```
+
+pub use squall_common as common;
+pub use squall_core as engine;
+pub use squall_data as data;
+pub use squall_expr as expr;
+pub use squall_join as join;
+pub use squall_partition as partition;
+pub use squall_plan as plan;
+pub use squall_runtime as runtime;
+pub use squall_sql as sql;

@@ -1,0 +1,231 @@
+//! End-to-end integration tests: the paper's evaluation queries, run
+//! through the full stack (SQL → plan → optimizer → topology → results),
+//! checked against the naive in-memory oracle.
+
+use squall::common::{Tuple, Value};
+use squall::data::tpch::{self, TpchGen};
+use squall::data::webgraph::{WebGraphGen, HUB};
+use squall::data::{crawlcontent, google_cluster, queries};
+use squall::engine::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
+use squall::join::naive::{naive_join, same_multiset};
+use squall::partition::optimizer::SchemeKind;
+use squall::plan::physical::execute_query;
+use squall::plan::{Catalog, ExecConfig};
+
+/// Group-by-count oracle over join output.
+fn oracle_group_count(joined: &[Tuple], cols: &[usize]) -> Vec<Tuple> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<Vec<Value>, i64> = BTreeMap::new();
+    for t in joined {
+        *counts.entry(t.key(cols)).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(mut k, c)| {
+            k.push(Value::Int(c));
+            Tuple::new(k)
+        })
+        .collect()
+}
+
+#[test]
+fn reachability3_all_schemes_agree_with_oracle() {
+    let arcs = WebGraphGen::new(150, 900, 3).generate();
+    let q = queries::reachability3(&arcs);
+    let oracle = naive_join(&q.spec, &q.data);
+    assert!(!oracle.is_empty());
+    for scheme in [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid] {
+        let cfg = MultiwayConfig::new(scheme, LocalJoinKind::DBToaster, 9).count_only();
+        let rep = run_multiway(&q.spec, q.data.clone(), &cfg).unwrap();
+        assert!(rep.error.is_none());
+        assert_eq!(rep.result_count, oracle.len() as u64, "{scheme}");
+    }
+}
+
+#[test]
+fn tpch9_partial_counts_match_oracle_under_skew() {
+    let data = TpchGen::new(0.2, 2.0, 5).generate();
+    let q = queries::tpch9_partial(&data, true);
+    let oracle = naive_join(&q.spec, &q.data);
+    for scheme in [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid] {
+        for local in [LocalJoinKind::Traditional, LocalJoinKind::DBToaster] {
+            let cfg = MultiwayConfig::new(scheme, local, 8).count_only();
+            let rep = run_multiway(&q.spec, q.data.clone(), &cfg).unwrap();
+            assert_eq!(rep.result_count, oracle.len() as u64, "{scheme} {local}");
+        }
+    }
+}
+
+#[test]
+fn google_taskcount_sql_end_to_end() {
+    let trace = google_cluster::generate(3000, 9);
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "MACHINE_EVENTS",
+        google_cluster::machine_events_schema(),
+        trace.machine_events.clone(),
+    );
+    catalog.register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events.clone());
+    catalog
+        .register("TASK_EVENTS", google_cluster::task_events_schema(), trace.task_events.clone());
+    let query = squall::sql::parse(
+        "SELECT MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform, COUNT(*) \
+         FROM JOB_EVENTS, TASK_EVENTS, MACHINE_EVENTS \
+         WHERE TASK_EVENTS.eventType = 3 \
+           AND JOB_EVENTS.jobID = TASK_EVENTS.jobID \
+           AND MACHINE_EVENTS.machineID = TASK_EVENTS.machineID \
+         GROUP BY MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform",
+    )
+    .unwrap();
+    let res = execute_query(&query, &catalog, &ExecConfig::default()).unwrap();
+
+    // Oracle via the prepared query instance + group-count.
+    let q = queries::google_taskcount(&trace);
+    let joined = naive_join(&q.spec, &q.data);
+    let expected = oracle_group_count(&joined, &q.agg_group_cols);
+    assert_eq!(res.rows.len(), expected.len());
+    assert!(same_multiset(&res.rows, &expected));
+}
+
+#[test]
+fn webanalytics_sql_end_to_end() {
+    let arcs = WebGraphGen::new(300, 4000, 7).generate();
+    let content = crawlcontent::generate(300, 8);
+    let mut catalog = Catalog::new();
+    catalog.register("WebGraph", squall::data::webgraph::webgraph_schema(), arcs.clone());
+    catalog.register("CrawlContent", crawlcontent::crawlcontent_schema(), content.clone());
+    // HUB is integer id 0 in the synthetic graph.
+    let query = squall::sql::parse(
+        "SELECT W1.FromUrl, C.Score, COUNT(*) \
+         FROM WebGraph W1, WebGraph W2, CrawlContent C \
+         WHERE W1.ToUrl = 0 AND W2.FromUrl = 0 \
+           AND W1.ToUrl = W2.FromUrl AND W1.FromUrl = C.Url \
+         GROUP BY W1.FromUrl, C.Score",
+    )
+    .unwrap();
+    let res = execute_query(&query, &catalog, &ExecConfig::default()).unwrap();
+
+    let q = queries::webanalytics(&arcs, &content);
+    let joined = naive_join(&q.spec, &q.data);
+    let expected = oracle_group_count(&joined, &q.agg_group_cols);
+    assert_eq!(res.rows.len(), expected.len());
+    assert!(same_multiset(&res.rows, &expected));
+    assert!(!res.rows.is_empty(), "hub must have 2-hop paths");
+    let _ = HUB;
+}
+
+#[test]
+fn q3_functional_interface_end_to_end() {
+    use squall::expr::AggFunc;
+    use squall::plan::{agg, col, Query};
+    let data = TpchGen::new(0.2, 0.0, 4).generate();
+    let mut catalog = Catalog::new();
+    catalog.register("CUSTOMER", tpch::customer_schema(), data.customer.clone());
+    catalog.register("ORDERS", tpch::orders_schema(), data.orders.clone());
+    catalog.register("LINEITEM", tpch::lineitem_schema(), data.lineitem.clone());
+    let q = Query::from_tables([("CUSTOMER", "C"), ("ORDERS", "O"), ("LINEITEM", "L")])
+        .filter(col("C.custkey").eq(col("O.custkey")))
+        .filter(col("O.orderkey").eq(col("L.orderkey")))
+        .select([agg(AggFunc::Count, None)]);
+    let res = execute_query(&q, &catalog, &ExecConfig::default()).unwrap();
+
+    let qi = queries::tpch_q3(&data);
+    let oracle = naive_join(&qi.spec, &qi.data);
+    assert_eq!(res.rows[0].get(0).as_int().unwrap(), oracle.len() as i64);
+}
+
+#[test]
+fn multiway_equals_pipeline_equals_oracle() {
+    let arcs = WebGraphGen::new(120, 700, 21).generate();
+    let q = queries::reachability3(&arcs);
+    let oracle = naive_join(&q.spec, &q.data);
+    let multi = run_multiway(
+        &q.spec,
+        q.data.clone(),
+        &MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 4),
+    )
+    .unwrap();
+    assert!(same_multiset(&multi.results, &oracle));
+    let pipe = squall::engine::run_pipeline(
+        &q.spec,
+        q.data.clone(),
+        &[0, 1, 2],
+        4,
+        LocalJoinKind::Traditional,
+        true,
+    )
+    .unwrap();
+    assert!(same_multiset(&pipe.results, &oracle));
+}
+
+#[test]
+fn memory_overflow_reports_partial_metrics() {
+    let data = TpchGen::new(0.5, 2.0, 6).generate();
+    let q = queries::tpch9_partial(&data, true);
+    let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 8)
+        .count_only()
+        .with_budget(200);
+    let rep = run_multiway(&q.spec, q.data.clone(), &cfg).unwrap();
+    assert!(matches!(rep.error, Some(squall::common::SquallError::MemoryOverflow { .. })));
+    assert!(rep.loads.iter().sum::<u64>() > 0, "partial loads for extrapolation");
+}
+
+#[test]
+fn sql_figure1_query_runs() {
+    // The architecture figure's query over synthetic R, S, T.
+    use squall::common::{tuple, DataType, Schema, SplitMix64};
+    let mut rng = SplitMix64::new(2);
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "R",
+        Schema::of(&[("A", DataType::Int), ("B", DataType::Int)]),
+        (0..300).map(|_| tuple![rng.next_range(0, 50), rng.next_range(0, 20)]).collect(),
+    );
+    catalog.register(
+        "S",
+        Schema::of(&[("B", DataType::Int), ("C", DataType::Int), ("D", DataType::Int)]),
+        (0..300)
+            .map(|_| tuple![rng.next_range(0, 20), rng.next_range(0, 10), rng.next_range(0, 20)])
+            .collect(),
+    );
+    catalog.register(
+        "T",
+        Schema::of(&[("D", DataType::Int), ("E", DataType::Int)]),
+        (0..300).map(|_| tuple![rng.next_range(0, 20), rng.next_range(0, 100)]).collect(),
+    );
+    let query = squall::sql::parse(
+        "SELECT SUM(T.E) FROM R, S, T WHERE R.B = S.B AND S.D = T.D AND S.C > 3",
+    )
+    .unwrap();
+    let res = execute_query(&query, &catalog, &ExecConfig::default()).unwrap();
+    assert_eq!(res.rows.len(), 1);
+    // Oracle.
+    use squall::expr::{JoinAtom, MultiJoinSpec, RelationDef};
+    let spec = MultiJoinSpec::new(
+        vec![
+            RelationDef::new("R", catalog.get("R").unwrap().schema.clone(), 300),
+            RelationDef::new("S", catalog.get("S").unwrap().schema.clone(), 300),
+            RelationDef::new("T", catalog.get("T").unwrap().schema.clone(), 300),
+        ],
+        vec![JoinAtom::eq(0, 1, 1, 0), JoinAtom::eq(1, 2, 2, 0)],
+    )
+    .unwrap();
+    let s_filtered: Vec<Tuple> = catalog
+        .get("S")
+        .unwrap()
+        .data
+        .iter()
+        .filter(|t| t.get(1).as_int().unwrap() > 3)
+        .cloned()
+        .collect();
+    let joined = naive_join(
+        &spec,
+        &[
+            catalog.get("R").unwrap().data.as_ref().clone(),
+            s_filtered,
+            catalog.get("T").unwrap().data.as_ref().clone(),
+        ],
+    );
+    let expected: i64 = joined.iter().map(|t| t.get(6).as_int().unwrap()).sum();
+    assert_eq!(res.rows[0].get(0).as_int().unwrap(), expected);
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the core invariants:
+//!
+//! * every hypercube scheme routes each joinable tuple combination to
+//!   exactly one common machine;
+//! * the distributed multi-way join (any scheme × any local algorithm)
+//!   equals the nested-loop oracle on arbitrary data;
+//! * the range-grid schemes cover exactly the matching pairs;
+//! * DBToaster's aggregated views preserve result cardinalities.
+
+use proptest::prelude::*;
+use squall::common::{DataType, Schema, SplitMix64, Tuple, Value};
+use squall::engine::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
+use squall::expr::{JoinAtom, MultiJoinSpec, RelationDef};
+use squall::join::naive::{naive_join, same_multiset};
+use squall::join::{DBToasterJoin, LocalJoin, TraditionalJoin};
+use squall::partition::grid::{equi_depth_bounds, RangeCond, RangeGrid};
+use squall::partition::optimizer::{build_scheme, SchemeKind};
+
+fn rel(name: &str, skewed: bool, size: u64) -> RelationDef {
+    let mut schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+    if skewed {
+        schema.set_skewed("b").unwrap();
+    }
+    RelationDef::new(name, schema, size)
+}
+
+/// Arbitrary chain spec R0 ⋈ R1 [⋈ R2] on b=a with random skew flags.
+fn chain_spec(n: usize, skew_mask: u8, sizes: &[u64]) -> MultiJoinSpec {
+    let rels: Vec<RelationDef> =
+        (0..n).map(|i| rel(&format!("R{i}"), skew_mask & (1 << i) != 0, sizes[i])).collect();
+    let atoms = (0..n - 1).map(|i| JoinAtom::eq(i, 1, i + 1, 0)).collect();
+    MultiJoinSpec::new(rels, atoms).unwrap()
+}
+
+fn rand_data(n_rels: usize, rows: usize, dom: i64, seed: u64) -> Vec<Vec<Tuple>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n_rels)
+        .map(|_| {
+            (0..rows)
+                .map(|_| {
+                    Tuple::new(vec![
+                        Value::Int(rng.next_range(0, dom)),
+                        Value::Int(rng.next_range(0, dom)),
+                    ])
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scheme_routing_meets_exactly_once(
+        machines in 1usize..24,
+        seed in 0u64..1000,
+        skew_mask in 0u8..8,
+    ) {
+        let spec = chain_spec(3, skew_mask, &[100, 100, 100]);
+        for kind in [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid] {
+            let scheme = build_scheme(kind, &spec, machines, seed).unwrap();
+            let mut rng = SplitMix64::new(seed);
+            // Joinable chain: R0.b = R1.a, R1.b = R2.a.
+            for k in 0..12i64 {
+                let t0 = Tuple::new(vec![Value::Int(k), Value::Int(k + 1)]);
+                let t1 = Tuple::new(vec![Value::Int(k + 1), Value::Int(k + 2)]);
+                let t2 = Tuple::new(vec![Value::Int(k + 2), Value::Int(k + 3)]);
+                let (mut m0, mut m1, mut m2) = (vec![], vec![], vec![]);
+                scheme.route(0, &t0, &mut rng, &mut m0);
+                scheme.route(1, &t1, &mut rng, &mut m1);
+                scheme.route(2, &t2, &mut rng, &mut m2);
+                let common = m0.iter().filter(|m| m1.contains(m) && m2.contains(m)).count();
+                prop_assert_eq!(common, 1, "scheme {} k {}", scheme.describe(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_join_equals_oracle(
+        seed in 0u64..500,
+        machines in 1usize..10,
+        dom in 3i64..12,
+        skew_mask in 0u8..8,
+    ) {
+        let spec = chain_spec(3, skew_mask, &[40, 40, 40]);
+        let data = rand_data(3, 40, dom, seed);
+        let oracle = naive_join(&spec, &data);
+        for kind in [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid] {
+            let cfg = MultiwayConfig::new(kind, LocalJoinKind::DBToaster, machines);
+            let rep = run_multiway(&spec, data.clone(), &cfg).unwrap();
+            prop_assert!(rep.error.is_none());
+            prop_assert!(
+                same_multiset(&rep.results, &oracle),
+                "{kind}: {} vs {}", rep.results.len(), oracle.len()
+            );
+        }
+    }
+
+    #[test]
+    fn local_joins_agree_under_any_arrival_order(
+        seed in 0u64..500,
+        dom in 2i64..10,
+    ) {
+        let spec = chain_spec(2, 0, &[60, 60]);
+        let data = rand_data(2, 60, dom, seed);
+        let mut arrivals: Vec<(usize, Tuple)> = data
+            .iter()
+            .enumerate()
+            .flat_map(|(r, ts)| ts.iter().map(move |t| (r, t.clone())))
+            .collect();
+        SplitMix64::new(seed ^ 0xabc).shuffle(&mut arrivals);
+        let mut tj = TraditionalJoin::new(&spec);
+        let mut dj = DBToasterJoin::new(&spec);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for (r, t) in &arrivals {
+            tj.insert(*r, t, &mut a);
+            dj.insert(*r, t, &mut b);
+        }
+        prop_assert!(same_multiset(&a, &b));
+        prop_assert!(same_multiset(&a, &naive_join(&spec, &data)));
+    }
+
+    #[test]
+    fn range_grid_owns_exactly_matching_pairs(
+        seed in 0u64..500,
+        width in 0i64..6,
+        machines in 1usize..10,
+        granularity in 2usize..24,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let r_keys: Vec<i64> = (0..80).map(|_| rng.next_range(0, 60)).collect();
+        let s_keys: Vec<i64> = (0..80).map(|_| rng.next_range(0, 60)).collect();
+        let cond = RangeCond::Band(width);
+        let grid = RangeGrid::build(
+            equi_depth_bounds(&r_keys, granularity),
+            equi_depth_bounds(&s_keys, granularity),
+            cond,
+            machines,
+            &|_, _| 1.0,
+        ).unwrap();
+        for &r in r_keys.iter().take(25) {
+            for &s in s_keys.iter().take(25) {
+                if cond.matches(r, s) {
+                    let owner = grid.owner_of(r, s);
+                    prop_assert!(owner.is_some());
+                    let m = owner.unwrap();
+                    prop_assert!(grid.route_r(r).contains(&m));
+                    prop_assert!(grid.route_s(s).contains(&m));
+                    // Unique ownership.
+                    let owners = (0..machines).filter(|&x| grid.owns(x, r, s)).count();
+                    prop_assert_eq!(owners, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_views_preserve_cardinality(
+        seed in 0u64..500,
+        dom in 2i64..10,
+    ) {
+        use squall::join::dbtoaster::AggregatedDBToaster;
+        let spec = chain_spec(3, 0, &[30, 30, 30]);
+        let data = rand_data(3, 30, dom, seed);
+        let oracle = naive_join(&spec, &data);
+        let mut agg = AggregatedDBToaster::minimal(&spec);
+        let mut total: i64 = 0;
+        let mut out = Vec::new();
+        for (r, ts) in data.iter().enumerate() {
+            for t in ts {
+                out.clear();
+                agg.insert_weighted(r, t, &mut out);
+                total += out.iter().map(|(_, m)| *m).sum::<i64>();
+            }
+        }
+        prop_assert_eq!(total as usize, oracle.len());
+    }
+
+    #[test]
+    fn spill_store_roundtrips(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1000i64..1000, 1..5), 0..60),
+        budget in 0usize..2000,
+    ) {
+        use squall::join::SpillStore;
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|vals| Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect()))
+            .collect();
+        let mut store = SpillStore::new(budget);
+        for t in &tuples {
+            store.push(t.clone()).unwrap();
+        }
+        prop_assert_eq!(store.len(), tuples.len());
+        let back = store.scan().unwrap();
+        prop_assert!(same_multiset(&back, &tuples));
+    }
+}
