@@ -5,16 +5,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use squall_bench::{abl_adaptive, abl_band_schemes, abl_hash_imperfection, abl_temporal_skew};
 use squall_common::{tuple, SplitMix64};
-use squall_data::tpch::TpchGen;
 use squall_data::queries;
+use squall_data::tpch::TpchGen;
 use squall_join::dbtoaster::AggregatedDBToaster;
 use squall_join::{DBToasterJoin, LocalJoin, TraditionalJoin};
-use squall_partition::optimizer::{hybrid_hypercube, SchemeKind, build_scheme};
+use squall_partition::optimizer::{build_scheme, hybrid_hypercube, SchemeKind};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-    g.bench_function("a1_hash_imperfection", |b| b.iter(|| std::hint::black_box(abl_hash_imperfection())));
+    g.bench_function("a1_hash_imperfection", |b| {
+        b.iter(|| std::hint::black_box(abl_hash_imperfection()))
+    });
     g.bench_function("a2_temporal_skew", |b| b.iter(|| std::hint::black_box(abl_temporal_skew())));
     g.bench_function("a3_adaptive_one_bucket", |b| b.iter(|| std::hint::black_box(abl_adaptive())));
     g.bench_function("a4_band_schemes", |b| b.iter(|| std::hint::black_box(abl_band_schemes())));

@@ -23,8 +23,15 @@ fn bench(c: &mut Criterion) {
     g.bench_function("pipeline_of_2way", |b| {
         b.iter(|| {
             std::hint::black_box(
-                run_pipeline(&q.spec, q.data.clone(), &[0, 1, 2], 9, LocalJoinKind::DBToaster, false)
-                    .unwrap(),
+                run_pipeline(
+                    &q.spec,
+                    q.data.clone(),
+                    &[0, 1, 2],
+                    9,
+                    LocalJoinKind::DBToaster,
+                    false,
+                )
+                .unwrap(),
             )
         })
     });

@@ -3,10 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use squall_core::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
+use squall_data::crawlcontent;
 use squall_data::queries;
 use squall_data::tpch::TpchGen;
 use squall_data::webgraph::WebGraphGen;
-use squall_data::crawlcontent;
 use squall_partition::optimizer::SchemeKind;
 
 fn bench(c: &mut Criterion) {

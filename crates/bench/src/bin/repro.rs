@@ -50,16 +50,25 @@ fn main() {
         }
     }
     if want("a1") {
-        out.push_str(&render("Ablation A1 — §5 hash-imperfection skew (d ≈ p)", &abl_hash_imperfection()));
+        out.push_str(&render(
+            "Ablation A1 — §5 hash-imperfection skew (d ≈ p)",
+            &abl_hash_imperfection(),
+        ));
     }
     if want("a2") {
-        out.push_str(&render("Ablation A2 — §5 temporal skew (sorted arrival)", &abl_temporal_skew()));
+        out.push_str(&render(
+            "Ablation A2 — §5 temporal skew (sorted arrival)",
+            &abl_temporal_skew(),
+        ));
     }
     if want("a3") {
         out.push_str(&render("Ablation A3 — Adaptive 1-Bucket under drift [32]", &abl_adaptive()));
     }
     if want("a4") {
-        out.push_str(&render("Ablation A4 — band-join schemes under join product skew (§3.1)", &abl_band_schemes()));
+        out.push_str(&render(
+            "Ablation A4 — band-join schemes under join product skew (§3.1)",
+            &abl_band_schemes(),
+        ));
     }
     println!("{out}");
 }

@@ -69,25 +69,60 @@ pub fn e0_worked_example() -> Vec<Row> {
     let hash = HypercubeScheme::new(
         3,
         vec![
-            Dimension { name: "y".into(), size: 8, kind: PartitionKind::Hash, members: vec![(0, 1), (1, 0)] },
-            Dimension { name: "z".into(), size: 8, kind: PartitionKind::Hash, members: vec![(1, 1), (2, 0)] },
+            Dimension {
+                name: "y".into(),
+                size: 8,
+                kind: PartitionKind::Hash,
+                members: vec![(0, 1), (1, 0)],
+            },
+            Dimension {
+                name: "z".into(),
+                size: 8,
+                kind: PartitionKind::Hash,
+                members: vec![(1, 1), (2, 0)],
+            },
         ],
         7,
     );
     let random = HypercubeScheme::new(
         3,
         vec![
-            Dimension { name: "~R".into(), size: 4, kind: PartitionKind::Random, members: vec![(0, 0)] },
-            Dimension { name: "~S".into(), size: 4, kind: PartitionKind::Random, members: vec![(1, 0)] },
-            Dimension { name: "~T".into(), size: 4, kind: PartitionKind::Random, members: vec![(2, 0)] },
+            Dimension {
+                name: "~R".into(),
+                size: 4,
+                kind: PartitionKind::Random,
+                members: vec![(0, 0)],
+            },
+            Dimension {
+                name: "~S".into(),
+                size: 4,
+                kind: PartitionKind::Random,
+                members: vec![(1, 0)],
+            },
+            Dimension {
+                name: "~T".into(),
+                size: 4,
+                kind: PartitionKind::Random,
+                members: vec![(2, 0)],
+            },
         ],
         7,
     );
     let hybrid = HypercubeScheme::new(
         3,
         vec![
-            Dimension { name: "y".into(), size: 9, kind: PartitionKind::Hash, members: vec![(0, 1), (1, 0)] },
-            Dimension { name: "z''".into(), size: 7, kind: PartitionKind::Random, members: vec![(2, 0)] },
+            Dimension {
+                name: "y".into(),
+                size: 9,
+                kind: PartitionKind::Hash,
+                members: vec![(0, 1), (1, 0)],
+            },
+            Dimension {
+                name: "z''".into(),
+                size: 7,
+                kind: PartitionKind::Random,
+                members: vec![(2, 0)],
+            },
         ],
         7,
     );
@@ -100,15 +135,19 @@ pub fn e0_worked_example() -> Vec<Row> {
             0.0
         }
     };
-    [("Hash-Hypercube 8x8", &hash), ("Random-Hypercube 4x4x4", &random), ("Hybrid-Hypercube 9x7", &hybrid)]
-        .into_iter()
-        .map(|(name, s)| {
-            Row::new(name)
-                .add("L uniform (H)", format!("{:.3}", s.max_load(&sizes, &uniform)))
-                .add("L skewed (H)", format!("{:.3}", s.max_load(&sizes, &skewed)))
-                .add("total load (H)", format!("{:.0}", s.total_load(&sizes)))
-        })
-        .collect()
+    [
+        ("Hash-Hypercube 8x8", &hash),
+        ("Random-Hypercube 4x4x4", &random),
+        ("Hybrid-Hypercube 9x7", &hybrid),
+    ]
+    .into_iter()
+    .map(|(name, s)| {
+        Row::new(name)
+            .add("L uniform (H)", format!("{:.3}", s.max_load(&sizes, &uniform)))
+            .add("L skewed (H)", format!("{:.3}", s.max_load(&sizes, &skewed)))
+            .add("total load (H)", format!("{:.0}", s.total_load(&sizes)))
+    })
+    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -119,8 +158,8 @@ pub fn e0_worked_example() -> Vec<Row> {
 /// (read / +sel(int) / +sel(date) / +network / full join). `scale_units`
 /// sizes the TPC-H generator (1.0 = 6000 lineitems).
 pub fn fig5_bottleneck(scale_units: f64, join_tasks: usize) -> Vec<Row> {
-    use squall_expr::{BinOp, ScalarExpr};
     use squall_common::DataType;
+    use squall_expr::{BinOp, ScalarExpr};
 
     let data = TpchGen::new(scale_units, 0.0, 42).generate();
     let customers = std::sync::Arc::new(data.customer.clone());
@@ -151,7 +190,7 @@ pub fn fig5_bottleneck(scale_units: f64, join_tasks: usize) -> Vec<Row> {
     };
 
     // Best-of-3 to suppress thread-startup noise.
-    let time = |f: &dyn Fn() -> ()| -> Duration {
+    let time = |f: &dyn Fn()| -> Duration {
         (0..3)
             .map(|_| {
                 let start = Instant::now();
@@ -212,7 +251,9 @@ pub fn fig5_bottleneck(scale_units: f64, join_tasks: usize) -> Vec<Row> {
         b.connect(c, sink_node, Grouping::Global);
         b.build().unwrap().run();
     });
-    rows.push(Row::new("RF + sel(date)").add("runtime", ms(sel_date)).add("share of full join", "-"));
+    rows.push(
+        Row::new("RF + sel(date)").add("runtime", ms(sel_date)).add("share of full join", "-"),
+    );
 
     // 4. + network: hash repartitioning over `join_tasks` tasks, no join.
     let network = time(&|| {
@@ -229,7 +270,9 @@ pub fn fig5_bottleneck(scale_units: f64, join_tasks: usize) -> Vec<Row> {
         b.build().unwrap().run();
     });
     rows.push(
-        Row::new("RF + sel(int) + network").add("runtime", ms(network)).add("share of full join", "-"),
+        Row::new("RF + sel(int) + network")
+            .add("runtime", ms(network))
+            .add("share of full join", "-"),
     );
 
     // 5. Full join C ⋈ O (hash partitioned, DBToaster local).
@@ -279,7 +322,9 @@ pub fn fig6_reachability(n_nodes: usize, n_arcs: usize, machines: usize) -> Vec<
     let arcs = WebGraphGen::new(n_nodes, n_arcs, 9).generate();
     let q = queries::reachability3(&arcs);
     let mut rows = Vec::new();
-    for (name, kind) in [("Hash-Hypercube", SchemeKind::Hash), ("Hybrid-Hypercube", SchemeKind::Hybrid)] {
+    for (name, kind) in
+        [("Hash-Hypercube", SchemeKind::Hash), ("Hybrid-Hypercube", SchemeKind::Hybrid)]
+    {
         let cfg = MultiwayConfig::new(kind, LocalJoinKind::DBToaster, machines).count_only();
         let start = Instant::now();
         let rep = run_multiway(&q.spec, q.data.clone(), &cfg).unwrap();
@@ -293,8 +338,15 @@ pub fn fig6_reachability(n_nodes: usize, n_arcs: usize, machines: usize) -> Vec<
         );
     }
     let start = Instant::now();
-    let pipe = run_pipeline(&q.spec, q.data.clone(), &[0, 1, 2], machines, LocalJoinKind::DBToaster, false)
-        .unwrap();
+    let pipe = run_pipeline(
+        &q.spec,
+        q.data.clone(),
+        &[0, 1, 2],
+        machines,
+        LocalJoinKind::DBToaster,
+        false,
+    )
+    .unwrap();
     let elapsed = start.elapsed();
     // The pipeline's shuffled tuples include the intermediate stage: use
     // the network factor × query size for the comparable number.
@@ -345,7 +397,10 @@ pub fn fig7_schemes(q: &QueryInstance, machines: usize, budget: Option<usize>) -
                 let expected = (rep.input_count as f64 * rep.replication_factor.max(1.0)).max(1.0);
                 let frac = (received as f64 / expected).clamp(0.01, 1.0);
                 (
-                    format!("{} (extrapolated)", ms(Duration::from_secs_f64(elapsed.as_secs_f64() / frac))),
+                    format!(
+                        "{} (extrapolated)",
+                        ms(Duration::from_secs_f64(elapsed.as_secs_f64() / frac))
+                    ),
                     "Memory Overflow".to_string(),
                 )
             }
@@ -372,7 +427,10 @@ pub fn fig7_all(scale_small: f64, scale_big: f64) -> Vec<(String, Vec<Row>)> {
     // TPCH9-Partial, zipf(2), "10G/8J" analog.
     let small = TpchGen::new(scale_small, 2.0, 7).generate();
     let q_small = queries::tpch9_partial(&small, true);
-    out.push((format!("TPCH9-Partial {scale_small}u/8J (zipf 2)"), fig7_schemes(&q_small, 8, None)));
+    out.push((
+        format!("TPCH9-Partial {scale_small}u/8J (zipf 2)"),
+        fig7_schemes(&q_small, 8, None),
+    ));
     // "80G/100J" analog with a per-machine budget so Hash overflows.
     let big = TpchGen::new(scale_big, 2.0, 8).generate();
     let q_big = queries::tpch9_partial(&big, true);
@@ -495,7 +553,10 @@ pub fn abl_temporal_skew() -> Vec<Row> {
     vec![
         Row::new("sorted arrival, hash partitioning").add(
             "mean active machines",
-            format!("{:.1}/{p}", mean_active_machines(&Grouping::Fields(vec![0]), sorted.clone(), p, window)),
+            format!(
+                "{:.1}/{p}",
+                mean_active_machines(&Grouping::Fields(vec![0]), sorted.clone(), p, window)
+            ),
         ),
         Row::new("sorted arrival, random partitioning").add(
             "mean active machines",
@@ -503,7 +564,10 @@ pub fn abl_temporal_skew() -> Vec<Row> {
         ),
         Row::new("shuffled arrival, hash partitioning").add(
             "mean active machines",
-            format!("{:.1}/{p}", mean_active_machines(&Grouping::Fields(vec![0]), shuffled, p, window)),
+            format!(
+                "{:.1}/{p}",
+                mean_active_machines(&Grouping::Fields(vec![0]), shuffled, p, window)
+            ),
         ),
     ]
 }
@@ -551,7 +615,11 @@ pub fn abl_band_schemes() -> Vec<Row> {
     let skew = |counts: &[u64]| {
         let max = *counts.iter().max().unwrap() as f64;
         let avg = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
-        if avg == 0.0 { 1.0 } else { max / avg }
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
     };
     let mut rows = Vec::new();
     // 1-Bucket: replication √p on both sides, perfect balance.
@@ -579,7 +647,10 @@ pub fn abl_band_schemes() -> Vec<Row> {
         );
     }
     for (name, grid) in [
-        ("M-Bucket [54]", MBucketScheme::build(&r_keys, &s_keys, 0, 0, cond, machines, 32).unwrap().grid),
+        (
+            "M-Bucket [54]",
+            MBucketScheme::build(&r_keys, &s_keys, 0, 0, cond, machines, 32).unwrap().grid,
+        ),
         ("EWH [66]", EwhScheme::build(&r_keys, &s_keys, 0, 0, cond, machines, 32).unwrap().grid),
     ] {
         let out = output_per_machine(&grid, &r_keys, &s_keys);
@@ -632,12 +703,7 @@ mod tests {
         let q = queries::tpch9_partial(&data, true);
         let rows = fig7_schemes(&q, 8, None);
         let max_load = |i: usize| rows[i].values[1].1.parse::<u64>().unwrap();
-        assert!(
-            max_load(2) < max_load(0),
-            "hybrid {} vs hash {}",
-            max_load(2),
-            max_load(0)
-        );
+        assert!(max_load(2) < max_load(0), "hybrid {} vs hash {}", max_load(2), max_load(0));
     }
 
     #[test]

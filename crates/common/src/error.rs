@@ -83,10 +83,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            SquallError::UnknownColumn("a".into()),
-            SquallError::UnknownColumn("a".into())
-        );
+        assert_eq!(SquallError::UnknownColumn("a".into()), SquallError::UnknownColumn("a".into()));
         assert_ne!(
             SquallError::UnknownColumn("a".into()),
             SquallError::UnknownRelation("a".into())

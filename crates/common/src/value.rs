@@ -111,7 +111,9 @@ impl Value {
     pub fn as_int(&self) -> Result<i64> {
         match self {
             Value::Int(i) => Ok(*i),
-            other => Err(SquallError::TypeMismatch { expected: "Int", found: format!("{other:?}") }),
+            other => {
+                Err(SquallError::TypeMismatch { expected: "Int", found: format!("{other:?}") })
+            }
         }
     }
 
@@ -130,7 +132,9 @@ impl Value {
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(SquallError::TypeMismatch { expected: "Str", found: format!("{other:?}") }),
+            other => {
+                Err(SquallError::TypeMismatch { expected: "Str", found: format!("{other:?}") })
+            }
         }
     }
 
@@ -210,7 +214,10 @@ impl Hash for Value {
                 state.write_i64(*i);
             }
             Value::Float(f) => {
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     state.write_u8(1);
                     state.write_i64(*f as i64);
@@ -329,7 +336,7 @@ mod tests {
 
     #[test]
     fn total_order_across_types_is_consistent() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("b"),
             Value::Int(1),
             Value::Null,

@@ -117,8 +117,8 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Hot keys must come out in roughly pmf proportion.
-        for k in 0..5 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate().take(5) {
+            let emp = count as f64 / n as f64;
             let exp = z.pmf(k);
             assert!((emp - exp).abs() / exp < 0.05, "rank {k}: emp {emp} vs exp {exp}");
         }

@@ -71,9 +71,8 @@ pub fn simulate(machines: usize, arrivals: &[Arrival], adaptive: bool, seed: u64
     let mut r_rows: Vec<usize> = Vec::new();
     let mut s_cols: Vec<usize> = Vec::new();
 
-    let machine_at = |shape: (usize, usize), row: usize, col: usize| -> usize {
-        row * shape.1 + col
-    };
+    let machine_at =
+        |shape: (usize, usize), row: usize, col: usize| -> usize { row * shape.1 + col };
 
     for (rel, _tuple) in arrivals {
         let shape = ctl.shape();

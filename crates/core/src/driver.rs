@@ -14,7 +14,9 @@ use squall_expr::MultiJoinSpec;
 use squall_join::{AggSpec, DBToasterJoin, LocalJoin, TraditionalJoin};
 use squall_partition::optimizer::{build_scheme, SchemeKind};
 use squall_partition::HypercubeScheme;
-use squall_runtime::{Grouping, IterSpoutVec, RunOutcome, TopologyBuilder};
+use squall_runtime::{
+    Grouping, IterSpoutVec, NodeId, RunHandle, RunOutcome, Topology, TopologyBuilder,
+};
 
 /// Which local join algorithm each machine runs (§3.3 / Figure 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,15 +146,32 @@ fn make_local(kind: LocalJoinKind, spec: &MultiJoinSpec, count_only: bool) -> Bo
     }
 }
 
-/// Run a multi-way join (optionally + aggregation) end to end.
-///
-/// `data[rel]` is relation `rel`'s input stream. Deterministic: the same
-/// inputs, config and seed produce the same loads and results.
-pub fn run_multiway(
+/// Everything [`summarize`] needs to turn a finished (or drained) run into
+/// a [`JoinReport`]: node ids, the chosen scheme, and the run mode.
+struct RunContext {
+    join_node: NodeId,
+    source_nodes: Vec<NodeId>,
+    agg_node: Option<NodeId>,
+    scheme_description: String,
+    input_count: u64,
+    agg_set: bool,
+    collect_results: bool,
+}
+
+/// A validated, ready-to-run topology plus its reporting context.
+struct Assembled {
+    topology: Topology,
+    ctx: RunContext,
+}
+
+/// Translate a multi-way join query into a runnable topology (the
+/// Squall-to-Storm translation of Figure 1), shared by the collect-all and
+/// streaming execution paths.
+fn assemble(
     spec: &MultiJoinSpec,
     data: Vec<Vec<Tuple>>,
     cfg: &MultiwayConfig,
-) -> Result<JoinReport> {
+) -> Result<Assembled> {
     if data.len() != spec.n_relations() {
         return Err(SquallError::InvalidPlan(format!(
             "{} relations but {} data streams",
@@ -194,10 +213,7 @@ pub fn run_multiway(
     let join_node = b.add_bolt("join", cfg.machines, move |task| {
         let mut bolt = crate::operators::JoinBolt::new(
             task,
-            origin_map
-                .iter()
-                .map(|(&k, &v)| (k, v))
-                .collect(),
+            origin_map.iter().map(|(&k, &v)| (k, v)).collect(),
             make_local(local, &spec_for_bolt, count_only),
             spec_for_bolt.n_relations(),
             emit,
@@ -229,42 +245,158 @@ pub fn run_multiway(
         agg_node = Some(node);
     }
 
-    let outcome: RunOutcome = b.build()?.run();
+    Ok(Assembled {
+        topology: b.build()?,
+        ctx: RunContext {
+            join_node,
+            source_nodes,
+            agg_node,
+            scheme_description,
+            input_count,
+            agg_set: cfg.agg.is_some(),
+            collect_results: cfg.collect_results,
+        },
+    })
+}
+
+/// Build the [`JoinReport`] for a finished run. `streamed_count` carries
+/// the count-only tally when the sink output was consumed by a stream
+/// rather than collected in `outcome.outputs`.
+fn summarize(ctx: RunContext, outcome: RunOutcome, streamed_count: Option<u64>) -> JoinReport {
     let metrics = &outcome.metrics;
-    let join_metrics = metrics.node(join_node);
-    let result_count = match (&cfg.agg, cfg.collect_results) {
-        (Some(_), _) => join_metrics.total_emitted(),
-        (None, true) => join_metrics.total_emitted(),
-        (None, false) => {
+    let join_metrics = metrics.node(ctx.join_node);
+    let result_count = match (ctx.agg_set, ctx.collect_results) {
+        (true, _) | (false, true) => join_metrics.total_emitted(),
+        (false, false) => streamed_count.unwrap_or_else(|| {
             // Count-only: the emitted tuples are per-task counters.
-            outcome
-                .outputs
-                .iter()
-                .map(|(_, t)| t.get(0).as_int().unwrap_or(0) as u64)
-                .sum()
-        }
+            outcome.outputs.iter().map(|(_, t)| t.get(0).as_int().unwrap_or(0) as u64).sum()
+        }),
     };
     let loads = join_metrics.received.clone();
-    let replication_factor = metrics.replication_factor(join_node, &source_nodes);
+    let replication_factor = metrics.replication_factor(ctx.join_node, &ctx.source_nodes);
     let skew_degree = join_metrics.skew_degree();
-    let sinks = [agg_node.unwrap_or(join_node)];
-    let network_factor = metrics.intermediate_network_factor(&source_nodes, &sinks);
-    let results = match (&cfg.agg, cfg.collect_results) {
-        (None, false) => Vec::new(),
+    let sinks = [ctx.agg_node.unwrap_or(ctx.join_node)];
+    let network_factor = metrics.intermediate_network_factor(&ctx.source_nodes, &sinks);
+    let results = match (ctx.agg_set, ctx.collect_results) {
+        (false, false) => Vec::new(),
         _ => outcome.outputs.into_iter().map(|(_, t)| t).collect(),
     };
-    Ok(JoinReport {
+    JoinReport {
         results,
         result_count,
-        input_count,
+        input_count: ctx.input_count,
         loads,
         replication_factor,
         skew_degree,
         network_factor,
         elapsed: outcome.elapsed,
-        scheme_description,
+        scheme_description: ctx.scheme_description,
         error: outcome.error,
+    }
+}
+
+/// Run a multi-way join (optionally + aggregation) end to end.
+///
+/// `data[rel]` is relation `rel`'s input stream. Deterministic: the same
+/// inputs, config and seed produce the same loads and results.
+pub fn run_multiway(
+    spec: &MultiJoinSpec,
+    data: Vec<Vec<Tuple>>,
+    cfg: &MultiwayConfig,
+) -> Result<JoinReport> {
+    let Assembled { topology, ctx } = assemble(spec, data, cfg)?;
+    Ok(summarize(ctx, topology.run(), None))
+}
+
+/// Launch a multi-way join and return a handle that yields result tuples
+/// *while the topology runs* — the streaming face of the driver.
+///
+/// Results arrive in production order (no global sort); once the stream is
+/// exhausted (or [`MultiwayStream::finish`] is called) the full
+/// [`JoinReport`] is available, with `results` left empty since the rows
+/// were handed to the consumer. In count-only mode the stream yields no
+/// rows (the sink's per-task counters are tallied into the report
+/// instead). A run that aborts mid-way ends the stream early; the
+/// report's `error` field records why.
+pub fn run_multiway_stream(
+    spec: &MultiJoinSpec,
+    data: Vec<Vec<Tuple>>,
+    cfg: &MultiwayConfig,
+) -> Result<MultiwayStream> {
+    let Assembled { topology, ctx } = assemble(spec, data, cfg)?;
+    let count_only = !ctx.agg_set && !ctx.collect_results;
+    Ok(MultiwayStream {
+        handle: Some(topology.launch()),
+        ctx: Some(ctx),
+        report: None,
+        count_only,
+        streamed: 0,
     })
+}
+
+/// Iterator over a running multi-way join's output tuples. See
+/// [`run_multiway_stream`].
+pub struct MultiwayStream {
+    handle: Option<RunHandle>,
+    ctx: Option<RunContext>,
+    report: Option<JoinReport>,
+    count_only: bool,
+    streamed: u64,
+}
+
+impl MultiwayStream {
+    /// The run report; `Some` only after the stream is exhausted.
+    pub fn report(&self) -> Option<&JoinReport> {
+        self.report.as_ref()
+    }
+
+    /// Stop consuming early: abort the run, discard remaining output and
+    /// return the (partial) report.
+    pub fn cancel(mut self) -> JoinReport {
+        if let Some(h) = &self.handle {
+            h.abort();
+        }
+        while self.next().is_some() {}
+        self.report.take().expect("report built on exhaustion")
+    }
+
+    /// Drain any remaining output and return the final report.
+    pub fn finish(mut self) -> JoinReport {
+        while self.next().is_some() {}
+        self.report.take().expect("report built on exhaustion")
+    }
+
+    fn complete(&mut self) {
+        if let (Some(handle), Some(ctx)) = (self.handle.take(), self.ctx.take()) {
+            let streamed = self.count_only.then_some(self.streamed);
+            self.report = Some(summarize(ctx, handle.finish(), streamed));
+        }
+    }
+}
+
+impl Iterator for MultiwayStream {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            match self.handle.as_mut()?.recv() {
+                Some((_, tuple)) => {
+                    if self.count_only {
+                        // Count-only sink emissions are per-task counters,
+                        // not join rows: tally them, never yield them.
+                        self.streamed += tuple.get(0).as_int().unwrap_or(0) as u64;
+                        continue;
+                    }
+                    self.streamed += 1;
+                    return Some(tuple);
+                }
+                None => {
+                    self.complete();
+                    return None;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -283,7 +415,11 @@ mod tests {
         }
         MultiJoinSpec::new(
             vec![
-                RelationDef::new("R", Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]), 300),
+                RelationDef::new(
+                    "R",
+                    Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]),
+                    300,
+                ),
                 RelationDef::new("S", s_schema, 300),
                 RelationDef::new("T", t_schema, 300),
             ],
@@ -354,8 +490,7 @@ mod tests {
             AggPlan { group_cols: vec![0], aggs: vec![AggSpec::count()], parallelism: 3 },
         );
         let report = run_multiway(&spec, data, &cfg).unwrap();
-        let total: i64 =
-            report.results.iter().map(|t| t.get(1).as_int().unwrap()).sum();
+        let total: i64 = report.results.iter().map(|t| t.get(1).as_int().unwrap()).sum();
         assert_eq!(total as usize, oracle.len(), "counts must sum to the join size");
         // Groups are disjoint across agg tasks (Fields grouping).
         let mut keys: Vec<_> = report.results.iter().map(|t| t.get(0).clone()).collect();
@@ -406,15 +541,14 @@ mod tests {
         let r: Vec<Tuple> =
             (0..n).map(|_| tuple![rng.next_range(0, 50), rng.next_range(0, 50)]).collect();
         // 80% of S.z and T.z are the hot key 7.
-        let mut hot = |rng: &mut SplitMix64| {
+        let hot = |rng: &mut SplitMix64| {
             if rng.next_f64() < 0.8 {
                 7i64
             } else {
                 rng.next_range(0, 50)
             }
         };
-        let s: Vec<Tuple> =
-            (0..n).map(|_| tuple![rng.next_range(0, 50), hot(&mut rng)]).collect();
+        let s: Vec<Tuple> = (0..n).map(|_| tuple![rng.next_range(0, 50), hot(&mut rng)]).collect();
         let t: Vec<Tuple> = (0..n).map(|_| tuple![hot(&mut rng), rng.next_range(0, 50)]).collect();
         let data = vec![r, s, t];
 
@@ -458,5 +592,33 @@ mod tests {
         let spec = rst_spec(false);
         let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 2);
         assert!(run_multiway(&spec, vec![vec![], vec![]], &cfg).is_err());
+    }
+
+    #[test]
+    fn streaming_yields_same_results_as_collected_run() {
+        let spec = rst_spec(false);
+        let data = rst_data(100, 10, 13);
+        let oracle = naive_join(&spec, &data);
+        let cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 4);
+        let mut stream = run_multiway_stream(&spec, data, &cfg).unwrap();
+        assert!(stream.report().is_none(), "report only after exhaustion");
+        let streamed: Vec<Tuple> = stream.by_ref().collect();
+        let report = stream.report().expect("exhausted");
+        assert!(report.error.is_none());
+        assert!(report.results.is_empty(), "rows were handed to the consumer");
+        assert_eq!(report.result_count, oracle.len() as u64);
+        assert!(same_multiset(&streamed, &oracle));
+        assert!(report.loads.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn streaming_count_only_report_tallies_counters() {
+        let spec = rst_spec(false);
+        let data = rst_data(100, 10, 7);
+        let oracle = naive_join(&spec, &data);
+        let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 4).count_only();
+        let stream = run_multiway_stream(&spec, data, &cfg).unwrap();
+        let report = stream.finish();
+        assert_eq!(report.result_count, oracle.len() as u64);
     }
 }

@@ -21,6 +21,9 @@ pub mod operators;
 pub mod pipeline;
 pub mod recovery;
 
-pub use driver::{run_multiway, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig};
+pub use driver::{
+    run_multiway, run_multiway_stream, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig,
+    MultiwayStream,
+};
 pub use operators::{AggBolt, JoinBolt, SelectProjectBolt};
 pub use pipeline::run_pipeline;

@@ -66,6 +66,10 @@ pub enum JoinEmit {
     CountOnly,
 }
 
+/// Exactly-once ownership predicate for range schemes:
+/// `f(relation_of_last_arrival, result) -> keep`.
+pub type OwnerFilter = Box<dyn Fn(usize, &Tuple) -> bool + Send>;
+
 /// The distributed join task: one [`LocalJoin`] instance per machine
 /// (task), fed by the partitioning scheme's groupings. With a hypercube
 /// grouping and a [`squall_join::DBToasterJoin`] inside, this is the HyLD
@@ -85,7 +89,7 @@ pub struct JoinBolt {
     /// Optional exactly-once ownership filter for range schemes (M-Bucket
     /// / EWH assign *cells*, so a machine owning several cells of a row
     /// must keep only the pairs it owns).
-    owner_filter: Option<Box<dyn Fn(usize, &Tuple) -> bool + Send>>,
+    owner_filter: Option<OwnerFilter>,
     machine: usize,
     buf: Vec<Tuple>,
     wbuf: Vec<(Tuple, i64)>,
@@ -149,10 +153,7 @@ impl JoinBolt {
 
     /// Exactly-once filter: `f(relation_of_last_arrival, result)` must
     /// return true for the bolt to emit (range-scheme cell ownership).
-    pub fn with_owner_filter(
-        mut self,
-        f: Box<dyn Fn(usize, &Tuple) -> bool + Send>,
-    ) -> JoinBolt {
+    pub fn with_owner_filter(mut self, f: OwnerFilter) -> JoinBolt {
         self.owner_filter = Some(f);
         self
     }
@@ -196,11 +197,7 @@ impl Bolt for JoinBolt {
         if let Some(budget) = self.budget {
             let stored = self.join.inner().stored();
             if stored > budget {
-                return Err(SquallError::MemoryOverflow {
-                    machine: self.machine,
-                    stored,
-                    budget,
-                });
+                return Err(SquallError::MemoryOverflow { machine: self.machine, stored, budget });
             }
         }
         Ok(())

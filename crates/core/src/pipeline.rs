@@ -116,11 +116,8 @@ pub fn run_pipeline(
 
         // Partitioning: hash on the equi keys when possible & skew-free,
         // else 1-Bucket.
-        let equi: Vec<(usize, usize)> = atoms
-            .iter()
-            .filter(|a| a.op == CmpOp::Eq)
-            .map(|a| (a.left_col, a.right_col))
-            .collect();
+        let equi: Vec<(usize, usize)> =
+            atoms.iter().filter(|a| a.op == CmpOp::Eq).map(|a| (a.left_col, a.right_col)).collect();
         let skew_free = atoms.iter().filter(|a| a.op == CmpOp::Eq).all(|a| {
             stage_spec.relations[0].schema.field(a.left_col).skew_free
                 && stage_spec.relations[1].schema.field(a.right_col).skew_free
@@ -135,7 +132,8 @@ pub fn run_pipeline(
         };
 
         let last_stage = prefix.len() + 1 == n;
-        let emit = if last_stage && !collect_results { JoinEmit::CountOnly } else { JoinEmit::Results };
+        let emit =
+            if last_stage && !collect_results { JoinEmit::CountOnly } else { JoinEmit::Results };
         let stage_spec_arc = Arc::new(stage_spec);
         let prev = prev_node;
         let next_src = source_nodes[next];
@@ -186,9 +184,8 @@ pub fn run_pipeline(
     // with the multi-way driver.
     let mut results: Vec<Tuple> = Vec::new();
     if collect_results {
-        let perm: Vec<(usize, usize)> = (0..n)
-            .map(|rel| (col_base[rel], spec.relations[rel].schema.arity()))
-            .collect();
+        let perm: Vec<(usize, usize)> =
+            (0..n).map(|rel| (col_base[rel], spec.relations[rel].schema.arity())).collect();
         // The pipeline output lays columns out in `order`; compute where
         // each relation starts there.
         let mut order_off = FxHashMap::default();
@@ -215,8 +212,17 @@ pub fn run_pipeline(
         result_count,
         input_count,
         loads: last_metrics.received.clone(),
-        replication_factor: metrics
-            .replication_factor(last, &[stage_nodes.len().checked_sub(2).map(|i| stage_nodes[i]).unwrap_or(source_nodes[order[0]]), source_nodes[*order.last().unwrap()]]),
+        replication_factor: metrics.replication_factor(
+            last,
+            &[
+                stage_nodes
+                    .len()
+                    .checked_sub(2)
+                    .map(|i| stage_nodes[i])
+                    .unwrap_or(source_nodes[order[0]]),
+                source_nodes[*order.last().unwrap()],
+            ],
+        ),
         skew_degree: last_metrics.skew_degree(),
         network_factor: metrics.intermediate_network_factor(&sources, &[last]),
         elapsed: outcome.elapsed,
@@ -254,9 +260,7 @@ mod tests {
         let mut rng = SplitMix64::new(seed);
         (0..3)
             .map(|_| {
-                (0..n)
-                    .map(|_| tuple![rng.next_range(0, dom), rng.next_range(0, dom)])
-                    .collect()
+                (0..n).map(|_| tuple![rng.next_range(0, dom), rng.next_range(0, dom)]).collect()
             })
             .collect()
     }
@@ -266,9 +270,8 @@ mod tests {
         let spec = chain3();
         let data = rand_data(100, 10, 3);
         let oracle = naive_join(&spec, &data);
-        let pipe =
-            run_pipeline(&spec, data.clone(), &[0, 1, 2], 4, LocalJoinKind::DBToaster, true)
-                .unwrap();
+        let pipe = run_pipeline(&spec, data.clone(), &[0, 1, 2], 4, LocalJoinKind::DBToaster, true)
+            .unwrap();
         assert!(pipe.error.is_none());
         assert!(
             same_multiset(&pipe.results, &oracle),
@@ -329,10 +332,6 @@ mod tests {
         let pipe =
             run_pipeline(&spec, data, &[0, 1, 2], 9, LocalJoinKind::DBToaster, false).unwrap();
         assert_eq!(multi.result_count, pipe.result_count, "same query answer");
-        // Pipeline total shuffle counts the intermediate stage loads too.
-        let pipe_total: u64 = pipe.input_count
-            + 0; // placeholder to keep arithmetic explicit
-        let _ = pipe_total;
         assert!(
             multi.network_factor < pipe.network_factor,
             "multi-way {} vs pipeline {} network factor",

@@ -51,10 +51,7 @@ impl PlacementTracker {
 
     /// Record one routing decision (the target list a scheme produced).
     pub fn record(&mut self, rel: usize, tuple: &Tuple, machines: &[usize]) {
-        self.placements
-            .entry((rel, tuple.clone()))
-            .or_default()
-            .extend_from_slice(machines);
+        self.placements.entry((rel, tuple.clone())).or_default().extend_from_slice(machines);
     }
 
     /// Tuples stored on a machine.

@@ -106,8 +106,7 @@ mod tests {
     #[test]
     fn fail_events_present_with_trace_share() {
         let d = generate(20_000, 2);
-        let fails =
-            d.task_events.iter().filter(|t| t.get(2).as_int().unwrap() == FAIL).count();
+        let fails = d.task_events.iter().filter(|t| t.get(2).as_int().unwrap() == FAIL).count();
         let share = fails as f64 / d.task_events.len() as f64;
         assert!((share - 0.12).abs() < 0.02, "FAIL share {share}");
     }

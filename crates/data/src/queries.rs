@@ -112,10 +112,8 @@ pub fn tpch_q3(data: &TpchData) -> QueryInstance {
 /// `W1.FromUrl = C.Url` stays hash-partitioned (`C.Url` is the primary
 /// key, hence skew-free).
 pub fn webanalytics(arcs: &[Tuple], content: &[Tuple]) -> QueryInstance {
-    let w1: Vec<Tuple> =
-        arcs.iter().filter(|t| t.get(1) == &Value::Int(HUB)).cloned().collect();
-    let w2: Vec<Tuple> =
-        arcs.iter().filter(|t| t.get(0) == &Value::Int(HUB)).cloned().collect();
+    let w1: Vec<Tuple> = arcs.iter().filter(|t| t.get(1) == &Value::Int(HUB)).cloned().collect();
+    let w2: Vec<Tuple> = arcs.iter().filter(|t| t.get(0) == &Value::Int(HUB)).cloned().collect();
     let mut w1_schema = webgraph::webgraph_schema();
     w1_schema.set_skewed("ToUrl").unwrap();
     let mut w2_schema = webgraph::webgraph_schema();
@@ -151,12 +149,8 @@ pub fn webanalytics(arcs: &[Tuple], content: &[Tuple]) -> QueryInstance {
 ///
 /// The FAIL selection is pushed into TASK_EVENTS.
 pub fn google_taskcount(data: &GoogleClusterData) -> QueryInstance {
-    let failed: Vec<Tuple> = data
-        .task_events
-        .iter()
-        .filter(|t| t.get(2) == &Value::Int(FAIL))
-        .cloned()
-        .collect();
+    let failed: Vec<Tuple> =
+        data.task_events.iter().filter(|t| t.get(2) == &Value::Int(FAIL)).cloned().collect();
     let spec = MultiJoinSpec::new(
         vec![
             RelationDef::new(
@@ -164,7 +158,11 @@ pub fn google_taskcount(data: &GoogleClusterData) -> QueryInstance {
                 google_cluster::job_events_schema(),
                 data.job_events.len() as u64,
             ),
-            RelationDef::new("TASK_EVENTS", google_cluster::task_events_schema(), failed.len() as u64),
+            RelationDef::new(
+                "TASK_EVENTS",
+                google_cluster::task_events_schema(),
+                failed.len() as u64,
+            ),
             RelationDef::new(
                 "MACHINE_EVENTS",
                 google_cluster::machine_events_schema(),

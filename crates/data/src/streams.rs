@@ -42,11 +42,7 @@ pub fn fluctuating_stream(
     (0..n)
         .map(|i| {
             let hot = if i < n / 2 { hot_a } else { hot_b };
-            let k = if rng.next_f64() < hot_share {
-                hot
-            } else {
-                rng.next_below(domain) as i64
-            };
+            let k = if rng.next_f64() < hot_share { hot } else { rng.next_below(domain) as i64 };
             Tuple::new(vec![Value::Int(k)])
         })
         .collect()
@@ -79,9 +75,8 @@ mod tests {
         let s = fluctuating_stream(10_000, 100, 7, 42, 0.6, 3);
         let first_half = &s[..5000];
         let second_half = &s[5000..];
-        let count = |xs: &[Tuple], k: i64| {
-            xs.iter().filter(|t| t.get(0).as_int().unwrap() == k).count()
-        };
+        let count =
+            |xs: &[Tuple], k: i64| xs.iter().filter(|t| t.get(0).as_int().unwrap() == k).count();
         assert!(count(first_half, 7) > 2500);
         assert!(count(second_half, 42) > 2500);
         assert!(count(first_half, 42) < 200);

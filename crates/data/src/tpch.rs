@@ -144,8 +144,11 @@ impl TpchGen {
         // Skewable partkey. TPC-H gives each part 4 suppliers; suppkey is a
         // deterministic function of (partkey, slot) — so partkey skew
         // induces correlated suppkey skew, like the real generator.
-        let zipf =
-            if self.partkey_theta > 0.0 { Some(Zipf::new(n_part, self.partkey_theta)) } else { None };
+        let zipf = if self.partkey_theta > 0.0 {
+            Some(Zipf::new(n_part, self.partkey_theta))
+        } else {
+            None
+        };
         let draw_part = |rng: &mut SplitMix64| -> i64 {
             match &zipf {
                 Some(z) => z.sample(rng) as i64,
@@ -253,19 +256,12 @@ mod tests {
     #[test]
     fn zipf_partkey_is_skewed_uniform_is_not() {
         let skewed = TpchGen::new(1.0, 2.0, 5).generate();
-        let hot = skewed
-            .lineitem
-            .iter()
-            .filter(|t| t.get(1).as_int().unwrap() == 0)
-            .count() as f64
+        let hot = skewed.lineitem.iter().filter(|t| t.get(1).as_int().unwrap() == 0).count() as f64
             / skewed.lineitem.len() as f64;
         assert!(hot > 0.5, "zipf(2) top part should take >50% of lineitems, got {hot}");
         let uniform = TpchGen::new(1.0, 0.0, 5).generate();
-        let hot_u = uniform
-            .lineitem
-            .iter()
-            .filter(|t| t.get(1).as_int().unwrap() == 0)
-            .count() as f64
+        let hot_u = uniform.lineitem.iter().filter(|t| t.get(1).as_int().unwrap() == 0).count()
+            as f64
             / uniform.lineitem.len() as f64;
         assert!(hot_u < 0.05);
     }

@@ -120,7 +120,11 @@ impl JoinCondition {
     pub fn inequality(left: usize, op: CmpOp, right: usize) -> JoinCondition {
         JoinCondition {
             equi: vec![],
-            theta: vec![ThetaAtom { left: ScalarExpr::col(left), op, right: ScalarExpr::col(right) }],
+            theta: vec![ThetaAtom {
+                left: ScalarExpr::col(left),
+                op,
+                right: ScalarExpr::col(right),
+            }],
         }
     }
 
@@ -174,7 +178,11 @@ impl JoinCondition {
             theta: self
                 .theta
                 .iter()
-                .map(|a| ThetaAtom { left: a.right.clone(), op: a.op.flip(), right: a.left.clone() })
+                .map(|a| ThetaAtom {
+                    left: a.right.clone(),
+                    op: a.op.flip(),
+                    right: a.left.clone(),
+                })
                 .collect(),
         }
     }

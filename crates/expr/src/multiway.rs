@@ -89,10 +89,9 @@ impl MultiJoinSpec {
         }
         for a in &self.atoms {
             for &(rel, col) in &[(a.left_rel, a.left_col), (a.right_rel, a.right_col)] {
-                let r = self
-                    .relations
-                    .get(rel)
-                    .ok_or_else(|| SquallError::InvalidPlan(format!("atom references relation {rel}")))?;
+                let r = self.relations.get(rel).ok_or_else(|| {
+                    SquallError::InvalidPlan(format!("atom references relation {rel}"))
+                })?;
                 if col >= r.schema.arity() {
                     return Err(SquallError::InvalidPlan(format!(
                         "atom references column {col} of {} (arity {})",
@@ -160,7 +159,7 @@ impl MultiJoinSpec {
         }
         // Union-find.
         let mut parent: Vec<usize> = (0..nodes.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -175,11 +174,11 @@ impl MultiJoinSpec {
         }
         // Group members by root.
         let mut groups: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
-        for i in 0..nodes.len() {
+        for (i, &node) in nodes.iter().enumerate() {
             let root = find(&mut parent, i);
             match groups.iter_mut().find(|(r, _)| *r == root) {
-                Some((_, members)) => members.push(nodes[i]),
-                None => groups.push((root, vec![nodes[i]])),
+                Some((_, members)) => members.push(node),
+                None => groups.push((root, vec![node])),
             }
         }
         let mut classes: Vec<KeyClass> = groups
@@ -287,7 +286,7 @@ impl MultiJoinSpec {
         pairs.dedup();
         // A forest has edges <= nodes - components; with connectivity it's
         // exactly nodes - 1.
-        pairs.len() + 1 <= self.relations.len() || self.relations.len() == 1
+        pairs.len() < self.relations.len() || self.relations.len() == 1
     }
 }
 
@@ -298,26 +297,11 @@ mod tests {
 
     /// The paper's running example: R(x,y) ⋈ S(y,z) ⋈ T(z,t)  (§3.1).
     pub fn rst(h: u64) -> MultiJoinSpec {
-        let r = RelationDef::new(
-            "R",
-            Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]),
-            h,
-        );
-        let s = RelationDef::new(
-            "S",
-            Schema::of(&[("y", DataType::Int), ("z", DataType::Int)]),
-            h,
-        );
-        let t = RelationDef::new(
-            "T",
-            Schema::of(&[("z", DataType::Int), ("t", DataType::Int)]),
-            h,
-        );
-        MultiJoinSpec::new(
-            vec![r, s, t],
-            vec![JoinAtom::eq(0, 1, 1, 0), JoinAtom::eq(1, 1, 2, 0)],
-        )
-        .unwrap()
+        let r = RelationDef::new("R", Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]), h);
+        let s = RelationDef::new("S", Schema::of(&[("y", DataType::Int), ("z", DataType::Int)]), h);
+        let t = RelationDef::new("T", Schema::of(&[("z", DataType::Int), ("t", DataType::Int)]), h);
+        MultiJoinSpec::new(vec![r, s, t], vec![JoinAtom::eq(0, 1, 1, 0), JoinAtom::eq(1, 1, 2, 0)])
+            .unwrap()
     }
 
     #[test]
@@ -337,9 +321,7 @@ mod tests {
         // L.pk = PS.pk AND PS.pk = P.pk → a single 3-relation class
         // (the TPCH9-Partial shape, §3.2 "join among multiple relations on
         // the same key").
-        let mk = |n: &str| {
-            RelationDef::new(n, Schema::of(&[("pk", DataType::Int)]), 10)
-        };
+        let mk = |n: &str| RelationDef::new(n, Schema::of(&[("pk", DataType::Int)]), 10);
         let spec = MultiJoinSpec::new(
             vec![mk("L"), mk("PS"), mk("P")],
             vec![JoinAtom::eq(0, 0, 1, 0), JoinAtom::eq(1, 0, 2, 0)],
@@ -356,17 +338,13 @@ mod tests {
         let r = RelationDef::new("R", Schema::of(&[("x", DataType::Int)]), 1);
         let s = RelationDef::new("S", Schema::of(&[("x", DataType::Int)]), 1);
         // Column out of range.
-        assert!(MultiJoinSpec::new(
-            vec![r.clone(), s.clone()],
-            vec![JoinAtom::eq(0, 5, 1, 0)]
-        )
-        .is_err());
+        assert!(
+            MultiJoinSpec::new(vec![r.clone(), s.clone()], vec![JoinAtom::eq(0, 5, 1, 0)]).is_err()
+        );
         // Self-comparison.
-        assert!(MultiJoinSpec::new(
-            vec![r.clone(), s.clone()],
-            vec![JoinAtom::eq(0, 0, 0, 0)]
-        )
-        .is_err());
+        assert!(
+            MultiJoinSpec::new(vec![r.clone(), s.clone()], vec![JoinAtom::eq(0, 0, 0, 0)]).is_err()
+        );
         // Dangling relation.
         assert!(MultiJoinSpec::new(vec![r, s], vec![JoinAtom::eq(0, 0, 7, 0)]).is_err());
     }

@@ -280,7 +280,10 @@ fn cast_value(v: Value, to: DataType) -> Result<Value> {
         (Value::Date(d), DataType::Date) => Ok(Value::Date(d)),
         (v, DataType::Str) => Ok(Value::str(v.to_string())),
         (Value::Null, _) => Ok(Value::Null),
-        (v, t) => Err(SquallError::TypeMismatch { expected: "castable value", found: format!("{v:?} -> {t}") }),
+        (v, t) => Err(SquallError::TypeMismatch {
+            expected: "castable value",
+            found: format!("{v:?} -> {t}"),
+        }),
     }
 }
 

@@ -77,9 +77,7 @@ impl AggState {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(
-                        (self.int_sum as f64 + self.float_sum) / self.count as f64,
-                    )
+                    Value::Float((self.int_sum as f64 + self.float_sum) / self.count as f64)
                 }
             }
         }
@@ -176,8 +174,7 @@ mod tests {
 
     #[test]
     fn global_count_and_sum() {
-        let mut agg =
-            GroupByAggregator::new(vec![], vec![AggSpec::count(), AggSpec::sum_col(0)]);
+        let mut agg = GroupByAggregator::new(vec![], vec![AggSpec::count(), AggSpec::sum_col(0)]);
         agg.update(&tuple![10]).unwrap();
         let row = agg.update(&tuple![5]).unwrap();
         assert_eq!(row, tuple![2, 15]);
@@ -217,8 +214,7 @@ mod tests {
 
     #[test]
     fn retraction_inverts_and_drops_empty_groups() {
-        let mut agg =
-            GroupByAggregator::new(vec![0], vec![AggSpec::count(), AggSpec::sum_col(1)]);
+        let mut agg = GroupByAggregator::new(vec![0], vec![AggSpec::count(), AggSpec::sum_col(1)]);
         agg.update(&tuple![7, 100]).unwrap();
         agg.update(&tuple![7, 50]).unwrap();
         let row = agg.retract(&tuple![7, 100]).unwrap();

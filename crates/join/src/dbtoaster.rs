@@ -79,7 +79,7 @@ impl DBToasterJoin {
     /// relations (masks are `u32`); practical queries use 2–6.
     pub fn new(spec: &MultiJoinSpec) -> DBToasterJoin {
         let n = spec.n_relations();
-        assert!(n >= 1 && n <= 30, "unsupported relation count {n}");
+        assert!((1..=30).contains(&n), "unsupported relation count {n}");
         let arities: Vec<usize> = spec.relations.iter().map(|r| r.schema.arity()).collect();
         let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
 
@@ -132,9 +132,8 @@ impl DBToasterJoin {
             }
             comps
         };
-        let members_of = |mask: u32| -> Vec<usize> {
-            (0..n).filter(|&r| mask & (1 << r) != 0).collect()
-        };
+        let members_of =
+            |mask: u32| -> Vec<usize> { (0..n).filter(|&r| mask & (1 << r) != 0).collect() };
 
         // Views for every connected proper subset.
         let mut views: Vec<View> = Vec::new();
@@ -395,7 +394,8 @@ impl AggregatedDBToaster {
                 right_col: kept[a.right_rel].iter().position(|&c| c == a.right_col).unwrap(),
             })
             .collect();
-        let projected = MultiJoinSpec::new(relations, atoms).expect("projection preserves validity");
+        let projected =
+            MultiJoinSpec::new(relations, atoms).expect("projection preserves validity");
         AggregatedDBToaster { inner: DBToasterJoin::new(&projected), kept }
     }
 
@@ -458,9 +458,7 @@ mod tests {
     }
 
     fn rand_rel(n: usize, key_dom: i64, rng: &mut SplitMix64) -> Vec<Tuple> {
-        (0..n)
-            .map(|_| tuple![rng.next_range(0, key_dom), rng.next_range(0, key_dom)])
-            .collect()
+        (0..n).map(|_| tuple![rng.next_range(0, key_dom), rng.next_range(0, key_dom)]).collect()
     }
 
     #[test]
@@ -487,11 +485,8 @@ mod tests {
     fn three_way_chain_matches_oracle() {
         let spec = chain3();
         let mut rng = SplitMix64::new(2);
-        let rels = vec![
-            rand_rel(40, 8, &mut rng),
-            rand_rel(40, 8, &mut rng),
-            rand_rel(40, 8, &mut rng),
-        ];
+        let rels =
+            vec![rand_rel(40, 8, &mut rng), rand_rel(40, 8, &mut rng), rand_rel(40, 8, &mut rng)];
         let mut j = DBToasterJoin::new(&spec);
         let online = run_online(&mut j, &rels, 9);
         let oracle = naive_join(&spec, &rels);
@@ -520,11 +515,7 @@ mod tests {
         };
         let spec = MultiJoinSpec::new(
             vec![mk("R"), mk("S"), mk("T"), mk("U")],
-            vec![
-                JoinAtom::eq(0, 1, 1, 0),
-                JoinAtom::eq(1, 1, 2, 0),
-                JoinAtom::eq(2, 1, 3, 0),
-            ],
+            vec![JoinAtom::eq(0, 1, 1, 0), JoinAtom::eq(1, 1, 2, 0), JoinAtom::eq(2, 1, 3, 0)],
         )
         .unwrap();
         let mut rng = SplitMix64::new(5);
@@ -542,11 +533,7 @@ mod tests {
         // disconnected — the delta must cross-combine two probes.
         let spec = MultiJoinSpec::new(
             vec![
-                RelationDef::new(
-                    "F",
-                    Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
-                    0,
-                ),
+                RelationDef::new("F", Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]), 0),
                 RelationDef::new("D1", Schema::of(&[("a", DataType::Int)]), 0),
                 RelationDef::new("D2", Schema::of(&[("b", DataType::Int)]), 0),
             ],
@@ -573,13 +560,7 @@ mod tests {
             vec![mk("R"), mk("S")],
             vec![
                 JoinAtom::eq(0, 0, 1, 0),
-                JoinAtom {
-                    left_rel: 0,
-                    left_col: 1,
-                    op: CmpOp::Lt,
-                    right_rel: 1,
-                    right_col: 1,
-                },
+                JoinAtom { left_rel: 0, left_col: 1, op: CmpOp::Lt, right_rel: 1, right_col: 1 },
             ],
         )
         .unwrap();
@@ -649,11 +630,8 @@ mod tests {
     fn removal_keeps_views_consistent() {
         let spec = chain3();
         let mut rng = SplitMix64::new(33);
-        let rels = vec![
-            rand_rel(30, 5, &mut rng),
-            rand_rel(30, 5, &mut rng),
-            rand_rel(30, 5, &mut rng),
-        ];
+        let rels =
+            [rand_rel(30, 5, &mut rng), rand_rel(30, 5, &mut rng), rand_rel(30, 5, &mut rng)];
         let mut j = DBToasterJoin::new(&spec);
         let mut out = Vec::new();
         for (rel, ts) in rels.iter().enumerate() {

@@ -35,8 +35,7 @@ pub fn naive_join(spec: &MultiJoinSpec, relations: &[Vec<Tuple>]) -> Vec<Tuple> 
                 if hi != depth || lo > depth {
                     return true;
                 }
-                let l =
-                    if a.left_rel == depth { t } else { current[a.left_rel] }.get(a.left_col);
+                let l = if a.left_rel == depth { t } else { current[a.left_rel] }.get(a.left_col);
                 let r =
                     if a.right_rel == depth { t } else { current[a.right_rel] }.get(a.right_col);
                 a.op.eval(l, r)
@@ -90,11 +89,7 @@ mod tests {
     #[test]
     fn three_way_chain() {
         let mk = |n: &str| {
-            RelationDef::new(
-                n,
-                Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
-                0,
-            )
+            RelationDef::new(n, Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]), 0)
         };
         let spec = MultiJoinSpec::new(
             vec![mk("R"), mk("S"), mk("T")],

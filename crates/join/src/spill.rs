@@ -28,12 +28,21 @@ impl SpillStore {
     /// A store that spills to a fresh temp file once memory exceeds
     /// `budget_bytes`.
     pub fn new(budget_bytes: usize) -> SpillStore {
-        SpillStore { mem: Vec::new(), mem_bytes: 0, budget_bytes, spilled: 0, writer: None, path: None }
+        SpillStore {
+            mem: Vec::new(),
+            mem_bytes: 0,
+            budget_bytes,
+            spilled: 0,
+            writer: None,
+            path: None,
+        }
     }
 
     /// Append one tuple.
     pub fn push(&mut self, tuple: Tuple) -> Result<()> {
-        if self.mem_bytes + tuple.approx_bytes() <= self.budget_bytes || self.budget_bytes == 0 && self.mem.is_empty() {
+        if self.mem_bytes + tuple.approx_bytes() <= self.budget_bytes
+            || self.budget_bytes == 0 && self.mem.is_empty()
+        {
             self.mem_bytes += tuple.approx_bytes();
             self.mem.push(tuple);
             return Ok(());

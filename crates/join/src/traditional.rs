@@ -97,8 +97,7 @@ impl TraditionalJoin {
                     } else {
                         continue;
                     };
-                    let src_bound =
-                        src_rel == i || order[..k].contains(&src_rel);
+                    let src_bound = src_rel == i || order[..k].contains(&src_rel);
                     if !src_bound {
                         continue;
                     }
@@ -120,7 +119,13 @@ impl TraditionalJoin {
             }
             // Output assembly order.
             let emits: Vec<Slot> = (0..n)
-                .map(|r| if r == i { Slot::Delta } else { Slot::Bound(order.iter().position(|&x| x == r).unwrap()) })
+                .map(|r| {
+                    if r == i {
+                        Slot::Delta
+                    } else {
+                        Slot::Bound(order.iter().position(|&x| x == r).unwrap())
+                    }
+                })
                 .collect();
             plans.push(steps);
             emit_order.push(emits);
@@ -162,9 +167,9 @@ impl TraditionalJoin {
             }
         };
         let passes = |cand: &Tuple, bound: &Vec<(Tuple, i64)>| -> bool {
-            st.theta
-                .iter()
-                .all(|&(slot, scol, op, ccol)| op.eval(&value_of(slot, scol, bound), cand.get(ccol)))
+            st.theta.iter().all(|&(slot, scol, op, ccol)| {
+                op.eval(&value_of(slot, scol, bound), cand.get(ccol))
+            })
         };
         // The recomputation the paper criticizes: every arrival probes the
         // base stores and re-derives all partial joins.
@@ -326,11 +331,7 @@ mod tests {
     fn star_schema_cascade() {
         let spec = MultiJoinSpec::new(
             vec![
-                RelationDef::new(
-                    "F",
-                    Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
-                    0,
-                ),
+                RelationDef::new("F", Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]), 0),
                 RelationDef::new("D1", Schema::of(&[("a", DataType::Int)]), 0),
                 RelationDef::new("D2", Schema::of(&[("b", DataType::Int)]), 0),
             ],

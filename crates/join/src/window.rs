@@ -163,8 +163,7 @@ mod tests {
         // checked over an interleaved stream.
         let spec = two_way();
         let size = 8u64;
-        let mut w =
-            WindowJoin::new(TraditionalJoin::new(&spec), 2, WindowSpec::Sliding { size });
+        let mut w = WindowJoin::new(TraditionalJoin::new(&spec), 2, WindowSpec::Sliding { size });
         let mut rng = squall_common::SplitMix64::new(14);
         let mut events: Vec<(usize, u64, Tuple)> = Vec::new();
         let mut ts = 0u64;
@@ -212,8 +211,7 @@ mod tests {
     #[test]
     fn window_keeps_inner_state_bounded() {
         let spec = two_way();
-        let mut w =
-            WindowJoin::new(DBToasterJoin::new(&spec), 2, WindowSpec::Sliding { size: 5 });
+        let mut w = WindowJoin::new(DBToasterJoin::new(&spec), 2, WindowSpec::Sliding { size: 5 });
         let mut out = Vec::new();
         for ts in 0..1000u64 {
             w.insert((ts % 2) as usize, ts, &tuple![(ts % 7) as i64], &mut out);

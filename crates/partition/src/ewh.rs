@@ -87,7 +87,14 @@ pub struct EwhSideGrouping {
 }
 
 impl CustomGrouping for EwhSideGrouping {
-    fn route(&self, _sender: usize, _seq: u64, tuple: &Tuple, n_targets: usize, out: &mut Vec<usize>) {
+    fn route(
+        &self,
+        _sender: usize,
+        _seq: u64,
+        tuple: &Tuple,
+        n_targets: usize,
+        out: &mut Vec<usize>,
+    ) {
         let targets = if self.left {
             let k = tuple.get(self.scheme.r_col).as_int().expect("integer key");
             self.scheme.grid.route_r(k)
@@ -125,7 +132,7 @@ pub fn output_per_machine(grid: &RangeGrid, r_keys: &[i64], s_keys: &[i64]) -> V
 mod tests {
     use super::*;
     use crate::mbucket::MBucketScheme;
-    use squall_common::{SplitMix64, Zipf};
+    use squall_common::SplitMix64;
 
     fn skew_deg(counts: &[u64]) -> f64 {
         let max = *counts.iter().max().unwrap() as f64;
@@ -191,10 +198,7 @@ mod tests {
             "both schemes must produce the same join output"
         );
         let (e, m) = (skew_deg(&ewh_out), skew_deg(&mb_out));
-        assert!(
-            e < m * 0.75,
-            "EWH output skew {e:.2} should clearly beat M-Bucket {m:.2}"
-        );
+        assert!(e < m * 0.75, "EWH output skew {e:.2} should clearly beat M-Bucket {m:.2}");
     }
 
     #[test]

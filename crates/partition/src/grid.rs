@@ -37,7 +37,9 @@ impl RangeCond {
     /// Can *any* pair drawn from the two inclusive ranges match?
     fn ranges_can_match(&self, r_lo: i64, r_hi: i64, s_lo: i64, s_hi: i64) -> bool {
         match self {
-            RangeCond::Band(w) => r_lo.saturating_sub(*w) <= s_hi && s_lo.saturating_sub(*w) <= r_hi,
+            RangeCond::Band(w) => {
+                r_lo.saturating_sub(*w) <= s_hi && s_lo.saturating_sub(*w) <= r_hi
+            }
             RangeCond::Cmp(CmpOp::Lt) => r_lo < s_hi,
             RangeCond::Cmp(CmpOp::Le) => r_lo <= s_hi,
             RangeCond::Cmp(CmpOp::Gt) => r_hi > s_lo,
@@ -210,10 +212,8 @@ impl RangeGrid {
 
     /// Average number of machines an input tuple of each side reaches.
     pub fn avg_replication(&self) -> (f64, f64) {
-        let r = self.row_targets.iter().map(|t| t.len()).sum::<usize>() as f64
-            / self.rows() as f64;
-        let s = self.col_targets.iter().map(|t| t.len()).sum::<usize>() as f64
-            / self.cols() as f64;
+        let r = self.row_targets.iter().map(|t| t.len()).sum::<usize>() as f64 / self.rows() as f64;
+        let s = self.col_targets.iter().map(|t| t.len()).sum::<usize>() as f64 / self.cols() as f64;
         (r, s)
     }
 }
@@ -320,8 +320,7 @@ mod tests {
         for r in (0..100).step_by(7) {
             for s in (0..100).step_by(11) {
                 if r < s {
-                    let owners: Vec<usize> =
-                        (0..6).filter(|&m| grid.owns(m, r, s)).collect();
+                    let owners: Vec<usize> = (0..6).filter(|&m| grid.owns(m, r, s)).collect();
                     assert_eq!(owners.len(), 1);
                 }
             }
@@ -364,7 +363,7 @@ mod tests {
         .unwrap();
         // Roughly the upper triangle (plus the diagonal cells).
         let cells = grid.candidate_cells();
-        assert!(cells >= 36 && cells <= 44, "got {cells}");
+        assert!((36..=44).contains(&cells), "got {cells}");
     }
 
     #[test]

@@ -231,7 +231,14 @@ pub struct HypercubeGrouping {
 }
 
 impl CustomGrouping for HypercubeGrouping {
-    fn route(&self, sender_task: usize, seq: u64, tuple: &Tuple, n_targets: usize, out: &mut Vec<usize>) {
+    fn route(
+        &self,
+        sender_task: usize,
+        seq: u64,
+        tuple: &Tuple,
+        n_targets: usize,
+        out: &mut Vec<usize>,
+    ) {
         debug_assert!(
             self.scheme.machines() <= n_targets,
             "scheme uses {} machines but component has {n_targets} tasks",
@@ -392,11 +399,8 @@ mod tests {
                     scheme.route(0, &r, &mut rng, &mut mr);
                     scheme.route(1, &s, &mut rng, &mut ms);
                     scheme.route(2, &t, &mut rng, &mut mt);
-                    let common: Vec<usize> = mr
-                        .iter()
-                        .filter(|m| ms.contains(m) && mt.contains(m))
-                        .copied()
-                        .collect();
+                    let common: Vec<usize> =
+                        mr.iter().filter(|m| ms.contains(m) && mt.contains(m)).copied().collect();
                     assert_eq!(
                         common.len(),
                         1,

@@ -9,8 +9,8 @@
 //! Squall assigns them round-robin before execution starts, so no two
 //! machines differ by more than one key.
 
-use squall_common::{FxHashMap, Tuple, Value};
 use squall_common::hash::{fx_hash, partition_of};
+use squall_common::{FxHashMap, Tuple, Value};
 use squall_runtime::CustomGrouping;
 
 /// An optimal predefined-key grouping: key *i* (in the given order) is
@@ -23,13 +23,13 @@ pub struct KeyMapGrouping {
 
 impl KeyMapGrouping {
     /// Build from the predefined distinct keys of `column`.
-    pub fn new(column: usize, keys: impl IntoIterator<Item = Value>, machines: usize) -> KeyMapGrouping {
+    pub fn new(
+        column: usize,
+        keys: impl IntoIterator<Item = Value>,
+        machines: usize,
+    ) -> KeyMapGrouping {
         assert!(machines > 0);
-        let map = keys
-            .into_iter()
-            .enumerate()
-            .map(|(i, k)| (k, i % machines))
-            .collect();
+        let map = keys.into_iter().enumerate().map(|(i, k)| (k, i % machines)).collect();
         KeyMapGrouping { column, map }
     }
 
@@ -47,7 +47,14 @@ impl KeyMapGrouping {
 }
 
 impl CustomGrouping for KeyMapGrouping {
-    fn route(&self, _sender: usize, _seq: u64, tuple: &Tuple, n_targets: usize, out: &mut Vec<usize>) {
+    fn route(
+        &self,
+        _sender: usize,
+        _seq: u64,
+        tuple: &Tuple,
+        n_targets: usize,
+        out: &mut Vec<usize>,
+    ) {
         let key = tuple.get(self.column);
         let m = match self.map.get(key) {
             Some(&m) => m % n_targets,

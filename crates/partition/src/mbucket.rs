@@ -64,7 +64,14 @@ pub struct SideGrouping {
 }
 
 impl CustomGrouping for SideGrouping {
-    fn route(&self, _sender: usize, _seq: u64, tuple: &Tuple, n_targets: usize, out: &mut Vec<usize>) {
+    fn route(
+        &self,
+        _sender: usize,
+        _seq: u64,
+        tuple: &Tuple,
+        n_targets: usize,
+        out: &mut Vec<usize>,
+    ) {
         let (col, targets) = if self.left {
             let k = tuple.get(self.scheme.r_col).as_int().expect("integer key");
             (k, self.scheme.grid.route_r(k))
@@ -124,9 +131,16 @@ mod tests {
     #[test]
     fn input_balanced_cell_counts() {
         let keys: Vec<i64> = (0..10_000).collect();
-        let scheme =
-            MBucketScheme::build(&keys, &keys, 0, 0, RangeCond::Cmp(squall_expr::join_cond::CmpOp::Lt), 8, 24)
-                .unwrap();
+        let scheme = MBucketScheme::build(
+            &keys,
+            &keys,
+            0,
+            0,
+            RangeCond::Cmp(squall_expr::join_cond::CmpOp::Lt),
+            8,
+            24,
+        )
+        .unwrap();
         // Cells per machine within 2× of each other (sweep balance).
         let mut counts = vec![0usize; 8];
         for row in &scheme.grid.owner {

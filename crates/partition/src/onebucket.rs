@@ -123,7 +123,7 @@ mod tests {
         // balance rows perfectly in expectation.
         let scheme = one_bucket(1000, 1000, 16, 7).unwrap();
         let mut rng = SplitMix64::new(3);
-        let mut per_machine = vec![0usize; 16];
+        let mut per_machine = [0usize; 16];
         let mut out = vec![];
         for _ in 0..4000 {
             scheme.route(0, &tuple![42], &mut rng, &mut out);

@@ -91,7 +91,11 @@ pub fn hash_hypercube(spec: &MultiJoinSpec, machines: usize, seed: u64) -> Resul
 /// Random-Hypercube [74] via the paper's quasi-attribute reduction: one
 /// fresh dimension per relation, randomly partitioned. Supports any
 /// condition (the condition is evaluated locally).
-pub fn random_hypercube(spec: &MultiJoinSpec, machines: usize, seed: u64) -> Result<HypercubeScheme> {
+pub fn random_hypercube(
+    spec: &MultiJoinSpec,
+    machines: usize,
+    seed: u64,
+) -> Result<HypercubeScheme> {
     let dims: Vec<Dimension> = spec
         .relations
         .iter()
@@ -111,17 +115,18 @@ pub fn random_hypercube(spec: &MultiJoinSpec, machines: usize, seed: u64) -> Res
 /// Skew hints are read from the relations' schemas
 /// ([`squall_common::Field::skew_free`]); "a user needs to provide only the
 /// relation sizes and whether each join key is skew-free or not" (§4).
-pub fn hybrid_hypercube(spec: &MultiJoinSpec, machines: usize, seed: u64) -> Result<HypercubeScheme> {
+pub fn hybrid_hypercube(
+    spec: &MultiJoinSpec,
+    machines: usize,
+    seed: u64,
+) -> Result<HypercubeScheme> {
     let mut dims: Vec<Dimension> = Vec::new();
 
     // 1. Equi classes: shared hash dimension for skew-free occurrences,
     //    a private random dimension per skewed occurrence (renaming).
     for class in spec.key_classes().into_iter().filter(|c| c.is_join_key()) {
-        let (free, skewed): (Vec<_>, Vec<_>) = class
-            .members
-            .iter()
-            .copied()
-            .partition(|&(rel, col)| spec.is_skew_free(rel, col));
+        let (free, skewed): (Vec<_>, Vec<_>) =
+            class.members.iter().copied().partition(|&(rel, col)| spec.is_skew_free(rel, col));
         let base_name = {
             let (rel, col) = class.members[0];
             spec.relations[rel].schema.field(col).name.clone()
@@ -281,12 +286,7 @@ fn size_dimensions(
     };
 
     // DFS over size vectors with product ≤ machines.
-    fn dfs(
-        dim: usize,
-        budget: usize,
-        current: &mut Vec<usize>,
-        eval: &mut dyn FnMut(&[usize]),
-    ) {
+    fn dfs(dim: usize, budget: usize, current: &mut Vec<usize>, eval: &mut dyn FnMut(&[usize])) {
         if dim == current.len() {
             eval(current);
             return;
@@ -331,8 +331,8 @@ fn size_dimensions(
 mod tests {
     use super::*;
     use squall_common::{DataType, Schema};
-    use squall_expr::{JoinAtom, RelationDef};
     use squall_expr::join_cond::CmpOp;
+    use squall_expr::{JoinAtom, RelationDef};
 
     /// R(x,y) ⋈ S(y,z) ⋈ T(z,t), all of size H (§3.1). `skew_z` marks both
     /// S.z and T.z as skewed.
@@ -444,7 +444,11 @@ mod tests {
         t_schema.set_skewed("z").unwrap();
         let spec = MultiJoinSpec::new(
             vec![
-                RelationDef::new("R", Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]), 100),
+                RelationDef::new(
+                    "R",
+                    Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]),
+                    100,
+                ),
                 RelationDef::new("S", s_schema, 100),
                 RelationDef::new("T", t_schema, 100),
                 RelationDef::new("U", Schema::of(&[("t", DataType::Int)]), 100),
@@ -541,10 +545,7 @@ mod tests {
         let hy = hybrid_hypercube(&spec, 64, 1).unwrap();
         assert_eq!(hy.dims.len(), 3, "{}", hy.describe());
         let kinds: Vec<PartitionKind> = hy.dims.iter().map(|d| d.kind).collect();
-        assert_eq!(
-            kinds,
-            vec![PartitionKind::Hash, PartitionKind::Random, PartitionKind::Hash]
-        );
+        assert_eq!(kinds, vec![PartitionKind::Hash, PartitionKind::Random, PartitionKind::Hash]);
     }
 
     #[test]
@@ -564,10 +565,9 @@ mod tests {
             vec![JoinAtom::eq(0, 0, 1, 0), JoinAtom::eq(0, 1, 2, 0)],
         )
         .unwrap();
-        for scheme in [
-            hash_hypercube(&spec, 16, 1).unwrap(),
-            hybrid_hypercube(&spec, 16, 1).unwrap(),
-        ] {
+        for scheme in
+            [hash_hypercube(&spec, 16, 1).unwrap(), hybrid_hypercube(&spec, 16, 1).unwrap()]
+        {
             assert_eq!(scheme.replication(0), 1, "fact partitioned ({})", scheme.describe());
             let used: usize = scheme.dims.iter().map(|d| d.size).product();
             assert_eq!(used, 16);
@@ -582,9 +582,7 @@ mod tests {
     fn same_key_multiway_needs_no_replication() {
         // §3.2: L ⋈ PS ⋈ P all on Partkey → 1-dimensional hypercube, no
         // replication at all (the TPCH9-Partial uniform case of [70]).
-        let mk = |n: &str, sz: u64| {
-            RelationDef::new(n, Schema::of(&[("pk", DataType::Int)]), sz)
-        };
+        let mk = |n: &str, sz: u64| RelationDef::new(n, Schema::of(&[("pk", DataType::Int)]), sz);
         let spec = MultiJoinSpec::new(
             vec![mk("L", 6000), mk("PS", 800), mk("P", 200)],
             vec![JoinAtom::eq(0, 0, 1, 0), JoinAtom::eq(1, 0, 2, 0)],
@@ -647,15 +645,8 @@ mod tests {
         .unwrap();
         assert!(skewed.dims.iter().any(|d| d.kind == PartitionKind::Random));
 
-        let uniform = hybrid_with_frequencies(
-            &spec,
-            64,
-            1,
-            &|_, _| 0.001,
-            &|_, _| 1_000_000,
-            0.5,
-        )
-        .unwrap();
+        let uniform =
+            hybrid_with_frequencies(&spec, 64, 1, &|_, _| 0.001, &|_, _| 1_000_000, 0.5).unwrap();
         assert!(uniform.dims.iter().all(|d| d.kind == PartitionKind::Hash));
     }
 

@@ -97,7 +97,11 @@ impl SkewEstimate {
             }
             n += 1;
         }
-        SkewEstimate { top_frequency: sketch.top_frequency(), distinct: distinct.len(), sample_size: n }
+        SkewEstimate {
+            top_frequency: sketch.top_frequency(),
+            distinct: distinct.len(),
+            sample_size: n,
+        }
     }
 
     /// §3.4 offline chooser: estimated max load per machine under hash

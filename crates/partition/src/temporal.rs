@@ -15,7 +15,10 @@ use squall_common::Tuple;
 use squall_runtime::Grouping;
 
 /// Distinct target machines per window of `window` consecutive tuples.
-pub fn active_machines_profile(targets: impl IntoIterator<Item = usize>, window: usize) -> Vec<usize> {
+pub fn active_machines_profile(
+    targets: impl IntoIterator<Item = usize>,
+    window: usize,
+) -> Vec<usize> {
     assert!(window > 0);
     let mut profile = Vec::new();
     let mut current: Vec<usize> = Vec::new();

@@ -29,4 +29,4 @@ pub mod physical;
 
 pub use catalog::Catalog;
 pub use logical::{agg, col, lit, Expr, Query};
-pub use physical::{ExecConfig, PhysicalQuery, QueryResult};
+pub use physical::{ExecConfig, PhysicalQuery, ResultSet};

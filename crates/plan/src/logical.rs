@@ -24,10 +24,17 @@ pub enum Expr {
     /// `"column"`.
     Col(String),
     Lit(Value),
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     Not(Box<Expr>),
     /// Aggregate call — legal only in the SELECT list.
-    Agg { func: AggFunc, arg: Option<Box<Expr>> },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
 }
 
 impl Expr {
@@ -144,10 +151,7 @@ impl Query {
         self
     }
 
-    pub fn select_as<'a>(
-        mut self,
-        items: impl IntoIterator<Item = (Expr, &'a str)>,
-    ) -> Query {
+    pub fn select_as<'a>(mut self, items: impl IntoIterator<Item = (Expr, &'a str)>) -> Query {
         self.select = items.into_iter().map(|(e, n)| (e, Some(n.to_string()))).collect();
         self
     }

@@ -10,10 +10,13 @@
 use std::sync::Arc;
 
 use squall_common::{DataType, Field, Result, Schema, SquallError, Tuple, Value};
+use squall_core::driver::{
+    run_multiway, run_multiway_stream, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig,
+    MultiwayStream,
+};
 use squall_expr::join_cond::CmpOp;
 use squall_expr::{AggFunc, JoinAtom, MultiJoinSpec, RelationDef, ScalarExpr};
 use squall_join::{AggSpec, GroupByAggregator};
-use squall_core::driver::{run_multiway, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig};
 use squall_partition::optimizer::SchemeKind;
 use squall_partition::SkewEstimate;
 
@@ -49,15 +52,172 @@ impl Default for ExecConfig {
     }
 }
 
-/// The final answer.
-#[derive(Debug)]
-pub struct QueryResult {
-    pub rows: Vec<Tuple>,
+/// A query's answer: one handle serving both access patterns.
+///
+/// * **Materialized** — [`ResultSet::rows`] waits for completion and
+///   returns every row, sorted for determinism. This is what
+///   [`PhysicalQuery::execute`] produces.
+/// * **Streaming** — `ResultSet` is an [`Iterator`] over result rows;
+///   with [`PhysicalQuery::execute_stream`] the rows are yielded *while
+///   the topology runs*, in production order, without buffering them.
+///
+/// [`ResultSet::report`] exposes the distributed run's [`JoinReport`]
+/// (None for single-table queries, which run locally); on a streaming
+/// result it first waits for the run to finish. In both modes
+/// [`ResultSet::rows`] returns the rows the iterator has *not yet
+/// yielded*, without consuming them — a peek at the remainder.
+///
+/// Error contract: materialized execution returns `Err` when the run
+/// fails. A *streaming* run that fails mid-way simply ends the iterator
+/// early — check [`ResultSet::error`] (or `report()?.error`) after
+/// exhaustion before trusting the rows as complete.
+pub struct ResultSet {
+    schema: Schema,
+    inner: ResultsInner,
+    report: Option<JoinReport>,
+}
+
+impl std::fmt::Debug for ResultSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match &self.inner {
+            ResultsInner::Rows { rows, cursor } => format!("{} rows (cursor {cursor})", rows.len()),
+            ResultsInner::Stream(_) => "streaming".to_string(),
+        };
+        f.debug_struct("ResultSet").field("schema", &self.schema).field("mode", &mode).finish()
+    }
+}
+
+enum ResultsInner {
+    Rows { rows: Vec<Tuple>, cursor: usize },
+    // Boxed: the stream (topology handle + finalizer) dwarfs the row
+    // variant, and every ResultSet ends its life as `Rows`.
+    Stream(Box<QueryStream>),
+}
+
+impl ResultSet {
+    fn materialized(schema: Schema, rows: Vec<Tuple>, report: Option<JoinReport>) -> ResultSet {
+        ResultSet { schema, inner: ResultsInner::Rows { rows, cursor: 0 }, report }
+    }
+
+    fn streaming(schema: Schema, stream: QueryStream) -> ResultSet {
+        ResultSet { schema, inner: ResultsInner::Stream(Box::new(stream)), report: None }
+    }
+
     /// Output column names, in SELECT order.
-    pub schema: Schema,
-    /// The distributed join's run report (None for single-table queries,
-    /// which run locally).
-    pub report: Option<JoinReport>,
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All result rows not yet yielded by the iterator, sorted. On a
+    /// streaming result this drains the run to completion first.
+    pub fn rows(&mut self) -> &[Tuple] {
+        self.materialize();
+        match &self.inner {
+            ResultsInner::Rows { rows, cursor } => &rows[*cursor..],
+            ResultsInner::Stream(_) => unreachable!("materialized above"),
+        }
+    }
+
+    /// The distributed join's run report (§6 monitoring quantities). On a
+    /// streaming result this waits for the run to finish. `None` for
+    /// single-table queries.
+    pub fn report(&mut self) -> Option<&JoinReport> {
+        self.materialize();
+        self.report.as_ref()
+    }
+
+    /// The failure that ended a streaming run early, if any (waits for the
+    /// run to finish first). Materialized execution surfaces the same
+    /// failures as `Err` from [`PhysicalQuery::execute`] instead.
+    pub fn error(&mut self) -> Option<&SquallError> {
+        self.materialize();
+        self.report.as_ref().and_then(|r| r.error.as_ref())
+    }
+
+    /// Is this result still backed by a live run (true) or a materialized
+    /// row buffer (false)?
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.inner, ResultsInner::Stream(_))
+    }
+
+    fn materialize(&mut self) {
+        if let ResultsInner::Stream(stream) = &mut self.inner {
+            let mut rows: Vec<Tuple> = stream.by_ref().collect();
+            rows.sort();
+            self.report = stream.report.take();
+            self.inner = ResultsInner::Rows { rows, cursor: 0 };
+        }
+    }
+}
+
+/// Streaming access: yields each result row exactly once. In streaming
+/// mode rows arrive in production order while the topology runs; in
+/// materialized mode this walks the sorted row buffer.
+impl Iterator for ResultSet {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        match &mut self.inner {
+            ResultsInner::Rows { rows, cursor } => {
+                let row = rows.get(*cursor)?.clone();
+                *cursor += 1;
+                Some(row)
+            }
+            ResultsInner::Stream(stream) => match stream.next() {
+                Some(row) => Some(row),
+                None => {
+                    self.report = stream.report.take();
+                    self.inner = ResultsInner::Rows { rows: Vec::new(), cursor: 0 };
+                    None
+                }
+            },
+        }
+    }
+}
+
+/// Live result stream: the distributed run's sink output, projected into
+/// SELECT order tuple by tuple.
+struct QueryStream {
+    inner: Option<MultiwayStream>,
+    finalizer: Finalizer,
+    /// SQL semantics: a global aggregate over zero rows yields one row.
+    emit_empty_agg: bool,
+    produced: u64,
+    report: Option<JoinReport>,
+}
+
+impl Iterator for QueryStream {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let stream = self.inner.as_mut()?;
+        match stream.next() {
+            Some(row) => match self.finalizer.project_final(&row) {
+                Ok(t) => {
+                    self.produced += 1;
+                    Some(t)
+                }
+                Err(e) => {
+                    // A projection error poisons the run: abort it and
+                    // surface the error through the report.
+                    let mut report = self.inner.take().expect("stream present").cancel();
+                    report.error.get_or_insert(e);
+                    self.report = Some(report);
+                    None
+                }
+            },
+            None => {
+                let report = self.inner.take().expect("stream present").finish();
+                let ok = report.error.is_none();
+                self.report = Some(report);
+                if ok && self.produced == 0 && self.emit_empty_agg {
+                    self.produced += 1;
+                    return Some(self.finalizer.empty_agg_row());
+                }
+                None
+            }
+        }
+    }
 }
 
 /// One resolved, optimized source.
@@ -83,6 +243,59 @@ enum FinalItem {
     AggRow(usize),
     /// Expression over the join output row (non-aggregated queries).
     JoinExpr(ScalarExpr),
+}
+
+/// Per-row projection of engine output into SELECT order — detached from
+/// [`PhysicalQuery`] so the streaming path can carry it into the iterator.
+#[derive(Debug, Clone)]
+struct Finalizer {
+    final_items: Vec<FinalItem>,
+    group_cols_len: usize,
+    aggs: Vec<AggSpec>,
+}
+
+impl Finalizer {
+    fn project_final(&self, row: &Tuple) -> Result<Tuple> {
+        let mut values = Vec::with_capacity(self.final_items.len());
+        for item in &self.final_items {
+            values.push(match item {
+                FinalItem::AggRow(i) => row.get(*i).clone(),
+                FinalItem::JoinExpr(e) => e.eval(row)?,
+            });
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// SQL semantics for a global aggregate over zero rows: one row with
+    /// COUNT = 0 and NULL sums/averages.
+    fn empty_agg_row(&self) -> Tuple {
+        let values: Vec<Value> = self
+            .final_items
+            .iter()
+            .map(|item| match item {
+                FinalItem::AggRow(i) => {
+                    let agg_idx = i - self.group_cols_len;
+                    match self.aggs[agg_idx].func {
+                        AggFunc::Count => Value::Int(0),
+                        _ => Value::Null,
+                    }
+                }
+                FinalItem::JoinExpr(_) => Value::Null,
+            })
+            .collect();
+        Tuple::new(values)
+    }
+}
+
+/// An unresolved join atom: `(table, column)` pairs compared by `CmpOp`,
+/// where a column id past the table's arity addresses a derived column.
+type RawAtom = ((usize, usize), CmpOp, (usize, usize));
+
+/// Outcome of the shared planning front half: either a locally-runnable
+/// single-table input or a distributed multi-way join configuration.
+enum Prepared {
+    Local(Vec<Tuple>),
+    Distributed { spec: MultiJoinSpec, data: Vec<Vec<Tuple>>, mcfg: MultiwayConfig },
 }
 
 /// An optimized query ready to run.
@@ -126,8 +339,8 @@ impl PhysicalQuery {
             for (ti, s) in schemas.iter().enumerate() {
                 for ci in 0..s.arity() {
                     let f = &s.field(ci).name;
-                    let matches = f == name
-                        || (!name.contains('.') && f.split('.').nth(1) == Some(name));
+                    let matches =
+                        f == name || (!name.contains('.') && f.split('.').nth(1) == Some(name));
                     if matches {
                         if hit.is_some() {
                             return Err(SquallError::InvalidPlan(format!(
@@ -186,7 +399,7 @@ impl PhysicalQuery {
         let mut derived: Vec<Vec<ScalarExpr>> = vec![Vec::new(); q.tables.len()];
         // Raw atoms as (table, original-or-derived col id) pairs; derived
         // ids are original_arity + k.
-        let mut raw_atoms: Vec<((usize, usize), CmpOp, (usize, usize))> = Vec::new();
+        let mut raw_atoms: Vec<RawAtom> = Vec::new();
         for f in &q.filters {
             let g = to_scalar(f, &resolve_fn, &offsets)?;
             let touched = tables_of(&g);
@@ -394,8 +607,7 @@ impl PhysicalQuery {
                             })?),
                         };
                         aggs.push(spec);
-                        final_items
-                            .push(FinalItem::AggRow(group_cols.len() + aggs.len() - 1));
+                        final_items.push(FinalItem::AggRow(group_cols.len() + aggs.len() - 1));
                     }
                     Expr::Col(n) => {
                         let (t, c) = resolve(n)?;
@@ -471,10 +683,22 @@ impl PhysicalQuery {
         Ok(out)
     }
 
-    /// Execute against the catalog.
-    pub fn execute(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<QueryResult> {
-        // 1. Source-side work: filter, derive, project (the co-located
-        //    source components of §2).
+    /// How one SELECT item is produced from the engine output (shared by
+    /// the materialized and streaming paths, which both project row by
+    /// row).
+    fn finalizer(&self) -> Finalizer {
+        Finalizer {
+            final_items: self.final_items.clone(),
+            group_cols_len: self.group_cols.len(),
+            aggs: self.aggs.clone(),
+        }
+    }
+
+    /// Source-side work (filter, derive, project — the co-located source
+    /// components of §2), statistics and scheme/config selection: shared
+    /// front half of [`PhysicalQuery::execute`] and
+    /// [`PhysicalQuery::execute_stream`].
+    fn prepare_run(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<Prepared> {
         let mut data: Vec<Vec<Tuple>> = Vec::with_capacity(self.tables.len());
         for (t, pt) in self.tables.iter().enumerate() {
             let raw = Arc::clone(&catalog.get(&pt.name)?.data);
@@ -483,12 +707,11 @@ impl PhysicalQuery {
 
         // Single-table queries run locally (no distribution needed).
         if self.tables.len() == 1 {
-            let rows = self.finalize_local(std::mem::take(&mut data[0]))?;
-            return Ok(QueryResult { rows, schema: self.out_schema.clone(), report: None });
+            return Ok(Prepared::Local(std::mem::take(&mut data[0])));
         }
 
-        // 2. Statistics: post-selection skew detection per join-key
-        //    occurrence (§3.4).
+        // Statistics: post-selection skew detection per join-key
+        // occurrence (§3.4).
         let mut rels: Vec<RelationDef> = self
             .tables
             .iter()
@@ -513,7 +736,7 @@ impl PhysicalQuery {
             ));
         }
 
-        // 3. Distributed execution.
+        // Scheme & parallelism selection.
         let scheme = cfg.scheme.unwrap_or(SchemeKind::Hybrid);
         let mut mcfg = MultiwayConfig::new(scheme, cfg.local, cfg.machines);
         mcfg.seed = cfg.seed;
@@ -524,25 +747,65 @@ impl PhysicalQuery {
                 parallelism: cfg.agg_parallelism.max(1),
             });
         }
-        let report = run_multiway(&spec, data, &mcfg)?;
-        if let Some(e) = &report.error {
-            return Err(e.clone());
-        }
+        Ok(Prepared::Distributed { spec, data, mcfg })
+    }
 
-        // 4. Final projection into SELECT order.
-        let mut rows = Vec::with_capacity(report.results.len());
-        for r in &report.results {
-            rows.push(self.project_final(r)?);
+    /// Execute against the catalog, materializing every row (sorted).
+    pub fn execute(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<ResultSet> {
+        match self.prepare_run(catalog, cfg)? {
+            Prepared::Local(data) => {
+                let rows = self.finalize_local(data)?;
+                Ok(ResultSet::materialized(self.out_schema.clone(), rows, None))
+            }
+            Prepared::Distributed { spec, data, mcfg } => {
+                let report = run_multiway(&spec, data, &mcfg)?;
+                if let Some(e) = &report.error {
+                    return Err(e.clone());
+                }
+                let finalizer = self.finalizer();
+                let mut rows = Vec::with_capacity(report.results.len());
+                for r in &report.results {
+                    rows.push(finalizer.project_final(r)?);
+                }
+                if rows.is_empty() && self.is_aggregate && self.group_cols.is_empty() {
+                    rows.push(finalizer.empty_agg_row());
+                }
+                rows.sort();
+                Ok(ResultSet::materialized(self.out_schema.clone(), rows, Some(report)))
+            }
         }
-        if rows.is_empty() && self.is_aggregate && self.group_cols.is_empty() {
-            rows.push(self.empty_agg_row());
+    }
+
+    /// Execute against the catalog, streaming result rows while the
+    /// topology runs. The returned [`ResultSet`] yields rows in production
+    /// order through its [`Iterator`] impl without buffering them;
+    /// [`ResultSet::report`] becomes available once the stream is
+    /// exhausted. A run that fails mid-way ends the stream early —
+    /// check [`ResultSet::error`] after exhaustion. Single-table queries
+    /// (which run locally) come back materialized.
+    pub fn execute_stream(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<ResultSet> {
+        match self.prepare_run(catalog, cfg)? {
+            Prepared::Local(data) => {
+                let rows = self.finalize_local(data)?;
+                Ok(ResultSet::materialized(self.out_schema.clone(), rows, None))
+            }
+            Prepared::Distributed { spec, data, mcfg } => {
+                let inner = run_multiway_stream(&spec, data, &mcfg)?;
+                let stream = QueryStream {
+                    inner: Some(inner),
+                    finalizer: self.finalizer(),
+                    emit_empty_agg: self.is_aggregate && self.group_cols.is_empty(),
+                    produced: 0,
+                    report: None,
+                };
+                Ok(ResultSet::streaming(self.out_schema.clone(), stream))
+            }
         }
-        rows.sort();
-        Ok(QueryResult { rows, schema: self.out_schema.clone(), report: Some(report) })
     }
 
     /// Single-table path: aggregate or project locally.
     fn finalize_local(&self, data: Vec<Tuple>) -> Result<Vec<Tuple>> {
+        let finalizer = self.finalizer();
         if self.is_aggregate {
             let mut agg = GroupByAggregator::new(self.group_cols.clone(), self.aggs.clone());
             for t in &data {
@@ -550,52 +813,21 @@ impl PhysicalQuery {
             }
             let mut rows = Vec::new();
             for row in agg.snapshot() {
-                rows.push(self.project_final(&row)?);
+                rows.push(finalizer.project_final(&row)?);
             }
             if rows.is_empty() && self.group_cols.is_empty() {
-                rows.push(self.empty_agg_row());
+                rows.push(finalizer.empty_agg_row());
             }
             rows.sort();
             Ok(rows)
         } else {
             let mut rows = Vec::with_capacity(data.len());
             for t in &data {
-                rows.push(self.project_final(t)?);
+                rows.push(finalizer.project_final(t)?);
             }
             rows.sort();
             Ok(rows)
         }
-    }
-
-    /// SQL semantics for a global aggregate over zero rows: one row with
-    /// COUNT = 0 and NULL sums/averages.
-    fn empty_agg_row(&self) -> Tuple {
-        let values: Vec<Value> = self
-            .final_items
-            .iter()
-            .map(|item| match item {
-                FinalItem::AggRow(i) => {
-                    let agg_idx = i - self.group_cols.len();
-                    match self.aggs[agg_idx].func {
-                        AggFunc::Count => Value::Int(0),
-                        _ => Value::Null,
-                    }
-                }
-                FinalItem::JoinExpr(_) => Value::Null,
-            })
-            .collect();
-        Tuple::new(values)
-    }
-
-    fn project_final(&self, row: &Tuple) -> Result<Tuple> {
-        let mut values = Vec::with_capacity(self.final_items.len());
-        for item in &self.final_items {
-            values.push(match item {
-                FinalItem::AggRow(i) => row.get(*i).clone(),
-                FinalItem::JoinExpr(e) => e.eval(row)?,
-            });
-        }
-        Ok(Tuple::new(values))
     }
 
     /// Human-readable plan description (the EXPLAIN of the demo UI).
@@ -646,9 +878,14 @@ fn display_name(e: &Expr) -> String {
     }
 }
 
-/// Plan + execute in one call.
-pub fn execute_query(q: &Query, catalog: &Catalog, cfg: &ExecConfig) -> Result<QueryResult> {
+/// Plan + execute in one call, materializing every row.
+pub fn execute_query(q: &Query, catalog: &Catalog, cfg: &ExecConfig) -> Result<ResultSet> {
     PhysicalQuery::plan(q, catalog)?.execute(catalog, cfg)
+}
+
+/// Plan + execute in one call, streaming rows while the topology runs.
+pub fn execute_query_stream(q: &Query, catalog: &Catalog, cfg: &ExecConfig) -> Result<ResultSet> {
+    PhysicalQuery::plan(q, catalog)?.execute_stream(catalog, cfg)
 }
 
 #[cfg(test)]
@@ -684,10 +921,10 @@ mod tests {
         let q = Query::from_tables([("R", "R"), ("S", "S")])
             .filter(col("R.a").eq(col("S.a")).and(col("R.b").gt(lit(15))))
             .select([col("R.b"), col("S.c")]);
-        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
         // R rows with b>15: (2,20),(3,30),(2,25); joins: 2→(100,150), 3→200.
         assert_eq!(
-            res.rows,
+            res.rows(),
             vec![
                 tuple![20, 100],
                 tuple![20, 150],
@@ -696,7 +933,7 @@ mod tests {
                 tuple![30, 200]
             ]
         );
-        assert!(res.report.is_some());
+        assert!(res.report().is_some());
     }
 
     #[test]
@@ -708,11 +945,11 @@ mod tests {
             .filter(col("S.c").eq(col("T.c")))
             .group_by([col("T.d")])
             .select([col("T.d"), agg(AggFunc::Count, None)]);
-        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
         // Joins: R.a=2 (2 rows) × S(2,100),(2,150) ; R.a=3 × S(3,200).
         // T: c=100→d7, c=200→d8. Count d=7: R{2,2}×S(2,100) = 2; d=8:
         // R{3}×S(3,200) = 1.
-        assert_eq!(res.rows, vec![tuple![7, 2], tuple![8, 1]]);
+        assert_eq!(res.rows(), vec![tuple![7, 2], tuple![8, 1]]);
     }
 
     #[test]
@@ -720,10 +957,10 @@ mod tests {
         let q = Query::from_tables([("R", "R"), ("S", "S")])
             .filter(col("R.a").eq(col("S.a")))
             .select([agg(AggFunc::Count, None), agg(AggFunc::Sum, Some(col("S.c")))]);
-        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
         // Matches: (2,*)x2 rows R × 2 rows S = 4, (3,*) 1×1 = 1 → 5 rows;
         // sum of S.c over matches: 2-rows contribute (100+150)*2, 3-row 200.
-        assert_eq!(res.rows, vec![tuple![5, 700]]);
+        assert_eq!(res.rows(), vec![tuple![5, 700]]);
     }
 
     #[test]
@@ -733,10 +970,10 @@ mod tests {
         let q = Query::from_tables([("R", "R"), ("S", "S")])
             .filter(lit(2).bin(BinOp::Mul, col("R.a")).eq(col("S.a")))
             .select([agg(AggFunc::Count, None)]);
-        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
         // 2*R.a ∈ {2,4,6,4}; S.a ∈ {2,3,4,2}: matches 2→2 (a=1, two S rows),
         // 4→4 (two R rows a=2 × one S row) = 2+2 = 4.
-        assert_eq!(res.rows, vec![tuple![4]]);
+        assert_eq!(res.rows(), vec![tuple![4]]);
     }
 
     #[test]
@@ -745,9 +982,9 @@ mod tests {
             .filter(col("R.b").gt(lit(15)))
             .group_by([col("R.a")])
             .select([col("R.a"), agg(AggFunc::Count, None)]);
-        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
-        assert_eq!(res.rows, vec![tuple![2, 2], tuple![3, 1]]);
-        assert!(res.report.is_none());
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows(), vec![tuple![2, 2], tuple![3, 1]]);
+        assert!(res.report().is_none());
     }
 
     #[test]
@@ -756,8 +993,8 @@ mod tests {
             .filter(col("b").eq(col("d"))) // R.b and T.d are unique names
             .select([agg(AggFunc::Count, None)]);
         // No matches (b ∈ {10..30}, d ∈ {7,8,9}) but it must plan fine.
-        let res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
-        assert_eq!(res.rows, vec![tuple![0i64]]);
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows(), vec![tuple![0i64]]);
     }
 
     #[test]
@@ -765,15 +1002,9 @@ mod tests {
         let q = Query::from_tables([("R", "R"), ("S", "S")])
             .filter(col("a").eq(lit(1)))
             .select([col("R.b")]);
-        assert!(matches!(
-            PhysicalQuery::plan(&q, &catalog()),
-            Err(SquallError::InvalidPlan(_))
-        ));
+        assert!(matches!(PhysicalQuery::plan(&q, &catalog()), Err(SquallError::InvalidPlan(_))));
         let q2 = Query::from_tables([("R", "R")]).select([col("R.zzz")]);
-        assert!(matches!(
-            PhysicalQuery::plan(&q2, &catalog()),
-            Err(SquallError::UnknownColumn(_))
-        ));
+        assert!(matches!(PhysicalQuery::plan(&q2, &catalog()), Err(SquallError::UnknownColumn(_))));
     }
 
     #[test]

@@ -23,11 +23,11 @@
 //! processed before running out of memory" methodology needs.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use squall_common::{SquallError, Tuple};
 
 use crate::message::{Message, NodeId};
@@ -65,11 +65,16 @@ impl RunOutcome {
 struct Shared {
     abort: AtomicBool,
     error: Mutex<Option<SquallError>>,
+    /// Task threads still running; the last one to exit stamps
+    /// `finished_at`, so `elapsed` measures engine time even when a
+    /// streaming consumer drains the sink slowly.
+    live_tasks: std::sync::atomic::AtomicUsize,
+    finished_at: Mutex<Option<Instant>>,
 }
 
 impl Shared {
     fn raise(&self, e: SquallError) {
-        let mut slot = self.error.lock();
+        let mut slot = self.error.lock().expect("error slot poisoned");
         if slot.is_none() {
             *slot = Some(e);
         }
@@ -77,25 +82,128 @@ impl Shared {
     }
 }
 
+/// Stamps the engine finish time when the last task exits — held by each
+/// task thread and dropped on exit, panic included.
+struct TaskGuard(Arc<Shared>);
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        if self.0.live_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.0.finished_at.lock().expect("finish stamp poisoned") = Some(Instant::now());
+        }
+    }
+}
+
+/// A topology that has been launched but not yet joined: task threads are
+/// running and sink emissions can be consumed *while they run* via
+/// [`RunHandle::recv`]. [`RunHandle::finish`] waits for completion;
+/// dropping the handle instead aborts the run and then waits, so an
+/// abandoned handle never leaks running tasks. The sink channel is
+/// unbounded, so an unconsumed handle never deadlocks them.
+pub struct RunHandle {
+    sink_rx: Receiver<(NodeId, Tuple)>,
+    handles: Vec<JoinHandle<()>>,
+    registry: Arc<MetricsRegistry>,
+    shared: Arc<Shared>,
+    start: Instant,
+}
+
+impl RunHandle {
+    /// Next sink emission, blocking until one arrives; `None` once every
+    /// sink task has finished. This is the streaming face of the runtime.
+    pub fn recv(&mut self) -> Option<(NodeId, Tuple)> {
+        self.sink_rx.recv().ok()
+    }
+
+    /// Abort the run: spouts stop at their next emission, in-flight tuples
+    /// are drained and discarded. Already-produced sink output remains
+    /// readable.
+    pub fn abort(&self) {
+        self.shared.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for all tasks, discarding any unconsumed sink output, and
+    /// report metrics, timing and the first error (if any).
+    pub fn finish(mut self) -> RunOutcome {
+        let mut outputs = Vec::new();
+        while let Some(item) = self.recv() {
+            outputs.push(item);
+        }
+        self.finish_with(outputs)
+    }
+
+    fn finish_with(mut self, outputs: Vec<(NodeId, Tuple)>) -> RunOutcome {
+        for h in self.handles.drain(..) {
+            // A panicking task is a bug in an operator; surface it.
+            if h.join().is_err() {
+                self.shared.raise(SquallError::Runtime("task panicked".into()));
+            }
+        }
+        // Engine wall-clock: until the last task exited, not until the
+        // consumer finished draining the sink.
+        let finished = self
+            .shared
+            .finished_at
+            .lock()
+            .expect("finish stamp poisoned")
+            .take()
+            .unwrap_or_else(Instant::now);
+        let elapsed = finished.duration_since(self.start);
+        let error = self.shared.error.lock().expect("error slot poisoned").take();
+        RunOutcome { outputs, metrics: self.registry.snapshot(), elapsed, error }
+    }
+}
+
+impl Drop for RunHandle {
+    fn drop(&mut self) {
+        if self.handles.is_empty() {
+            return; // finished via finish_with
+        }
+        self.abort();
+        while self.sink_rx.recv().is_ok() {}
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 impl Topology {
     /// Execute the topology to completion and collect sink output,
     /// metrics and timing.
     pub fn run(self) -> RunOutcome {
+        let mut handle = self.launch();
+        let mut outputs = Vec::new();
+        while let Some(item) = handle.recv() {
+            outputs.push(item);
+        }
+        handle.finish_with(outputs)
+    }
+
+    /// Start every task thread and return a [`RunHandle`] that streams the
+    /// sink output as it is produced.
+    pub fn launch(self) -> RunHandle {
         let n_nodes = self.nodes.len();
         let names: Vec<String> = self.nodes.iter().map(|n| n.name.clone()).collect();
         let parallelism: Vec<usize> = self.nodes.iter().map(|n| n.parallelism).collect();
         let registry = Arc::new(MetricsRegistry::new(names, &parallelism));
-        let shared = Arc::new(Shared { abort: AtomicBool::new(false), error: Mutex::new(None) });
+        let total_tasks: usize = parallelism.iter().sum();
+        let shared = Arc::new(Shared {
+            abort: AtomicBool::new(false),
+            error: Mutex::new(None),
+            live_tasks: std::sync::atomic::AtomicUsize::new(total_tasks),
+            finished_at: Mutex::new(None),
+        });
 
         // Input channel per task (spouts get one too, unused, for
         // uniformity — it is dropped immediately).
-        let mut senders: Vec<Vec<Sender<Message>>> = Vec::with_capacity(n_nodes);
+        let mut senders: Vec<Vec<std::sync::mpsc::SyncSender<Message>>> =
+            Vec::with_capacity(n_nodes);
         let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = Vec::with_capacity(n_nodes);
         for node in &self.nodes {
             let mut s = Vec::with_capacity(node.parallelism);
             let mut r = Vec::with_capacity(node.parallelism);
             for _ in 0..node.parallelism {
-                let (tx, rx) = bounded::<Message>(self.channel_capacity);
+                let (tx, rx) = sync_channel::<Message>(self.channel_capacity);
                 s.push(tx);
                 r.push(Some(rx));
             }
@@ -103,25 +211,20 @@ impl Topology {
             receivers.push(r);
         }
 
-        let (sink_tx, sink_rx) = unbounded::<(NodeId, Tuple)>();
+        let (sink_tx, sink_rx) = channel::<(NodeId, Tuple)>();
         let sinks = self.sinks();
 
         // Expected EOS per node = total upstream tasks.
         let expected_eos: Vec<usize> = (0..n_nodes)
-            .map(|i| {
-                self.edges
-                    .iter()
-                    .filter(|e| e.to == i)
-                    .map(|e| parallelism[e.from])
-                    .sum()
-            })
+            .map(|i| self.edges.iter().filter(|e| e.to == i).map(|e| parallelism[e.from]).sum())
             .collect();
 
         let start = Instant::now();
         let mut handles = Vec::new();
         for (node_id, node) in self.nodes.into_iter().enumerate() {
             let is_sink = sinks.contains(&node_id);
-            for task in 0..node.parallelism {
+            let node_receivers = std::mem::take(&mut receivers[node_id]);
+            for (task, mut receiver) in node_receivers.into_iter().enumerate() {
                 // Build this task's output side.
                 let edges: Vec<EdgeOut> = self
                     .edges
@@ -150,8 +253,9 @@ impl Topology {
                         let mut spout = factory(task);
                         // Spouts never receive; drop the channel so senders
                         // to it (there are none) would fail fast.
-                        receivers[node_id][task] = None;
+                        drop(receiver.take());
                         handles.push(std::thread::spawn(move || {
+                            let _guard = TaskGuard(Arc::clone(&shared));
                             while !shared.abort.load(Ordering::Relaxed) {
                                 match spout.next() {
                                     Some(t) => out.emit(t),
@@ -163,11 +267,10 @@ impl Topology {
                     }
                     NodeKind::Bolt(factory) => {
                         let mut bolt = factory(task);
-                        let rx = receivers[node_id][task]
-                            .take()
-                            .expect("bolt receiver already taken");
+                        let rx = receiver.take().expect("bolt receiver already taken");
                         let expected = expected_eos[node_id];
                         handles.push(std::thread::spawn(move || {
+                            let _guard = TaskGuard(Arc::clone(&shared));
                             let mut eos_seen = 0usize;
                             let mut failed = false;
                             while eos_seen < expected {
@@ -206,19 +309,7 @@ impl Topology {
         drop(sink_tx);
         drop(senders);
 
-        let mut outputs = Vec::new();
-        while let Ok(item) = sink_rx.recv() {
-            outputs.push(item);
-        }
-        for h in handles {
-            // A panicking task is a bug in an operator; surface it.
-            if h.join().is_err() {
-                shared.raise(SquallError::Runtime("task panicked".into()));
-            }
-        }
-        let elapsed = start.elapsed();
-        let error = shared.error.lock().take();
-        RunOutcome { outputs, metrics: registry.snapshot(), elapsed, error }
+        RunHandle { sink_rx, handles, registry, shared, start }
     }
 }
 
@@ -330,10 +421,8 @@ mod tests {
         b.connect(left, merge, Grouping::Global);
         b.connect(right, merge, Grouping::Global);
         let outcome = b.build().unwrap().run();
-        let lefts =
-            outcome.outputs.iter().filter(|(_, t)| t.get(0) == &Value::Int(0)).count();
-        let rights =
-            outcome.outputs.iter().filter(|(_, t)| t.get(0) == &Value::Int(1)).count();
+        let lefts = outcome.outputs.iter().filter(|(_, t)| t.get(0) == &Value::Int(0)).count();
+        let rights = outcome.outputs.iter().filter(|(_, t)| t.get(0) == &Value::Int(1)).count();
         assert_eq!((lefts, rights), (10, 10));
     }
 
@@ -454,6 +543,30 @@ mod tests {
             Box::new(FnBolt(|_o, _t: Tuple, _out: &mut OutputCollector| Ok(())))
         });
         assert!(b3.build().is_err(), "bolt without input is invalid");
+    }
+
+    #[test]
+    fn elapsed_excludes_consumer_drain_time() {
+        let mut b = TopologyBuilder::new();
+        let src = b.add_spout("src", 1, int_spout(0, 100));
+        let echo = b.add_bolt("echo", 1, |_| {
+            Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
+                out.emit(t);
+                Ok(())
+            }))
+        });
+        b.connect(src, echo, Grouping::Shuffle);
+        let mut handle = b.build().unwrap().launch();
+        assert!(handle.recv().is_some());
+        // A slow streaming consumer must not inflate the engine metric.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let outcome = handle.finish();
+        assert!(outcome.error.is_none());
+        assert!(
+            outcome.elapsed < std::time::Duration::from_millis(250),
+            "elapsed {:?} includes consumer think-time",
+            outcome.elapsed
+        );
     }
 
     #[test]

@@ -21,7 +21,14 @@ pub trait CustomGrouping: Send + Sync {
     /// `(sender_task, seq, tuple)` so that load measurements are exactly
     /// reproducible; "random" schemes derive their randomness from a seed
     /// and `(sender_task, seq)`.
-    fn route(&self, sender_task: usize, seq: u64, tuple: &Tuple, n_targets: usize, out: &mut Vec<usize>);
+    fn route(
+        &self,
+        sender_task: usize,
+        seq: u64,
+        tuple: &Tuple,
+        n_targets: usize,
+        out: &mut Vec<usize>,
+    );
 
     /// Human-readable name for plan explain output.
     fn name(&self) -> &str {

@@ -20,10 +20,13 @@
 //!   degree / replication factor metrics of §6.
 //!
 //! A "machine" in the paper maps to a *task* here: one OS thread with
-//! exclusive state, connected to peers by bounded crossbeam channels
-//! (backpressure replaces Storm's flow control). Message delivery is
-//! exactly-once and in order per sender-receiver pair, which matches the
-//! guarantees Squall relies on from Storm.
+//! exclusive state, connected to peers by bounded channels (backpressure
+//! replaces Storm's flow control). Message delivery is exactly-once and in
+//! order per sender-receiver pair, which matches the guarantees Squall
+//! relies on from Storm. [`Topology::run`] collects everything a finished
+//! run produced; [`Topology::launch`] instead returns a [`RunHandle`]
+//! whose sink output can be consumed while the topology is still running —
+//! the streaming face used by `ResultSet` at the session layer.
 
 pub mod executor;
 pub mod grouping;
@@ -31,8 +34,10 @@ pub mod message;
 pub mod metrics;
 pub mod topology;
 
-pub use executor::RunOutcome;
+pub use executor::{RunHandle, RunOutcome};
 pub use grouping::{CustomGrouping, Grouping};
 pub use message::NodeId;
 pub use metrics::{MetricsSnapshot, NodeMetrics};
-pub use topology::{Bolt, FnBolt, IterSpout, IterSpoutVec, OutputCollector, Spout, Topology, TopologyBuilder};
+pub use topology::{
+    Bolt, FnBolt, IterSpout, IterSpoutVec, OutputCollector, Spout, Topology, TopologyBuilder,
+};

@@ -154,11 +154,7 @@ impl MetricsSnapshot {
     /// component task's input and output divided by (query input + query
     /// output). `sources` are the spout nodes, `sinks` the final nodes.
     pub fn intermediate_network_factor(&self, sources: &[NodeId], sinks: &[NodeId]) -> f64 {
-        let all_io: u64 = self
-            .nodes
-            .iter()
-            .map(|n| n.total_received() + n.total_sent())
-            .sum();
+        let all_io: u64 = self.nodes.iter().map(|n| n.total_received() + n.total_sent()).sum();
         let query_in: u64 = sources.iter().map(|&s| self.node(s).total_emitted()).sum();
         let query_out: u64 = sinks.iter().map(|&s| self.node(s).total_emitted()).sum();
         let denom = query_in + query_out;

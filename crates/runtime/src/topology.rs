@@ -3,7 +3,8 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crossbeam::channel::Sender;
+use std::sync::mpsc::{Sender, SyncSender};
+
 use squall_common::{Result, SquallError, Tuple};
 
 use crate::grouping::Grouping;
@@ -126,7 +127,12 @@ impl TopologyBuilder {
     }
 
     /// Add a spout node; `factory(task_index)` builds each task's source.
-    pub fn add_spout<F>(&mut self, name: impl Into<String>, parallelism: usize, factory: F) -> NodeId
+    pub fn add_spout<F>(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        factory: F,
+    ) -> NodeId
     where
         F: Fn(usize) -> Box<dyn Spout> + Send + 'static,
     {
@@ -174,11 +180,7 @@ impl TopologyBuilder {
             if matches!(self.nodes[e.to].kind, NodeKind::Spout(_)) {
                 return Err(SquallError::InvalidPlan("spouts cannot have inputs".into()));
             }
-            let dup = self
-                .edges
-                .iter()
-                .filter(|o| o.from == e.from && o.to == e.to)
-                .count();
+            let dup = self.edges.iter().filter(|o| o.from == e.from && o.to == e.to).count();
             if dup > 1 {
                 return Err(SquallError::InvalidPlan(format!(
                     "duplicate edge {} -> {}",
@@ -213,7 +215,11 @@ impl TopologyBuilder {
         if visited != n {
             return Err(SquallError::InvalidPlan("topology contains a cycle".into()));
         }
-        Ok(Topology { nodes: self.nodes, edges: self.edges, channel_capacity: self.channel_capacity })
+        Ok(Topology {
+            nodes: self.nodes,
+            edges: self.edges,
+            channel_capacity: self.channel_capacity,
+        })
     }
 }
 
@@ -240,23 +246,19 @@ impl Topology {
     /// Nodes with no outgoing edges — their emissions become the query
     /// output.
     pub fn sinks(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&i| !self.edges.iter().any(|e| e.from == i))
-            .collect()
+        (0..self.nodes.len()).filter(|&i| !self.edges.iter().any(|e| e.from == i)).collect()
     }
 
     /// Nodes with no incoming edges (the spouts).
     pub fn sources(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&i| !self.edges.iter().any(|e| e.to == i))
-            .collect()
+        (0..self.nodes.len()).filter(|&i| !self.edges.iter().any(|e| e.to == i)).collect()
     }
 }
 
 /// One outgoing edge of a running task.
 pub(crate) struct EdgeOut {
     pub grouping: Grouping,
-    pub targets: Vec<Sender<Message>>,
+    pub targets: Vec<SyncSender<Message>>,
     pub seq: u64,
 }
 

@@ -1,0 +1,183 @@
+//! Offline stand-in for [criterion.rs](https://github.com/bheisler/criterion.rs).
+//!
+//! Implements the subset of the criterion API the squall benches use —
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! — with plain wall-clock timing (mean and min over `sample_size` runs)
+//! printed as a table. No statistical analysis, no outlier detection, no
+//! HTML reports. See `crates/shims/README.md` for why this exists.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered benchmark function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("\n== {name} ==");
+        BenchmarkGroup { _c: self, name, sample_size }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named benchmark group; benchmarks print as `group/bench[/param]`.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples (full closure runs) per benchmark. Criterion proper insists
+    /// on >= 10; here any positive value works.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` `sample_size` times, recording each run's wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = f();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<55} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!("{label:<55} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)", b.samples.len());
+}
+
+/// Re-export of `std::hint::black_box` under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("counting", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("q", 7).to_string(), "q/7");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

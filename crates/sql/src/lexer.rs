@@ -76,14 +76,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                tokens.push(Token::Float(text.parse().map_err(|_| {
-                    SquallError::Parse(format!("bad float literal {text}"))
-                })?));
+                tokens.push(Token::Float(
+                    text.parse()
+                        .map_err(|_| SquallError::Parse(format!("bad float literal {text}")))?,
+                ));
             } else {
                 let text: String = chars[start..i].iter().collect();
-                tokens.push(Token::Int(text.parse().map_err(|_| {
-                    SquallError::Parse(format!("bad integer literal {text}"))
-                })?));
+                tokens.push(Token::Int(
+                    text.parse()
+                        .map_err(|_| SquallError::Parse(format!("bad integer literal {text}")))?,
+                ));
             }
             continue;
         }
@@ -164,10 +166,7 @@ mod tests {
     #[test]
     fn numbers_and_strings() {
         let t = tokenize("42 3.5 'blogspot.com'").unwrap();
-        assert_eq!(
-            t,
-            vec![Token::Int(42), Token::Float(3.5), Token::Str("blogspot.com".into())]
-        );
+        assert_eq!(t, vec![Token::Int(42), Token::Float(3.5), Token::Str("blogspot.com".into())]);
     }
 
     #[test]

@@ -242,10 +242,8 @@ mod tests {
     fn figure_one_query() {
         // The architecture figure's query: SELECT SUM(T.E) FROM R,S,T
         // WHERE R.B = S.B AND S.D = T.D AND S.C > 3.
-        let q = parse(
-            "SELECT SUM(T.E) FROM R, S, T WHERE R.B = S.B AND S.D = T.D AND S.C > 3",
-        )
-        .unwrap();
+        let q = parse("SELECT SUM(T.E) FROM R, S, T WHERE R.B = S.B AND S.D = T.D AND S.C > 3")
+            .unwrap();
         assert_eq!(q.tables.len(), 3);
         assert_eq!(q.filters.len(), 3, "AND flattens");
         assert!(q.select[0].0.has_agg());

@@ -1,14 +1,13 @@
 //! The paper's cluster-administrator scenario (§6): monitor a Google-style
 //! cluster trace in real time and count failed tasks per machine — the
-//! Google TaskCount query — through the SQL interface, end to end.
+//! Google TaskCount query — through both session interfaces, end to end.
 //!
 //! ```text
 //! cargo run --release --example cluster_monitoring
 //! ```
 
 use squall::data::google_cluster;
-use squall::plan::physical::execute_query;
-use squall::plan::{Catalog, ExecConfig};
+use squall::{col, count, lit, Session};
 
 fn main() {
     // Synthetic trace preserving the 2011 trace's relative table sizes.
@@ -20,18 +19,14 @@ fn main() {
         trace.machine_events.len()
     );
 
-    let mut catalog = Catalog::new();
-    catalog.register(
+    let mut session = Session::builder().machines(8).build();
+    session.register(
         "MACHINE_EVENTS",
         google_cluster::machine_events_schema(),
-        trace.machine_events.clone(),
+        trace.machine_events,
     );
-    catalog.register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events.clone());
-    catalog.register(
-        "TASK_EVENTS",
-        google_cluster::task_events_schema(),
-        trace.task_events.clone(),
-    );
+    session.register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events);
+    session.register("TASK_EVENTS", google_cluster::task_events_schema(), trace.task_events);
 
     // §7.4's query, verbatim SQL (FAIL = 3 in the trace encoding).
     let sql = "SELECT MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform, COUNT(*) \
@@ -40,23 +35,30 @@ fn main() {
                  AND JOB_EVENTS.jobID = TASK_EVENTS.jobID \
                  AND MACHINE_EVENTS.machineID = TASK_EVENTS.machineID \
                GROUP BY MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform";
-    let query = squall::sql::parse(sql).expect("valid SQL");
-    let cfg = ExecConfig { machines: 8, ..ExecConfig::default() };
-    let result = execute_query(&query, &catalog, &cfg).expect("runs");
+    let mut result = session.sql(sql).expect("runs");
+
+    // The same monitoring query through the imperative interface.
+    let mut imperative = session
+        .from("JOB_EVENTS")
+        .join("TASK_EVENTS")
+        .join("MACHINE_EVENTS")
+        .filter(col("TASK_EVENTS.eventType").eq(lit(3)))
+        .on(col("JOB_EVENTS.jobID").eq(col("TASK_EVENTS.jobID")))
+        .on(col("MACHINE_EVENTS.machineID").eq(col("TASK_EVENTS.machineID")))
+        .group_by([col("MACHINE_EVENTS.machineID"), col("MACHINE_EVENTS.platform")])
+        .select([count()])
+        .run()
+        .expect("runs");
+    assert_eq!(result.rows(), imperative.rows(), "SQL == imperative");
 
     // The machines "not production-ready": highest failed-task counts.
-    let mut rows = result.rows.clone();
+    let mut rows = result.rows().to_vec();
     rows.sort_by_key(|r| std::cmp::Reverse(r.get(2).as_int().unwrap_or(0)));
     println!("\nworst machines by failed tasks:");
     for row in rows.iter().take(10) {
-        println!(
-            "  machine {:>4}  {}  {:>5} failed tasks",
-            row.get(0),
-            row.get(1),
-            row.get(2)
-        );
+        println!("  machine {:>4}  {}  {:>5} failed tasks", row.get(0), row.get(1), row.get(2));
     }
-    let report = result.report.expect("distributed run");
+    let report = result.report().expect("distributed run");
     println!(
         "\njoin ran on {} machines, skew degree {:.2}, replication factor {:.2}, in {:?}",
         report.loads.len(),

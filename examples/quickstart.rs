@@ -1,29 +1,29 @@
-//! Quickstart: register relations, run SQL, inspect the plan and metrics.
+//! Quickstart: one `Session`, both interfaces (§2), plan inspection and
+//! run metrics.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use squall::common::{tuple, DataType, Schema, SplitMix64};
-use squall::plan::physical::execute_query;
-use squall::plan::{Catalog, ExecConfig, PhysicalQuery};
+use squall::expr::BinOp;
+use squall::{col, count, lit, sum, Session};
 
 fn main() {
-    // 1. Build a tiny catalog: suppliers ship parts to regions.
+    // 1. One session owns the catalog and the execution config: suppliers
+    //    ship parts to regions, 8 join machines.
     let mut rng = SplitMix64::new(1);
-    let mut catalog = Catalog::new();
-    catalog.register(
+    let mut session = Session::builder().machines(8).build();
+    session.register(
         "parts",
         Schema::of(&[("pid", DataType::Int), ("weight", DataType::Int)]),
         (0..2_000).map(|p| tuple![p, rng.next_range(1, 100)]).collect(),
     );
-    catalog.register(
+    session.register(
         "shipments",
         Schema::of(&[("pid", DataType::Int), ("region", DataType::Int), ("qty", DataType::Int)]),
         (0..20_000)
-            .map(|_| {
-                tuple![rng.next_range(0, 1_999), rng.next_range(0, 9), rng.next_range(1, 50)]
-            })
+            .map(|_| tuple![rng.next_range(0, 1_999), rng.next_range(0, 9), rng.next_range(1, 50)])
             .collect(),
     );
 
@@ -32,22 +32,32 @@ fn main() {
                FROM parts, shipments \
                WHERE parts.pid = shipments.pid AND parts.weight > 10 \
                GROUP BY shipments.region";
-    let query = squall::sql::parse(sql).expect("valid SQL");
 
     // 3. Inspect what the optimizer did: selection pushdown, output-scheme
     //    pruning, join atoms.
-    let plan = PhysicalQuery::plan(&query, &catalog).expect("plannable");
-    println!("-- plan --\n{}", plan.explain());
+    println!("-- plan --\n{}", session.explain(sql).expect("plannable"));
 
-    // 4. Execute on the distributed runtime (8 join machines).
-    let cfg = ExecConfig { machines: 8, ..ExecConfig::default() };
-    let result = execute_query(&query, &catalog, &cfg).expect("runs");
+    // 4. Execute on the distributed runtime.
+    let mut result = session.sql(sql).expect("runs");
 
-    println!("-- results ({} region groups) --", result.rows.len());
-    for row in &result.rows {
+    // 5. The same query through the imperative interface lowers to the
+    //    same logical plan — byte-identical rows.
+    let mut imperative = session
+        .from("parts")
+        .join("shipments")
+        .on(col("parts.pid").eq(col("shipments.pid")))
+        .filter(col("parts.weight").gt(lit(10)))
+        .group_by([col("shipments.region")])
+        .select([count(), sum(col("shipments.qty").bin(BinOp::Mul, col("parts.weight")))])
+        .run()
+        .expect("runs");
+    assert_eq!(result.rows(), imperative.rows(), "SQL == imperative");
+
+    println!("-- results ({} region groups, both interfaces) --", result.rows().len());
+    for row in result.rows() {
         println!("{row}");
     }
-    let report = result.report.expect("distributed run");
+    let report = result.report().expect("distributed run");
     println!(
         "\n-- run metrics (§6) --\njoin machines: {} loads {:?}\nskew degree: {:.2}\nreplication factor: {:.2}\nelapsed: {:?}",
         report.loads.len(),

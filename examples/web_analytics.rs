@@ -1,38 +1,48 @@
 //! The paper's WebAnalytics demo scenario (§6–§7.3): find 2-hop hyperlink
 //! paths through the dominant hub ('blogspot.com') and join them with
 //! per-URL content scores — then compare all three hypercube schemes on
-//! the same query, like the demo UI lets attendees do.
+//! the same session, like the demo UI lets attendees do.
 //!
 //! ```text
 //! cargo run --release --example web_analytics
 //! ```
 
-use squall::data::queries;
 use squall::data::webgraph::WebGraphGen;
-use squall::data::crawlcontent;
-use squall::engine::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
-use squall::partition::optimizer::SchemeKind;
+use squall::data::{crawlcontent, webgraph};
+use squall::{SchemeKind, Session};
 
 fn main() {
-    // Synthetic Common-Crawl-style hyperlink graph with one dominant hub.
+    // Synthetic Common-Crawl-style hyperlink graph with one dominant hub
+    // (integer id 0), plus per-URL content scores.
     let arcs = WebGraphGen::new(2_000, 20_000, 11).generate();
     let content = crawlcontent::generate(2_000, 12);
-    let q = queries::webanalytics(&arcs, &content);
-    println!(
-        "WebAnalytics: |W1| = {} (arcs into the hub), |W2| = {} (arcs out), |C| = {}",
-        q.data[0].len(),
-        q.data[1].len(),
-        q.data[2].len()
-    );
+    let mut session = Session::builder().machines(8).build();
+    session.register("WebGraph", webgraph::webgraph_schema(), arcs);
+    session.register("CrawlContent", crawlcontent::crawlcontent_schema(), content);
 
-    // Try every scheme, as the demo's scheme selector does.
+    // §6's WebAnalytics query: pages linking into the hub, scored.
+    let sql = "SELECT W1.FromUrl, C.Score, COUNT(*) \
+               FROM WebGraph W1, WebGraph W2, CrawlContent C \
+               WHERE W1.ToUrl = 0 AND W2.FromUrl = 0 \
+                 AND W1.ToUrl = W2.FromUrl AND W1.FromUrl = C.Url \
+               GROUP BY W1.FromUrl, C.Score";
+    println!("-- plan --\n{}", session.explain(sql).expect("plannable"));
+
+    // Try every scheme on the same session, as the demo's selector does.
+    let mut expected_rows = None;
     for kind in [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid] {
-        let cfg = MultiwayConfig::new(kind, LocalJoinKind::DBToaster, 8).count_only();
-        let rep = run_multiway(&q.spec, q.data.clone(), &cfg).expect("runs");
+        session.config_mut().scheme = Some(kind);
+        let mut result = session.sql(sql).expect("runs");
+        let n = result.rows().len();
+        if let Some(prev) = &expected_rows {
+            assert_eq!(prev, &result.rows().to_vec(), "schemes must agree");
+        } else {
+            expected_rows = Some(result.rows().to_vec());
+        }
+        let rep = result.report().expect("distributed run");
         println!(
-            "\n{kind}\n  partitioning:       {}\n  results:            {}\n  max/avg load:       {} / {:.0}\n  skew degree:        {:.2}\n  replication factor: {:.2}\n  runtime:            {:?}",
+            "\n{kind}\n  partitioning:       {}\n  result groups:      {n}\n  max/avg load:       {} / {:.0}\n  skew degree:        {:.2}\n  replication factor: {:.2}\n  runtime:            {:?}",
             rep.scheme_description,
-            rep.result_count,
             rep.max_load(),
             rep.avg_load(),
             rep.skew_degree,

@@ -1,0 +1,524 @@
+//! The unified entry point: one [`Session`] owning the catalog and
+//! execution configuration, with the paper's two user-facing interfaces
+//! (§2) over the same engine:
+//!
+//! * **declarative** — [`Session::sql`] parses SQL and runs it;
+//! * **imperative** — [`Session::from`] opens a fluent [`QueryBuilder`]
+//!   (`.join(..).on(..).filter(..).group_by(..).agg(..)`) that lowers to
+//!   the *same* [`Query`] logical block the SQL parser produces, so both
+//!   paths hit one optimizer and one runtime.
+//!
+//! Either path returns a [`ResultSet`] — materialized rows, a streaming
+//! row iterator, and the distributed run's [`JoinReport`] metrics — and
+//! [`Session::explain`] / [`QueryBuilder::explain`] expose the optimized
+//! physical plan as text.
+//!
+//! ```
+//! use squall::{col, count, Session};
+//! use squall::common::{tuple, DataType, Schema};
+//!
+//! let mut session = Session::builder().machines(4).build();
+//! session.register(
+//!     "R",
+//!     Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+//!     vec![tuple![1, 10], tuple![2, 20]],
+//! );
+//! session.register(
+//!     "S",
+//!     Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
+//!     vec![tuple![2, 7], tuple![3, 8]],
+//! );
+//! let mut sql = session.sql("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap();
+//! let mut imperative = session
+//!     .from("R")
+//!     .join("S")
+//!     .on(col("R.a").eq(col("S.a")))
+//!     .select([col("R.b"), col("S.c")])
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(sql.rows(), vec![tuple![20, 7]]);
+//! assert_eq!(sql.rows(), imperative.rows());
+//! # let _ = count; // re-exported builder helper
+//! ```
+
+use squall_common::{Result, Schema, Tuple};
+use squall_plan::physical::{execute_query, execute_query_stream, PhysicalQuery};
+use squall_plan::Catalog;
+
+pub use squall_core::driver::{JoinReport, LocalJoinKind};
+pub use squall_expr::AggFunc;
+pub use squall_partition::optimizer::SchemeKind;
+pub use squall_plan::logical::{agg, col, lit, Expr, Query};
+pub use squall_plan::physical::{ExecConfig, ResultSet};
+
+/// `COUNT(*)`.
+pub fn count() -> Expr {
+    agg(AggFunc::Count, None)
+}
+
+/// `SUM(expr)`.
+pub fn sum(e: Expr) -> Expr {
+    agg(AggFunc::Sum, Some(e))
+}
+
+/// `AVG(expr)`.
+pub fn avg(e: Expr) -> Expr {
+    agg(AggFunc::Avg, Some(e))
+}
+
+/// Fluent construction of a [`Session`].
+///
+/// ```
+/// use squall::{LocalJoinKind, SchemeKind, Session};
+/// let session = Session::builder()
+///     .machines(8)
+///     .scheme(SchemeKind::Hybrid)
+///     .local(LocalJoinKind::DBToaster)
+///     .seed(7)
+///     .build();
+/// assert_eq!(session.config().machines, 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    config: ExecConfig,
+}
+
+impl SessionBuilder {
+    /// Join component parallelism (the paper's number of "machines").
+    pub fn machines(mut self, machines: usize) -> SessionBuilder {
+        self.config.machines = machines;
+        self
+    }
+
+    /// Force a partitioning scheme. Default: Hybrid-Hypercube, which
+    /// subsumes Hash and Random (§3.1).
+    pub fn scheme(mut self, scheme: SchemeKind) -> SessionBuilder {
+        self.config.scheme = Some(scheme);
+        self
+    }
+
+    /// Local join algorithm each machine runs (§3.3).
+    pub fn local(mut self, local: LocalJoinKind) -> SessionBuilder {
+        self.config.local = local;
+        self
+    }
+
+    /// RNG seed: the same seed, data and config reproduce the same loads
+    /// and results.
+    pub fn seed(mut self, seed: u64) -> SessionBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Parallelism of the post-join aggregation component.
+    pub fn agg_parallelism(mut self, parallelism: usize) -> SessionBuilder {
+        self.config.agg_parallelism = parallelism;
+        self
+    }
+
+    /// Tolerated hash-over-random load ratio before an attribute is marked
+    /// skewed (§3.4 chooser).
+    pub fn skew_slack(mut self, slack: f64) -> SessionBuilder {
+        self.config.skew_slack = slack;
+        self
+    }
+
+    pub fn build(self) -> Session {
+        Session { catalog: Catalog::new(), config: self.config }
+    }
+}
+
+/// One engine instance: a catalog of registered relations plus the
+/// execution configuration every query of this session runs with.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    catalog: Catalog,
+    config: ExecConfig,
+}
+
+impl Session {
+    /// A session with default configuration (4 machines, Hybrid-Hypercube,
+    /// DBToaster local joins).
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Register (or replace) a relation.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        data: Vec<Tuple>,
+    ) -> &mut Session {
+        self.catalog.register(name, schema, data);
+        self
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Mutable access to the execution knobs (e.g. to compare schemes on
+    /// the same session, as the paper's demo UI does).
+    pub fn config_mut(&mut self) -> &mut ExecConfig {
+        &mut self.config
+    }
+
+    /// Declarative interface: parse and run SQL, materializing the rows.
+    pub fn sql(&self, text: &str) -> Result<ResultSet> {
+        execute_query(&squall_sql::parse(text)?, &self.catalog, &self.config)
+    }
+
+    /// Declarative interface, streaming: rows are yielded through the
+    /// [`ResultSet`] iterator *while the topology runs*. A run that fails
+    /// mid-way ends the stream early — check [`ResultSet::error`] after
+    /// exhaustion before trusting the rows as complete.
+    pub fn sql_stream(&self, text: &str) -> Result<ResultSet> {
+        execute_query_stream(&squall_sql::parse(text)?, &self.catalog, &self.config)
+    }
+
+    /// Run an already-built logical query block (materialized).
+    pub fn run(&self, query: &Query) -> Result<ResultSet> {
+        execute_query(query, &self.catalog, &self.config)
+    }
+
+    /// Run an already-built logical query block, streaming.
+    pub fn run_stream(&self, query: &Query) -> Result<ResultSet> {
+        execute_query_stream(query, &self.catalog, &self.config)
+    }
+
+    /// The optimized physical plan for a SQL query, as text: selection
+    /// pushdown, output-scheme pruning, join atoms, aggregation shape.
+    pub fn explain(&self, text: &str) -> Result<String> {
+        self.explain_query(&squall_sql::parse(text)?)
+    }
+
+    /// The optimized physical plan for a logical query block, as text.
+    pub fn explain_query(&self, query: &Query) -> Result<String> {
+        Ok(PhysicalQuery::plan(query, &self.catalog)?.explain())
+    }
+
+    /// Imperative interface: open a query builder on a first relation
+    /// (aliased by its own name).
+    // The name mirrors SQL's FROM (and the paper's imperative interface),
+    // not the `From` conversion trait.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from(&self, table: impl Into<String>) -> QueryBuilder<'_> {
+        let table = table.into();
+        self.from_as(table.clone(), table)
+    }
+
+    /// Imperative interface with an explicit alias
+    /// (`FROM table AS alias`).
+    pub fn from_as(&self, table: impl Into<String>, alias: impl Into<String>) -> QueryBuilder<'_> {
+        QueryBuilder {
+            session: self,
+            tables: vec![(table.into(), alias.into())],
+            filters: Vec::new(),
+            group_by: Vec::new(),
+            select: Vec::new(),
+        }
+    }
+}
+
+/// Fluent imperative query construction — the paper's functional
+/// interface, bound to a session. Lowers to exactly the [`Query`] block
+/// the SQL parser produces (see [`QueryBuilder::build`]), so the
+/// optimizer and runtime treat both interfaces identically.
+///
+/// Select-list rule: items accumulate in call order from
+/// [`QueryBuilder::select`] / [`QueryBuilder::select_as`] /
+/// [`QueryBuilder::agg`]; if only aggregates were requested and a GROUP BY
+/// is present, the group-by columns are prepended (SQL's
+/// `SELECT k, COUNT(*) … GROUP BY k` shape).
+#[derive(Debug, Clone)]
+pub struct QueryBuilder<'s> {
+    session: &'s Session,
+    tables: Vec<(String, String)>,
+    filters: Vec<Expr>,
+    group_by: Vec<Expr>,
+    select: Vec<(Expr, Option<String>)>,
+}
+
+impl QueryBuilder<'_> {
+    /// Add a relation (aliased by its own name).
+    pub fn join(mut self, table: impl Into<String>) -> Self {
+        let table = table.into();
+        self.tables.push((table.clone(), table));
+        self
+    }
+
+    /// Add a relation with an explicit alias.
+    pub fn join_as(mut self, table: impl Into<String>, alias: impl Into<String>) -> Self {
+        self.tables.push((table.into(), alias.into()));
+        self
+    }
+
+    /// Join predicate. Sugar for [`QueryBuilder::filter`] — the optimizer
+    /// classifies each conjunct as a pushed-down selection or a join atom
+    /// by the relations it touches, exactly as it does for SQL WHERE.
+    pub fn on(self, predicate: Expr) -> Self {
+        self.filter(predicate)
+    }
+
+    /// Add a WHERE conjunct (top-level ANDs are flattened at
+    /// [`QueryBuilder::build`], via the same [`Query::filter`] the SQL
+    /// parser uses).
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.filters.push(predicate);
+        self
+    }
+
+    /// GROUP BY columns.
+    pub fn group_by(mut self, cols: impl IntoIterator<Item = Expr>) -> Self {
+        self.group_by.extend(cols);
+        self
+    }
+
+    /// Append SELECT items (plain expressions or aggregate calls built
+    /// with [`crate::count`] / [`crate::sum`] / [`crate::avg`] /
+    /// [`squall_plan::logical::agg`]).
+    pub fn select(mut self, items: impl IntoIterator<Item = Expr>) -> Self {
+        self.select.extend(items.into_iter().map(|e| (e, None)));
+        self
+    }
+
+    /// Append one named SELECT item (`expr AS name`).
+    pub fn select_as(mut self, item: Expr, name: impl Into<String>) -> Self {
+        self.select.push((item, Some(name.into())));
+        self
+    }
+
+    /// Append an aggregate to the SELECT list
+    /// (`.agg(AggFunc::Sum, Some(col("L.price")))`).
+    pub fn agg(mut self, func: AggFunc, arg: Option<Expr>) -> Self {
+        self.select.push((agg(func, arg), None));
+        self
+    }
+
+    /// Lower to the logical [`Query`] block — the same structure
+    /// `squall_sql::parse` yields, which is what guarantees SQL/imperative
+    /// equivalence.
+    pub fn build(self) -> Query {
+        let mut select = self.select;
+        if !self.group_by.is_empty() && select.iter().all(|(e, _)| e.has_agg()) {
+            let mut full: Vec<(Expr, Option<String>)> =
+                self.group_by.iter().cloned().map(|e| (e, None)).collect();
+            full.append(&mut select);
+            select = full;
+        }
+        let mut query =
+            Query { tables: self.tables, filters: Vec::new(), select, group_by: self.group_by };
+        for predicate in self.filters {
+            query = query.filter(predicate);
+        }
+        query
+    }
+
+    /// Build and run, materializing the rows.
+    pub fn run(self) -> Result<ResultSet> {
+        let session = self.session;
+        session.run(&self.build())
+    }
+
+    /// Build and run, streaming rows while the topology runs.
+    pub fn stream(self) -> Result<ResultSet> {
+        let session = self.session;
+        session.run_stream(&self.build())
+    }
+
+    /// The optimized physical plan, as text.
+    pub fn explain(self) -> Result<String> {
+        let session = self.session;
+        session.explain_query(&self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::{tuple, DataType};
+
+    fn session() -> Session {
+        let mut s = Session::builder().machines(4).seed(42).build();
+        s.register(
+            "R",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+            vec![tuple![1, 10], tuple![2, 20], tuple![3, 30], tuple![2, 25]],
+        );
+        s.register(
+            "S",
+            Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
+            vec![tuple![2, 100], tuple![3, 200], tuple![4, 300], tuple![2, 150]],
+        );
+        s
+    }
+
+    #[test]
+    fn builder_configures_session() {
+        let s = Session::builder()
+            .machines(9)
+            .scheme(SchemeKind::Random)
+            .local(LocalJoinKind::Traditional)
+            .seed(3)
+            .agg_parallelism(5)
+            .skew_slack(0.75)
+            .build();
+        assert_eq!(s.config().machines, 9);
+        assert_eq!(s.config().scheme, Some(SchemeKind::Random));
+        assert_eq!(s.config().local, LocalJoinKind::Traditional);
+        assert_eq!(s.config().seed, 3);
+        assert_eq!(s.config().agg_parallelism, 5);
+        assert!((s.config().skew_slack - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sql_and_imperative_agree() {
+        let s = session();
+        let mut sql = s.sql("SELECT R.b, S.c FROM R, S WHERE R.a = S.a AND R.b > 15").unwrap();
+        let mut imp = s
+            .from("R")
+            .join("S")
+            .on(col("R.a").eq(col("S.a")))
+            .filter(col("R.b").gt(lit(15)))
+            .select([col("R.b"), col("S.c")])
+            .run()
+            .unwrap();
+        assert_eq!(sql.rows(), imp.rows());
+        assert!(!sql.rows().is_empty());
+        assert!(sql.report().is_some(), "distributed run reports metrics");
+    }
+
+    #[test]
+    fn group_by_prepends_keys_when_only_aggs_selected() {
+        let s = session();
+        let q = s
+            .from("R")
+            .join("S")
+            .on(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .agg(AggFunc::Count, None)
+            .build();
+        assert_eq!(q.select.len(), 2, "group key prepended");
+        assert!(!q.select[0].0.has_agg());
+        let mut sql = s.sql("SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a GROUP BY R.a").unwrap();
+        let mut imp = s.run(&q).unwrap();
+        assert_eq!(sql.rows(), imp.rows());
+    }
+
+    #[test]
+    fn explicit_select_order_is_preserved() {
+        let s = session();
+        let q = s
+            .from("R")
+            .join("S")
+            .on(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select([count(), col("R.a")])
+            .build();
+        assert!(q.select[0].0.has_agg(), "explicit order untouched");
+    }
+
+    #[test]
+    fn streaming_multiset_equals_materialized_rows() {
+        let s = session();
+        let query = "SELECT R.b, S.c FROM R, S WHERE R.a = S.a";
+        let mut streamed: Vec<Tuple> = Vec::new();
+        let mut rs = s.sql_stream(query).unwrap();
+        assert!(rs.is_streaming());
+        for row in rs.by_ref() {
+            streamed.push(row);
+        }
+        let report = rs.report().expect("metrics after exhaustion");
+        assert!(report.error.is_none());
+        streamed.sort();
+        let mut materialized = s.sql(query).unwrap();
+        assert_eq!(materialized.rows(), streamed);
+    }
+
+    #[test]
+    fn explain_shows_plan_both_ways() {
+        let s = session();
+        let via_sql = s.explain("SELECT S.c FROM R, S WHERE R.a = S.a AND R.b > 15").unwrap();
+        let via_builder = s
+            .from("R")
+            .join("S")
+            .on(col("R.a").eq(col("S.a")))
+            .filter(col("R.b").gt(lit(15)))
+            .select([col("S.c")])
+            .explain()
+            .unwrap();
+        assert_eq!(via_sql, via_builder);
+        assert!(via_sql.contains("join atoms"));
+        assert!(via_sql.contains("filter"));
+    }
+
+    #[test]
+    fn named_select_items_set_output_schema() {
+        let s = session();
+        let mut rs = s
+            .from("R")
+            .join("S")
+            .on(col("R.a").eq(col("S.a")))
+            .select_as(sum(col("S.c")), "total")
+            .run()
+            .unwrap();
+        assert_eq!(rs.schema().field(0).name, "total");
+        assert_eq!(rs.rows().len(), 1);
+    }
+
+    #[test]
+    fn config_mut_switches_scheme_between_runs() {
+        let mut s = session();
+        let sql = "SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a GROUP BY R.a";
+        let mut expect = s.sql(sql).unwrap();
+        for scheme in [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid] {
+            s.config_mut().scheme = Some(scheme);
+            let mut rs = s.sql(sql).unwrap();
+            assert_eq!(rs.rows(), expect.rows(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn rows_after_iteration_returns_remainder_in_both_modes() {
+        let s = session();
+        let q = "SELECT R.b, S.c FROM R, S WHERE R.a = S.a";
+        let mut materialized = s.sql(q).unwrap();
+        let total = materialized.rows().len();
+        assert!(total >= 2);
+        let first = materialized.next().unwrap();
+        assert_eq!(materialized.rows().len(), total - 1);
+        assert!(!materialized.rows().contains(&first));
+        let mut streaming = s.sql_stream(q).unwrap();
+        let _ = streaming.next().unwrap();
+        assert_eq!(streaming.rows().len(), total - 1);
+        assert!(streaming.error().is_none());
+    }
+
+    #[test]
+    fn dropping_a_live_stream_stops_the_run() {
+        let s = session();
+        let mut stream = s.sql_stream("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap();
+        let _ = stream.next();
+        drop(stream); // must abort + join the topology, not leak threads
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let s = session();
+        assert!(s.sql("SELECT Z.x FROM Z").is_err());
+        assert!(s.from("Z").select([col("Z.x")]).run().is_err());
+    }
+}

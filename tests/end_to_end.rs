@@ -1,6 +1,8 @@
 //! End-to-end integration tests: the paper's evaluation queries, run
-//! through the full stack (SQL → plan → optimizer → topology → results),
-//! checked against the naive in-memory oracle.
+//! through the full stack (session → SQL or imperative builder → plan →
+//! optimizer → topology → results), checked against the naive in-memory
+//! oracle — and checked SQL-vs-imperative: both interfaces must lower to
+//! the same plan and produce identical rows *and* identical run reports.
 
 use squall::common::{Tuple, Value};
 use squall::data::tpch::{self, TpchGen};
@@ -9,8 +11,8 @@ use squall::data::{crawlcontent, google_cluster, queries};
 use squall::engine::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
 use squall::join::naive::{naive_join, same_multiset};
 use squall::partition::optimizer::SchemeKind;
-use squall::plan::physical::execute_query;
-use squall::plan::{Catalog, ExecConfig};
+use squall::session::JoinReport;
+use squall::{col, count, lit, sum, ResultSet, Session};
 
 /// Group-by-count oracle over join output.
 fn oracle_group_count(joined: &[Tuple], cols: &[usize]) -> Vec<Tuple> {
@@ -26,6 +28,30 @@ fn oracle_group_count(joined: &[Tuple], cols: &[usize]) -> Vec<Tuple> {
             Tuple::new(k)
         })
         .collect()
+}
+
+/// The deterministic parts of two runs' reports must coincide when the
+/// same plan ran with the same config and seed (elapsed time may differ).
+fn assert_reports_match(a: &JoinReport, b: &JoinReport) {
+    assert_eq!(a.result_count, b.result_count, "result counts");
+    assert_eq!(a.input_count, b.input_count, "source input counts");
+    assert_eq!(a.loads, b.loads, "per-machine loads");
+    assert_eq!(a.scheme_description, b.scheme_description, "chosen scheme");
+    assert!((a.replication_factor - b.replication_factor).abs() < 1e-9);
+    assert!((a.skew_degree - b.skew_degree).abs() < 1e-9);
+    assert!((a.network_factor - b.network_factor).abs() < 1e-9);
+}
+
+/// SQL path and imperative path must produce byte-identical rows, equal
+/// schemas and matching reports.
+fn assert_equivalent(mut sql: ResultSet, mut imperative: ResultSet) {
+    assert_eq!(sql.schema().arity(), imperative.schema().arity());
+    assert_eq!(sql.rows(), imperative.rows(), "rows must be byte-identical");
+    match (sql.report(), imperative.report()) {
+        (Some(a), Some(b)) => assert_reports_match(a, b),
+        (None, None) => {}
+        _ => panic!("one interface ran distributed, the other locally"),
+    }
 }
 
 #[test]
@@ -56,82 +82,182 @@ fn tpch9_partial_counts_match_oracle_under_skew() {
     }
 }
 
-#[test]
-fn google_taskcount_sql_end_to_end() {
-    let trace = google_cluster::generate(3000, 9);
-    let mut catalog = Catalog::new();
-    catalog.register(
+fn google_session(trace: &google_cluster::GoogleClusterData) -> Session {
+    let mut session = Session::builder().machines(4).build();
+    session.register(
         "MACHINE_EVENTS",
         google_cluster::machine_events_schema(),
         trace.machine_events.clone(),
     );
-    catalog.register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events.clone());
-    catalog
-        .register("TASK_EVENTS", google_cluster::task_events_schema(), trace.task_events.clone());
-    let query = squall::sql::parse(
-        "SELECT MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform, COUNT(*) \
-         FROM JOB_EVENTS, TASK_EVENTS, MACHINE_EVENTS \
-         WHERE TASK_EVENTS.eventType = 3 \
-           AND JOB_EVENTS.jobID = TASK_EVENTS.jobID \
-           AND MACHINE_EVENTS.machineID = TASK_EVENTS.machineID \
-         GROUP BY MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform",
-    )
-    .unwrap();
-    let res = execute_query(&query, &catalog, &ExecConfig::default()).unwrap();
+    session.register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events.clone());
+    session.register(
+        "TASK_EVENTS",
+        google_cluster::task_events_schema(),
+        trace.task_events.clone(),
+    );
+    session
+}
+
+const GOOGLE_TASKCOUNT_SQL: &str =
+    "SELECT MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform, COUNT(*) \
+     FROM JOB_EVENTS, TASK_EVENTS, MACHINE_EVENTS \
+     WHERE TASK_EVENTS.eventType = 3 \
+       AND JOB_EVENTS.jobID = TASK_EVENTS.jobID \
+       AND MACHINE_EVENTS.machineID = TASK_EVENTS.machineID \
+     GROUP BY MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform";
+
+fn google_taskcount_imperative(session: &Session) -> ResultSet {
+    session
+        .from("JOB_EVENTS")
+        .join("TASK_EVENTS")
+        .join("MACHINE_EVENTS")
+        .filter(col("TASK_EVENTS.eventType").eq(lit(3)))
+        .on(col("JOB_EVENTS.jobID").eq(col("TASK_EVENTS.jobID")))
+        .on(col("MACHINE_EVENTS.machineID").eq(col("TASK_EVENTS.machineID")))
+        .group_by([col("MACHINE_EVENTS.machineID"), col("MACHINE_EVENTS.platform")])
+        .select([count()])
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn google_taskcount_sql_end_to_end() {
+    let trace = google_cluster::generate(3000, 9);
+    let session = google_session(&trace);
+    let mut res = session.sql(GOOGLE_TASKCOUNT_SQL).unwrap();
 
     // Oracle via the prepared query instance + group-count.
     let q = queries::google_taskcount(&trace);
     let joined = naive_join(&q.spec, &q.data);
     let expected = oracle_group_count(&joined, &q.agg_group_cols);
-    assert_eq!(res.rows.len(), expected.len());
-    assert!(same_multiset(&res.rows, &expected));
+    assert_eq!(res.rows().len(), expected.len());
+    assert!(same_multiset(res.rows(), &expected));
+}
+
+#[test]
+fn google_taskcount_sql_equals_imperative() {
+    let trace = google_cluster::generate(3000, 9);
+    let session = google_session(&trace);
+    let sql = session.sql(GOOGLE_TASKCOUNT_SQL).unwrap();
+    let imperative = google_taskcount_imperative(&session);
+    assert_equivalent(sql, imperative);
+}
+
+fn webanalytics_session(arcs: &[Tuple], content: &[Tuple]) -> Session {
+    let mut session = Session::builder().machines(4).build();
+    session.register("WebGraph", squall::data::webgraph::webgraph_schema(), arcs.to_vec());
+    session.register("CrawlContent", crawlcontent::crawlcontent_schema(), content.to_vec());
+    session
+}
+
+// HUB is integer id 0 in the synthetic graph.
+const WEBANALYTICS_SQL: &str = "SELECT W1.FromUrl, C.Score, COUNT(*) \
+     FROM WebGraph W1, WebGraph W2, CrawlContent C \
+     WHERE W1.ToUrl = 0 AND W2.FromUrl = 0 \
+       AND W1.ToUrl = W2.FromUrl AND W1.FromUrl = C.Url \
+     GROUP BY W1.FromUrl, C.Score";
+
+fn webanalytics_imperative(session: &Session) -> ResultSet {
+    session
+        .from_as("WebGraph", "W1")
+        .join_as("WebGraph", "W2")
+        .join_as("CrawlContent", "C")
+        .filter(col("W1.ToUrl").eq(lit(0)))
+        .filter(col("W2.FromUrl").eq(lit(0)))
+        .on(col("W1.ToUrl").eq(col("W2.FromUrl")))
+        .on(col("W1.FromUrl").eq(col("C.Url")))
+        .group_by([col("W1.FromUrl"), col("C.Score")])
+        .select([count()])
+        .run()
+        .unwrap()
 }
 
 #[test]
 fn webanalytics_sql_end_to_end() {
     let arcs = WebGraphGen::new(300, 4000, 7).generate();
     let content = crawlcontent::generate(300, 8);
-    let mut catalog = Catalog::new();
-    catalog.register("WebGraph", squall::data::webgraph::webgraph_schema(), arcs.clone());
-    catalog.register("CrawlContent", crawlcontent::crawlcontent_schema(), content.clone());
-    // HUB is integer id 0 in the synthetic graph.
-    let query = squall::sql::parse(
-        "SELECT W1.FromUrl, C.Score, COUNT(*) \
-         FROM WebGraph W1, WebGraph W2, CrawlContent C \
-         WHERE W1.ToUrl = 0 AND W2.FromUrl = 0 \
-           AND W1.ToUrl = W2.FromUrl AND W1.FromUrl = C.Url \
-         GROUP BY W1.FromUrl, C.Score",
-    )
-    .unwrap();
-    let res = execute_query(&query, &catalog, &ExecConfig::default()).unwrap();
+    let session = webanalytics_session(&arcs, &content);
+    let mut res = session.sql(WEBANALYTICS_SQL).unwrap();
 
     let q = queries::webanalytics(&arcs, &content);
     let joined = naive_join(&q.spec, &q.data);
     let expected = oracle_group_count(&joined, &q.agg_group_cols);
-    assert_eq!(res.rows.len(), expected.len());
-    assert!(same_multiset(&res.rows, &expected));
-    assert!(!res.rows.is_empty(), "hub must have 2-hop paths");
+    assert_eq!(res.rows().len(), expected.len());
+    assert!(same_multiset(res.rows(), &expected));
+    assert!(!res.rows().is_empty(), "hub must have 2-hop paths");
     let _ = HUB;
 }
 
 #[test]
+fn webanalytics_sql_equals_imperative() {
+    let arcs = WebGraphGen::new(300, 4000, 7).generate();
+    let content = crawlcontent::generate(300, 8);
+    let session = webanalytics_session(&arcs, &content);
+    let sql = session.sql(WEBANALYTICS_SQL).unwrap();
+    let imperative = webanalytics_imperative(&session);
+    assert_equivalent(sql, imperative);
+}
+
+#[test]
+fn webanalytics_streaming_iterator_and_report() {
+    let arcs = WebGraphGen::new(300, 4000, 7).generate();
+    let content = crawlcontent::generate(300, 8);
+    let session = webanalytics_session(&arcs, &content);
+
+    let mut stream = session.sql_stream(WEBANALYTICS_SQL).unwrap();
+    assert!(stream.is_streaming());
+    let mut streamed: Vec<Tuple> = Vec::new();
+    for row in stream.by_ref() {
+        streamed.push(row);
+    }
+    let stream_report = stream.report().expect("report after exhaustion");
+    assert!(stream_report.error.is_none());
+    assert!(stream_report.loads.iter().sum::<u64>() > 0, "metrics survive streaming");
+
+    let mut materialized = session.sql(WEBANALYTICS_SQL).unwrap();
+    streamed.sort();
+    assert_eq!(materialized.rows(), streamed, "streaming yields the same rows");
+    assert_reports_match(materialized.report().unwrap(), stream.report().unwrap());
+}
+
+#[test]
 fn q3_functional_interface_end_to_end() {
-    use squall::expr::AggFunc;
-    use squall::plan::{agg, col, Query};
     let data = TpchGen::new(0.2, 0.0, 4).generate();
-    let mut catalog = Catalog::new();
-    catalog.register("CUSTOMER", tpch::customer_schema(), data.customer.clone());
-    catalog.register("ORDERS", tpch::orders_schema(), data.orders.clone());
-    catalog.register("LINEITEM", tpch::lineitem_schema(), data.lineitem.clone());
-    let q = Query::from_tables([("CUSTOMER", "C"), ("ORDERS", "O"), ("LINEITEM", "L")])
-        .filter(col("C.custkey").eq(col("O.custkey")))
-        .filter(col("O.orderkey").eq(col("L.orderkey")))
-        .select([agg(AggFunc::Count, None)]);
-    let res = execute_query(&q, &catalog, &ExecConfig::default()).unwrap();
+    let mut session = Session::new();
+    session.register("CUSTOMER", tpch::customer_schema(), data.customer.clone());
+    session.register("ORDERS", tpch::orders_schema(), data.orders.clone());
+    session.register("LINEITEM", tpch::lineitem_schema(), data.lineitem.clone());
+    let mut res = session
+        .from_as("CUSTOMER", "C")
+        .join_as("ORDERS", "O")
+        .join_as("LINEITEM", "L")
+        .on(col("C.custkey").eq(col("O.custkey")))
+        .on(col("O.orderkey").eq(col("L.orderkey")))
+        .select([count()])
+        .run()
+        .unwrap();
 
     let qi = queries::tpch_q3(&data);
     let oracle = naive_join(&qi.spec, &qi.data);
-    assert_eq!(res.rows[0].get(0).as_int().unwrap(), oracle.len() as i64);
+    assert_eq!(res.rows()[0].get(0).as_int().unwrap(), oracle.len() as i64);
+
+    // And the SQL twin agrees, rows and report.
+    let sql = session
+        .sql(
+            "SELECT COUNT(*) FROM CUSTOMER C, ORDERS O, LINEITEM L \
+             WHERE C.custkey = O.custkey AND O.orderkey = L.orderkey",
+        )
+        .unwrap();
+    let imperative = session
+        .from_as("CUSTOMER", "C")
+        .join_as("ORDERS", "O")
+        .join_as("LINEITEM", "L")
+        .on(col("C.custkey").eq(col("O.custkey")))
+        .on(col("O.orderkey").eq(col("L.orderkey")))
+        .select([count()])
+        .run()
+        .unwrap();
+    assert_equivalent(sql, imperative);
 }
 
 #[test]
@@ -170,37 +296,41 @@ fn memory_overflow_reports_partial_metrics() {
     assert!(rep.loads.iter().sum::<u64>() > 0, "partial loads for extrapolation");
 }
 
-#[test]
-fn sql_figure1_query_runs() {
-    // The architecture figure's query over synthetic R, S, T.
+fn figure1_session() -> Session {
+    // The architecture figure's relations R, S, T.
     use squall::common::{tuple, DataType, Schema, SplitMix64};
     let mut rng = SplitMix64::new(2);
-    let mut catalog = Catalog::new();
-    catalog.register(
+    let mut session = Session::builder().machines(4).build();
+    session.register(
         "R",
         Schema::of(&[("A", DataType::Int), ("B", DataType::Int)]),
         (0..300).map(|_| tuple![rng.next_range(0, 50), rng.next_range(0, 20)]).collect(),
     );
-    catalog.register(
+    session.register(
         "S",
         Schema::of(&[("B", DataType::Int), ("C", DataType::Int), ("D", DataType::Int)]),
         (0..300)
             .map(|_| tuple![rng.next_range(0, 20), rng.next_range(0, 10), rng.next_range(0, 20)])
             .collect(),
     );
-    catalog.register(
+    session.register(
         "T",
         Schema::of(&[("D", DataType::Int), ("E", DataType::Int)]),
         (0..300).map(|_| tuple![rng.next_range(0, 20), rng.next_range(0, 100)]).collect(),
     );
-    let query = squall::sql::parse(
-        "SELECT SUM(T.E) FROM R, S, T WHERE R.B = S.B AND S.D = T.D AND S.C > 3",
-    )
-    .unwrap();
-    let res = execute_query(&query, &catalog, &ExecConfig::default()).unwrap();
-    assert_eq!(res.rows.len(), 1);
+    session
+}
+
+#[test]
+fn sql_figure1_query_runs() {
+    let session = figure1_session();
+    let mut res = session
+        .sql("SELECT SUM(T.E) FROM R, S, T WHERE R.B = S.B AND S.D = T.D AND S.C > 3")
+        .unwrap();
+    assert_eq!(res.rows().len(), 1);
     // Oracle.
     use squall::expr::{JoinAtom, MultiJoinSpec, RelationDef};
+    let catalog = session.catalog();
     let spec = MultiJoinSpec::new(
         vec![
             RelationDef::new("R", catalog.get("R").unwrap().schema.clone(), 300),
@@ -227,5 +357,43 @@ fn sql_figure1_query_runs() {
         ],
     );
     let expected: i64 = joined.iter().map(|t| t.get(6).as_int().unwrap()).sum();
-    assert_eq!(res.rows[0].get(0).as_int().unwrap(), expected);
+    assert_eq!(res.rows()[0].get(0).as_int().unwrap(), expected);
+}
+
+#[test]
+fn figure1_sql_equals_imperative() {
+    let session = figure1_session();
+    let sql = session
+        .sql("SELECT SUM(T.E) FROM R, S, T WHERE R.B = S.B AND S.D = T.D AND S.C > 3")
+        .unwrap();
+    let imperative = session
+        .from("R")
+        .join("S")
+        .join("T")
+        .on(col("R.B").eq(col("S.B")))
+        .on(col("S.D").eq(col("T.D")))
+        .filter(col("S.C").gt(lit(3)))
+        .select([sum(col("T.E"))])
+        .run()
+        .unwrap();
+    assert_equivalent(sql, imperative);
+}
+
+#[test]
+fn explain_is_identical_across_interfaces() {
+    let session = figure1_session();
+    let via_sql = session
+        .explain("SELECT SUM(T.E) FROM R, S, T WHERE R.B = S.B AND S.D = T.D AND S.C > 3")
+        .unwrap();
+    let via_builder = session
+        .from("R")
+        .join("S")
+        .join("T")
+        .on(col("R.B").eq(col("S.B")))
+        .on(col("S.D").eq(col("T.D")))
+        .filter(col("S.C").gt(lit(3)))
+        .select([sum(col("T.E"))])
+        .explain()
+        .unwrap();
+    assert_eq!(via_sql, via_builder, "both interfaces lower to one plan");
 }
