@@ -18,6 +18,11 @@ pub enum SquallError {
     UnknownRelation(String),
     /// A value had the wrong type for the requested operation.
     TypeMismatch { expected: &'static str, found: String },
+    /// A source (table or stream) with this name is already registered.
+    DuplicateSource(String),
+    /// A source registration was rejected (schema/data mismatch, bad
+    /// event-time column, ...).
+    InvalidSource { source: String, reason: String },
     /// SQL text could not be parsed.
     Parse(String),
     /// A logical or physical plan was malformed.
@@ -40,6 +45,12 @@ impl fmt::Display for SquallError {
             SquallError::UnknownRelation(r) => write!(f, "unknown relation: {r}"),
             SquallError::TypeMismatch { expected, found } => {
                 write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            SquallError::DuplicateSource(s) => {
+                write!(f, "source {s} is already registered (deregister it first to replace)")
+            }
+            SquallError::InvalidSource { source, reason } => {
+                write!(f, "invalid source {source}: {reason}")
             }
             SquallError::Parse(m) => write!(f, "SQL parse error: {m}"),
             SquallError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use squall_common::{FxHashMap, Result, SquallError, Tuple};
 use squall_expr::MultiJoinSpec;
-use squall_join::{AggSpec, DBToasterJoin, LocalJoin, TraditionalJoin};
+use squall_join::{AggSpec, DBToasterJoin, LocalJoin, TraditionalJoin, WindowSpec};
 use squall_partition::optimizer::{build_scheme, SchemeKind};
 use squall_partition::HypercubeScheme;
 use squall_runtime::{
@@ -32,6 +32,19 @@ impl std::fmt::Display for LocalJoinKind {
             LocalJoinKind::DBToaster => write!(f, "DBToaster"),
         }
     }
+}
+
+/// Window semantics for the join component: the window shape plus each
+/// relation's event-time column in its (post-projection) input schema.
+///
+/// The driver then installs event-time [`squall_join::WindowJoin`] bolts
+/// and requires each relation's spout to emit in event-time order (the
+/// planner sorts prepared inputs; see
+/// `squall_runtime::sort_by_event_time`).
+#[derive(Debug, Clone)]
+pub struct WindowPlan {
+    pub spec: WindowSpec,
+    pub ts_cols: Vec<usize>,
 }
 
 /// Optional aggregation stage after the join.
@@ -57,6 +70,8 @@ pub struct MultiwayConfig {
     pub source_parallelism: usize,
     /// Aggregate the join output (results are then the aggregate rows).
     pub agg: Option<AggPlan>,
+    /// Windowed join semantics; `None` = full history.
+    pub window: Option<WindowPlan>,
     /// Collect full join results (`true`) or only per-machine counts
     /// (`false`; large-output benchmarks). Ignored when `agg` is set.
     pub collect_results: bool,
@@ -72,6 +87,7 @@ impl MultiwayConfig {
             budget: None,
             source_parallelism: 1,
             agg: None,
+            window: None,
             collect_results: true,
         }
     }
@@ -88,6 +104,13 @@ impl MultiwayConfig {
 
     pub fn with_agg(mut self, agg: AggPlan) -> MultiwayConfig {
         self.agg = Some(agg);
+        self
+    }
+
+    /// Run the join under window semantics (spouts must then feed each
+    /// relation in event-time order).
+    pub fn with_window(mut self, window: WindowPlan) -> MultiwayConfig {
+        self.window = Some(window);
         self
     }
 }
@@ -179,6 +202,22 @@ fn assemble(
             data.len()
         )));
     }
+    if let Some(w) = &cfg.window {
+        if w.ts_cols.len() != spec.n_relations() {
+            return Err(SquallError::InvalidPlan(format!(
+                "window plan names {} ts columns for {} relations",
+                w.ts_cols.len(),
+                spec.n_relations()
+            )));
+        }
+        for (rel, (&c, r)) in w.ts_cols.iter().zip(&spec.relations).enumerate() {
+            if c >= r.schema.arity() {
+                return Err(SquallError::InvalidPlan(format!(
+                    "window ts column {c} out of range for relation {rel}"
+                )));
+            }
+        }
+    }
     let scheme: Arc<HypercubeScheme> =
         Arc::new(build_scheme(cfg.scheme, spec, cfg.machines, cfg.seed)?);
     let scheme_description = scheme.describe();
@@ -186,10 +225,13 @@ fn assemble(
 
     let mut b = TopologyBuilder::new();
     // One spout per relation, split across source_parallelism tasks.
+    // Windowed runs pin each relation to one spout task: the watermark
+    // eviction contract needs per-relation event-time order at every join
+    // task, which strided multi-task spouts would break.
     let mut source_nodes = Vec::with_capacity(data.len());
     for (rel, tuples) in data.into_iter().enumerate() {
         let shared = Arc::new(tuples);
-        let par = cfg.source_parallelism.max(1);
+        let par = if cfg.window.is_some() { 1 } else { cfg.source_parallelism.max(1) };
         let node = b.add_spout(format!("src-{}", spec.relations[rel].name), par, move |task| {
             Box::new(IterSpoutVec::strided(Arc::clone(&shared), task, par))
         });
@@ -203,6 +245,10 @@ fn assemble(
     let local = cfg.local;
     let budget = cfg.budget;
     let count_only = cfg.agg.is_none() && !cfg.collect_results;
+    // Windowed joins always materialize result tuples inside the bolt
+    // (the window predicate reads their event-time columns), so the
+    // aggregated count-only views — which elide those columns — are out.
+    let minimal_views = count_only && cfg.window.is_none();
     let emit = if count_only {
         crate::operators::JoinEmit::CountOnly
     } else {
@@ -210,14 +256,33 @@ fn assemble(
     };
     let spec_for_bolt = Arc::clone(&spec_arc);
     let origin_map = Arc::new(origin_map);
+    let window = cfg.window.clone();
     let join_node = b.add_bolt("join", cfg.machines, move |task| {
-        let mut bolt = crate::operators::JoinBolt::new(
-            task,
-            origin_map.iter().map(|(&k, &v)| (k, v)).collect(),
-            make_local(local, &spec_for_bolt, count_only),
-            spec_for_bolt.n_relations(),
-            emit,
-        );
+        let origin_to_rel: FxHashMap<usize, usize> =
+            origin_map.iter().map(|(&k, &v)| (k, v)).collect();
+        let local_join = make_local(local, &spec_for_bolt, minimal_views);
+        let mut bolt = match &window {
+            Some(w) => {
+                let arities: Vec<usize> =
+                    spec_for_bolt.relations.iter().map(|r| r.schema.arity()).collect();
+                crate::operators::JoinBolt::new_windowed(
+                    task,
+                    origin_to_rel,
+                    local_join,
+                    emit,
+                    w.spec,
+                    w.ts_cols.clone(),
+                    &arities,
+                )
+            }
+            None => crate::operators::JoinBolt::new(
+                task,
+                origin_to_rel,
+                local_join,
+                spec_for_bolt.n_relations(),
+                emit,
+            ),
+        };
         if let Some(budget) = budget {
             bolt = bolt.with_budget(budget);
         }

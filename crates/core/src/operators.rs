@@ -120,20 +120,25 @@ impl JoinBolt {
         }
     }
 
-    /// A windowed join bolt; `ts_cols[rel]` names the timestamp column of
-    /// each relation.
+    /// A windowed join bolt under *event-time* semantics: `ts_cols[rel]`
+    /// names the timestamp column and `arities[rel]` the tuple width of
+    /// each relation (both in the bolt's input coordinates). State is
+    /// evicted by the cross-relation watermark and every emitted result is
+    /// filtered by the window predicate over its constituent timestamps,
+    /// so the produced rows are a pure function of the timestamped inputs
+    /// no matter how the relations interleave.
     pub fn new_windowed(
         machine: usize,
         origin_to_rel: FxHashMap<NodeId, usize>,
         join: Box<dyn LocalJoin>,
-        n_relations: usize,
         emit: JoinEmit,
         spec: WindowSpec,
         ts_cols: Vec<usize>,
+        arities: &[usize],
     ) -> JoinBolt {
         JoinBolt {
             origin_to_rel,
-            join: WindowJoin::new(join, n_relations, spec),
+            join: WindowJoin::event_time(join, spec, arities, &ts_cols),
             ts_cols: ts_cols.into_iter().map(Some).collect(),
             arrivals: 0,
             emit,
@@ -174,7 +179,10 @@ impl Bolt for JoinBolt {
             Some(c) => tuple.get(c).as_int()? as u64,
             None => self.arrivals,
         };
-        if self.emit == JoinEmit::CountOnly && self.owner_filter.is_none() {
+        if self.emit == JoinEmit::CountOnly
+            && self.owner_filter.is_none()
+            && !self.join.is_event_time()
+        {
             // Weighted fast path: aggregated DBToaster views report
             // (tuple, multiplicity) deltas without materializing hot-key
             // outputs (§3.3).

@@ -4,9 +4,28 @@
 //! operators. It implements typical stream primitives, such as tumbling and
 //! sliding windows, by adding the window expiration logic on top of the
 //! full-history engine." — [`WindowJoin`] wraps any [`LocalJoin`], buffers
-//! `(timestamp, tuple)` pairs per relation, and removes expired state
-//! before each insertion. Results are therefore produced exactly for input
-//! pairs/triples co-resident in the window.
+//! `(timestamp, tuple)` pairs per relation, and removes expired state.
+//!
+//! Two modes:
+//!
+//! * **Arrival-order** ([`WindowJoin::new`]) — the classic "expire before
+//!   insert" construction. Correct when insertions carry globally
+//!   non-decreasing timestamps (a single merged in-order stream); results
+//!   are exactly the input combinations co-resident in the window.
+//! * **Event-time** ([`WindowJoin::event_time`]) — the mode the distributed
+//!   planner uses. Each relation's tuples *carry* their timestamp as a
+//!   column, per-relation arrival is timestamp-ordered, but relations may
+//!   interleave arbitrarily (independent spouts). Eviction is driven by the
+//!   *watermark* (the minimum of the per-relation timestamp frontiers), so
+//!   a tuple is only dropped once no future arrival can fall in its window,
+//!   and each emitted result is filtered by the window predicate over its
+//!   constituent timestamps. The produced result set is therefore a pure
+//!   function of the timestamped inputs — deterministic under any
+//!   cross-relation interleaving:
+//!   * sliding `size`: `max(ts) − min(ts) ≤ size`;
+//!   * tumbling `width`: all constituents in the same bucket `⌊ts/width⌋`
+//!     (so a tuple with timestamp exactly `k·width` opens window `k` and
+//!     never joins window `k−1` state).
 
 use std::collections::VecDeque;
 
@@ -19,8 +38,8 @@ use crate::LocalJoin;
 pub enum WindowSpec {
     /// Keep everything (incremental view maintenance).
     FullHistory,
-    /// Non-overlapping windows of `width` time units: state resets at each
-    /// boundary `k·width`.
+    /// Non-overlapping windows of `width` time units: tuples join only
+    /// within the same bucket `⌊ts/width⌋`.
     Tumbling { width: u64 },
     /// Keep tuples whose timestamp is within `size` of the newest input.
     Sliding { size: u64 },
@@ -31,28 +50,93 @@ pub struct WindowJoin<J: LocalJoin> {
     inner: J,
     spec: WindowSpec,
     /// Per-relation FIFO of live tuples (timestamps are non-decreasing per
-    /// stream, as produced by the runtime's ordered channels).
+    /// relation, as produced by event-time-ordered spouts and the
+    /// runtime's ordered channels).
     live: Vec<VecDeque<(u64, Tuple)>>,
-    /// Tumbling only: the current window's index.
+    /// Arrival-order tumbling only: the current window's index.
     current_window: u64,
+    /// Event-time mode: the timestamp position of each relation in the
+    /// join *output* tuple (results are concatenated in relation order).
+    out_ts_cols: Option<Vec<usize>>,
+    /// Event-time mode: newest timestamp seen per relation.
+    frontier: Vec<Option<u64>>,
+    scratch: Vec<Tuple>,
+    wscratch: Vec<(Tuple, i64)>,
 }
 
 impl<J: LocalJoin> WindowJoin<J> {
+    /// Arrival-order mode: correct when `insert` timestamps are globally
+    /// non-decreasing across all relations.
     pub fn new(inner: J, n_relations: usize, spec: WindowSpec) -> WindowJoin<J> {
         WindowJoin {
             inner,
             spec,
             live: (0..n_relations).map(|_| VecDeque::new()).collect(),
             current_window: 0,
+            out_ts_cols: None,
+            frontier: Vec::new(),
+            scratch: Vec::new(),
+            wscratch: Vec::new(),
         }
     }
 
-    /// Insert a timestamped tuple; expired state is evicted first, so the
-    /// emitted results are exactly the in-window joins.
+    /// Event-time mode: deterministic window semantics for independently
+    /// interleaving relations. `arities[rel]` is each relation's tuple
+    /// width and `ts_cols[rel]` the timestamp column *within* that
+    /// relation; both the inserted tuples and the emitted results must
+    /// carry Int, non-negative timestamps there (the planner validates
+    /// this before execution).
+    pub fn event_time(
+        inner: J,
+        spec: WindowSpec,
+        arities: &[usize],
+        ts_cols: &[usize],
+    ) -> WindowJoin<J> {
+        assert_eq!(arities.len(), ts_cols.len(), "one ts column per relation");
+        let mut out_ts = Vec::with_capacity(arities.len());
+        let mut off = 0;
+        for (a, &c) in arities.iter().zip(ts_cols) {
+            assert!(c < *a, "ts column {c} out of range for arity {a}");
+            out_ts.push(off + c);
+            off += a;
+        }
+        WindowJoin {
+            inner,
+            spec,
+            live: (0..arities.len()).map(|_| VecDeque::new()).collect(),
+            current_window: 0,
+            out_ts_cols: Some(out_ts),
+            frontier: vec![None; arities.len()],
+            scratch: Vec::new(),
+            wscratch: Vec::new(),
+        }
+    }
+
+    /// Is this join running under event-time (watermark) semantics?
+    pub fn is_event_time(&self) -> bool {
+        self.out_ts_cols.is_some()
+    }
+
+    /// Insert a timestamped tuple; expired state is evicted first and, in
+    /// event-time mode, emitted results are filtered by the window
+    /// predicate — so `out` receives exactly the in-window joins.
+    /// Arrival-order tumbling drops a straggler from an already-closed
+    /// window (it neither joins nor is stored).
     pub fn insert(&mut self, rel: usize, ts: u64, tuple: &Tuple, out: &mut Vec<Tuple>) {
-        self.expire(ts);
+        if !self.expire(rel, ts) {
+            return;
+        }
         self.live[rel].push_back((ts, tuple.clone()));
-        self.inner.insert(rel, tuple, out);
+        match &self.out_ts_cols {
+            None => self.inner.insert(rel, tuple, out),
+            Some(cols) => {
+                let mut buf = std::mem::take(&mut self.scratch);
+                buf.clear();
+                self.inner.insert(rel, tuple, &mut buf);
+                out.extend(buf.drain(..).filter(|t| in_window(self.spec, cols, t)));
+                self.scratch = buf;
+            }
+        }
     }
 
     /// Weighted-result variant (see [`LocalJoin::insert_weighted`]).
@@ -63,21 +147,66 @@ impl<J: LocalJoin> WindowJoin<J> {
         tuple: &Tuple,
         out: &mut Vec<(Tuple, i64)>,
     ) {
-        self.expire(ts);
+        if !self.expire(rel, ts) {
+            return;
+        }
         self.live[rel].push_back((ts, tuple.clone()));
-        self.inner.insert_weighted(rel, tuple, out);
+        match &self.out_ts_cols {
+            None => self.inner.insert_weighted(rel, tuple, out),
+            Some(cols) => {
+                let mut buf = std::mem::take(&mut self.wscratch);
+                buf.clear();
+                self.inner.insert_weighted(rel, tuple, &mut buf);
+                out.extend(buf.drain(..).filter(|(t, _)| in_window(self.spec, cols, t)));
+                self.wscratch = buf;
+            }
+        }
     }
 
-    fn expire(&mut self, now: u64) {
+    /// Evict expired state for an arrival at `now`; returns whether the
+    /// arriving tuple should be processed at all (false only for
+    /// arrival-order tumbling stragglers from an already-closed window).
+    fn expire(&mut self, rel: usize, now: u64) -> bool {
+        if matches!(self.spec, WindowSpec::FullHistory) {
+            return true;
+        }
+        if self.out_ts_cols.is_some() {
+            // Event-time: advance this relation's frontier and evict by
+            // the watermark — only tuples no *future* arrival (which must
+            // carry ts ≥ watermark) can co-window with.
+            self.frontier[rel] = Some(self.frontier[rel].map_or(now, |f| f.max(now)));
+            let Some(watermark) =
+                self.frontier.iter().copied().try_fold(u64::MAX, |m, f| f.map(|f| m.min(f)))
+            else {
+                return true; // some relation unseen: no safe eviction yet
+            };
+            let expired = |ts: u64| match self.spec {
+                WindowSpec::Sliding { size } => ts < watermark.saturating_sub(size),
+                WindowSpec::Tumbling { width } => ts / width < watermark / width,
+                WindowSpec::FullHistory => false,
+            };
+            for r in 0..self.live.len() {
+                while let Some(&(ts, _)) = self.live[r].front() {
+                    if expired(ts) {
+                        let (_, t) = self.live[r].pop_front().expect("front exists");
+                        self.inner.remove(r, &t);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            return true;
+        }
+        // Arrival-order mode: `now` is the newest global timestamp.
         match self.spec {
             WindowSpec::FullHistory => {}
             WindowSpec::Sliding { size } => {
                 let cutoff = now.saturating_sub(size);
-                for rel in 0..self.live.len() {
-                    while let Some((ts, _)) = self.live[rel].front() {
+                for r in 0..self.live.len() {
+                    while let Some((ts, _)) = self.live[r].front() {
                         if *ts < cutoff {
-                            let (_, t) = self.live[rel].pop_front().expect("front exists");
-                            self.inner.remove(rel, &t);
+                            let (_, t) = self.live[r].pop_front().expect("front exists");
+                            self.inner.remove(r, &t);
                         } else {
                             break;
                         }
@@ -86,17 +215,23 @@ impl<J: LocalJoin> WindowJoin<J> {
             }
             WindowSpec::Tumbling { width } => {
                 let win = now / width;
-                if win != self.current_window {
-                    // Window boundary: drop all state.
-                    for rel in 0..self.live.len() {
-                        while let Some((_, t)) = self.live[rel].pop_front() {
-                            self.inner.remove(rel, &t);
+                // A straggler from an already-closed window must neither
+                // wipe the current state nor join across the boundary:
+                // its window is gone, so the tuple is dropped.
+                if win < self.current_window {
+                    return false;
+                }
+                if win > self.current_window {
+                    for r in 0..self.live.len() {
+                        while let Some((_, t)) = self.live[r].pop_front() {
+                            self.inner.remove(r, &t);
                         }
                     }
                     self.current_window = win;
                 }
             }
         }
+        true
     }
 
     /// Tuples currently held in the window (all relations).
@@ -106,6 +241,30 @@ impl<J: LocalJoin> WindowJoin<J> {
 
     pub fn inner(&self) -> &J {
         &self.inner
+    }
+}
+
+/// The window predicate over a result tuple's constituent timestamps.
+fn in_window(spec: WindowSpec, out_ts_cols: &[usize], result: &Tuple) -> bool {
+    let ts = |c: usize| -> u64 {
+        result.get(c).as_int().expect("window timestamp column must be Int (validated at plan)")
+            as u64
+    };
+    match spec {
+        WindowSpec::FullHistory => true,
+        WindowSpec::Sliding { size } => {
+            let (mut lo, mut hi) = (u64::MAX, 0u64);
+            for &c in out_ts_cols {
+                let v = ts(c);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            hi - lo <= size
+        }
+        WindowSpec::Tumbling { width } => {
+            let first = ts(out_ts_cols[0]) / width;
+            out_ts_cols[1..].iter().all(|&c| ts(c) / width == first)
+        }
     }
 }
 
@@ -123,6 +282,16 @@ mod tests {
                 RelationDef::new("R", Schema::of(&[("a", DataType::Int)]), 0),
                 RelationDef::new("S", Schema::of(&[("a", DataType::Int)]), 0),
             ],
+            vec![JoinAtom::eq(0, 0, 1, 0)],
+        )
+        .unwrap()
+    }
+
+    /// Two-way spec where each side is (key, ts) — for event-time tests.
+    fn two_way_ts() -> MultiJoinSpec {
+        let s = Schema::of(&[("a", DataType::Int), ("ts", DataType::Int)]);
+        MultiJoinSpec::new(
+            vec![RelationDef::new("R", s.clone(), 0), RelationDef::new("S", s, 0)],
             vec![JoinAtom::eq(0, 0, 1, 0)],
         )
         .unwrap()
@@ -206,6 +375,167 @@ mod tests {
         // Same (new) window still joins.
         w.insert(0, 13, &tuple![1], &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn tumbling_boundary_opens_new_window() {
+        // A tuple with timestamp exactly k·width belongs to window k and
+        // must NOT join window k−1 state.
+        let spec = two_way();
+        let mut w =
+            WindowJoin::new(DBToasterJoin::new(&spec), 2, WindowSpec::Tumbling { width: 10 });
+        let mut out = Vec::new();
+        w.insert(0, 9, &tuple![1], &mut out); // window 0
+        w.insert(1, 10, &tuple![1], &mut out); // exactly 1·width → window 1
+        assert!(out.is_empty(), "boundary tuple joined stale window state");
+        assert_eq!(w.live_tuples(), 1, "window-0 state evicted at the boundary");
+        // A second window-1 tuple does join.
+        w.insert(0, 10, &tuple![1], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn tumbling_straggler_is_dropped_not_joined() {
+        let spec = two_way();
+        let mut w =
+            WindowJoin::new(DBToasterJoin::new(&spec), 2, WindowSpec::Tumbling { width: 10 });
+        let mut out = Vec::new();
+        w.insert(0, 21, &tuple![1], &mut out); // window 2
+        w.insert(1, 19, &tuple![1], &mut out); // straggler from closed window 1
+        assert!(out.is_empty(), "straggler joined across the window boundary");
+        assert_eq!(w.live_tuples(), 1, "straggler must not be stored");
+        // Window-2 state must have survived the straggler.
+        w.insert(1, 22, &tuple![1], &mut out);
+        assert_eq!(out.len(), 1, "straggler wiped the current window");
+    }
+
+    #[test]
+    fn event_time_sliding_filters_out_of_window_results() {
+        let spec = two_way_ts();
+        let mut w = WindowJoin::event_time(
+            DBToasterJoin::new(&spec),
+            WindowSpec::Sliding { size: 30 },
+            &[2, 2],
+            &[1, 1],
+        );
+        let mut out = Vec::new();
+        // R runs far ahead of S (cross-relation skew).
+        w.insert(0, 100, &tuple![1, 100], &mut out);
+        // S@50: R@100 is still live (watermark 50) but |100−50| > 30.
+        w.insert(1, 50, &tuple![1, 50], &mut out);
+        assert!(out.is_empty(), "out-of-window pair leaked through");
+        // S@80 pairs with R@100: |100−80| ≤ 30.
+        w.insert(1, 80, &tuple![1, 80], &mut out);
+        assert_eq!(out, vec![tuple![1, 100, 1, 80]]);
+    }
+
+    #[test]
+    fn event_time_watermark_keeps_late_partners_alive() {
+        // Under the old eager eviction, R@100 arriving first would evict
+        // R@60; the watermark must keep it for the late S@55.
+        let spec = two_way_ts();
+        let mut w = WindowJoin::event_time(
+            TraditionalJoin::new(&spec),
+            WindowSpec::Sliding { size: 30 },
+            &[2, 2],
+            &[1, 1],
+        );
+        let mut out = Vec::new();
+        w.insert(0, 60, &tuple![7, 60], &mut out);
+        w.insert(0, 100, &tuple![7, 100], &mut out);
+        w.insert(1, 55, &tuple![7, 55], &mut out);
+        assert_eq!(out, vec![tuple![7, 60, 7, 55]], "in-window pair was lost to eager eviction");
+    }
+
+    #[test]
+    fn event_time_tumbling_boundary() {
+        let spec = two_way_ts();
+        let mut w = WindowJoin::event_time(
+            DBToasterJoin::new(&spec),
+            WindowSpec::Tumbling { width: 10 },
+            &[2, 2],
+            &[1, 1],
+        );
+        let mut out = Vec::new();
+        w.insert(0, 9, &tuple![1, 9], &mut out); // window 0
+        w.insert(1, 10, &tuple![1, 10], &mut out); // window 1: no join
+        assert!(out.is_empty());
+        w.insert(0, 10, &tuple![1, 10], &mut out); // window 1: joins S@10
+        assert_eq!(out, vec![tuple![1, 10, 1, 10]]);
+    }
+
+    #[test]
+    fn event_time_results_are_interleaving_invariant() {
+        // The same timestamped inputs under two different cross-relation
+        // interleavings (per-relation order preserved) produce the same
+        // result multiset.
+        let spec = two_way_ts();
+        let size = 12u64;
+        let mut rng = squall_common::SplitMix64::new(3);
+        let mut rels: Vec<Vec<(u64, Tuple)>> = vec![Vec::new(), Vec::new()];
+        for rel in rels.iter_mut() {
+            let mut ts = 0u64;
+            for _ in 0..60 {
+                ts += rng.next_below(5) as u64;
+                rel.push((ts, tuple![rng.next_range(0, 4), ts as i64]));
+            }
+        }
+        let run = |order: &[usize]| -> Vec<Tuple> {
+            let mut w = WindowJoin::event_time(
+                TraditionalJoin::new(&spec),
+                WindowSpec::Sliding { size },
+                &[2, 2],
+                &[1, 1],
+            );
+            let mut pos = [0usize; 2];
+            let mut out = Vec::new();
+            for &rel in order {
+                let (ts, t) = &rels[rel][pos[rel]];
+                pos[rel] += 1;
+                w.insert(rel, *ts, t, &mut out);
+            }
+            out.sort();
+            out
+        };
+        // Interleaving A: strict alternation. B: R in two big bursts.
+        let alternating: Vec<usize> = (0..120).map(|i| i % 2).collect();
+        let mut bursty: Vec<usize> = vec![0; 40];
+        bursty.extend(vec![1; 60]);
+        bursty.extend(vec![0; 20]);
+        let a = run(&alternating);
+        let b = run(&bursty);
+        assert_eq!(a, b, "window results depended on cross-relation interleaving");
+        // And they match the pure timestamp oracle.
+        let mut oracle = Vec::new();
+        for (tr, r) in &rels[0] {
+            for (ts, s) in &rels[1] {
+                if r.get(0) == s.get(0) && tr.abs_diff(*ts) <= size {
+                    let mut v = r.values().to_vec();
+                    v.extend_from_slice(s.values());
+                    oracle.push(Tuple::new(v));
+                }
+            }
+        }
+        oracle.sort();
+        assert_eq!(a, oracle);
+    }
+
+    #[test]
+    fn event_time_state_stays_bounded() {
+        let spec = two_way_ts();
+        let mut w = WindowJoin::event_time(
+            DBToasterJoin::new(&spec),
+            WindowSpec::Sliding { size: 5 },
+            &[2, 2],
+            &[1, 1],
+        );
+        let mut out = Vec::new();
+        for ts in 0..1000u64 {
+            let rel = (ts % 2) as usize;
+            w.insert(rel, ts, &tuple![(ts % 7) as i64, ts as i64], &mut out);
+        }
+        assert!(w.live_tuples() <= 10, "live {} should be ≈ window size", w.live_tuples());
+        assert!(w.inner().stored() <= 20, "inner state must stay bounded");
     }
 
     #[test]

@@ -1,22 +1,52 @@
-//! The catalog: named relations with schemas and (in this in-process
-//! engine) their data.
+//! The catalog: a unified registry of *sources* — materialized tables and
+//! timestamped streams — with schemas and (in this in-process engine)
+//! their data.
+//!
+//! Streams differ from tables in exactly one declaration: an **event-time
+//! column** (an Int column, non-negative values) that windowed queries
+//! measure their windows on and that spouts emit in ascending order.
 
 use std::sync::Arc;
 
-use squall_common::{Result, Schema, SquallError, Tuple};
+use squall_common::{DataType, Result, Schema, SquallError, Tuple, Value};
 
-/// One registered relation.
+/// How a registered source behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// A materialized relation (full-history semantics).
+    Table,
+    /// A timestamped stream; `time_col` indexes the declared event-time
+    /// column within the source schema.
+    Stream { time_col: usize },
+}
+
+/// One registered source (table or stream).
 #[derive(Debug, Clone)]
-pub struct TableDef {
+pub struct SourceDef {
     pub name: String,
     pub schema: Schema,
     pub data: Arc<Vec<Tuple>>,
+    pub kind: SourceKind,
 }
 
-/// A set of registered relations the planner resolves names against.
+impl SourceDef {
+    /// The declared event-time column, if this source is a stream.
+    pub fn event_time_col(&self) -> Option<usize> {
+        match self.kind {
+            SourceKind::Table => None,
+            SourceKind::Stream { time_col } => Some(time_col),
+        }
+    }
+
+    pub fn is_stream(&self) -> bool {
+        matches!(self.kind, SourceKind::Stream { .. })
+    }
+}
+
+/// A set of registered sources the planner resolves names against.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: Vec<TableDef>,
+    sources: Vec<SourceDef>,
 }
 
 impl Catalog {
@@ -24,26 +54,109 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register (or replace) a relation.
-    pub fn register(&mut self, name: impl Into<String>, schema: Schema, data: Vec<Tuple>) {
+    /// Register a materialized table. Rejects duplicate source names and
+    /// data that does not match the schema arity with a typed error.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        data: Vec<Tuple>,
+    ) -> Result<()> {
         let name = name.into();
-        debug_assert!(
-            data.iter().all(|t| t.arity() == schema.arity()),
-            "data must match schema arity"
-        );
-        self.tables.retain(|t| t.name != name);
-        self.tables.push(TableDef { name, schema, data: Arc::new(data) });
+        self.validate_new(&name, &schema, &data)?;
+        self.sources.push(SourceDef {
+            name,
+            schema,
+            data: Arc::new(data),
+            kind: SourceKind::Table,
+        });
+        Ok(())
     }
 
-    pub fn get(&self, name: &str) -> Result<&TableDef> {
-        self.tables
+    /// Register a timestamped stream with a declared event-time column.
+    ///
+    /// Beyond the [`Catalog::register`] checks, the event-time column must
+    /// exist, be declared `Int`, and every tuple must carry a non-negative
+    /// Int timestamp there — rejected with a typed error instead of a
+    /// panic deep inside a later run.
+    pub fn register_stream(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        data: Vec<Tuple>,
+        time_col: &str,
+    ) -> Result<()> {
+        let name = name.into();
+        self.validate_new(&name, &schema, &data)?;
+        let invalid = |reason: String| SquallError::InvalidSource { source: name.clone(), reason };
+        let col = schema
+            .index_of(time_col)
+            .map_err(|_| invalid(format!("event-time column {time_col} not in schema {schema}")))?;
+        if schema.field(col).data_type != DataType::Int {
+            return Err(invalid(format!(
+                "event-time column {time_col} must be Int, is {}",
+                schema.field(col).data_type
+            )));
+        }
+        for t in &data {
+            match t.get(col) {
+                Value::Int(v) if *v >= 0 => {}
+                other => {
+                    return Err(invalid(format!(
+                        "event-time column {time_col} must hold non-negative Int values, \
+                         found {other:?}"
+                    )))
+                }
+            }
+        }
+        // Stream data is stored in event-time order once, so windowed
+        // queries on the declared column need no per-run sort and spouts
+        // emit in event-time order for free.
+        let mut data = data;
+        data.sort_by_key(|t| t.get(col).as_int().expect("validated above"));
+        self.sources.push(SourceDef {
+            name,
+            schema,
+            data: Arc::new(data),
+            kind: SourceKind::Stream { time_col: col },
+        });
+        Ok(())
+    }
+
+    fn validate_new(&self, name: &str, schema: &Schema, data: &[Tuple]) -> Result<()> {
+        if self.sources.iter().any(|s| s.name == name) {
+            return Err(SquallError::DuplicateSource(name.to_string()));
+        }
+        if let Some(t) = data.iter().find(|t| t.arity() != schema.arity()) {
+            return Err(SquallError::InvalidSource {
+                source: name.to_string(),
+                reason: format!(
+                    "tuple arity {} does not match schema arity {}",
+                    t.arity(),
+                    schema.arity()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Drop a source; returns whether it existed. Re-registering under the
+    /// same name requires deregistering first (duplicates are rejected).
+    pub fn deregister(&mut self, name: &str) -> bool {
+        let before = self.sources.len();
+        self.sources.retain(|s| s.name != name);
+        self.sources.len() != before
+    }
+
+    pub fn get(&self, name: &str) -> Result<&SourceDef> {
+        self.sources
             .iter()
             .find(|t| t.name == name)
             .ok_or_else(|| SquallError::UnknownRelation(name.to_string()))
     }
 
     pub fn names(&self) -> Vec<&str> {
-        self.tables.iter().map(|t| t.name.as_str()).collect()
+        self.sources.iter().map(|t| t.name.as_str()).collect()
     }
 }
 
@@ -55,18 +168,70 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut c = Catalog::new();
-        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1], tuple![2]]);
+        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1], tuple![2]]).unwrap();
         assert_eq!(c.get("R").unwrap().data.len(), 2);
+        assert!(!c.get("R").unwrap().is_stream());
         assert!(c.get("S").is_err());
         assert_eq!(c.names(), vec!["R"]);
     }
 
     #[test]
-    fn reregister_replaces() {
+    fn duplicate_names_rejected() {
         let mut c = Catalog::new();
-        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1]]);
-        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1], tuple![2]]);
+        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1]]).unwrap();
+        let dup = c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![2]]);
+        assert!(matches!(dup, Err(SquallError::DuplicateSource(_))));
+        // Streams share the same namespace.
+        let dup2 = c.register_stream("R", Schema::of(&[("ts", DataType::Int)]), vec![], "ts");
+        assert!(matches!(dup2, Err(SquallError::DuplicateSource(_))));
+        // Deregistering frees the name.
+        assert!(c.deregister("R"));
+        assert!(!c.deregister("R"));
+        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1], tuple![2]]).unwrap();
         assert_eq!(c.get("R").unwrap().data.len(), 2);
-        assert_eq!(c.names().len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut c = Catalog::new();
+        let bad = c.register(
+            "R",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+            vec![tuple![1, 2], tuple![3]],
+        );
+        assert!(matches!(bad, Err(SquallError::InvalidSource { .. })));
+    }
+
+    #[test]
+    fn stream_registration_declares_event_time() {
+        let mut c = Catalog::new();
+        c.register_stream(
+            "clicks",
+            Schema::of(&[("ad", DataType::Int), ("ts", DataType::Int)]),
+            vec![tuple![1, 10], tuple![2, 11]],
+            "ts",
+        )
+        .unwrap();
+        let def = c.get("clicks").unwrap();
+        assert!(def.is_stream());
+        assert_eq!(def.event_time_col(), Some(1));
+    }
+
+    #[test]
+    fn stream_event_time_column_validated() {
+        let schema = Schema::of(&[("ad", DataType::Int), ("ts", DataType::Int)]);
+        let mut c = Catalog::new();
+        // Missing column.
+        let missing = c.register_stream("s1", schema.clone(), vec![], "when");
+        assert!(matches!(missing, Err(SquallError::InvalidSource { .. })));
+        // Non-Int declared type.
+        let str_schema = Schema::of(&[("ad", DataType::Int), ("ts", DataType::Str)]);
+        let non_int = c.register_stream("s2", str_schema, vec![], "ts");
+        assert!(matches!(non_int, Err(SquallError::InvalidSource { .. })));
+        // Non-Int or negative values.
+        let bad_val = c.register_stream("s3", schema.clone(), vec![tuple![1, "late"]], "ts");
+        assert!(matches!(bad_val, Err(SquallError::InvalidSource { .. })));
+        let negative = c.register_stream("s4", schema, vec![tuple![1, -5]], "ts");
+        assert!(matches!(negative, Err(SquallError::InvalidSource { .. })));
     }
 }

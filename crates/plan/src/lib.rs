@@ -27,6 +27,6 @@ pub mod catalog;
 pub mod logical;
 pub mod physical;
 
-pub use catalog::Catalog;
-pub use logical::{agg, col, lit, Expr, Query};
+pub use catalog::{Catalog, SourceDef, SourceKind};
+pub use logical::{agg, col, lit, Expr, Query, Window, WindowKind};
 pub use physical::{ExecConfig, PhysicalQuery, ResultSet};

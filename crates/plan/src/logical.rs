@@ -106,6 +106,59 @@ pub fn agg(func: AggFunc, arg: Option<Expr>) -> Expr {
     Expr::Agg { func, arg: arg.map(Box::new) }
 }
 
+/// Window shape at the logical level (§2: tumbling and sliding windows on
+/// top of the full-history engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Non-overlapping buckets of `width` time units: tuples join only
+    /// within the same bucket `⌊ts/width⌋`.
+    Tumbling { width: u64 },
+    /// Tuples join while their timestamps are within `size` of each other.
+    Sliding { size: u64 },
+}
+
+/// Window semantics for a query block: a shape plus (optionally) the
+/// event-time column it is measured on.
+///
+/// With an explicit `.on("ts")` every relation in the query must expose a
+/// column of that (unqualified) name. Without it, every relation must be a
+/// registered *stream* with a declared event-time column
+/// (`Session::register_stream` / `Catalog::register_stream`).
+///
+/// ```
+/// use squall_plan::{col, Query, Window};
+/// let q = Query::from_tables([("impressions", "I"), ("clicks", "C")])
+///     .filter(col("I.ad_id").eq(col("C.ad_id")))
+///     .window(Window::sliding(30).on("ts"))
+///     .select([col("I.ad_id")]);
+/// assert!(q.window.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Window {
+    pub kind: WindowKind,
+    /// Unqualified event-time column name; `None` defers to each source's
+    /// declared event-time column.
+    pub time_col: Option<String>,
+}
+
+impl Window {
+    /// A sliding window: tuples within `size` time units join.
+    pub fn sliding(size: u64) -> Window {
+        Window { kind: WindowKind::Sliding { size }, time_col: None }
+    }
+
+    /// A tumbling window of `width` time units.
+    pub fn tumbling(width: u64) -> Window {
+        Window { kind: WindowKind::Tumbling { width }, time_col: None }
+    }
+
+    /// Measure the window on this (unqualified) column of every relation.
+    pub fn on(mut self, time_col: impl Into<String>) -> Window {
+        self.time_col = Some(time_col.into());
+        self
+    }
+}
+
 /// One select-project-join-aggregate block.
 #[derive(Debug, Clone, Default)]
 pub struct Query {
@@ -117,6 +170,8 @@ pub struct Query {
     pub select: Vec<(Expr, Option<String>)>,
     /// GROUP BY column references.
     pub group_by: Vec<Expr>,
+    /// Window semantics; `None` = full history.
+    pub window: Option<Window>,
 }
 
 impl Query {
@@ -158,6 +213,12 @@ impl Query {
 
     pub fn group_by(mut self, cols: impl IntoIterator<Item = Expr>) -> Query {
         self.group_by = cols.into_iter().collect();
+        self
+    }
+
+    /// Apply window semantics (tumbling or sliding) to the block.
+    pub fn window(mut self, w: Window) -> Query {
+        self.window = Some(w);
         self
     }
 }

@@ -12,16 +12,17 @@ use std::sync::Arc;
 use squall_common::{DataType, Field, Result, Schema, SquallError, Tuple, Value};
 use squall_core::driver::{
     run_multiway, run_multiway_stream, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig,
-    MultiwayStream,
+    MultiwayStream, WindowPlan,
 };
 use squall_expr::join_cond::CmpOp;
 use squall_expr::{AggFunc, JoinAtom, MultiJoinSpec, RelationDef, ScalarExpr};
+use squall_join::WindowSpec;
 use squall_join::{AggSpec, GroupByAggregator};
 use squall_partition::optimizer::SchemeKind;
 use squall_partition::SkewEstimate;
 
 use crate::catalog::Catalog;
-use crate::logical::{Expr, Query};
+use crate::logical::{Expr, Query, WindowKind};
 
 /// Execution knobs.
 #[derive(Debug, Clone)]
@@ -298,6 +299,18 @@ enum Prepared {
     Distributed { spec: MultiJoinSpec, data: Vec<Vec<Tuple>>, mcfg: MultiwayConfig },
 }
 
+/// Resolved window semantics: the shape plus each relation's event-time
+/// column in its post-pruning (join input) coordinates.
+#[derive(Debug, Clone)]
+struct PhysWindow {
+    spec: WindowSpec,
+    ts_cols: Vec<usize>,
+    /// Relations whose window column is the stream's declared event-time
+    /// column: their data is already validated and event-time-ordered at
+    /// registration, so `prepare_run` skips the per-run sort.
+    presorted: Vec<bool>,
+}
+
 /// An optimized query ready to run.
 #[derive(Debug)]
 pub struct PhysicalQuery {
@@ -309,6 +322,7 @@ pub struct PhysicalQuery {
     final_items: Vec<FinalItem>,
     out_schema: Schema,
     is_aggregate: bool,
+    window: Option<PhysWindow>,
 }
 
 impl PhysicalQuery {
@@ -458,6 +472,67 @@ impl PhysicalQuery {
             }
         }
 
+        // Window semantics: resolve the shape and each relation's
+        // event-time column (original coordinates) — explicit `ON col`
+        // first, then the stream's declared event-time column.
+        let window_globals: Option<(WindowSpec, Vec<usize>, Vec<bool>)> = match &q.window {
+            None => None,
+            Some(w) => {
+                if q.tables.len() < 2 {
+                    return Err(SquallError::InvalidPlan(
+                        "window semantics apply to stream joins; a single-relation \
+                         windowed query has no join state to expire"
+                            .into(),
+                    ));
+                }
+                let spec = match w.kind {
+                    WindowKind::Tumbling { width: 0 } => {
+                        return Err(SquallError::InvalidPlan("tumbling width must be > 0".into()))
+                    }
+                    WindowKind::Sliding { size: 0 } => {
+                        return Err(SquallError::InvalidPlan("sliding size must be > 0".into()))
+                    }
+                    WindowKind::Tumbling { width } => WindowSpec::Tumbling { width },
+                    WindowKind::Sliding { size } => WindowSpec::Sliding { size },
+                };
+                let mut ts_globals = Vec::with_capacity(q.tables.len());
+                let mut presorted = Vec::with_capacity(q.tables.len());
+                for (t, (tname, alias)) in q.tables.iter().enumerate() {
+                    let c = match &w.time_col {
+                        Some(name) if name.contains('.') => {
+                            return Err(SquallError::InvalidPlan(format!(
+                                "WINDOW ... ON takes an unqualified column name \
+                                 present in every relation, got {name}"
+                            )))
+                        }
+                        Some(name) => {
+                            schemas[t].index_of(&format!("{alias}.{name}")).map_err(|_| {
+                                SquallError::UnknownColumn(format!(
+                                    "{alias}.{name} (window event-time column)"
+                                ))
+                            })?
+                        }
+                        None => catalog.get(tname)?.event_time_col().ok_or_else(|| {
+                            SquallError::InvalidPlan(format!(
+                                "{tname} is not a stream: register it with register_stream \
+                                 or name the event-time column with WINDOW ... ON <col>"
+                            ))
+                        })?,
+                    };
+                    if schemas[t].field(c).data_type != DataType::Int {
+                        return Err(SquallError::InvalidPlan(format!(
+                            "window event-time column {} must be Int, is {}",
+                            schemas[t].field(c).name,
+                            schemas[t].field(c).data_type
+                        )));
+                    }
+                    ts_globals.push(offsets[t] + c);
+                    presorted.push(catalog.get(tname)?.event_time_col() == Some(c));
+                }
+                Some((spec, ts_globals, presorted))
+            }
+        };
+
         // Aggregation shape.
         let has_group = !q.group_by.is_empty();
         let has_agg_items = q.select.iter().any(|(e, _)| e.has_agg());
@@ -516,6 +591,14 @@ impl PhysicalQuery {
         }
         for &g in &group_globals {
             need_global(g, &mut needed);
+        }
+        if let Some((_, ts_globals, _)) = &window_globals {
+            // Event-time columns must survive output-scheme pruning: the
+            // window join reads them from the shipped tuples and the
+            // emitted results.
+            for &g in ts_globals {
+                need_global(g, &mut needed);
+            }
         }
         // Derived columns referenced cols are needed only at the source —
         // they are computed there, not shipped as inputs.
@@ -578,6 +661,17 @@ impl PhysicalQuery {
             new_offsets[t] + new_local(t, g - offsets[t])
         };
         let group_cols: Vec<usize> = group_globals.iter().map(|&g| remap_global(g)).collect();
+        let window = window_globals.map(|(spec, ts_globals, presorted)| PhysWindow {
+            spec,
+            // Each relation's event-time column, local to its pruned
+            // (join-input) schema.
+            ts_cols: ts_globals
+                .iter()
+                .enumerate()
+                .map(|(t, &g)| new_local(t, g - offsets[t]))
+                .collect(),
+            presorted,
+        });
 
         // SELECT items → aggregate specs / final projection.
         let mut aggs: Vec<AggSpec> = Vec::new();
@@ -645,6 +739,7 @@ impl PhysicalQuery {
             final_items,
             out_schema: Schema::new(out_fields),
             is_aggregate,
+            window,
         })
     }
 
@@ -704,6 +799,18 @@ impl PhysicalQuery {
             let raw = Arc::clone(&catalog.get(&pt.name)?.data);
             data.push(self.prepare_table(t, &raw)?);
         }
+        if let Some(w) = &self.window {
+            // Windowed topologies require spouts that emit in event-time
+            // order (the watermark-eviction contract). Streams windowed on
+            // their declared column were sorted and validated once at
+            // registration (selection/projection preserve order); only
+            // explicit `ON` over other columns pays a per-run sort.
+            for (t, d) in data.iter_mut().enumerate() {
+                if !w.presorted[t] {
+                    squall_runtime::sort_by_event_time(d, w.ts_cols[t])?;
+                }
+            }
+        }
 
         // Single-table queries run locally (no distribution needed).
         if self.tables.len() == 1 {
@@ -740,6 +847,9 @@ impl PhysicalQuery {
         let scheme = cfg.scheme.unwrap_or(SchemeKind::Hybrid);
         let mut mcfg = MultiwayConfig::new(scheme, cfg.local, cfg.machines);
         mcfg.seed = cfg.seed;
+        if let Some(w) = &self.window {
+            mcfg = mcfg.with_window(WindowPlan { spec: w.spec, ts_cols: w.ts_cols.clone() });
+        }
         if self.is_aggregate {
             mcfg = mcfg.with_agg(AggPlan {
                 group_cols: self.group_cols.clone(),
@@ -848,6 +958,9 @@ impl PhysicalQuery {
             ));
         }
         s.push_str(&format!("join atoms: {:?}\n", self.atoms));
+        if let Some(w) = &self.window {
+            s.push_str(&format!("window: {:?} on ts cols {:?}\n", w.spec, w.ts_cols));
+        }
         if self.is_aggregate {
             s.push_str(&format!(
                 "aggregate: group by {:?}, {} agg(s)\n",
@@ -901,17 +1014,37 @@ mod tests {
             "R",
             Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
             vec![tuple![1, 10], tuple![2, 20], tuple![3, 30], tuple![2, 25]],
-        );
+        )
+        .unwrap();
         c.register(
             "S",
             Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
             vec![tuple![2, 100], tuple![3, 200], tuple![4, 300], tuple![2, 150]],
-        );
+        )
+        .unwrap();
         c.register(
             "T",
             Schema::of(&[("c", DataType::Int), ("d", DataType::Int)]),
             vec![tuple![100, 7], tuple![200, 8], tuple![999, 9]],
-        );
+        )
+        .unwrap();
+        c
+    }
+
+    /// Unsorted event streams: the planner must order spout input by
+    /// event time itself.
+    fn stream_catalog() -> Catalog {
+        let schema = Schema::of(&[("k", DataType::Int), ("ts", DataType::Int)]);
+        let mut c = Catalog::new();
+        c.register_stream(
+            "A",
+            schema.clone(),
+            vec![tuple![1, 50], tuple![1, 0], tuple![2, 20]],
+            "ts",
+        )
+        .unwrap();
+        c.register_stream("B", schema, vec![tuple![2, 25], tuple![1, 8], tuple![1, 49]], "ts")
+            .unwrap();
         c
     }
 
@@ -1032,6 +1165,65 @@ mod tests {
         let e = p.explain();
         assert!(e.contains("filter"), "{e}");
         assert!(e.contains("join atoms"), "{e}");
+    }
+
+    #[test]
+    fn windowed_join_matches_timestamp_oracle() {
+        use crate::logical::Window;
+        // SELECT A.k, A.ts, B.ts FROM A, B WHERE A.k = B.k WINDOW SLIDING 10.
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::sliding(10))
+            .select([col("A.k"), col("A.ts"), col("B.ts")]);
+        let mut res = execute_query(&q, &stream_catalog(), &ExecConfig::default()).unwrap();
+        // Key + |Δts| ≤ 10 pairs: (1@0,1@8), (1@50,1@49); (2@20,2@25).
+        assert_eq!(res.rows(), vec![tuple![1, 0, 8], tuple![1, 50, 49], tuple![2, 20, 25]]);
+    }
+
+    #[test]
+    fn windowed_plan_keeps_event_time_columns() {
+        use crate::logical::Window;
+        // Neither ts column is selected or joined on — the window alone
+        // must keep them alive through output-scheme pruning.
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::tumbling(10))
+            .select([agg(AggFunc::Count, None)]);
+        let p = PhysicalQuery::plan(&q, &stream_catalog()).unwrap();
+        assert_eq!(p.tables[0].kept, vec![0, 1]);
+        assert_eq!(p.tables[1].kept, vec![0, 1]);
+        assert!(p.explain().contains("window"));
+        // Tumbling width 10: (1@0,1@8) share bucket 0; (2@20,2@25) share
+        // bucket 2; (1@50,1@49) split across buckets 5 and 4.
+        let mut res = p.execute(&stream_catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows(), vec![tuple![2]]);
+    }
+
+    #[test]
+    fn window_plan_errors() {
+        use crate::logical::Window;
+        let c = stream_catalog();
+        // Single-relation windowed query.
+        let q = Query::from_tables([("A", "A")]).window(Window::sliding(5)).select([col("A.k")]);
+        assert!(PhysicalQuery::plan(&q, &c).is_err());
+        // Zero-width windows.
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::tumbling(0))
+            .select([col("A.k")]);
+        assert!(PhysicalQuery::plan(&q, &c).is_err());
+        // ON column missing from a relation.
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::sliding(5).on("nope"))
+            .select([col("A.k")]);
+        assert!(matches!(PhysicalQuery::plan(&q, &c), Err(SquallError::UnknownColumn(_))));
+        // Plain tables without ON: no declared event time.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .window(Window::sliding(5))
+            .select([col("R.b")]);
+        assert!(matches!(PhysicalQuery::plan(&q, &catalog()), Err(SquallError::InvalidPlan(_))));
     }
 
     #[test]

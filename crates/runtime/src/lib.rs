@@ -39,5 +39,6 @@ pub use grouping::{CustomGrouping, Grouping};
 pub use message::NodeId;
 pub use metrics::{MetricsSnapshot, NodeMetrics};
 pub use topology::{
-    Bolt, FnBolt, IterSpout, IterSpoutVec, OutputCollector, Spout, Topology, TopologyBuilder,
+    sort_by_event_time, Bolt, FnBolt, IterSpout, IterSpoutVec, OutputCollector, Spout, Topology,
+    TopologyBuilder,
 };

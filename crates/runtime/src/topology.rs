@@ -66,6 +66,27 @@ impl Spout for IterSpoutVec {
     }
 }
 
+/// Order a relation's tuples by an event-time column, ascending (stable),
+/// validating that every timestamp is a non-negative Int.
+///
+/// Windowed topologies rely on each spout emitting its relation in
+/// event-time order: per-sender channel FIFO then guarantees every
+/// downstream task sees each relation's tuples with non-decreasing
+/// timestamps, which is what the watermark-based window join needs to
+/// evict state safely.
+pub fn sort_by_event_time(data: &mut [Tuple], ts_col: usize) -> Result<()> {
+    for t in data.iter() {
+        let v = t.get(ts_col).as_int()?;
+        if v < 0 {
+            return Err(SquallError::Runtime(format!(
+                "negative event-time timestamp {v} (column {ts_col})"
+            )));
+        }
+    }
+    data.sort_by_key(|t| t.get(ts_col).as_int().expect("validated above"));
+    Ok(())
+}
+
 /// A bolt defined by a closure (handy in tests and examples).
 pub struct FnBolt<F>(pub F);
 

@@ -7,7 +7,7 @@ use squall_common::{Result, SquallError};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
     /// Keyword (SELECT, FROM, WHERE, GROUP, BY, AS, AND, OR, NOT, COUNT,
-    /// SUM, AVG).
+    /// SUM, AVG, WINDOW, SLIDING, TUMBLING, ON).
     Keyword(String),
     /// Possibly qualified identifier (`a` or `a.b`).
     Ident(String),
@@ -21,8 +21,10 @@ pub enum Token {
     Sym(&'static str),
 }
 
-const KEYWORDS: [&str; 11] =
-    ["SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "COUNT", "SUM"];
+const KEYWORDS: [&str; 15] = [
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "COUNT", "SUM", "WINDOW",
+    "SLIDING", "TUMBLING", "ON",
+];
 
 fn is_ident_start(c: char) -> bool {
     c.is_ascii_alphabetic() || c == '_'
@@ -144,13 +146,17 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        let t = tokenize("select From wHeRe").unwrap();
+        let t = tokenize("select From wHeRe window Sliding TUMBLING on").unwrap();
         assert_eq!(
             t,
             vec![
                 Token::Keyword("SELECT".into()),
                 Token::Keyword("FROM".into()),
-                Token::Keyword("WHERE".into())
+                Token::Keyword("WHERE".into()),
+                Token::Keyword("WINDOW".into()),
+                Token::Keyword("SLIDING".into()),
+                Token::Keyword("TUMBLING".into()),
+                Token::Keyword("ON".into()),
             ]
         );
     }

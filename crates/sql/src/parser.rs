@@ -2,7 +2,7 @@
 
 use squall_common::{Result, SquallError, Value};
 use squall_expr::{AggFunc, BinOp};
-use squall_plan::logical::{Expr, Query};
+use squall_plan::logical::{Expr, Query, Window};
 
 use crate::lexer::{tokenize, Token};
 
@@ -102,10 +102,14 @@ impl Parser {
                 break;
             }
         }
-        let mut q = Query { tables, filters: vec![], select, group_by: vec![] };
+        let mut q = Query { tables, filters: vec![], select, group_by: vec![], window: None };
         if self.eat_keyword("WHERE") {
             let cond = self.disjunction()?;
             q = q.filter(cond);
+        }
+        // The WINDOW clause may come before or after GROUP BY.
+        if self.eat_keyword("WINDOW") {
+            q.window = Some(self.window_clause()?);
         }
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -118,7 +122,38 @@ impl Parser {
             }
             q.group_by = group;
         }
+        if q.window.is_none() && self.eat_keyword("WINDOW") {
+            q.window = Some(self.window_clause()?);
+        }
         Ok(q)
+    }
+
+    /// `WINDOW (SLIDING | TUMBLING) <n> [ON <col>]` — the WINDOW keyword
+    /// has already been consumed.
+    fn window_clause(&mut self) -> Result<Window> {
+        let sliding = if self.eat_keyword("SLIDING") {
+            true
+        } else if self.eat_keyword("TUMBLING") {
+            false
+        } else {
+            return Err(SquallError::Parse(format!(
+                "expected SLIDING or TUMBLING after WINDOW, found {:?}",
+                self.peek()
+            )));
+        };
+        let n = match self.next() {
+            Some(Token::Int(i)) if i > 0 => i as u64,
+            other => {
+                return Err(SquallError::Parse(format!(
+                    "window size must be a positive integer, found {other:?}"
+                )))
+            }
+        };
+        let mut w = if sliding { Window::sliding(n) } else { Window::tumbling(n) };
+        if self.eat_keyword("ON") {
+            w = w.on(self.ident()?);
+        }
+        Ok(w)
     }
 
     fn select_item(&mut self) -> Result<(Expr, Option<String>)> {
@@ -315,6 +350,53 @@ mod tests {
         let q = parse("SELECT AVG(x) FROM R WHERE x > -5").unwrap();
         assert!(q.select[0].0.has_agg());
         assert_eq!(q.filters.len(), 1);
+    }
+
+    #[test]
+    fn window_clause_sliding_and_tumbling() {
+        use squall_plan::logical::WindowKind;
+        let q = parse(
+            "SELECT I.ad_id FROM impressions I, clicks C \
+             WHERE I.ad_id = C.ad_id WINDOW SLIDING 30 ON ts",
+        )
+        .unwrap();
+        let w = q.window.expect("window parsed");
+        assert_eq!(w.kind, WindowKind::Sliding { size: 30 });
+        assert_eq!(w.time_col.as_deref(), Some("ts"));
+
+        // ON is optional (streams declare their event-time column).
+        let q = parse("SELECT a FROM R, S WHERE R.a = S.a WINDOW TUMBLING 60").unwrap();
+        let w = q.window.expect("window parsed");
+        assert_eq!(w.kind, WindowKind::Tumbling { width: 60 });
+        assert_eq!(w.time_col, None);
+    }
+
+    #[test]
+    fn window_clause_composes_with_group_by() {
+        // Before GROUP BY…
+        let q = parse(
+            "SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a \
+             WINDOW SLIDING 10 ON ts GROUP BY R.a",
+        )
+        .unwrap();
+        assert!(q.window.is_some());
+        assert_eq!(q.group_by.len(), 1);
+        // …and after.
+        let q = parse(
+            "SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a \
+             GROUP BY R.a WINDOW TUMBLING 10 ON ts",
+        )
+        .unwrap();
+        assert!(q.window.is_some());
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn window_clause_errors() {
+        assert!(parse("SELECT a FROM R, S WINDOW 30 ON ts").is_err(), "missing shape");
+        assert!(parse("SELECT a FROM R, S WINDOW SLIDING ON ts").is_err(), "missing size");
+        assert!(parse("SELECT a FROM R, S WINDOW SLIDING 0 ON ts").is_err(), "zero size");
+        assert!(parse("SELECT a FROM R, S WINDOW SLIDING 30 ON").is_err(), "missing column");
     }
 
     #[test]

@@ -20,13 +20,13 @@ fn main() {
     );
 
     let mut session = Session::builder().machines(8).build();
-    session.register(
-        "MACHINE_EVENTS",
-        google_cluster::machine_events_schema(),
-        trace.machine_events,
-    );
-    session.register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events);
-    session.register("TASK_EVENTS", google_cluster::task_events_schema(), trace.task_events);
+    session
+        .register("MACHINE_EVENTS", google_cluster::machine_events_schema(), trace.machine_events)
+        .unwrap();
+    session.register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events).unwrap();
+    session
+        .register("TASK_EVENTS", google_cluster::task_events_schema(), trace.task_events)
+        .unwrap();
 
     // §7.4's query, verbatim SQL (FAIL = 3 in the trace encoding).
     let sql = "SELECT MACHINE_EVENTS.machineID, MACHINE_EVENTS.platform, COUNT(*) \

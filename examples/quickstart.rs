@@ -14,18 +14,28 @@ fn main() {
     //    ship parts to regions, 8 join machines.
     let mut rng = SplitMix64::new(1);
     let mut session = Session::builder().machines(8).build();
-    session.register(
-        "parts",
-        Schema::of(&[("pid", DataType::Int), ("weight", DataType::Int)]),
-        (0..2_000).map(|p| tuple![p, rng.next_range(1, 100)]).collect(),
-    );
-    session.register(
-        "shipments",
-        Schema::of(&[("pid", DataType::Int), ("region", DataType::Int), ("qty", DataType::Int)]),
-        (0..20_000)
-            .map(|_| tuple![rng.next_range(0, 1_999), rng.next_range(0, 9), rng.next_range(1, 50)])
-            .collect(),
-    );
+    session
+        .register(
+            "parts",
+            Schema::of(&[("pid", DataType::Int), ("weight", DataType::Int)]),
+            (0..2_000).map(|p| tuple![p, rng.next_range(1, 100)]).collect(),
+        )
+        .unwrap();
+    session
+        .register(
+            "shipments",
+            Schema::of(&[
+                ("pid", DataType::Int),
+                ("region", DataType::Int),
+                ("qty", DataType::Int),
+            ]),
+            (0..20_000)
+                .map(|_| {
+                    tuple![rng.next_range(0, 1_999), rng.next_range(0, 9), rng.next_range(1, 50)]
+                })
+                .collect(),
+        )
+        .unwrap();
 
     // 2. Declarative interface: plain SQL (§2).
     let sql = "SELECT shipments.region, COUNT(*), SUM(shipments.qty * parts.weight) \

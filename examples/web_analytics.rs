@@ -17,8 +17,8 @@ fn main() {
     let arcs = WebGraphGen::new(2_000, 20_000, 11).generate();
     let content = crawlcontent::generate(2_000, 12);
     let mut session = Session::builder().machines(8).build();
-    session.register("WebGraph", webgraph::webgraph_schema(), arcs);
-    session.register("CrawlContent", crawlcontent::crawlcontent_schema(), content);
+    session.register("WebGraph", webgraph::webgraph_schema(), arcs).unwrap();
+    session.register("CrawlContent", crawlcontent::crawlcontent_schema(), content).unwrap();
 
     // §6's WebAnalytics query: pages linking into the hub, scored.
     let sql = "SELECT W1.FromUrl, C.Score, COUNT(*) \

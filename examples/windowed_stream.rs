@@ -1,11 +1,18 @@
-//! Window semantics (§2) and streaming results: a sliding-window stream
-//! join built directly on the runtime (topology, groupings and windowed
-//! join bolt by hand — the physical layer under the session API), then
-//! the same streams queried through `Session` with results consumed *while
-//! the topology runs*.
+//! Window semantics (§2) as a first-class `Session` feature: the paper's
+//! click-stream scenario — match ad impressions to clicks within a
+//! 30-time-unit sliding window — expressed three equivalent ways:
 //!
-//! Scenario: match ad impressions to clicks within a 30-time-unit sliding
-//! window (the click-stream analytics motivation of §1).
+//! * **Part 1a** — declarative: `WINDOW SLIDING 30 ON ts` in SQL, with the
+//!   result rows consumed *while the topology runs*;
+//! * **Part 1b** — imperative: `.window(Window::sliding(30).on("ts"))` on
+//!   the query builder;
+//! * **Part 2** — the physical layer the session API compiles down to:
+//!   topology, groupings and the event-time windowed join bolt built by
+//!   hand.
+//!
+//! All three produce identical conversions: window results are a pure
+//! function of the timestamped inputs (watermark eviction + per-result
+//! window predicate), not of thread scheduling.
 //!
 //! ```text
 //! cargo run --release --example windowed_stream
@@ -18,11 +25,13 @@ use squall::engine::operators::{JoinBolt, JoinEmit};
 use squall::expr::{JoinAtom, MultiJoinSpec, RelationDef};
 use squall::join::{DBToasterJoin, WindowSpec};
 use squall::runtime::{Grouping, IterSpoutVec, TopologyBuilder};
-use squall::{col, Session};
+use squall::{col, Session, Window};
+
+const WINDOW: u64 = 30;
 
 fn main() {
-    // impressions(ad_id, ts), clicks(ad_id, ts): matching ad within 30
-    // ticks counts as a conversion.
+    // impressions(ad_id, ts), clicks(ad_id, ts): a click within 30 ticks
+    // of a matching impression counts as a conversion.
     let mut rng = SplitMix64::new(7);
     let mut impressions = Vec::new();
     let mut clicks = Vec::new();
@@ -35,24 +44,73 @@ fn main() {
             clicks.push(tuple![ad, ts + rng.next_range(0, 40)]);
         }
     }
-    clicks.sort_by_key(|t| t.get(1).as_int().unwrap());
-
     let ad_schema = Schema::of(&[("ad_id", DataType::Int), ("ts", DataType::Int)]);
+
+    // Part 1 — the session layer: streams registered with a declared
+    // event-time column, windows in both query interfaces.
+    let machines = 4;
+    let mut session = Session::builder().machines(machines).build();
+    session
+        .register_stream("impressions", ad_schema.clone(), impressions.clone(), "ts")
+        .expect("valid stream")
+        .register_stream("clicks", ad_schema.clone(), clicks.clone(), "ts")
+        .expect("valid stream");
+
+    // 1a: SQL, streaming — conversions are consumed while the topology
+    // runs (the natural mode for unbounded sources).
+    let sql = "SELECT I.ad_id, I.ts, C.ts FROM impressions I, clicks C \
+               WHERE I.ad_id = C.ad_id WINDOW SLIDING 30 ON ts";
+    let mut live = session.sql_stream(sql).expect("plans");
+    assert!(live.is_streaming());
+    let mut sql_rows: Vec<Tuple> = Vec::new();
+    let mut first: Option<Tuple> = None;
+    for row in live.by_ref() {
+        if first.is_none() {
+            first = Some(row.clone()); // seen before the run finished
+        }
+        sql_rows.push(row);
+    }
+    let report = live.report().expect("metrics after the stream ends");
+    assert!(report.error.is_none());
+    println!(
+        "SQL stream: {} conversions (first while running: {}), join loads {:?}, elapsed {:?}",
+        sql_rows.len(),
+        first.map(|t| t.to_string()).unwrap_or_else(|| "none".into()),
+        report.loads,
+        report.elapsed,
+    );
+
+    // 1b: the imperative builder lowers to the same plan.
+    let mut built = session
+        .from_as("impressions", "I")
+        .join_as("clicks", "C")
+        .on(col("I.ad_id").eq(col("C.ad_id")))
+        .window(Window::sliding(WINDOW).on("ts"))
+        .select([col("I.ad_id"), col("I.ts"), col("C.ts")])
+        .run()
+        .expect("plans");
+    sql_rows.sort();
+    assert_eq!(built.rows(), sql_rows, "SQL and builder paths produce identical rows");
+
+    // Part 2 — the physical layer underneath: the same windowed join as a
+    // hand-built topology (spouts must feed each relation in event-time
+    // order; the session path does this for us).
+    let by_ts = |mut v: Vec<Tuple>| {
+        v.sort_by_key(|t| t.get(1).as_int().unwrap());
+        v
+    };
+    let imp = Arc::new(by_ts(impressions));
+    let clk = Arc::new(by_ts(clicks));
     let spec = MultiJoinSpec::new(
         vec![
-            RelationDef::new("impressions", ad_schema.clone(), impressions.len() as u64),
-            RelationDef::new("clicks", ad_schema.clone(), clicks.len() as u64),
+            RelationDef::new("impressions", ad_schema.clone(), imp.len() as u64),
+            RelationDef::new("clicks", ad_schema, clk.len() as u64),
         ],
         vec![JoinAtom::eq(0, 0, 1, 0)],
     )
     .unwrap();
 
-    // Part 1 — the physical layer: build the windowed topology by hand
-    // (window expiration is not expressible in the SPJA session queries
-    // yet, so this is what the session API compiles *down to*).
     let mut b = TopologyBuilder::new();
-    let imp = Arc::new(impressions);
-    let clk = Arc::new(clicks);
     let imp_node = {
         let d = Arc::clone(&imp);
         b.add_spout("impressions", 1, move |t| {
@@ -64,7 +122,6 @@ fn main() {
         b.add_spout("clicks", 1, move |t| Box::new(IterSpoutVec::strided(Arc::clone(&d), t, 1)))
     };
     let spec2 = Arc::new(spec);
-    let machines = 4;
     let join_node = b.add_bolt("window-join", machines, move |task| {
         let mut map = FxHashMap::default();
         map.insert(imp_node, 0usize);
@@ -73,10 +130,10 @@ fn main() {
             task,
             map,
             Box::new(DBToasterJoin::new(&spec2)),
-            2,
             JoinEmit::Results,
-            WindowSpec::Sliding { size: 30 },
+            WindowSpec::Sliding { size: WINDOW },
             vec![1, 1], // ts column of each relation
+            &[2, 2],    // relation arities (locate ts in the join output)
         ))
     });
     // Hash both sides on ad_id: an equi-join on a skew-free key.
@@ -85,49 +142,32 @@ fn main() {
 
     let outcome = b.build().unwrap().run();
     assert!(outcome.error.is_none(), "{:?}", outcome.error);
-    let conversions: Vec<Tuple> = outcome.tuples();
-    println!(
-        "{} impressions, {} clicks → {} in-window conversions",
-        imp.len(),
-        clk.len(),
-        conversions.len()
-    );
+    // Raw join output is (I.ad_id, I.ts, C.ad_id, C.ts); project onto the
+    // session query's SELECT list for a row-level comparison.
+    let mut hand_built: Vec<Tuple> = outcome
+        .tuples()
+        .into_iter()
+        .map(|t| Tuple::new(vec![t.get(0).clone(), t.get(1).clone(), t.get(3).clone()]))
+        .collect();
+    hand_built.sort();
     let m = outcome.metrics.node(join_node);
     println!(
-        "window-join loads: {:?} (skew degree {:.2}); state stayed bounded by the window",
+        "hand-built topology: {} conversions, loads {:?} (skew degree {:.2})",
+        hand_built.len(),
         m.received,
         m.skew_degree()
     );
 
-    // Part 2 — the session layer, streaming: the full-history version of
-    // the same join through `Session`, with rows consumed while the
-    // topology runs (every in-window conversion is a subset of these).
-    let mut session = Session::builder().machines(machines).build();
-    session.register("impressions", ad_schema.clone(), imp.as_ref().clone());
-    session.register("clicks", ad_schema, clk.as_ref().clone());
-    let mut stream = session
-        .from_as("impressions", "I")
-        .join_as("clicks", "C")
-        .on(col("I.ad_id").eq(col("C.ad_id")))
-        .select([col("I.ad_id"), col("I.ts"), col("C.ts")])
-        .stream()
-        .expect("runs");
-    assert!(stream.is_streaming());
-    let mut streamed = 0u64;
-    let mut first: Option<Tuple> = None;
-    for row in stream.by_ref() {
-        if first.is_none() {
-            first = Some(row);
-        }
-        streamed += 1;
-    }
-    let report = stream.report().expect("metrics after the stream ends");
-    println!(
-        "\nsession stream: {streamed} full-history matches (first seen: {}), \
-         join machines {:?}, elapsed {:?}",
-        first.map(|t| t.to_string()).unwrap_or_else(|| "none".into()),
-        report.loads,
-        report.elapsed,
+    assert_eq!(
+        hand_built.len(),
+        sql_rows.len(),
+        "session API and hand-built topology must count the same conversions"
     );
-    assert!(streamed >= conversions.len() as u64, "windowed results are a subset");
+    assert_eq!(hand_built, sql_rows, "…and produce identical rows");
+    println!(
+        "\n{} impressions, {} clicks → {} in-window conversions via all three paths",
+        imp.len(),
+        clk.len(),
+        sql_rows.len()
+    );
 }

@@ -39,12 +39,12 @@
 //!     "R",
 //!     Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
 //!     vec![tuple![1, 10], tuple![2, 20]],
-//! );
+//! ).unwrap();
 //! session.register(
 //!     "S",
 //!     Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
 //!     vec![tuple![2, 7], tuple![3, 8]],
-//! );
+//! ).unwrap();
 //! let mut result = session.sql("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap();
 //! assert_eq!(result.rows(), vec![tuple![20, 7]]);
 //! // The imperative interface lowers to the same plan:
@@ -67,5 +67,5 @@ pub use squall_sql as sql;
 
 pub use session::{
     agg, avg, col, count, lit, sum, AggFunc, ExecConfig, LocalJoinKind, QueryBuilder, ResultSet,
-    SchemeKind, Session, SessionBuilder,
+    SchemeKind, Session, SessionBuilder, SourceDef, SourceKind, Window, WindowKind,
 };

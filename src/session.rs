@@ -22,12 +22,12 @@
 //!     "R",
 //!     Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
 //!     vec![tuple![1, 10], tuple![2, 20]],
-//! );
+//! ).unwrap();
 //! session.register(
 //!     "S",
 //!     Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
 //!     vec![tuple![2, 7], tuple![3, 8]],
-//! );
+//! ).unwrap();
 //! let mut sql = session.sql("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap();
 //! let mut imperative = session
 //!     .from("R")
@@ -48,7 +48,8 @@ use squall_plan::Catalog;
 pub use squall_core::driver::{JoinReport, LocalJoinKind};
 pub use squall_expr::AggFunc;
 pub use squall_partition::optimizer::SchemeKind;
-pub use squall_plan::logical::{agg, col, lit, Expr, Query};
+pub use squall_plan::catalog::{SourceDef, SourceKind};
+pub use squall_plan::logical::{agg, col, lit, Expr, Query, Window, WindowKind};
 pub use squall_plan::physical::{ExecConfig, ResultSet};
 
 /// `COUNT(*)`.
@@ -147,15 +148,63 @@ impl Session {
         SessionBuilder::default()
     }
 
-    /// Register (or replace) a relation.
+    /// Register a materialized table. Rejects a duplicate source name or
+    /// data that does not match the schema arity with a typed error
+    /// ([`squall_common::SquallError::DuplicateSource`] /
+    /// [`squall_common::SquallError::InvalidSource`]); use
+    /// [`Session::deregister`] first to replace a source.
     pub fn register(
         &mut self,
         name: impl Into<String>,
         schema: Schema,
         data: Vec<Tuple>,
-    ) -> &mut Session {
-        self.catalog.register(name, schema, data);
-        self
+    ) -> Result<&mut Session> {
+        self.catalog.register(name, schema, data)?;
+        Ok(self)
+    }
+
+    /// Register a timestamped stream with a declared event-time column
+    /// (which must exist, be `Int`, and hold non-negative values).
+    /// Windowed queries over the stream measure windows on that column
+    /// unless the query names one explicitly (`WINDOW ... ON <col>` /
+    /// [`Window::on`]), and the runtime feeds the stream to the topology
+    /// in event-time order.
+    ///
+    /// ```
+    /// use squall::{col, Session, Window};
+    /// use squall::common::{tuple, DataType, Schema};
+    ///
+    /// let schema = Schema::of(&[("ad_id", DataType::Int), ("ts", DataType::Int)]);
+    /// let mut session = Session::builder().machines(2).build();
+    /// session
+    ///     .register_stream("impressions", schema.clone(), vec![tuple![1, 0]], "ts")
+    ///     .unwrap()
+    ///     .register_stream("clicks", schema, vec![tuple![1, 20], tuple![1, 90]], "ts")
+    ///     .unwrap();
+    /// let mut hits = session
+    ///     .from_as("impressions", "I")
+    ///     .join_as("clicks", "C")
+    ///     .on(col("I.ad_id").eq(col("C.ad_id")))
+    ///     .window(Window::sliding(30))
+    ///     .select([col("I.ad_id"), col("C.ts")])
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(hits.rows(), vec![tuple![1, 20]], "the ts=90 click is out of window");
+    /// ```
+    pub fn register_stream(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        data: Vec<Tuple>,
+        time_col: &str,
+    ) -> Result<&mut Session> {
+        self.catalog.register_stream(name, schema, data, time_col)?;
+        Ok(self)
+    }
+
+    /// Drop a registered source; returns whether it existed.
+    pub fn deregister(&mut self, name: &str) -> bool {
+        self.catalog.deregister(name)
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -229,6 +278,7 @@ impl Session {
             filters: Vec::new(),
             group_by: Vec::new(),
             select: Vec::new(),
+            window: None,
         }
     }
 }
@@ -250,6 +300,7 @@ pub struct QueryBuilder<'s> {
     filters: Vec<Expr>,
     group_by: Vec<Expr>,
     select: Vec<(Expr, Option<String>)>,
+    window: Option<Window>,
 }
 
 impl QueryBuilder<'_> {
@@ -287,6 +338,15 @@ impl QueryBuilder<'_> {
         self
     }
 
+    /// Apply window semantics — `.window(Window::sliding(30).on("ts"))`
+    /// or `.window(Window::tumbling(60))`. Without [`Window::on`], every
+    /// relation must be a registered stream with a declared event-time
+    /// column. Equivalent to SQL's `WINDOW SLIDING/TUMBLING <n> [ON <col>]`.
+    pub fn window(mut self, window: Window) -> Self {
+        self.window = Some(window);
+        self
+    }
+
     /// Append SELECT items (plain expressions or aggregate calls built
     /// with [`crate::count`] / [`crate::sum`] / [`crate::avg`] /
     /// [`squall_plan::logical::agg`]).
@@ -319,8 +379,13 @@ impl QueryBuilder<'_> {
             full.append(&mut select);
             select = full;
         }
-        let mut query =
-            Query { tables: self.tables, filters: Vec::new(), select, group_by: self.group_by };
+        let mut query = Query {
+            tables: self.tables,
+            filters: Vec::new(),
+            select,
+            group_by: self.group_by,
+            window: self.window,
+        };
         for predicate in self.filters {
             query = query.filter(predicate);
         }
@@ -351,18 +416,38 @@ mod tests {
     use super::*;
     use squall_common::{tuple, DataType};
 
+    use squall_common::SquallError;
+
     fn session() -> Session {
         let mut s = Session::builder().machines(4).seed(42).build();
         s.register(
             "R",
             Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
             vec![tuple![1, 10], tuple![2, 20], tuple![3, 30], tuple![2, 25]],
-        );
+        )
+        .unwrap();
         s.register(
             "S",
             Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
             vec![tuple![2, 100], tuple![3, 200], tuple![4, 300], tuple![2, 150]],
-        );
+        )
+        .unwrap();
+        s
+    }
+
+    /// Two ad streams for the windowed-query tests.
+    fn stream_session() -> Session {
+        let schema = Schema::of(&[("ad_id", DataType::Int), ("ts", DataType::Int)]);
+        let mut s = Session::builder().machines(3).seed(7).build();
+        s.register_stream(
+            "impressions",
+            schema.clone(),
+            vec![tuple![1, 0], tuple![2, 10], tuple![1, 40], tuple![2, 41]],
+            "ts",
+        )
+        .unwrap();
+        s.register_stream("clicks", schema, vec![tuple![1, 5], tuple![2, 39], tuple![1, 90]], "ts")
+            .unwrap();
         s
     }
 
@@ -520,5 +605,128 @@ mod tests {
         let s = session();
         assert!(s.sql("SELECT Z.x FROM Z").is_err());
         assert!(s.from("Z").select([col("Z.x")]).run().is_err());
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_bad_streams() {
+        let mut s = session();
+        let schema = Schema::of(&[("a", DataType::Int), ("ts", DataType::Int)]);
+        // Duplicate names — across both kinds of source.
+        assert!(matches!(
+            s.register("R", schema.clone(), vec![]),
+            Err(SquallError::DuplicateSource(_))
+        ));
+        assert!(matches!(
+            s.register_stream("R", schema.clone(), vec![], "ts"),
+            Err(SquallError::DuplicateSource(_))
+        ));
+        // Missing / non-Int event-time column.
+        assert!(matches!(
+            s.register_stream("E1", schema.clone(), vec![], "when"),
+            Err(SquallError::InvalidSource { .. })
+        ));
+        let str_ts = Schema::of(&[("a", DataType::Int), ("ts", DataType::Str)]);
+        assert!(matches!(
+            s.register_stream("E2", str_ts, vec![], "ts"),
+            Err(SquallError::InvalidSource { .. })
+        ));
+        assert!(matches!(
+            s.register_stream("E3", schema.clone(), vec![tuple![1, -3]], "ts"),
+            Err(SquallError::InvalidSource { .. })
+        ));
+        // Deregister frees the name for a replacement.
+        assert!(s.deregister("R"));
+        s.register("R", schema, vec![tuple![1, 2]]).unwrap();
+    }
+
+    #[test]
+    fn windowed_sql_and_builder_agree() {
+        let s = stream_session();
+        // In-window pairs (|Δts| ≤ 30, same ad): (1@0,1@5), (2@10,2@39),
+        // (1@40,1@5)? Δ=35 no — (2@41,2@39) yes, (1@40,1@90) Δ=50 no.
+        let mut sql = s
+            .sql(
+                "SELECT I.ad_id, I.ts, C.ts FROM impressions I, clicks C \
+                 WHERE I.ad_id = C.ad_id WINDOW SLIDING 30 ON ts",
+            )
+            .unwrap();
+        let mut imp = s
+            .from_as("impressions", "I")
+            .join_as("clicks", "C")
+            .on(col("I.ad_id").eq(col("C.ad_id")))
+            .window(Window::sliding(30).on("ts"))
+            .select([col("I.ad_id"), col("I.ts"), col("C.ts")])
+            .run()
+            .unwrap();
+        assert_eq!(sql.rows(), vec![tuple![1, 0, 5], tuple![2, 10, 39], tuple![2, 41, 39]]);
+        assert_eq!(sql.rows(), imp.rows());
+    }
+
+    #[test]
+    fn window_defaults_to_declared_event_time_columns() {
+        let s = stream_session();
+        // No ON clause: the streams' declared `ts` columns are used.
+        let mut with_on = s
+            .sql(
+                "SELECT I.ad_id FROM impressions I, clicks C \
+                 WHERE I.ad_id = C.ad_id WINDOW TUMBLING 40 ON ts",
+            )
+            .unwrap();
+        let mut without = s
+            .sql(
+                "SELECT I.ad_id FROM impressions I, clicks C \
+                 WHERE I.ad_id = C.ad_id WINDOW TUMBLING 40",
+            )
+            .unwrap();
+        assert_eq!(with_on.rows(), without.rows());
+        // Tumbling width 40: buckets [0,40) and [40,80) — (1@40,1@5) and
+        // (2@41,2@39) split across buckets, (1@0,1@5) and (2@10,2@39) join.
+        assert_eq!(without.rows().len(), 2);
+    }
+
+    #[test]
+    fn window_over_plain_tables_requires_on_clause() {
+        let s = session(); // R and S are tables, not streams
+        let err = s.sql("SELECT R.b FROM R, S WHERE R.a = S.a WINDOW SLIDING 5").unwrap_err();
+        assert!(matches!(err, SquallError::InvalidPlan(_)), "{err}");
+        // With an explicit Int column present in both relations it runs
+        // (the window is measured on that column).
+        let mut ok = s
+            .from("R")
+            .join("S")
+            .on(col("R.a").eq(col("S.a")))
+            .window(Window::sliding(1000).on("a"))
+            .select([col("R.b"), col("S.c")])
+            .run()
+            .unwrap();
+        assert!(!ok.rows().is_empty());
+    }
+
+    #[test]
+    fn windowed_stream_consumes_while_running() {
+        let s = stream_session();
+        let mut rs = s
+            .sql_stream(
+                "SELECT I.ad_id, I.ts, C.ts FROM impressions I, clicks C \
+                 WHERE I.ad_id = C.ad_id WINDOW SLIDING 30 ON ts",
+            )
+            .unwrap();
+        assert!(rs.is_streaming());
+        let mut streamed: Vec<Tuple> = rs.by_ref().collect();
+        assert!(rs.report().expect("report after exhaustion").error.is_none());
+        streamed.sort();
+        assert_eq!(streamed, vec![tuple![1, 0, 5], tuple![2, 10, 39], tuple![2, 41, 39]]);
+    }
+
+    #[test]
+    fn windowed_explain_mentions_window() {
+        let s = stream_session();
+        let text = s
+            .explain(
+                "SELECT I.ad_id FROM impressions I, clicks C \
+                 WHERE I.ad_id = C.ad_id WINDOW SLIDING 30 ON ts",
+            )
+            .unwrap();
+        assert!(text.contains("window"), "{text}");
     }
 }

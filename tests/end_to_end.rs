@@ -84,17 +84,19 @@ fn tpch9_partial_counts_match_oracle_under_skew() {
 
 fn google_session(trace: &google_cluster::GoogleClusterData) -> Session {
     let mut session = Session::builder().machines(4).build();
-    session.register(
-        "MACHINE_EVENTS",
-        google_cluster::machine_events_schema(),
-        trace.machine_events.clone(),
-    );
-    session.register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events.clone());
-    session.register(
-        "TASK_EVENTS",
-        google_cluster::task_events_schema(),
-        trace.task_events.clone(),
-    );
+    session
+        .register(
+            "MACHINE_EVENTS",
+            google_cluster::machine_events_schema(),
+            trace.machine_events.clone(),
+        )
+        .unwrap();
+    session
+        .register("JOB_EVENTS", google_cluster::job_events_schema(), trace.job_events.clone())
+        .unwrap();
+    session
+        .register("TASK_EVENTS", google_cluster::task_events_schema(), trace.task_events.clone())
+        .unwrap();
     session
 }
 
@@ -145,8 +147,10 @@ fn google_taskcount_sql_equals_imperative() {
 
 fn webanalytics_session(arcs: &[Tuple], content: &[Tuple]) -> Session {
     let mut session = Session::builder().machines(4).build();
-    session.register("WebGraph", squall::data::webgraph::webgraph_schema(), arcs.to_vec());
-    session.register("CrawlContent", crawlcontent::crawlcontent_schema(), content.to_vec());
+    session.register("WebGraph", squall::data::webgraph::webgraph_schema(), arcs.to_vec()).unwrap();
+    session
+        .register("CrawlContent", crawlcontent::crawlcontent_schema(), content.to_vec())
+        .unwrap();
     session
 }
 
@@ -224,9 +228,9 @@ fn webanalytics_streaming_iterator_and_report() {
 fn q3_functional_interface_end_to_end() {
     let data = TpchGen::new(0.2, 0.0, 4).generate();
     let mut session = Session::new();
-    session.register("CUSTOMER", tpch::customer_schema(), data.customer.clone());
-    session.register("ORDERS", tpch::orders_schema(), data.orders.clone());
-    session.register("LINEITEM", tpch::lineitem_schema(), data.lineitem.clone());
+    session.register("CUSTOMER", tpch::customer_schema(), data.customer.clone()).unwrap();
+    session.register("ORDERS", tpch::orders_schema(), data.orders.clone()).unwrap();
+    session.register("LINEITEM", tpch::lineitem_schema(), data.lineitem.clone()).unwrap();
     let mut res = session
         .from_as("CUSTOMER", "C")
         .join_as("ORDERS", "O")
@@ -301,23 +305,31 @@ fn figure1_session() -> Session {
     use squall::common::{tuple, DataType, Schema, SplitMix64};
     let mut rng = SplitMix64::new(2);
     let mut session = Session::builder().machines(4).build();
-    session.register(
-        "R",
-        Schema::of(&[("A", DataType::Int), ("B", DataType::Int)]),
-        (0..300).map(|_| tuple![rng.next_range(0, 50), rng.next_range(0, 20)]).collect(),
-    );
-    session.register(
-        "S",
-        Schema::of(&[("B", DataType::Int), ("C", DataType::Int), ("D", DataType::Int)]),
-        (0..300)
-            .map(|_| tuple![rng.next_range(0, 20), rng.next_range(0, 10), rng.next_range(0, 20)])
-            .collect(),
-    );
-    session.register(
-        "T",
-        Schema::of(&[("D", DataType::Int), ("E", DataType::Int)]),
-        (0..300).map(|_| tuple![rng.next_range(0, 20), rng.next_range(0, 100)]).collect(),
-    );
+    session
+        .register(
+            "R",
+            Schema::of(&[("A", DataType::Int), ("B", DataType::Int)]),
+            (0..300).map(|_| tuple![rng.next_range(0, 50), rng.next_range(0, 20)]).collect(),
+        )
+        .unwrap();
+    session
+        .register(
+            "S",
+            Schema::of(&[("B", DataType::Int), ("C", DataType::Int), ("D", DataType::Int)]),
+            (0..300)
+                .map(|_| {
+                    tuple![rng.next_range(0, 20), rng.next_range(0, 10), rng.next_range(0, 20)]
+                })
+                .collect(),
+        )
+        .unwrap();
+    session
+        .register(
+            "T",
+            Schema::of(&[("D", DataType::Int), ("E", DataType::Int)]),
+            (0..300).map(|_| tuple![rng.next_range(0, 20), rng.next_range(0, 100)]).collect(),
+        )
+        .unwrap();
     session
 }
 
@@ -377,6 +389,122 @@ fn figure1_sql_equals_imperative() {
         .run()
         .unwrap();
     assert_equivalent(sql, imperative);
+}
+
+/// The §2 click-stream scenario: impressions joined to clicks within a
+/// sliding window, through both interfaces, against a pure timestamp
+/// oracle, with streaming consumption while the topology runs.
+#[test]
+fn windowed_clickstream_sql_builder_and_oracle_agree() {
+    use squall::common::{tuple, DataType, Schema, SplitMix64};
+    use squall::Window;
+
+    let mut rng = SplitMix64::new(31);
+    let mut impressions: Vec<Tuple> = Vec::new();
+    let mut clicks: Vec<Tuple> = Vec::new();
+    let mut ts = 0i64;
+    for _ in 0..2_000 {
+        ts += rng.next_range(0, 3);
+        let ad = rng.next_range(0, 40);
+        impressions.push(tuple![ad, ts]);
+        if rng.next_f64() < 0.2 {
+            clicks.push(tuple![ad, ts + rng.next_range(0, 45)]);
+        }
+    }
+    let schema = Schema::of(&[("ad_id", DataType::Int), ("ts", DataType::Int)]);
+    let mut session = Session::builder().machines(4).build();
+    session
+        .register_stream("impressions", schema.clone(), impressions.clone(), "ts")
+        .unwrap()
+        .register_stream("clicks", schema, clicks.clone(), "ts")
+        .unwrap();
+
+    let sql_text = "SELECT I.ad_id, I.ts, C.ts FROM impressions I, clicks C \
+                    WHERE I.ad_id = C.ad_id WINDOW SLIDING 30 ON ts";
+    let sql = session.sql(sql_text).unwrap();
+    let imperative = session
+        .from_as("impressions", "I")
+        .join_as("clicks", "C")
+        .on(col("I.ad_id").eq(col("C.ad_id")))
+        .window(Window::sliding(30).on("ts"))
+        .select([col("I.ad_id"), col("I.ts"), col("C.ts")])
+        .run()
+        .unwrap();
+    assert_equivalent(sql, imperative);
+
+    // Pure timestamp oracle: same ad, |Δts| ≤ 30 — window results must be
+    // a function of the data alone, not of scheduling.
+    let mut oracle: Vec<Tuple> = Vec::new();
+    for i in &impressions {
+        for c in &clicks {
+            let dt = (i.get(1).as_int().unwrap() - c.get(1).as_int().unwrap()).abs();
+            if i.get(0) == c.get(0) && dt <= 30 {
+                oracle.push(tuple![
+                    i.get(0).as_int().unwrap(),
+                    i.get(1).as_int().unwrap(),
+                    c.get(1).as_int().unwrap()
+                ]);
+            }
+        }
+    }
+    oracle.sort();
+    let mut sql = session.sql(sql_text).unwrap();
+    assert!(!oracle.is_empty());
+    assert_eq!(sql.rows(), oracle);
+
+    // Streaming consumption while the topology runs.
+    let mut live = session.sql_stream(sql_text).unwrap();
+    assert!(live.is_streaming());
+    let mut streamed: Vec<Tuple> = live.by_ref().collect();
+    assert!(live.report().expect("report").error.is_none());
+    streamed.sort();
+    assert_eq!(streamed, oracle);
+}
+
+/// Tumbling windows through the session API, against the bucket oracle.
+#[test]
+fn windowed_tumbling_counts_match_oracle() {
+    use squall::common::{tuple, DataType, Schema, SplitMix64};
+    use squall::{count, Window};
+
+    let mut rng = SplitMix64::new(32);
+    let schema = Schema::of(&[("k", DataType::Int), ("ts", DataType::Int)]);
+    let gen = |rng: &mut SplitMix64| -> Vec<Tuple> {
+        let mut ts = 0i64;
+        (0..800)
+            .map(|_| {
+                ts += rng.next_range(0, 4);
+                tuple![rng.next_range(0, 25), ts]
+            })
+            .collect()
+    };
+    let (a, b) = (gen(&mut rng), gen(&mut rng));
+    let mut session = Session::builder().machines(3).build();
+    session
+        .register_stream("A", schema.clone(), a.clone(), "ts")
+        .unwrap()
+        .register_stream("B", schema, b.clone(), "ts")
+        .unwrap();
+
+    let width = 50i64;
+    let mut res = session
+        .from("A")
+        .join("B")
+        .on(col("A.k").eq(col("B.k")))
+        .window(Window::tumbling(width as u64))
+        .select([count()])
+        .run()
+        .unwrap();
+    let expected = a
+        .iter()
+        .flat_map(|x| b.iter().map(move |y| (x, y)))
+        .filter(|(x, y)| {
+            x.get(0) == y.get(0)
+                && x.get(1).as_int().unwrap() / width == y.get(1).as_int().unwrap() / width
+        })
+        .count() as i64;
+    assert!(expected > 0);
+    assert_eq!(res.rows(), vec![tuple![expected]]);
 }
 
 #[test]

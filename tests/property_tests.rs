@@ -8,7 +8,7 @@
 //! * DBToaster's aggregated views preserve result cardinalities.
 
 use proptest::prelude::*;
-use squall::common::{DataType, Schema, SplitMix64, Tuple, Value};
+use squall::common::{tuple, DataType, Schema, SplitMix64, Tuple, Value};
 use squall::engine::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
 use squall::expr::{JoinAtom, MultiJoinSpec, RelationDef};
 use squall::join::naive::{naive_join, same_multiset};
@@ -175,6 +175,81 @@ proptest! {
             }
         }
         prop_assert_eq!(total as usize, oracle.len());
+    }
+
+    #[test]
+    fn window_queries_match_in_window_oracle(
+        seed in 0u64..200,
+        machines in 1usize..6,
+        size in 1i64..40,
+        width in 1i64..40,
+        dom in 2i64..8,
+    ) {
+        // Seeded random event streams (key, ts) with ascending timestamps.
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |n: usize| -> Vec<Tuple> {
+            let mut ts = 0i64;
+            (0..n)
+                .map(|_| {
+                    ts += rng.next_range(0, 6);
+                    tuple![rng.next_range(0, dom), ts]
+                })
+                .collect()
+        };
+        let (a, b) = (gen(40), gen(40));
+        let schema = Schema::of(&[("k", DataType::Int), ("ts", DataType::Int)]);
+        let mut session = squall::Session::builder().machines(machines).seed(seed).build();
+        session
+            .register_stream("A", schema.clone(), a.clone(), "ts").unwrap()
+            .register_stream("B", schema, b.clone(), "ts").unwrap();
+
+        let pairs = || a.iter().flat_map(|x| b.iter().map(move |y| (x, y)));
+        let keyed = |x: &Tuple, y: &Tuple| x.get(0) == y.get(0);
+        let ts_of = |t: &Tuple| t.get(1).as_int().unwrap();
+
+        // Sliding: SQL and builder paths both equal the |Δts| ≤ size oracle.
+        let mut oracle: Vec<Tuple> = pairs()
+            .filter(|(x, y)| keyed(x, y) && (ts_of(x) - ts_of(y)).abs() <= size)
+            .map(|(x, y)| tuple![x.get(0).as_int().unwrap(), ts_of(x), ts_of(y)])
+            .collect();
+        oracle.sort();
+        let mut sql = session
+            .sql(&format!(
+                "SELECT A.k, A.ts, B.ts FROM A, B WHERE A.k = B.k WINDOW SLIDING {size} ON ts"
+            ))
+            .unwrap();
+        let mut built = session
+            .from("A")
+            .join("B")
+            .on(squall::col("A.k").eq(squall::col("B.k")))
+            .window(squall::Window::sliding(size as u64).on("ts"))
+            .select([squall::col("A.k"), squall::col("A.ts"), squall::col("B.ts")])
+            .run()
+            .unwrap();
+        prop_assert_eq!(sql.rows(), &oracle[..], "sliding SQL vs oracle");
+        prop_assert_eq!(built.rows(), sql.rows(), "sliding builder vs SQL");
+
+        // Tumbling: same-bucket oracle.
+        let mut oracle: Vec<Tuple> = pairs()
+            .filter(|(x, y)| keyed(x, y) && ts_of(x) / width == ts_of(y) / width)
+            .map(|(x, y)| tuple![x.get(0).as_int().unwrap(), ts_of(x), ts_of(y)])
+            .collect();
+        oracle.sort();
+        let mut sql = session
+            .sql(&format!(
+                "SELECT A.k, A.ts, B.ts FROM A, B WHERE A.k = B.k WINDOW TUMBLING {width} ON ts"
+            ))
+            .unwrap();
+        let mut built = session
+            .from("A")
+            .join("B")
+            .on(squall::col("A.k").eq(squall::col("B.k")))
+            .window(squall::Window::tumbling(width as u64))
+            .select([squall::col("A.k"), squall::col("A.ts"), squall::col("B.ts")])
+            .run()
+            .unwrap();
+        prop_assert_eq!(sql.rows(), &oracle[..], "tumbling SQL vs oracle");
+        prop_assert_eq!(built.rows(), sql.rows(), "tumbling builder vs SQL");
     }
 
     #[test]
