@@ -1,0 +1,132 @@
+//! `runtime_bench` — measure data-plane batching on the pooled executor.
+//!
+//! Runs the 3-way hypercube join R(x,y) ⋈ S(y,z) ⋈ T(z,t) (the §3.1
+//! worked-example shape) at `batch_size ∈ {1, 64, 1024}` and writes
+//! `BENCH_runtime.json` with tuples/s for each configuration plus the
+//! batched-vs-per-tuple speedups. `batch_size = 1` reproduces the old
+//! per-tuple messaging; the batched configurations must beat it.
+//!
+//! ```text
+//! cargo run --release -p squall-bench --bin runtime_bench            # full
+//! cargo run --release -p squall-bench --bin runtime_bench -- --smoke # CI
+//! ```
+
+use std::time::Duration;
+
+use squall_common::{tuple, DataType, Schema, SplitMix64, Tuple};
+use squall_core::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
+use squall_expr::{JoinAtom, MultiJoinSpec, RelationDef};
+use squall_partition::optimizer::SchemeKind;
+
+const MACHINES: usize = 16;
+const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+
+fn rst_spec(n: u64) -> MultiJoinSpec {
+    MultiJoinSpec::new(
+        vec![
+            RelationDef::new("R", Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]), n),
+            RelationDef::new("S", Schema::of(&[("y", DataType::Int), ("z", DataType::Int)]), n),
+            RelationDef::new("T", Schema::of(&[("z", DataType::Int), ("t", DataType::Int)]), n),
+        ],
+        vec![JoinAtom::eq(0, 1, 1, 0), JoinAtom::eq(1, 1, 2, 0)],
+    )
+    .expect("static spec")
+}
+
+fn rst_data(n: usize, dom: i64, seed: u64) -> Vec<Vec<Tuple>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..3)
+        .map(|_| (0..n).map(|_| tuple![rng.next_range(0, dom), rng.next_range(0, dom)]).collect())
+        .collect()
+}
+
+struct Run {
+    batch_size: usize,
+    elapsed: Duration,
+    results: u64,
+    tuples_per_sec: f64,
+}
+
+fn measure(spec: &MultiJoinSpec, data: &[Vec<Tuple>], batch_size: usize, reps: usize) -> Run {
+    let mut best: Option<Run> = None;
+    for _ in 0..reps {
+        let mut cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, MACHINES)
+            .count_only();
+        cfg.batch_size = batch_size;
+        let report = run_multiway(spec, data.to_vec(), &cfg).expect("bench join");
+        assert!(report.error.is_none(), "bench run failed: {:?}", report.error);
+        let secs = report.elapsed.as_secs_f64().max(1e-9);
+        let run = Run {
+            batch_size,
+            elapsed: report.elapsed,
+            results: report.result_count,
+            tuples_per_sec: report.input_count as f64 / secs,
+        };
+        best = match best {
+            Some(b) if b.tuples_per_sec >= run.tuples_per_sec => Some(b),
+            _ => Some(run),
+        };
+    }
+    best.expect("reps > 0")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Sparse join keys (dom ≫ n): the run is dominated by the data plane
+    // (routing, queues, scheduling) rather than by join products, which is
+    // exactly what the batching knob optimizes.
+    let (n, dom, reps) = if smoke { (20_000, 400_000, 1) } else { (50_000, 1_000_000, 3) };
+    let spec = rst_spec(n as u64);
+    let data = rst_data(n, dom, 42);
+    let input_tuples = 3 * n;
+
+    // Warm caches / allocator before timing.
+    let _ = measure(&spec, &data, 64, 1);
+
+    let runs: Vec<Run> = BATCH_SIZES.iter().map(|&b| measure(&spec, &data, b, reps)).collect();
+    let counts: Vec<u64> = runs.iter().map(|r| r.results).collect();
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "batch size changed the join result: {counts:?}"
+    );
+
+    let base = runs[0].tuples_per_sec;
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"3-way hypercube join R(x,y) \\u22c8 S(y,z) \\u22c8 T(z,t), \
+         Hybrid-Hypercube, DBToaster locals, count-only\",\n",
+    );
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    json.push_str(&format!("  \"machines\": {MACHINES},\n"));
+    json.push_str(&format!("  \"input_tuples\": {input_tuples},\n"));
+    json.push_str(&format!("  \"join_results\": {},\n", counts[0]));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"batch_size\": {}, \"elapsed_ms\": {:.3}, \"tuples_per_sec\": {:.0}}}{}\n",
+            r.batch_size,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.tuples_per_sec,
+            if i + 1 < runs.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_batch64_vs_1\": {:.2},\n", runs[1].tuples_per_sec / base));
+    json.push_str(&format!("  \"speedup_batch1024_vs_1\": {:.2}\n", runs[2].tuples_per_sec / base));
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("{json}");
+    for r in &runs {
+        eprintln!(
+            "batch {:>5}: {:>10.0} tuples/s ({:.1} ms)",
+            r.batch_size,
+            r.tuples_per_sec,
+            r.elapsed.as_secs_f64() * 1e3
+        );
+    }
+    let speedup = runs[1].tuples_per_sec / base;
+    if !smoke && speedup < 2.0 {
+        eprintln!("WARNING: batch=64 speedup {speedup:.2}x is below the 2x target");
+    }
+}

@@ -15,7 +15,8 @@ use squall_join::{AggSpec, DBToasterJoin, LocalJoin, TraditionalJoin, WindowSpec
 use squall_partition::optimizer::{build_scheme, SchemeKind};
 use squall_partition::HypercubeScheme;
 use squall_runtime::{
-    Grouping, IterSpoutVec, NodeId, RunHandle, RunOutcome, Topology, TopologyBuilder,
+    Grouping, IterSpoutVec, NodeId, RunHandle, RunOutcome, SchedulerStats, Topology,
+    TopologyBuilder, DEFAULT_BATCH_SIZE,
 };
 
 /// Which local join algorithm each machine runs (§3.3 / Figure 8).
@@ -75,6 +76,13 @@ pub struct MultiwayConfig {
     /// Collect full join results (`true`) or only per-machine counts
     /// (`false`; large-output benchmarks). Ignored when `agg` is set.
     pub collect_results: bool,
+    /// Worker pool size executing the topology; `None` = the machine's
+    /// available parallelism. Machines (tasks) may far exceed this.
+    pub worker_threads: Option<usize>,
+    /// Tuples per data-plane batch (1 = per-tuple messaging). Affects
+    /// throughput only — routing stays per-tuple, so loads and results are
+    /// batch-size independent.
+    pub batch_size: usize,
 }
 
 impl MultiwayConfig {
@@ -89,6 +97,8 @@ impl MultiwayConfig {
             agg: None,
             window: None,
             collect_results: true,
+            worker_threads: None,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -137,6 +147,11 @@ pub struct JoinReport {
     pub elapsed: std::time::Duration,
     /// The scheme actually used (dimension sizes etc.).
     pub scheme_description: String,
+    /// Cooperative-scheduler observations (worker pool size, steals,
+    /// yields, backpressure parks, max inbox depth). Unlike `loads`, the
+    /// steal/yield counts are scheduling artifacts and not deterministic
+    /// across runs.
+    pub scheduler: SchedulerStats,
     /// Set when the run aborted (e.g. memory overflow) — the metrics above
     /// still describe the partial run, matching the paper's extrapolation
     /// methodology for the Hash-Hypercube OOM.
@@ -223,7 +238,10 @@ fn assemble(
     let scheme_description = scheme.describe();
     let input_count: u64 = data.iter().map(|d| d.len() as u64).sum();
 
-    let mut b = TopologyBuilder::new();
+    let mut b = TopologyBuilder::new().batch_size(cfg.batch_size.max(1));
+    if let Some(workers) = cfg.worker_threads {
+        b = b.worker_threads(workers);
+    }
     // One spout per relation, split across source_parallelism tasks.
     // Windowed runs pin each relation to one spout task: the watermark
     // eviction contract needs per-relation event-time order at every join
@@ -356,6 +374,7 @@ fn summarize(ctx: RunContext, outcome: RunOutcome, streamed_count: Option<u64>) 
         network_factor,
         elapsed: outcome.elapsed,
         scheme_description: ctx.scheme_description,
+        scheduler: outcome.metrics.scheduler.clone(),
         error: outcome.error,
     }
 }

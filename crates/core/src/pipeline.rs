@@ -227,6 +227,7 @@ pub fn run_pipeline(
         network_factor: metrics.intermediate_network_factor(&sources, &[last]),
         elapsed: outcome.elapsed,
         scheme_description: "pipeline-of-2-way".into(),
+        scheduler: outcome.metrics.scheduler.clone(),
         error: outcome.error,
     })
 }

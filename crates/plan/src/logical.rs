@@ -159,6 +159,14 @@ impl Window {
     }
 }
 
+/// One ORDER BY key: an output column (SELECT alias or display name) and
+/// its direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    pub column: String,
+    pub desc: bool,
+}
+
 /// One select-project-join-aggregate block.
 #[derive(Debug, Clone, Default)]
 pub struct Query {
@@ -172,6 +180,12 @@ pub struct Query {
     pub group_by: Vec<Expr>,
     /// Window semantics; `None` = full history.
     pub window: Option<Window>,
+    /// ORDER BY keys over the *output* columns, applied in sequence (ties
+    /// beyond the keys break on the full row, so results stay
+    /// deterministic). Empty = the engine's default whole-row order.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT: keep only the first `n` rows of the (ordered) result.
+    pub limit: Option<u64>,
 }
 
 impl Query {
@@ -219,6 +233,19 @@ impl Query {
     /// Apply window semantics (tumbling or sliding) to the block.
     pub fn window(mut self, w: Window) -> Query {
         self.window = Some(w);
+        self
+    }
+
+    /// Append an ORDER BY key (`desc = true` for descending). `column`
+    /// names an output column: a SELECT alias or the item's display name.
+    pub fn order_by(mut self, column: impl Into<String>, desc: bool) -> Query {
+        self.order_by.push(OrderKey { column: column.into(), desc });
+        self
+    }
+
+    /// Keep only the first `n` rows of the (ordered) result.
+    pub fn limit(mut self, n: u64) -> Query {
+        self.limit = Some(n);
         self
     }
 }

@@ -38,6 +38,14 @@ pub struct ExecConfig {
     /// Tolerated hash-over-random load ratio before an attribute is marked
     /// skewed (§3.4 chooser).
     pub skew_slack: f64,
+    /// Worker pool size executing the topology (`None` = the host's
+    /// available parallelism). Decoupled from `machines`: the cooperative
+    /// executor runs any number of machines on this many OS threads.
+    pub worker_threads: Option<usize>,
+    /// Tuples per data-plane batch (1 = per-tuple messaging). Throughput
+    /// knob only: routing stays per-tuple, so results and per-machine
+    /// loads do not depend on it.
+    pub batch_size: usize,
 }
 
 impl Default for ExecConfig {
@@ -49,6 +57,8 @@ impl Default for ExecConfig {
             seed: 42,
             agg_parallelism: 2,
             skew_slack: 0.5,
+            worker_threads: None,
+            batch_size: squall_runtime::DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -293,10 +303,17 @@ impl Finalizer {
 type RawAtom = ((usize, usize), CmpOp, (usize, usize));
 
 /// Outcome of the shared planning front half: either a locally-runnable
-/// single-table input or a distributed multi-way join configuration.
+/// single-table input or a distributed multi-way join configuration
+/// (boxed: the config dwarfs the local variant).
 enum Prepared {
     Local(Vec<Tuple>),
-    Distributed { spec: MultiJoinSpec, data: Vec<Vec<Tuple>>, mcfg: MultiwayConfig },
+    Distributed(Box<DistributedPlan>),
+}
+
+struct DistributedPlan {
+    spec: MultiJoinSpec,
+    data: Vec<Vec<Tuple>>,
+    mcfg: MultiwayConfig,
 }
 
 /// Resolved window semantics: the shape plus each relation's event-time
@@ -323,6 +340,9 @@ pub struct PhysicalQuery {
     out_schema: Schema,
     is_aggregate: bool,
     window: Option<PhysWindow>,
+    /// ORDER BY keys as `(output column, descending)` pairs.
+    order_by: Vec<(usize, bool)>,
+    limit: Option<usize>,
 }
 
 impl PhysicalQuery {
@@ -731,6 +751,29 @@ impl PhysicalQuery {
             ));
         }
 
+        // ORDER BY keys name *output* columns: a SELECT alias or the
+        // item's display name.
+        let mut order_by = Vec::with_capacity(q.order_by.len());
+        for key in &q.order_by {
+            let mut hits = out_fields.iter().enumerate().filter(|(_, f)| f.name == key.column);
+            let idx = match (hits.next(), hits.next()) {
+                (Some((i, _)), None) => i,
+                (Some(_), Some(_)) => {
+                    return Err(SquallError::InvalidPlan(format!(
+                        "ambiguous ORDER BY column {}",
+                        key.column
+                    )))
+                }
+                (None, _) => {
+                    return Err(SquallError::UnknownColumn(format!(
+                        "{} (ORDER BY names an output column: a SELECT alias or item)",
+                        key.column
+                    )))
+                }
+            };
+            order_by.push((idx, key.desc));
+        }
+
         Ok(PhysicalQuery {
             tables,
             atoms,
@@ -740,6 +783,8 @@ impl PhysicalQuery {
             out_schema: Schema::new(out_fields),
             is_aggregate,
             window,
+            order_by,
+            limit: q.limit.map(|n| n as usize),
         })
     }
 
@@ -786,6 +831,31 @@ impl PhysicalQuery {
             final_items: self.final_items.clone(),
             group_cols_len: self.group_cols.len(),
             aggs: self.aggs.clone(),
+        }
+    }
+
+    /// The materialized-result ordering contract: ORDER BY keys in
+    /// sequence (descending keys reversed), every tie — and the
+    /// no-ORDER-BY case — broken by whole-row ascending order so results
+    /// stay deterministic; then LIMIT truncates.
+    fn finalize_order(&self, rows: &mut Vec<Tuple>) {
+        if self.order_by.is_empty() {
+            rows.sort();
+        } else {
+            let keys = &self.order_by;
+            rows.sort_by(|a, b| {
+                for &(c, desc) in keys {
+                    let ord = a.get(c).cmp(b.get(c));
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.cmp(b)
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
         }
     }
 
@@ -847,6 +917,8 @@ impl PhysicalQuery {
         let scheme = cfg.scheme.unwrap_or(SchemeKind::Hybrid);
         let mut mcfg = MultiwayConfig::new(scheme, cfg.local, cfg.machines);
         mcfg.seed = cfg.seed;
+        mcfg.worker_threads = cfg.worker_threads;
+        mcfg.batch_size = cfg.batch_size.max(1);
         if let Some(w) = &self.window {
             mcfg = mcfg.with_window(WindowPlan { spec: w.spec, ts_cols: w.ts_cols.clone() });
         }
@@ -857,7 +929,7 @@ impl PhysicalQuery {
                 parallelism: cfg.agg_parallelism.max(1),
             });
         }
-        Ok(Prepared::Distributed { spec, data, mcfg })
+        Ok(Prepared::Distributed(Box::new(DistributedPlan { spec, data, mcfg })))
     }
 
     /// Execute against the catalog, materializing every row (sorted).
@@ -867,7 +939,8 @@ impl PhysicalQuery {
                 let rows = self.finalize_local(data)?;
                 Ok(ResultSet::materialized(self.out_schema.clone(), rows, None))
             }
-            Prepared::Distributed { spec, data, mcfg } => {
+            Prepared::Distributed(plan) => {
+                let DistributedPlan { spec, data, mcfg } = *plan;
                 let report = run_multiway(&spec, data, &mcfg)?;
                 if let Some(e) = &report.error {
                     return Err(e.clone());
@@ -880,7 +953,7 @@ impl PhysicalQuery {
                 if rows.is_empty() && self.is_aggregate && self.group_cols.is_empty() {
                     rows.push(finalizer.empty_agg_row());
                 }
-                rows.sort();
+                self.finalize_order(&mut rows);
                 Ok(ResultSet::materialized(self.out_schema.clone(), rows, Some(report)))
             }
         }
@@ -892,14 +965,19 @@ impl PhysicalQuery {
     /// [`ResultSet::report`] becomes available once the stream is
     /// exhausted. A run that fails mid-way ends the stream early —
     /// check [`ResultSet::error`] after exhaustion. Single-table queries
-    /// (which run locally) come back materialized.
+    /// (which run locally) come back materialized, and so do queries with
+    /// an ORDER BY or LIMIT — a total order needs every row first.
     pub fn execute_stream(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<ResultSet> {
+        if !self.order_by.is_empty() || self.limit.is_some() {
+            return self.execute(catalog, cfg);
+        }
         match self.prepare_run(catalog, cfg)? {
             Prepared::Local(data) => {
                 let rows = self.finalize_local(data)?;
                 Ok(ResultSet::materialized(self.out_schema.clone(), rows, None))
             }
-            Prepared::Distributed { spec, data, mcfg } => {
+            Prepared::Distributed(plan) => {
+                let DistributedPlan { spec, data, mcfg } = *plan;
                 let inner = run_multiway_stream(&spec, data, &mcfg)?;
                 let stream = QueryStream {
                     inner: Some(inner),
@@ -928,14 +1006,14 @@ impl PhysicalQuery {
             if rows.is_empty() && self.group_cols.is_empty() {
                 rows.push(finalizer.empty_agg_row());
             }
-            rows.sort();
+            self.finalize_order(&mut rows);
             Ok(rows)
         } else {
             let mut rows = Vec::with_capacity(data.len());
             for t in &data {
                 rows.push(finalizer.project_final(t)?);
             }
-            rows.sort();
+            self.finalize_order(&mut rows);
             Ok(rows)
         }
     }
@@ -966,6 +1044,20 @@ impl PhysicalQuery {
                 "aggregate: group by {:?}, {} agg(s)\n",
                 self.group_cols,
                 self.aggs.len()
+            ));
+        }
+        if !self.order_by.is_empty() || self.limit.is_some() {
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|&(c, desc)| {
+                    format!("{}{}", self.out_schema.field(c).name, if desc { " DESC" } else { "" })
+                })
+                .collect();
+            s.push_str(&format!(
+                "order/limit: [{}]{}\n",
+                keys.join(", "),
+                self.limit.map(|n| format!(", limit {n}")).unwrap_or_default()
             ));
         }
         s
@@ -1223,6 +1315,72 @@ mod tests {
             .filter(col("R.a").eq(col("S.a")))
             .window(Window::sliding(5))
             .select([col("R.b")]);
+        assert!(matches!(PhysicalQuery::plan(&q, &catalog()), Err(SquallError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn order_by_and_limit_shape_results() {
+        // SELECT R.b, S.c FROM R, S WHERE R.a = S.a ORDER BY R.b DESC LIMIT 3.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .select([col("R.b"), col("S.c")])
+            .order_by("R.b", true)
+            .limit(3);
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        // Full result desc by R.b (ties → whole-row asc):
+        // [30,200], [25,100], [25,150], [20,100], [20,150] → first 3.
+        assert_eq!(res.rows(), vec![tuple![30, 200], tuple![25, 100], tuple![25, 150]]);
+        let p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        assert!(p.explain().contains("order/limit"), "{}", p.explain());
+    }
+
+    #[test]
+    fn order_by_aggregate_alias() {
+        // Heaviest groups first: ORDER BY n DESC on a named COUNT(*).
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select_as([(col("R.a"), "k"), (agg(AggFunc::Count, None), "n")])
+            .order_by("n", true)
+            .limit(1);
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        // Groups: a=2 → 2 R-rows × 2 S-rows = 4; a=3 → 1. Top-1 is (2, 4).
+        assert_eq!(res.rows(), vec![tuple![2, 4]]);
+    }
+
+    #[test]
+    fn limit_applies_to_single_table_local_path() {
+        let q = Query::from_tables([("R", "R")])
+            .select([col("R.a"), col("R.b")])
+            .order_by("R.b", true)
+            .limit(2);
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows(), vec![tuple![3, 30], tuple![2, 25]]);
+        let q0 = Query::from_tables([("R", "R")]).select([col("R.a")]).limit(0);
+        let mut res = execute_query(&q0, &catalog(), &ExecConfig::default()).unwrap();
+        assert!(res.rows().is_empty(), "LIMIT 0 yields no rows");
+    }
+
+    #[test]
+    fn ordered_queries_stream_as_materialized_results() {
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .select([col("R.b")])
+            .order_by("R.b", false)
+            .limit(2);
+        let p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        let mut res = p.execute_stream(&catalog(), &ExecConfig::default()).unwrap();
+        assert!(!res.is_streaming(), "a total order needs every row first");
+        assert_eq!(res.rows(), vec![tuple![20], tuple![20]]);
+    }
+
+    #[test]
+    fn order_by_unknown_or_ambiguous_rejected() {
+        let q = Query::from_tables([("R", "R")]).select([col("R.a")]).order_by("zzz", false);
+        assert!(matches!(PhysicalQuery::plan(&q, &catalog()), Err(SquallError::UnknownColumn(_))));
+        let q = Query::from_tables([("R", "R")])
+            .select([col("R.a"), col("R.a")])
+            .order_by("R.a", false);
         assert!(matches!(PhysicalQuery::plan(&q, &catalog()), Err(SquallError::InvalidPlan(_))));
     }
 

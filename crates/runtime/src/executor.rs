@@ -1,38 +1,518 @@
-//! Thread-per-task execution of a topology.
+//! Pooled cooperative execution of a topology.
 //!
-//! Each task (the paper's "machine") runs on its own OS thread and owns its
-//! operator state exclusively — a faithful shared-nothing model (§2: "Squall
-//! assumes a shared-nothing architecture"). Tasks communicate only through
-//! bounded channels; a full downstream queue blocks the sender, giving the
-//! same backpressure behaviour Storm's max-spout-pending provides.
+//! Each task (the paper's "machine") is a *pollable state machine* — a
+//! [`TaskCell`] holding its inbox, its operator state (spout or bolt) and
+//! its scatter buffers — scheduled cooperatively onto a **fixed pool of
+//! worker threads**. Workers pull runnable task ids from their own deque
+//! first, then from a shared injector, then *steal* from the other
+//! workers' deques, so `machines ≫ cores` oversubscription costs queue
+//! entries rather than OS threads: a topology with hundreds of tasks runs
+//! on `worker_threads` threads, period.
+//!
+//! The shared-nothing model is preserved exactly: a task's operator state
+//! is owned by its cell and only ever touched by the single worker that
+//! holds the cell's poll lock (the task state machine guarantees at most
+//! one worker polls a task at a time), and tasks communicate only through
+//! their inboxes.
+//!
+//! ## Data plane
+//! Messages are **batched**: emitters scatter routed tuples into
+//! per-target buffers and flush one [`Message::Batch`] per `batch_size`
+//! tuples (or on punctuation). Routing stays per-tuple — the same
+//! `(sender_task, seq, tuple)` determinism as before, so loads are
+//! independent of the batch size — but the queue/scheduling cost is paid
+//! once per batch. There is *no* batch barrier: a batch ships the moment
+//! it fills, keeping the pipeline latency argument of §8.1 intact.
+//!
+//! ## Backpressure by yielding
+//! Inboxes have a capacity measured in messages. A sender whose flush
+//! pushes a target inbox over capacity does not block its worker thread:
+//! it registers itself on that inbox's waiter list and *parks* (returns
+//! control to the scheduler). When the consumer drains the inbox back to
+//! capacity it wakes the registered senders. A parked task consumes no
+//! worker; the pool keeps running everything else.
+//!
+//! ## Scheduling states
+//! Every task carries one atomic state: `Idle` (parked, not queued),
+//! `Queued` (in some run queue), `Running`, `Notified` (woken *while*
+//! running — repoll after the current poll) and `Done`. Wakeups are a
+//! single CAS; the `Running → Idle` transition re-checks for a concurrent
+//! `Notified` so wakeups are never lost.
 //!
 //! ## Termination
-//! Sources are bounded streams; when a spout is exhausted it punctuates all
-//! downstream tasks with `Eos`. A bolt task finishes once it has received
-//! one `Eos` from every upstream task, then runs `Bolt::finish` and
-//! punctuates its own downstreams. The topology is a DAG, so this
-//! terminates.
+//! Sources are bounded streams; when a spout is exhausted it flushes its
+//! buffers and punctuates all downstream tasks with `Eos`. A bolt task
+//! finishes once it has received one `Eos` from every upstream task, then
+//! runs `Bolt::finish` and punctuates its own downstreams. The topology is
+//! a DAG, so this terminates; when the last task completes, the workers
+//! exit.
 //!
 //! ## Failures
-//! A task that returns an error (e.g. [`SquallError::MemoryOverflow`] when a
-//! skewed Hash-Hypercube machine exceeds its budget, §7.3) records the
+//! A task that returns an error (e.g. [`SquallError::MemoryOverflow`] when
+//! a skewed Hash-Hypercube machine exceeds its budget, §7.3) records the
 //! error, raises a global abort flag and keeps *draining* its input so
 //! upstream tasks can terminate. Spouts stop producing when they observe
 //! the flag. The run returns the partial outputs, the metrics accumulated
-//! so far and the error — exactly what the paper's "extrapolate from tuples
-//! processed before running out of memory" methodology needs.
+//! so far and the error — exactly what the paper's "extrapolate from
+//! tuples processed before running out of memory" methodology needs. A
+//! panicking operator is caught at the poll boundary, reported as a
+//! runtime error, and its task still punctuates downstream so nothing
+//! hangs.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver};
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use squall_common::{SquallError, Tuple};
 
 use crate::message::{Message, NodeId};
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
-use crate::topology::{EdgeOut, NodeKind, OutputCollector, Topology};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, SchedCounters};
+use crate::topology::{EdgeOut, EdgeTarget, NodeKind, OutputCollector, Spout, Topology};
+
+/// Index of a task in the pool (dense over all `(node, task)` pairs).
+pub(crate) type TaskId = usize;
+
+/// Tuples a task may process/emit per poll before it must yield. Scaled
+/// with the batch size so one poll amortizes a few flushes, clamped so
+/// neither tiny nor huge batches destroy fairness or throughput.
+fn poll_budget(batch_size: usize) -> usize {
+    (batch_size * 8).clamp(256, 16_384)
+}
+
+// ---------------------------------------------------------------------
+// Task state machine
+// ---------------------------------------------------------------------
+
+const IDLE: u8 = 0; // parked; needs a notify to run again
+const QUEUED: u8 = 1; // sitting in a run queue
+const RUNNING: u8 = 2; // a worker is polling it
+const NOTIFIED: u8 = 3; // running, and woken meanwhile → repoll
+const DONE: u8 = 4; // finished; never runs again
+
+/// What a poll of a task concluded.
+enum Poll {
+    /// Budget exhausted but still runnable — requeue immediately.
+    Yield,
+    /// Nothing to do until woken (inbox empty, or registered on a full
+    /// downstream inbox) — park.
+    Park,
+    /// The task completed (Eos propagated) — never poll again.
+    Done,
+}
+
+// ---------------------------------------------------------------------
+// Inbox: bounded-by-yield MPSC queue
+// ---------------------------------------------------------------------
+
+struct InboxInner {
+    queue: VecDeque<Message>,
+    /// Sender tasks parked until this inbox drains back to capacity.
+    waiting_senders: Vec<TaskId>,
+    /// The owning task died without draining (operator panic): the
+    /// capacity gate is permanently open so senders can never park on a
+    /// queue nobody will ever pop.
+    closed: bool,
+}
+
+/// A task's input queue. Pushes never block (the capacity bound is
+/// enforced by senders *yielding*, see the module docs), so punctuation
+/// and abort-draining can always make progress.
+pub(crate) struct Inbox {
+    inner: Mutex<InboxInner>,
+    /// Messages currently queued (mirror of `queue.len()` for lock-free
+    /// gate checks by senders).
+    len: AtomicUsize,
+    capacity: usize,
+}
+
+impl Inbox {
+    fn new(capacity: usize) -> Inbox {
+        assert!(capacity > 0);
+        Inbox {
+            inner: Mutex::new(InboxInner {
+                queue: VecDeque::new(),
+                waiting_senders: Vec::new(),
+                closed: false,
+            }),
+            len: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// Queue a message; returns the new depth. Never blocks.
+    pub(crate) fn push(&self, msg: Message) -> usize {
+        let mut inner = self.inner.lock().expect("inbox poisoned");
+        inner.queue.push_back(msg);
+        let depth = inner.queue.len();
+        self.len.store(depth, Ordering::Release);
+        depth
+    }
+
+    /// True when the inbox is over its soft capacity (senders should park).
+    pub(crate) fn over_capacity(&self) -> bool {
+        self.len.load(Ordering::Acquire) > self.capacity
+    }
+
+    /// Register `sender` to be woken when this inbox drains, *if* it is
+    /// still over capacity (checked under the lock so a concurrent drain
+    /// cannot strand the sender). Returns whether it registered. A closed
+    /// inbox never registers anyone.
+    pub(crate) fn register_waiter(&self, sender: TaskId) -> bool {
+        let mut inner = self.inner.lock().expect("inbox poisoned");
+        if inner.closed || inner.queue.len() <= self.capacity {
+            return false;
+        }
+        if !inner.waiting_senders.contains(&sender) {
+            inner.waiting_senders.push(sender);
+        }
+        true
+    }
+
+    /// Permanently open the capacity gate (the owner died without
+    /// draining) and hand back every parked sender for the caller to wake.
+    fn close(&self) -> Vec<TaskId> {
+        let mut inner = self.inner.lock().expect("inbox poisoned");
+        inner.closed = true;
+        std::mem::take(&mut inner.waiting_senders)
+    }
+
+    /// Dequeue one message. When the pop brings the depth back to
+    /// capacity, the parked senders are drained into `wake` for the caller
+    /// to notify (outside the lock).
+    fn pop(&self, wake: &mut Vec<TaskId>) -> Option<Message> {
+        let mut inner = self.inner.lock().expect("inbox poisoned");
+        let msg = inner.queue.pop_front()?;
+        let depth = inner.queue.len();
+        self.len.store(depth, Ordering::Release);
+        if depth <= self.capacity && !inner.waiting_senders.is_empty() {
+            wake.append(&mut inner.waiting_senders);
+        }
+        Some(msg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+std::thread_local! {
+    /// The pool-local index of the current worker thread, if this thread
+    /// is one. Wakeups issued from a worker land on its own deque (cache
+    /// locality); wakeups from outside go to the shared injector. A worker
+    /// thread only ever schedules tasks of its own pool, so a plain
+    /// thread-local is unambiguous.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The scheduler core shared by workers, task cells and output collectors.
+/// Deliberately does *not* own the task cells (collectors hold an
+/// `Arc<Sched>`, cells hold collectors — owning the cells here would cycle
+/// the `Arc`s and leak every run).
+pub(crate) struct Sched {
+    states: Vec<AtomicU8>,
+    injector: Mutex<VecDeque<TaskId>>,
+    /// One local run queue per worker; owners pop the front, thieves pop
+    /// the back.
+    deques: Vec<Mutex<VecDeque<TaskId>>>,
+    /// Tasks not yet `Done`; workers exit when this reaches zero.
+    remaining: AtomicUsize,
+    /// Workers currently parked on `idle_cv`.
+    sleepers: AtomicUsize,
+    idle_mx: Mutex<()>,
+    idle_cv: Condvar,
+    counters: Arc<SchedCounters>,
+}
+
+impl Sched {
+    fn new(n_tasks: usize, n_workers: usize, counters: Arc<SchedCounters>) -> Sched {
+        Sched {
+            states: (0..n_tasks).map(|_| AtomicU8::new(QUEUED)).collect(),
+            injector: Mutex::new((0..n_tasks).collect()),
+            deques: (0..n_workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            remaining: AtomicUsize::new(n_tasks),
+            sleepers: AtomicUsize::new(0),
+            idle_mx: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            counters,
+        }
+    }
+
+    /// Wake a task: queue it if parked, or flag a repoll if it is being
+    /// polled right now. Idempotent and lock-free in the common case.
+    pub(crate) fn notify(&self, task: TaskId) {
+        loop {
+            match self.states[task].load(Ordering::Acquire) {
+                IDLE => {
+                    if self.states[task]
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.push_runnable(task);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self.states[task]
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                QUEUED | NOTIFIED | DONE => return,
+                other => unreachable!("task state {other}"),
+            }
+        }
+    }
+
+    fn push_runnable(&self, task: TaskId) {
+        match WORKER_INDEX.with(|w| w.get()) {
+            Some(me) if me < self.deques.len() => {
+                self.deques[me].lock().expect("deque poisoned").push_back(task);
+            }
+            _ => self.injector.lock().expect("injector poisoned").push_back(task),
+        }
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            let _g = self.idle_mx.lock().expect("idle mutex poisoned");
+            self.idle_cv.notify_one();
+        }
+    }
+
+    /// Next runnable task for worker `me`: own deque front → injector →
+    /// steal the back of a sibling's deque.
+    fn next_task(&self, me: usize) -> Option<TaskId> {
+        if let Some(t) = self.deques[me].lock().expect("deque poisoned").pop_front() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().expect("injector poisoned").pop_front() {
+            return Some(t);
+        }
+        for off in 1..self.deques.len() {
+            let victim = (me + off) % self.deques.len();
+            if let Ok(mut dq) = self.deques[victim].try_lock() {
+                if let Some(t) = dq.pop_back() {
+                    self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    fn all_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Record an observed inbox depth (messages) for the queue-pressure
+    /// metric.
+    pub(crate) fn record_depth(&self, depth: usize) {
+        self.counters.max_queue_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Record one backpressure park (a poll ended on a full downstream).
+    pub(crate) fn record_blocked(&self) {
+        self.counters.blocked.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Task cells
+// ---------------------------------------------------------------------
+
+/// The operator half of a task cell.
+enum OperatorState {
+    Spout(Box<dyn Spout>),
+    Bolt {
+        bolt: Box<dyn crate::topology::Bolt>,
+        inbox: Arc<Inbox>,
+        expected_eos: usize,
+        eos_seen: usize,
+        /// The bolt errored; keep draining, stop executing.
+        failed: bool,
+    },
+}
+
+/// One topology task as a pollable state machine: operator state, inbox
+/// (bolts), scatter-buffered output, and its cooperative budget.
+pub(crate) struct TaskCell {
+    id: TaskId,
+    op: OperatorState,
+    out: OutputCollector,
+    budget: usize,
+    shared: Arc<Shared>,
+}
+
+impl TaskCell {
+    /// Run until budget exhaustion, inbox exhaustion, a full downstream,
+    /// or completion. Invoked by exactly one worker at a time.
+    fn poll(&mut self, sched: &Sched) -> Poll {
+        // A task woken after parking on a full downstream re-checks its
+        // gates first: if any are still full it re-registers and parks
+        // again (the wake may have been for one of several full targets).
+        if self.out.park_if_gated(self.id) {
+            return Poll::Park;
+        }
+        match &mut self.op {
+            OperatorState::Spout(spout) => {
+                Self::poll_spout(spout, &mut self.out, self.id, self.budget, &self.shared)
+            }
+            OperatorState::Bolt { bolt, inbox, expected_eos, eos_seen, failed } => Self::poll_bolt(
+                bolt,
+                inbox,
+                expected_eos,
+                eos_seen,
+                failed,
+                &mut self.out,
+                self.id,
+                self.budget,
+                &self.shared,
+                sched,
+            ),
+        }
+    }
+
+    fn poll_spout(
+        spout: &mut Box<dyn Spout>,
+        out: &mut OutputCollector,
+        id: TaskId,
+        budget: usize,
+        shared: &Shared,
+    ) -> Poll {
+        let mut produced = 0usize;
+        loop {
+            if shared.abort.load(Ordering::Relaxed) {
+                out.flush_and_punctuate();
+                return Poll::Done;
+            }
+            match spout.next() {
+                Some(t) => {
+                    out.emit(t);
+                    produced += 1;
+                    if out.park_if_gated(id) {
+                        return Poll::Park;
+                    }
+                    if produced >= budget {
+                        return Poll::Yield;
+                    }
+                }
+                None => {
+                    out.flush_and_punctuate();
+                    return Poll::Done;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn poll_bolt(
+        bolt: &mut Box<dyn crate::topology::Bolt>,
+        inbox: &Arc<Inbox>,
+        expected_eos: &usize,
+        eos_seen: &mut usize,
+        failed: &mut bool,
+        out: &mut OutputCollector,
+        id: TaskId,
+        budget: usize,
+        shared: &Shared,
+        sched: &Sched,
+    ) -> Poll {
+        let mut processed = 0usize;
+        let mut wake = Vec::new();
+        loop {
+            let msg = inbox.pop(&mut wake);
+            for w in wake.drain(..) {
+                sched.notify(w);
+            }
+            match msg {
+                None => {
+                    // All punctuation in: the stream is complete (the
+                    // inbox is a single FIFO, so every data message
+                    // preceded the final Eos).
+                    debug_assert!(*eos_seen < *expected_eos || *expected_eos == 0);
+                    if *eos_seen >= *expected_eos {
+                        Self::finish_bolt(bolt, out, failed, shared);
+                        return Poll::Done;
+                    }
+                    return Poll::Park; // woken by the next push
+                }
+                Some(Message::Batch { origin, tuples }) => {
+                    out.counters().received.fetch_add(tuples.len() as u64, Ordering::Relaxed);
+                    processed += tuples.len();
+                    if !*failed && !shared.abort.load(Ordering::Relaxed) {
+                        for t in tuples {
+                            if let Err(e) = bolt.execute(origin, t, out) {
+                                shared.raise(e);
+                                *failed = true;
+                                break;
+                            }
+                        }
+                    } // else: drain-and-discard so upstreams terminate
+                    if out.park_if_gated(id) {
+                        return Poll::Park;
+                    }
+                    if processed >= budget {
+                        return Poll::Yield;
+                    }
+                }
+                Some(Message::Eos) => {
+                    *eos_seen += 1;
+                    if *eos_seen >= *expected_eos {
+                        Self::finish_bolt(bolt, out, failed, shared);
+                        return Poll::Done;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Poison cleanup after an operator panic: this task will never poll
+    /// again, so its inbox (if any) must stop gating senders — otherwise
+    /// an upstream parked on it would wait forever. Returns the senders to
+    /// wake.
+    fn poison(&mut self) -> Vec<TaskId> {
+        match &self.op {
+            OperatorState::Spout(_) => Vec::new(),
+            OperatorState::Bolt { inbox, .. } => inbox.close(),
+        }
+    }
+
+    fn finish_bolt(
+        bolt: &mut Box<dyn crate::topology::Bolt>,
+        out: &mut OutputCollector,
+        failed: &bool,
+        shared: &Shared,
+    ) {
+        if !*failed && !shared.abort.load(Ordering::Relaxed) {
+            if let Err(e) = bolt.finish(out) {
+                shared.raise(e);
+            }
+        }
+        out.flush_and_punctuate();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run bookkeeping
+// ---------------------------------------------------------------------
+
+struct Shared {
+    abort: AtomicBool,
+    error: Mutex<Option<SquallError>>,
+    finished_at: Mutex<Option<Instant>>,
+}
+
+impl Shared {
+    fn raise(&self, e: SquallError) {
+        let mut slot = self.error.lock().expect("error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.abort.store(true, Ordering::SeqCst);
+    }
+}
 
 /// Everything a finished run reports.
 #[derive(Debug)]
@@ -48,9 +528,16 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    /// Output tuples without node tags (single-sink convenience).
+    /// Output tuples without node tags (single-sink convenience). Clones;
+    /// prefer [`RunOutcome::into_tuples`] when the outcome is no longer
+    /// needed.
     pub fn tuples(&self) -> Vec<Tuple> {
         self.outputs.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    /// Consume the outcome into its output tuples, without cloning.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.outputs.into_iter().map(|(_, t)| t).collect()
     }
 
     /// Fail the caller if the run aborted.
@@ -62,47 +549,15 @@ impl RunOutcome {
     }
 }
 
-struct Shared {
-    abort: AtomicBool,
-    error: Mutex<Option<SquallError>>,
-    /// Task threads still running; the last one to exit stamps
-    /// `finished_at`, so `elapsed` measures engine time even when a
-    /// streaming consumer drains the sink slowly.
-    live_tasks: std::sync::atomic::AtomicUsize,
-    finished_at: Mutex<Option<Instant>>,
-}
-
-impl Shared {
-    fn raise(&self, e: SquallError) {
-        let mut slot = self.error.lock().expect("error slot poisoned");
-        if slot.is_none() {
-            *slot = Some(e);
-        }
-        self.abort.store(true, Ordering::SeqCst);
-    }
-}
-
-/// Stamps the engine finish time when the last task exits — held by each
-/// task thread and dropped on exit, panic included.
-struct TaskGuard(Arc<Shared>);
-
-impl Drop for TaskGuard {
-    fn drop(&mut self) {
-        if self.0.live_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
-            *self.0.finished_at.lock().expect("finish stamp poisoned") = Some(Instant::now());
-        }
-    }
-}
-
-/// A topology that has been launched but not yet joined: task threads are
-/// running and sink emissions can be consumed *while they run* via
+/// A topology that has been launched but not yet joined: the worker pool
+/// is running and sink emissions can be consumed *while it runs* via
 /// [`RunHandle::recv`]. [`RunHandle::finish`] waits for completion;
 /// dropping the handle instead aborts the run and then waits, so an
-/// abandoned handle never leaks running tasks. The sink channel is
-/// unbounded, so an unconsumed handle never deadlocks them.
+/// abandoned handle never leaks running workers. The sink channel is
+/// unbounded, so an unconsumed handle never deadlocks the pool.
 pub struct RunHandle {
     sink_rx: Receiver<(NodeId, Tuple)>,
-    handles: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     registry: Arc<MetricsRegistry>,
     shared: Arc<Shared>,
     start: Instant,
@@ -115,14 +570,20 @@ impl RunHandle {
         self.sink_rx.recv().ok()
     }
 
-    /// Abort the run: spouts stop at their next emission, in-flight tuples
-    /// are drained and discarded. Already-produced sink output remains
+    /// Number of OS threads executing the topology (the worker pool size —
+    /// *not* the task count).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Abort the run: spouts stop at their next poll, in-flight tuples are
+    /// drained and discarded. Already-produced sink output remains
     /// readable.
     pub fn abort(&self) {
         self.shared.abort.store(true, Ordering::SeqCst);
     }
 
-    /// Wait for all tasks, discarding any unconsumed sink output, and
+    /// Wait for all tasks, collecting any unconsumed sink output, and
     /// report metrics, timing and the first error (if any).
     pub fn finish(mut self) -> RunOutcome {
         let mut outputs = Vec::new();
@@ -133,13 +594,14 @@ impl RunHandle {
     }
 
     fn finish_with(mut self, outputs: Vec<(NodeId, Tuple)>) -> RunOutcome {
-        for h in self.handles.drain(..) {
-            // A panicking task is a bug in an operator; surface it.
+        for h in self.workers.drain(..) {
+            // Worker bodies catch operator panics; a panicking worker is
+            // an executor bug but must still not hang the caller.
             if h.join().is_err() {
-                self.shared.raise(SquallError::Runtime("task panicked".into()));
+                self.shared.raise(SquallError::Runtime("worker panicked".into()));
             }
         }
-        // Engine wall-clock: until the last task exited, not until the
+        // Engine wall-clock: until the last task completed, not until the
         // consumer finished draining the sink.
         let finished = self
             .shared
@@ -156,20 +618,33 @@ impl RunHandle {
 
 impl Drop for RunHandle {
     fn drop(&mut self) {
-        if self.handles.is_empty() {
+        if self.workers.is_empty() {
             return; // finished via finish_with
         }
         self.abort();
         while self.sink_rx.recv().is_ok() {}
-        for h in self.handles.drain(..) {
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
 }
 
+// ---------------------------------------------------------------------
+// Launch
+// ---------------------------------------------------------------------
+
+/// The worker pool's view of the run: scheduler + the task cells it polls.
+/// Workers own an `Arc<Pool>`; cells are dropped the moment their task
+/// completes, which is also what closes the sink channel (each cell's
+/// collector holds a sink sender clone).
+struct Pool {
+    sched: Arc<Sched>,
+    cells: Vec<Mutex<Option<TaskCell>>>,
+}
+
 impl Topology {
-    /// Execute the topology to completion and collect sink output,
-    /// metrics and timing.
+    /// Execute the topology to completion and collect sink output, metrics
+    /// and timing.
     pub fn run(self) -> RunOutcome {
         let mut handle = self.launch();
         let mut outputs = Vec::new();
@@ -179,37 +654,53 @@ impl Topology {
         handle.finish_with(outputs)
     }
 
-    /// Start every task thread and return a [`RunHandle`] that streams the
-    /// sink output as it is produced.
+    /// Start the worker pool and return a [`RunHandle`] that streams the
+    /// sink output as it is produced. Spawns exactly
+    /// `min(worker_threads, total tasks)` OS threads regardless of the
+    /// topology's task count.
     pub fn launch(self) -> RunHandle {
         let n_nodes = self.nodes.len();
         let names: Vec<String> = self.nodes.iter().map(|n| n.name.clone()).collect();
         let parallelism: Vec<usize> = self.nodes.iter().map(|n| n.parallelism).collect();
         let registry = Arc::new(MetricsRegistry::new(names, &parallelism));
         let total_tasks: usize = parallelism.iter().sum();
+        let n_workers = self
+            .worker_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+            .clamp(1, total_tasks.max(1));
+        registry.sched().workers.store(n_workers as u64, Ordering::Relaxed);
+        let batch_size = self.batch_size.max(1);
+        let budget = poll_budget(batch_size);
+
         let shared = Arc::new(Shared {
             abort: AtomicBool::new(false),
             error: Mutex::new(None),
-            live_tasks: std::sync::atomic::AtomicUsize::new(total_tasks),
             finished_at: Mutex::new(None),
         });
 
-        // Input channel per task (spouts get one too, unused, for
-        // uniformity — it is dropped immediately).
-        let mut senders: Vec<Vec<std::sync::mpsc::SyncSender<Message>>> =
-            Vec::with_capacity(n_nodes);
-        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = Vec::with_capacity(n_nodes);
-        for node in &self.nodes {
-            let mut s = Vec::with_capacity(node.parallelism);
-            let mut r = Vec::with_capacity(node.parallelism);
-            for _ in 0..node.parallelism {
-                let (tx, rx) = sync_channel::<Message>(self.channel_capacity);
-                s.push(tx);
-                r.push(Some(rx));
+        // Dense task ids: tasks of node 0, then node 1, …
+        let mut first_task: Vec<TaskId> = Vec::with_capacity(n_nodes);
+        {
+            let mut off = 0;
+            for &p in &parallelism {
+                first_task.push(off);
+                off += p;
             }
-            senders.push(s);
-            receivers.push(r);
         }
+
+        // One inbox per bolt task.
+        let inboxes: Vec<Vec<Option<Arc<Inbox>>>> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                (0..node.parallelism)
+                    .map(|_| match node.kind {
+                        NodeKind::Spout(_) => None,
+                        NodeKind::Bolt(_) => Some(Arc::new(Inbox::new(self.channel_capacity))),
+                    })
+                    .collect()
+            })
+            .collect();
 
         let (sink_tx, sink_rx) = channel::<(NodeId, Tuple)>();
         let sinks = self.sinks();
@@ -219,105 +710,160 @@ impl Topology {
             .map(|i| self.edges.iter().filter(|e| e.to == i).map(|e| parallelism[e.from]).sum())
             .collect();
 
+        let sched = Arc::new(Sched::new(total_tasks, n_workers, registry.sched()));
+
         let start = Instant::now();
-        let mut handles = Vec::new();
+        let mut cells: Vec<Mutex<Option<TaskCell>>> = Vec::with_capacity(total_tasks);
         for (node_id, node) in self.nodes.into_iter().enumerate() {
             let is_sink = sinks.contains(&node_id);
-            let node_receivers = std::mem::take(&mut receivers[node_id]);
-            for (task, mut receiver) in node_receivers.into_iter().enumerate() {
-                // Build this task's output side.
+            for task in 0..node.parallelism {
+                let id = first_task[node_id] + task;
                 let edges: Vec<EdgeOut> = self
                     .edges
                     .iter()
                     .filter(|e| e.from == node_id)
                     .map(|e| EdgeOut {
                         grouping: e.grouping.clone(),
-                        targets: senders[e.to].clone(),
                         seq: 0,
+                        targets: (0..parallelism[e.to])
+                            .map(|t| EdgeTarget {
+                                inbox: Arc::clone(
+                                    inboxes[e.to][t].as_ref().expect("edge into a spout"),
+                                ),
+                                task: first_task[e.to] + t,
+                                buffer: Vec::new(),
+                            })
+                            .collect(),
                     })
                     .collect();
                 let counters = registry.task(node_id, task);
-                let mut out = OutputCollector {
-                    node: node_id,
+                let out = OutputCollector::new(
+                    node_id,
                     task,
                     edges,
-                    sink: sink_tx.clone(),
+                    sink_tx.clone(),
                     is_sink,
-                    counters: Arc::clone(&counters),
-                    scratch: Vec::with_capacity(8),
-                    disconnected: false,
+                    counters,
+                    batch_size,
+                    Arc::clone(&sched),
+                );
+                let op = match &node.kind {
+                    NodeKind::Spout(factory) => OperatorState::Spout(factory(task)),
+                    NodeKind::Bolt(factory) => OperatorState::Bolt {
+                        bolt: factory(task),
+                        inbox: Arc::clone(inboxes[node_id][task].as_ref().expect("bolt inbox")),
+                        expected_eos: expected_eos[node_id],
+                        eos_seen: 0,
+                        failed: false,
+                    },
                 };
-                let shared = Arc::clone(&shared);
-                match &node.kind {
-                    NodeKind::Spout(factory) => {
-                        let mut spout = factory(task);
-                        // Spouts never receive; drop the channel so senders
-                        // to it (there are none) would fail fast.
-                        drop(receiver.take());
-                        handles.push(std::thread::spawn(move || {
-                            let _guard = TaskGuard(Arc::clone(&shared));
-                            while !shared.abort.load(Ordering::Relaxed) {
-                                match spout.next() {
-                                    Some(t) => out.emit(t),
-                                    None => break,
-                                }
-                            }
-                            send_eos(&mut out);
-                        }));
-                    }
-                    NodeKind::Bolt(factory) => {
-                        let mut bolt = factory(task);
-                        let rx = receiver.take().expect("bolt receiver already taken");
-                        let expected = expected_eos[node_id];
-                        handles.push(std::thread::spawn(move || {
-                            let _guard = TaskGuard(Arc::clone(&shared));
-                            let mut eos_seen = 0usize;
-                            let mut failed = false;
-                            while eos_seen < expected {
-                                let msg = match rx.recv() {
-                                    Ok(m) => m,
-                                    // All senders gone (upstream aborted
-                                    // without punctuating) — stop.
-                                    Err(_) => break,
-                                };
-                                match msg {
-                                    Message::Data { origin, tuple } => {
-                                        counters.received.fetch_add(1, Ordering::Relaxed);
-                                        if failed || shared.abort.load(Ordering::Relaxed) {
-                                            continue; // drain-and-discard
-                                        }
-                                        if let Err(e) = bolt.execute(origin, tuple, &mut out) {
-                                            shared.raise(e);
-                                            failed = true;
-                                        }
-                                    }
-                                    Message::Eos => eos_seen += 1,
-                                }
-                            }
-                            if !failed && !shared.abort.load(Ordering::Relaxed) {
-                                if let Err(e) = bolt.finish(&mut out) {
-                                    shared.raise(e);
-                                }
-                            }
-                            send_eos(&mut out);
-                        }));
-                    }
-                }
+                cells.push(Mutex::new(Some(TaskCell {
+                    id,
+                    op,
+                    out,
+                    budget,
+                    shared: Arc::clone(&shared),
+                })));
             }
         }
-        // Drop our copies so channels close when tasks finish.
-        drop(sink_tx);
-        drop(senders);
+        drop(sink_tx); // cells hold the only remaining sink senders
 
-        RunHandle { sink_rx, handles, registry, shared, start }
+        let pool = Arc::new(Pool { sched, cells });
+        let workers = (0..n_workers)
+            .map(|w| {
+                let pool = Arc::clone(&pool);
+                let shared = Arc::clone(&shared);
+                let counters = registry.sched();
+                std::thread::Builder::new()
+                    .name(format!("squall-worker-{w}"))
+                    .spawn(move || worker_loop(w, &pool, &shared, &counters))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        RunHandle { sink_rx, workers, registry, shared, start }
     }
 }
 
-/// Punctuate every downstream task once.
-fn send_eos(out: &mut OutputCollector) {
-    for edge in &out.edges {
-        for target in &edge.targets {
-            let _ = target.send(Message::Eos);
+fn worker_loop(me: usize, pool: &Pool, shared: &Shared, counters: &SchedCounters) {
+    WORKER_INDEX.with(|w| w.set(Some(me)));
+    let sched = &*pool.sched;
+    loop {
+        match sched.next_task(me) {
+            Some(task) => run_task(task, pool, shared, counters),
+            None => {
+                if sched.all_done() {
+                    break;
+                }
+                // Park until a wakeup (timed: a missed notify can only
+                // cost one tick, never a hang).
+                sched.sleepers.fetch_add(1, Ordering::AcqRel);
+                let guard = sched.idle_mx.lock().expect("idle mutex poisoned");
+                let _ = sched
+                    .idle_cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("idle cv poisoned");
+                sched.sleepers.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+    WORKER_INDEX.with(|w| w.set(None));
+}
+
+fn run_task(task: TaskId, pool: &Pool, shared: &Shared, counters: &SchedCounters) {
+    let sched = &*pool.sched;
+    sched.states[task].store(RUNNING, Ordering::Release);
+    let mut slot = pool.cells[task].lock().expect("task cell poisoned");
+    let Some(cell) = slot.as_mut() else {
+        // Stale queue entry for a completed task (cannot happen through
+        // the state machine, but harmless).
+        sched.states[task].store(DONE, Ordering::Release);
+        return;
+    };
+    let polled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cell.poll(sched)));
+    let outcome = match polled {
+        Ok(p) => p,
+        Err(_) => {
+            // Operator panic: report, abort the run, unblock any senders
+            // parked on this task's now-dead inbox, and still punctuate
+            // downstream so consumers terminate.
+            shared.raise(SquallError::Runtime("task panicked".into()));
+            for sender in cell.poison() {
+                sched.notify(sender);
+            }
+            cell.out.flush_and_punctuate();
+            Poll::Done
+        }
+    };
+    match outcome {
+        Poll::Done => {
+            *slot = None; // drops operator state + the sink sender clone
+            drop(slot);
+            sched.states[task].store(DONE, Ordering::Release);
+            if sched.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *shared.finished_at.lock().expect("finish stamp poisoned") = Some(Instant::now());
+                let _g = sched.idle_mx.lock().expect("idle mutex poisoned");
+                sched.idle_cv.notify_all();
+            }
+        }
+        Poll::Yield => {
+            drop(slot);
+            counters.yields.fetch_add(1, Ordering::Relaxed);
+            sched.states[task].store(QUEUED, Ordering::Release);
+            sched.push_runnable(task);
+        }
+        Poll::Park => {
+            drop(slot);
+            // Try RUNNING → IDLE; if someone notified us mid-poll the
+            // state is NOTIFIED and we must repoll instead (the wakeup
+            // condition may already hold).
+            if sched.states[task]
+                .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                sched.states[task].store(QUEUED, Ordering::Release);
+                sched.push_runnable(task);
+            }
         }
     }
 }
@@ -515,6 +1061,25 @@ mod tests {
     }
 
     #[test]
+    fn panic_with_parked_upstream_still_terminates() {
+        // capacity 1 + batch 1 + one worker: the spout deterministically
+        // parks on the bolt's full inbox before the bolt panics. The
+        // panic path must close the dead inbox and wake the spout, or the
+        // run hangs forever.
+        let mut b = TopologyBuilder::new().channel_capacity(1).batch_size(1).worker_threads(1);
+        let src = b.add_spout("src", 1, int_spout(0, 100_000));
+        let bad = b.add_bolt("bad", 1, |_| {
+            Box::new(FnBolt(|_o, _t: Tuple, _out: &mut OutputCollector| -> Result<()> {
+                panic!("operator bug")
+            }))
+        });
+        b.connect(src, bad, Grouping::Shuffle);
+        let outcome = b.build().unwrap().run();
+        assert!(matches!(outcome.error, Some(SquallError::Runtime(_))));
+        assert!(outcome.metrics.node(0).total_emitted() < 100_000, "spout observed the abort");
+    }
+
+    #[test]
     fn builder_rejects_cycles_and_bad_edges() {
         let mut b = TopologyBuilder::new();
         let s = b.add_spout("s", 1, int_spout(0, 1));
@@ -571,7 +1136,7 @@ mod tests {
 
     #[test]
     fn backpressure_small_capacity_still_completes() {
-        let mut b = TopologyBuilder::new().channel_capacity(2);
+        let mut b = TopologyBuilder::new().channel_capacity(2).batch_size(8);
         let src = b.add_spout("src", 4, int_spout(0, 1000));
         let slow = b.add_bolt("slow", 1, |_| {
             Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
@@ -582,6 +1147,8 @@ mod tests {
         b.connect(src, slow, Grouping::Global);
         let outcome = b.build().unwrap().run();
         assert_eq!(outcome.outputs.len(), 4000);
+        // The tiny inbox must actually have exercised the yield path.
+        assert!(outcome.metrics.scheduler.max_queue_depth >= 2);
     }
 
     #[test]
@@ -597,5 +1164,87 @@ mod tests {
         assert_eq!(t.sinks(), vec![1]);
         assert_eq!(t.node_name(0), "s");
         assert_eq!(t.parallelism(1), 1);
+    }
+
+    #[test]
+    fn oversubscribed_pool_runs_many_tasks_on_two_workers() {
+        // 64 bolt tasks + 4 spout tasks on a 2-thread pool: correctness
+        // must not depend on tasks ≤ cores.
+        let mut b = TopologyBuilder::new().worker_threads(2);
+        let src = b.add_spout("src", 4, |task| {
+            let lo = task as i64 * 1000;
+            Box::new(IterSpout((lo..lo + 1000).map(|i| tuple![i])))
+        });
+        let fan = b.add_bolt("fan", 64, |_| {
+            Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
+                out.emit(t);
+                Ok(())
+            }))
+        });
+        b.connect(src, fan, Grouping::Fields(vec![0]));
+        let handle = b.build().unwrap().launch();
+        assert_eq!(handle.worker_count(), 2, "pool size is the thread bound");
+        let outcome = handle.finish();
+        assert!(outcome.error.is_none());
+        let mut vals: Vec<i64> =
+            outcome.outputs.iter().map(|(_, t)| t.get(0).as_int().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..4000).collect::<Vec<_>>());
+        assert_eq!(outcome.metrics.scheduler.workers, 2);
+    }
+
+    #[test]
+    fn batch_size_one_and_large_agree() {
+        let run_with = |batch: usize| -> Vec<i64> {
+            let mut b = TopologyBuilder::new().batch_size(batch);
+            let src = b.add_spout("src", 2, |task| {
+                let lo = task as i64 * 200;
+                Box::new(IterSpout((lo..lo + 200).map(|i| tuple![i % 13, i])))
+            });
+            let key = b.add_bolt("key", 4, |_| {
+                Box::new(FnBolt(|_o, t: Tuple, out: &mut OutputCollector| {
+                    out.emit(t);
+                    Ok(())
+                }))
+            });
+            b.connect(src, key, Grouping::Fields(vec![0]));
+            let outcome = b.build().unwrap().run();
+            assert!(outcome.error.is_none());
+            // Loads must be batch-size independent (per-tuple routing).
+            assert_eq!(outcome.metrics.node(1).total_received(), 400);
+            let mut v: Vec<i64> =
+                outcome.outputs.iter().map(|(_, t)| t.get(1).as_int().unwrap()).collect();
+            v.sort_unstable();
+            v
+        };
+        let a = run_with(1);
+        let b = run_with(64);
+        let c = run_with(4096);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn per_sender_order_is_preserved_through_batching() {
+        // The windowed event-time contract: each relation's tuples arrive
+        // at every downstream task in emission order.
+        let mut b = TopologyBuilder::new().batch_size(7);
+        let src = b.add_spout("src", 1, int_spout(0, 500));
+        let check = b.add_bolt("check", 1, |_| {
+            let mut last = -1i64;
+            Box::new(FnBolt(move |_o, t: Tuple, out: &mut OutputCollector| {
+                let v = t.get(0).as_int()?;
+                if v <= last {
+                    return Err(SquallError::Runtime(format!("order violated: {v} after {last}")));
+                }
+                last = v;
+                out.emit(t);
+                Ok(())
+            }))
+        });
+        b.connect(src, check, Grouping::Global);
+        let outcome = b.build().unwrap().run();
+        assert!(outcome.error.is_none(), "{:?}", outcome.error);
+        assert_eq!(outcome.outputs.len(), 500);
     }
 }

@@ -6,14 +6,25 @@ use squall_common::Tuple;
 /// addressed as `(NodeId, task_index)`.
 pub type NodeId = usize;
 
-/// A message on a task's input channel.
+/// A message on a task's inbox.
+///
+/// The data plane is *batched*: senders accumulate routed tuples in
+/// per-target scatter buffers (see [`crate::topology::OutputCollector`])
+/// and ship one `Batch` per `batch_size` tuples (or whatever is buffered
+/// when the stream punctuates). Batching amortizes the per-message queue
+/// and scheduling costs without introducing micro-batch *barriers* — a
+/// batch is flushed the moment it fills, so pipelining is preserved
+/// (§8.1's argument against synchronized micro-batching still holds).
 #[derive(Debug, Clone)]
 pub enum Message {
-    /// A data tuple, tagged with the node it was emitted by (bolts with
-    /// several upstream streams — e.g. joiners — dispatch on the origin,
-    /// exactly like Storm bolts dispatch on the source component id).
-    Data { origin: NodeId, tuple: Tuple },
+    /// A run of data tuples, tagged with the node that emitted them (bolts
+    /// with several upstream streams — e.g. joiners — dispatch on the
+    /// origin, exactly like Storm bolts dispatch on the source component
+    /// id). All tuples of a batch share one origin and arrive in the
+    /// sender's emission order.
+    Batch { origin: NodeId, tuples: Vec<Tuple> },
     /// End-of-stream punctuation from one upstream *task*. A task finishes
-    /// once it has received one `Eos` per upstream task.
+    /// once it has received one `Eos` per upstream task. `Eos` follows all
+    /// of that sender's data (scatter buffers are flushed first).
     Eos,
 }

@@ -32,12 +32,58 @@ pub struct TaskCounters {
     pub emitted: AtomicU64,
 }
 
+/// Live counters of the cooperative scheduler (one set per running
+/// topology). These observe *scheduling* behaviour — queue pressure, work
+/// distribution — rather than the paper's data-plane quantities, and are
+/// what skew experiments watch to see the pool react to imbalance.
+#[derive(Debug, Default)]
+pub struct SchedCounters {
+    /// Worker threads in the pool.
+    pub workers: AtomicU64,
+    /// Tasks taken from another worker's deque.
+    pub steals: AtomicU64,
+    /// Polls that ended because the task exhausted its cooperative budget
+    /// (the task was still runnable and was re-queued).
+    pub yields: AtomicU64,
+    /// Polls that ended because a downstream inbox was over capacity (the
+    /// backpressure-by-yield path: the task parked until the consumer
+    /// drained).
+    pub blocked: AtomicU64,
+    /// Deepest any task inbox ever got, in messages.
+    pub max_queue_depth: AtomicU64,
+}
+
+impl SchedCounters {
+    pub fn snapshot(&self) -> SchedulerStats {
+        SchedulerStats {
+            workers: self.workers.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            yields: self.yields.load(Ordering::Relaxed),
+            blocked: self.blocked.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen scheduler counters for one run. `steals`/`yields`/`blocked` are
+/// scheduling artifacts and (unlike the per-task loads) not deterministic
+/// across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    pub workers: u64,
+    pub steals: u64,
+    pub yields: u64,
+    pub blocked: u64,
+    pub max_queue_depth: u64,
+}
+
 /// Live metrics registry shared by all tasks of a running topology.
 #[derive(Debug)]
 pub struct MetricsRegistry {
     /// `per_node[node][task]`.
     per_node: Vec<Vec<Arc<TaskCounters>>>,
     names: Vec<String>,
+    sched: Arc<SchedCounters>,
 }
 
 impl MetricsRegistry {
@@ -46,11 +92,16 @@ impl MetricsRegistry {
             .iter()
             .map(|&p| (0..p).map(|_| Arc::new(TaskCounters::default())).collect())
             .collect();
-        MetricsRegistry { per_node, names }
+        MetricsRegistry { per_node, names, sched: Arc::new(SchedCounters::default()) }
     }
 
     pub fn task(&self, node: NodeId, task: usize) -> Arc<TaskCounters> {
         Arc::clone(&self.per_node[node][task])
+    }
+
+    /// The scheduler's counter set (shared with the worker pool).
+    pub fn sched(&self) -> Arc<SchedCounters> {
+        Arc::clone(&self.sched)
     }
 
     /// Freeze the counters into a snapshot.
@@ -68,6 +119,7 @@ impl MetricsRegistry {
                     emitted: tasks.iter().map(|t| t.emitted.load(Ordering::Relaxed)).collect(),
                 })
                 .collect(),
+            scheduler: self.sched.snapshot(),
         }
     }
 }
@@ -127,6 +179,9 @@ impl NodeMetrics {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub nodes: Vec<NodeMetrics>,
+    /// Scheduler-side observations (worker pool, steals, yields, queue
+    /// depth) — see [`SchedulerStats`].
+    pub scheduler: SchedulerStats,
 }
 
 impl MetricsSnapshot {
@@ -184,6 +239,7 @@ mod tests {
                     emitted: e,
                 })
                 .collect(),
+            scheduler: SchedulerStats::default(),
         }
     }
 
@@ -215,11 +271,15 @@ mod tests {
         let reg = MetricsRegistry::new(vec!["a".into(), "b".into()], &[2, 1]);
         reg.task(0, 1).received.fetch_add(7, Ordering::Relaxed);
         reg.task(1, 0).emitted.fetch_add(3, Ordering::Relaxed);
+        reg.sched().steals.fetch_add(2, Ordering::Relaxed);
+        reg.sched().max_queue_depth.fetch_max(9, Ordering::Relaxed);
         let s = reg.snapshot();
         assert_eq!(s.node(0).received, vec![0, 7]);
         assert_eq!(s.node(1).emitted, vec![3]);
         assert_eq!(s.by_name("b").unwrap().node, 1);
         assert!(s.by_name("zzz").is_none());
+        assert_eq!(s.scheduler.steals, 2);
+        assert_eq!(s.scheduler.max_queue_depth, 9);
     }
 
     #[test]
@@ -250,6 +310,7 @@ mod tests {
                     emitted: vec![10],
                 },
             ],
+            scheduler: SchedulerStats::default(),
         };
         // all_io = (0+100) + (100+10) + (10+0) = 220; denom = 100 + 10.
         assert!((s.intermediate_network_factor(&[0], &[2]) - 2.0).abs() < 1e-12);

@@ -1,12 +1,13 @@
-//! Topology construction: spouts, bolts, edges, validation.
+//! Topology construction: spouts, bolts, edges, validation — plus the
+//! [`OutputCollector`], the batching emission interface handed to tasks.
 
 use std::sync::atomic::Ordering;
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
-
-use std::sync::mpsc::{Sender, SyncSender};
 
 use squall_common::{Result, SquallError, Tuple};
 
+use crate::executor::{Inbox, Sched, TaskId};
 use crate::grouping::Grouping;
 use crate::message::{Message, NodeId};
 use crate::metrics::TaskCounters;
@@ -126,6 +127,8 @@ pub struct TopologyBuilder {
     pub(crate) nodes: Vec<NodeDef>,
     pub(crate) edges: Vec<Edge>,
     pub(crate) channel_capacity: usize,
+    pub(crate) worker_threads: Option<usize>,
+    pub(crate) batch_size: usize,
 }
 
 impl Default for TopologyBuilder {
@@ -134,16 +137,47 @@ impl Default for TopologyBuilder {
     }
 }
 
+/// Default tuples per [`Message::Batch`] (see
+/// [`TopologyBuilder::batch_size`]).
+pub const DEFAULT_BATCH_SIZE: usize = 64;
+
 impl TopologyBuilder {
     pub fn new() -> TopologyBuilder {
-        TopologyBuilder { nodes: Vec::new(), edges: Vec::new(), channel_capacity: 1024 }
+        TopologyBuilder {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            channel_capacity: 1024,
+            worker_threads: None,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
     }
 
-    /// Bound on each task's input queue; full queues block senders, which
-    /// is the runtime's backpressure mechanism.
+    /// Bound on each task's input queue, in *messages* (batches). A sender
+    /// whose flush overfills a downstream inbox parks until the consumer
+    /// drains it — backpressure by yielding, not by blocking a thread.
     pub fn channel_capacity(mut self, cap: usize) -> TopologyBuilder {
         assert!(cap > 0);
         self.channel_capacity = cap;
+        self
+    }
+
+    /// Size of the worker pool executing the topology's tasks. Defaults to
+    /// the machine's available parallelism; always clamped to the task
+    /// count. Task counts far above this are fine — that is the point of
+    /// the cooperative executor.
+    pub fn worker_threads(mut self, n: usize) -> TopologyBuilder {
+        assert!(n > 0, "worker pool needs at least one thread");
+        self.worker_threads = Some(n);
+        self
+    }
+
+    /// Tuples accumulated per scatter buffer before a [`Message::Batch`]
+    /// ships (default [`DEFAULT_BATCH_SIZE`]). `1` reproduces per-tuple
+    /// messaging. Routing is per-tuple either way, so results and loads do
+    /// not depend on this knob — only throughput does.
+    pub fn batch_size(mut self, n: usize) -> TopologyBuilder {
+        assert!(n > 0, "batch size must be positive");
+        self.batch_size = n;
         self
     }
 
@@ -240,6 +274,8 @@ impl TopologyBuilder {
             nodes: self.nodes,
             edges: self.edges,
             channel_capacity: self.channel_capacity,
+            worker_threads: self.worker_threads,
+            batch_size: self.batch_size,
         })
     }
 }
@@ -249,6 +285,8 @@ pub struct Topology {
     pub(crate) nodes: Vec<NodeDef>,
     pub(crate) edges: Vec<Edge>,
     pub(crate) channel_capacity: usize,
+    pub(crate) worker_threads: Option<usize>,
+    pub(crate) batch_size: usize,
 }
 
 impl Topology {
@@ -276,30 +314,84 @@ impl Topology {
     }
 }
 
+/// One receiving task of an outgoing edge, with its scatter buffer: tuples
+/// routed to this target accumulate here and ship as one
+/// [`Message::Batch`] when `batch_size` is reached (or on punctuation).
+pub(crate) struct EdgeTarget {
+    pub(crate) inbox: Arc<Inbox>,
+    pub(crate) task: TaskId,
+    pub(crate) buffer: Vec<Tuple>,
+}
+
 /// One outgoing edge of a running task.
 pub(crate) struct EdgeOut {
-    pub grouping: Grouping,
-    pub targets: Vec<SyncSender<Message>>,
-    pub seq: u64,
+    pub(crate) grouping: Grouping,
+    pub(crate) seq: u64,
+    pub(crate) targets: Vec<EdgeTarget>,
 }
 
 /// The emission interface handed to spout/bolt tasks.
 ///
 /// `emit` routes a tuple over every outgoing edge according to that edge's
-/// grouping; for sink nodes (no outgoing edges) the tuple is delivered to
-/// the run's output collector instead.
+/// grouping into per-target scatter buffers; buffers flush as batched
+/// messages on size (and on end-of-stream). For sink nodes (no outgoing
+/// edges) the tuple is delivered to the run's output channel instead.
 pub struct OutputCollector {
-    pub(crate) node: NodeId,
-    pub(crate) task: usize,
-    pub(crate) edges: Vec<EdgeOut>,
-    pub(crate) sink: Sender<(NodeId, Tuple)>,
-    pub(crate) is_sink: bool,
-    pub(crate) counters: Arc<TaskCounters>,
-    pub(crate) scratch: Vec<usize>,
-    pub(crate) disconnected: bool,
+    node: NodeId,
+    task: usize,
+    edges: Vec<EdgeOut>,
+    sink: Sender<(NodeId, Tuple)>,
+    is_sink: bool,
+    counters: Arc<TaskCounters>,
+    scratch: Vec<usize>,
+    batch_size: usize,
+    sched: Arc<Sched>,
+    /// Set when a flush pushed some target inbox over capacity; the owning
+    /// task checks it after each emit and parks if still true.
+    gated: bool,
+}
+
+/// Ship a target's scatter buffer as one batch. Stands alone (not a
+/// method) so per-edge iteration can split borrows.
+fn flush_target(node: NodeId, target: &mut EdgeTarget, sched: &Sched, gated: &mut bool) {
+    if target.buffer.is_empty() {
+        return;
+    }
+    let tuples = std::mem::take(&mut target.buffer);
+    let depth = target.inbox.push(Message::Batch { origin: node, tuples });
+    sched.record_depth(depth);
+    if target.inbox.over_capacity() {
+        *gated = true;
+    }
+    sched.notify(target.task);
 }
 
 impl OutputCollector {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        node: NodeId,
+        task: usize,
+        edges: Vec<EdgeOut>,
+        sink: Sender<(NodeId, Tuple)>,
+        is_sink: bool,
+        counters: Arc<TaskCounters>,
+        batch_size: usize,
+        sched: Arc<Sched>,
+    ) -> OutputCollector {
+        OutputCollector {
+            node,
+            task,
+            edges,
+            sink,
+            is_sink,
+            counters,
+            scratch: Vec::with_capacity(8),
+            batch_size,
+            sched,
+            gated: false,
+        }
+    }
+
     /// Emit one tuple downstream (or to the query output for sinks).
     pub fn emit(&mut self, tuple: Tuple) {
         self.counters.emitted.fetch_add(1, Ordering::Relaxed);
@@ -309,24 +401,66 @@ impl OutputCollector {
             let _ = self.sink.send((self.node, tuple));
             return;
         }
-        // Hoisted locals to appease the borrow checker.
         let task = self.task;
+        let batch_size = self.batch_size;
         let mut sent = 0u64;
         for edge in &mut self.edges {
             edge.grouping.route(task, edge.seq, &tuple, edge.targets.len(), &mut self.scratch);
             edge.seq += 1;
             for &t in &self.scratch {
-                if edge.targets[t]
-                    .send(Message::Data { origin: self.node, tuple: tuple.clone() })
-                    .is_err()
-                {
-                    self.disconnected = true;
-                } else {
-                    sent += 1;
+                let target = &mut edge.targets[t];
+                target.buffer.push(tuple.clone());
+                sent += 1;
+                if target.buffer.len() >= batch_size {
+                    flush_target(self.node, target, &self.sched, &mut self.gated);
                 }
             }
         }
         self.counters.sent.fetch_add(sent, Ordering::Relaxed);
+    }
+
+    /// Flush every scatter buffer and punctuate every downstream task with
+    /// one `Eos`. Punctuation ignores capacity — termination must always
+    /// make progress.
+    pub(crate) fn flush_and_punctuate(&mut self) {
+        let mut ignored = false;
+        for edge in &mut self.edges {
+            for target in &mut edge.targets {
+                flush_target(self.node, target, &self.sched, &mut ignored);
+                let depth = target.inbox.push(Message::Eos);
+                self.sched.record_depth(depth);
+                self.sched.notify(target.task);
+            }
+        }
+        self.gated = false;
+    }
+
+    /// If the last flush overfilled a downstream inbox *and* it is still
+    /// over capacity, register `id` on every such inbox's waiter list and
+    /// report `true` (the task must park). Registration double-checks
+    /// under the inbox lock, so a consumer that drained in between simply
+    /// lets the task continue.
+    pub(crate) fn park_if_gated(&mut self, id: TaskId) -> bool {
+        if !self.gated {
+            return false;
+        }
+        let mut blocked = false;
+        for edge in &self.edges {
+            for target in &edge.targets {
+                if target.inbox.over_capacity() && target.inbox.register_waiter(id) {
+                    blocked = true;
+                }
+            }
+        }
+        self.gated = blocked;
+        if blocked {
+            self.sched.record_blocked();
+        }
+        blocked
+    }
+
+    pub(crate) fn counters(&self) -> &Arc<TaskCounters> {
+        &self.counters
     }
 
     /// The executing task's index (the paper's "machine" id within the

@@ -7,7 +7,7 @@ use squall_common::{Result, SquallError};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
     /// Keyword (SELECT, FROM, WHERE, GROUP, BY, AS, AND, OR, NOT, COUNT,
-    /// SUM, AVG, WINDOW, SLIDING, TUMBLING, ON).
+    /// SUM, AVG, WINDOW, SLIDING, TUMBLING, ON, ORDER, ASC, DESC, LIMIT).
     Keyword(String),
     /// Possibly qualified identifier (`a` or `a.b`).
     Ident(String),
@@ -21,9 +21,9 @@ pub enum Token {
     Sym(&'static str),
 }
 
-const KEYWORDS: [&str; 15] = [
+const KEYWORDS: [&str; 19] = [
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "COUNT", "SUM", "WINDOW",
-    "SLIDING", "TUMBLING", "ON",
+    "SLIDING", "TUMBLING", "ON", "ORDER", "ASC", "DESC", "LIMIT",
 ];
 
 fn is_ident_start(c: char) -> bool {

@@ -2,7 +2,7 @@
 
 use squall_common::{Result, SquallError, Value};
 use squall_expr::{AggFunc, BinOp};
-use squall_plan::logical::{Expr, Query, Window};
+use squall_plan::logical::{Expr, OrderKey, Query, Window};
 
 use crate::lexer::{tokenize, Token};
 
@@ -102,7 +102,7 @@ impl Parser {
                 break;
             }
         }
-        let mut q = Query { tables, filters: vec![], select, group_by: vec![], window: None };
+        let mut q = Query { tables, select, ..Query::default() };
         if self.eat_keyword("WHERE") {
             let cond = self.disjunction()?;
             q = q.filter(cond);
@@ -124,6 +124,32 @@ impl Parser {
         }
         if q.window.is_none() && self.eat_keyword("WINDOW") {
             q.window = Some(self.window_clause()?);
+        }
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let column = self.ident()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                q.order_by.push(OrderKey { column, desc });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_keyword("LIMIT") {
+            q.limit = Some(match self.next() {
+                Some(Token::Int(i)) if i >= 0 => i as u64,
+                other => {
+                    return Err(SquallError::Parse(format!(
+                        "LIMIT takes a non-negative integer, found {other:?}"
+                    )))
+                }
+            });
         }
         Ok(q)
     }
@@ -397,6 +423,48 @@ mod tests {
         assert!(parse("SELECT a FROM R, S WINDOW SLIDING ON ts").is_err(), "missing size");
         assert!(parse("SELECT a FROM R, S WINDOW SLIDING 0 ON ts").is_err(), "zero size");
         assert!(parse("SELECT a FROM R, S WINDOW SLIDING 30 ON").is_err(), "missing column");
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let q = parse("SELECT a, b FROM R ORDER BY b DESC, a LIMIT 10").unwrap();
+        assert_eq!(
+            q.order_by,
+            vec![
+                OrderKey { column: "b".into(), desc: true },
+                OrderKey { column: "a".into(), desc: false },
+            ]
+        );
+        assert_eq!(q.limit, Some(10));
+        // Explicit ASC and a bare LIMIT.
+        let q = parse("SELECT a FROM R ORDER BY a ASC").unwrap();
+        assert_eq!(q.order_by, vec![OrderKey { column: "a".into(), desc: false }]);
+        assert_eq!(q.limit, None);
+        let q = parse("SELECT a FROM R LIMIT 3").unwrap();
+        assert!(q.order_by.is_empty());
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn order_by_composes_with_group_by_and_window() {
+        let q = parse(
+            "SELECT R.a, COUNT(*) AS n FROM R, S WHERE R.a = S.a \
+             WINDOW SLIDING 10 ON ts GROUP BY R.a ORDER BY n DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(q.window.is_some());
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by, vec![OrderKey { column: "n".into(), desc: true }]);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn order_by_and_limit_errors() {
+        assert!(parse("SELECT a FROM R ORDER a").is_err(), "missing BY");
+        assert!(parse("SELECT a FROM R ORDER BY").is_err(), "missing column");
+        assert!(parse("SELECT a FROM R LIMIT").is_err(), "missing count");
+        assert!(parse("SELECT a FROM R LIMIT b").is_err(), "non-integer count");
+        assert!(parse("SELECT a FROM R LIMIT 3.5").is_err(), "float count");
     }
 
     #[test]

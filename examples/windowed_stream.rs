@@ -142,15 +142,15 @@ fn main() {
 
     let outcome = b.build().unwrap().run();
     assert!(outcome.error.is_none(), "{:?}", outcome.error);
+    let m = outcome.metrics.node(join_node).clone();
     // Raw join output is (I.ad_id, I.ts, C.ad_id, C.ts); project onto the
     // session query's SELECT list for a row-level comparison.
     let mut hand_built: Vec<Tuple> = outcome
-        .tuples()
+        .into_tuples()
         .into_iter()
         .map(|t| Tuple::new(vec![t.get(0).clone(), t.get(1).clone(), t.get(3).clone()]))
         .collect();
     hand_built.sort();
-    let m = outcome.metrics.node(join_node);
     println!(
         "hand-built topology: {} conversions, loads {:?} (skew degree {:.2})",
         hand_built.len(),

@@ -49,8 +49,9 @@ pub use squall_core::driver::{JoinReport, LocalJoinKind};
 pub use squall_expr::AggFunc;
 pub use squall_partition::optimizer::SchemeKind;
 pub use squall_plan::catalog::{SourceDef, SourceKind};
-pub use squall_plan::logical::{agg, col, lit, Expr, Query, Window, WindowKind};
+pub use squall_plan::logical::{agg, col, lit, Expr, OrderKey, Query, Window, WindowKind};
 pub use squall_plan::physical::{ExecConfig, ResultSet};
+pub use squall_runtime::SchedulerStats;
 
 /// `COUNT(*)`.
 pub fn count() -> Expr {
@@ -121,6 +122,26 @@ impl SessionBuilder {
     /// skewed (§3.4 chooser).
     pub fn skew_slack(mut self, slack: f64) -> SessionBuilder {
         self.config.skew_slack = slack;
+        self
+    }
+
+    /// Worker pool size executing every query's topology. Decoupled from
+    /// [`SessionBuilder::machines`]: the cooperative executor runs any
+    /// number of machines on this many OS threads (default: the host's
+    /// available parallelism).
+    pub fn worker_threads(mut self, n: usize) -> SessionBuilder {
+        assert!(n > 0, "worker pool needs at least one thread");
+        self.config.worker_threads = Some(n);
+        self
+    }
+
+    /// Tuples per data-plane batch (default
+    /// [`squall_runtime::DEFAULT_BATCH_SIZE`]; `1` = per-tuple messaging).
+    /// A throughput knob: results and per-machine loads are batch-size
+    /// independent.
+    pub fn batch_size(mut self, n: usize) -> SessionBuilder {
+        assert!(n > 0, "batch size must be positive");
+        self.config.batch_size = n;
         self
     }
 
@@ -254,9 +275,20 @@ impl Session {
         self.explain_query(&squall_sql::parse(text)?)
     }
 
-    /// The optimized physical plan for a logical query block, as text.
+    /// The optimized physical plan for a logical query block, as text,
+    /// followed by the executor configuration the session would run it
+    /// with.
     pub fn explain_query(&self, query: &Query) -> Result<String> {
-        Ok(PhysicalQuery::plan(query, &self.catalog)?.explain())
+        let mut text = PhysicalQuery::plan(query, &self.catalog)?.explain();
+        let workers = match self.config.worker_threads {
+            Some(n) => n.to_string(),
+            None => "auto".to_string(),
+        };
+        text.push_str(&format!(
+            "executor: {} machines, {} worker threads, batch size {}\n",
+            self.config.machines, workers, self.config.batch_size
+        ));
+        Ok(text)
     }
 
     /// Imperative interface: open a query builder on a first relation
@@ -279,6 +311,8 @@ impl Session {
             group_by: Vec::new(),
             select: Vec::new(),
             window: None,
+            order_by: Vec::new(),
+            limit: None,
         }
     }
 }
@@ -301,6 +335,8 @@ pub struct QueryBuilder<'s> {
     group_by: Vec<Expr>,
     select: Vec<(Expr, Option<String>)>,
     window: Option<Window>,
+    order_by: Vec<OrderKey>,
+    limit: Option<u64>,
 }
 
 impl QueryBuilder<'_> {
@@ -368,6 +404,22 @@ impl QueryBuilder<'_> {
         self
     }
 
+    /// Append an ORDER BY key over the *output* columns (a SELECT alias or
+    /// item display name); `desc = true` sorts descending. Equivalent to
+    /// SQL's `ORDER BY <col> [ASC|DESC]`. Ties break on the full row, so
+    /// ordered results are deterministic.
+    pub fn order_by(mut self, column: impl Into<String>, desc: bool) -> Self {
+        self.order_by.push(OrderKey { column: column.into(), desc });
+        self
+    }
+
+    /// Keep only the first `n` rows of the (ordered) result — SQL's
+    /// `LIMIT <n>`.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
     /// Lower to the logical [`Query`] block — the same structure
     /// `squall_sql::parse` yields, which is what guarantees SQL/imperative
     /// equivalence.
@@ -385,6 +437,8 @@ impl QueryBuilder<'_> {
             select,
             group_by: self.group_by,
             window: self.window,
+            order_by: self.order_by,
+            limit: self.limit,
         };
         for predicate in self.filters {
             query = query.filter(predicate);
@@ -460,6 +514,8 @@ mod tests {
             .seed(3)
             .agg_parallelism(5)
             .skew_slack(0.75)
+            .worker_threads(3)
+            .batch_size(128)
             .build();
         assert_eq!(s.config().machines, 9);
         assert_eq!(s.config().scheme, Some(SchemeKind::Random));
@@ -467,6 +523,36 @@ mod tests {
         assert_eq!(s.config().seed, 3);
         assert_eq!(s.config().agg_parallelism, 5);
         assert!((s.config().skew_slack - 0.75).abs() < 1e-12);
+        assert_eq!(s.config().worker_threads, Some(3));
+        assert_eq!(s.config().batch_size, 128);
+    }
+
+    #[test]
+    fn worker_pool_and_batch_knobs_reach_the_runtime() {
+        let mut small = Session::builder().machines(4).worker_threads(2).batch_size(1).build();
+        std::mem::swap(small.catalog_mut(), session().catalog_mut());
+        let query = "SELECT R.b, S.c FROM R, S WHERE R.a = S.a";
+        let mut rs = small.sql(query).unwrap();
+        let rows: Vec<Tuple> = rs.rows().to_vec();
+        let report = rs.report().expect("distributed run");
+        assert_eq!(report.scheduler.workers, 2, "pool size = worker_threads");
+        // Identical rows under a different pool/batch configuration.
+        let mut big = Session::builder().machines(4).worker_threads(8).batch_size(1024).build();
+        std::mem::swap(big.catalog_mut(), session().catalog_mut());
+        let mut rs2 = big.sql(query).unwrap();
+        assert_eq!(rs2.rows(), rows, "executor config must not change results");
+    }
+
+    #[test]
+    fn explain_prints_executor_config() {
+        let s = session();
+        let text = s.explain("SELECT S.c FROM R, S WHERE R.a = S.a").unwrap();
+        assert!(text.contains("executor: 4 machines, auto worker threads"), "{text}");
+        let tuned = Session::builder().machines(2).worker_threads(2).batch_size(16).build();
+        let mut tuned = tuned;
+        std::mem::swap(tuned.catalog_mut(), session().catalog_mut());
+        let text = tuned.explain("SELECT S.c FROM R, S WHERE R.a = S.a").unwrap();
+        assert!(text.contains("executor: 2 machines, 2 worker threads, batch size 16"), "{text}");
     }
 
     #[test]
@@ -514,6 +600,38 @@ mod tests {
             .select([count(), col("R.a")])
             .build();
         assert!(q.select[0].0.has_agg(), "explicit order untouched");
+    }
+
+    #[test]
+    fn order_by_limit_sql_and_builder_agree() {
+        let s = session();
+        let mut sql = s
+            .sql("SELECT R.b AS b, S.c AS c FROM R, S WHERE R.a = S.a ORDER BY b DESC LIMIT 3")
+            .unwrap();
+        let mut imp = s
+            .from("R")
+            .join("S")
+            .on(col("R.a").eq(col("S.a")))
+            .select_as(col("R.b"), "b")
+            .select_as(col("S.c"), "c")
+            .order_by("b", true)
+            .limit(3)
+            .run()
+            .unwrap();
+        assert_eq!(sql.rows(), imp.rows());
+        assert_eq!(sql.rows().len(), 3);
+        // Descending on the first output column.
+        let firsts: Vec<i64> = sql.rows().iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(firsts, sorted);
+        // The streaming entry point honors the order contract by
+        // materializing.
+        let mut st = s
+            .sql_stream("SELECT R.b AS b FROM R, S WHERE R.a = S.a ORDER BY b DESC LIMIT 2")
+            .unwrap();
+        assert!(!st.is_streaming());
+        assert_eq!(st.rows().len(), 2);
     }
 
     #[test]

@@ -288,6 +288,83 @@ fn multiway_equals_pipeline_equals_oracle() {
     assert!(same_multiset(&pipe.results, &oracle));
 }
 
+/// OS threads of this process (Linux); `None` elsewhere.
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+}
+
+/// The tentpole contract: a 3-way hypercube join whose task count is ≥ 16×
+/// the worker pool must (a) run on `worker_threads + O(1)` OS threads, and
+/// (b) produce exactly the rows a generously-threaded run produces.
+#[test]
+fn oversubscribed_pool_matches_baseline_results() {
+    let arcs = WebGraphGen::new(150, 900, 3).generate();
+    let q = queries::reachability3(&arcs);
+    let oracle = naive_join(&q.spec, &q.data);
+    assert!(!oracle.is_empty());
+
+    // 64 join machines + 3 spout tasks + sink work on a 2-thread pool.
+    let mut tight = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 64);
+    tight.worker_threads = Some(2);
+    assert!(64 >= 16 * tight.worker_threads.unwrap());
+
+    let baseline = os_thread_count();
+    let mut stream =
+        squall::engine::driver::run_multiway_stream(&q.spec, q.data.clone(), &tight).unwrap();
+    let mut rows: Vec<Tuple> = Vec::new();
+    rows.extend(stream.by_ref().take(1)); // the pool is definitely live now
+
+    // Thread-per-task would add ≥ 67 threads here; the pool adds 2. The
+    // slack tolerates other tests in this binary concurrently launching
+    // default-sized pools (≤ host parallelism each), so it scales with the
+    // host rather than assuming a small CI machine.
+    let concurrent_pools = 2 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    if let (Some(before), Some(during)) = (baseline, os_thread_count()) {
+        assert!(
+            during <= before + 2 + 8 + concurrent_pools,
+            "{during} OS threads for a 64-machine topology (baseline {before}, pool 2)"
+        );
+    }
+    rows.extend(stream.by_ref());
+    let tight_report = stream.finish();
+    assert!(tight_report.error.is_none());
+    assert_eq!(tight_report.scheduler.workers, 2, "pool size honored");
+    assert!(same_multiset(&rows, &oracle), "oversubscribed run matches the oracle");
+
+    // A generously-threaded run of the same plan: identical sorted rows
+    // and identical per-machine loads (scheduling must not leak into
+    // results or routing).
+    let mut roomy = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 64);
+    roomy.worker_threads = Some(8);
+    let baseline_report = run_multiway(&q.spec, q.data.clone(), &roomy).unwrap();
+    let mut baseline_rows = baseline_report.results.clone();
+    baseline_rows.sort();
+    rows.sort();
+    assert_eq!(rows, baseline_rows, "worker pool size must not change results");
+    assert_eq!(tight_report.loads, baseline_report.loads, "routing is pool-independent");
+}
+
+/// Abort semantics survive oversubscription: a memory overflow on a
+/// 64-task/2-worker pool still drains every queue and terminates.
+#[test]
+fn oversubscribed_abort_drains_and_terminates() {
+    let data = TpchGen::new(0.5, 2.0, 6).generate();
+    let q = queries::tpch9_partial(&data, true);
+    let mut cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 64)
+        .count_only()
+        .with_budget(50);
+    cfg.worker_threads = Some(2);
+    let rep = run_multiway(&q.spec, q.data.clone(), &cfg).unwrap();
+    assert!(matches!(rep.error, Some(squall::common::SquallError::MemoryOverflow { .. })));
+    assert!(rep.loads.iter().sum::<u64>() > 0, "partial loads for extrapolation");
+    assert_eq!(rep.scheduler.workers, 2);
+}
+
 #[test]
 fn memory_overflow_reports_partial_metrics() {
     let data = TpchGen::new(0.5, 2.0, 6).generate();
