@@ -1,0 +1,172 @@
+//! `network_bench` — measure the TCP transport against the in-process
+//! data plane on the 3-way hypercube join.
+//!
+//! Runs R(x,y) ⋈ S(y,z) ⋈ T(z,t) (the §3.1 worked-example shape,
+//! count-only, Hybrid-Hypercube, DBToaster locals) three ways — all-local,
+//! split across 1 worker, split across 2 workers over loopback TCP — and
+//! writes `BENCH_network.json` with tuples/s, the relative throughput and
+//! the wire traffic. Results and per-machine loads are asserted identical
+//! across all three, so the benchmark doubles as a cluster smoke test.
+//!
+//! ```text
+//! cargo run --release -p squall-bench --bin network_bench            # full
+//! cargo run --release -p squall-bench --bin network_bench -- --smoke # CI
+//! ```
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use squall_common::{tuple, DataType, Schema, SplitMix64, Tuple};
+use squall_core::cluster::{serve_job, ClusterSpec};
+use squall_core::driver::{run_multiway, JoinReport, LocalJoinKind, MultiwayConfig};
+use squall_expr::{JoinAtom, MultiJoinSpec, RelationDef};
+use squall_partition::optimizer::SchemeKind;
+
+const MACHINES: usize = 16;
+
+fn rst_spec(n: u64) -> MultiJoinSpec {
+    MultiJoinSpec::new(
+        vec![
+            RelationDef::new("R", Schema::of(&[("x", DataType::Int), ("y", DataType::Int)]), n),
+            RelationDef::new("S", Schema::of(&[("y", DataType::Int), ("z", DataType::Int)]), n),
+            RelationDef::new("T", Schema::of(&[("z", DataType::Int), ("t", DataType::Int)]), n),
+        ],
+        vec![JoinAtom::eq(0, 1, 1, 0), JoinAtom::eq(1, 1, 2, 0)],
+    )
+    .expect("static spec")
+}
+
+fn rst_data(n: usize, dom: i64, seed: u64) -> Vec<Vec<Tuple>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..3)
+        .map(|_| (0..n).map(|_| tuple![rng.next_range(0, dom), rng.next_range(0, dom)]).collect())
+        .collect()
+}
+
+fn spawn_workers(n: usize) -> (ClusterSpec, Vec<std::thread::JoinHandle<()>>) {
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker");
+        addrs.push(listener.local_addr().expect("addr").to_string());
+        handles.push(std::thread::spawn(move || serve_job(&listener).expect("worker job")));
+    }
+    (ClusterSpec::new(addrs), handles)
+}
+
+struct Run {
+    label: &'static str,
+    workers: usize,
+    elapsed: Duration,
+    report: JoinReport,
+    tuples_per_sec: f64,
+}
+
+fn measure(
+    spec: &MultiJoinSpec,
+    data: &[Vec<Tuple>],
+    label: &'static str,
+    workers: usize,
+    reps: usize,
+) -> Run {
+    let mut best: Option<Run> = None;
+    for _ in 0..reps {
+        let mut cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, MACHINES)
+            .count_only();
+        let handles = if workers > 0 {
+            let (cluster, handles) = spawn_workers(workers);
+            cfg.cluster = Some(cluster);
+            handles
+        } else {
+            Vec::new()
+        };
+        let report = run_multiway(spec, data.to_vec(), &cfg).expect("bench join");
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        assert!(report.error.is_none(), "bench run failed: {:?}", report.error);
+        let secs = report.elapsed.as_secs_f64().max(1e-9);
+        let run = Run {
+            label,
+            workers,
+            elapsed: report.elapsed,
+            tuples_per_sec: report.input_count as f64 / secs,
+            report,
+        };
+        best = match best {
+            Some(b) if b.tuples_per_sec >= run.tuples_per_sec => Some(b),
+            _ => Some(run),
+        };
+    }
+    best.expect("reps > 0")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, dom, reps) = if smoke { (15_000, 300_000, 1) } else { (50_000, 1_000_000, 3) };
+    let spec = rst_spec(n as u64);
+    let data = rst_data(n, dom, 42);
+
+    // Warm caches / allocator before timing.
+    let _ = measure(&spec, &data, "warmup", 0, 1);
+
+    let runs = vec![
+        measure(&spec, &data, "local", 0, reps),
+        measure(&spec, &data, "tcp-1-worker", 1, reps),
+        measure(&spec, &data, "tcp-2-workers", 2, reps),
+    ];
+
+    // Correctness gate: the wire must not change the join.
+    for r in &runs[1..] {
+        assert_eq!(r.report.result_count, runs[0].report.result_count, "{}", r.label);
+        assert_eq!(r.report.loads, runs[0].report.loads, "{}: loads differ", r.label);
+    }
+
+    let base = runs[0].tuples_per_sec;
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"3-way hypercube join, Hybrid-Hypercube, DBToaster locals, \
+         count-only: in-process data plane vs TCP transport over loopback\",\n",
+    );
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    json.push_str(&format!("  \"machines\": {MACHINES},\n"));
+    json.push_str(&format!("  \"input_tuples\": {},\n", 3 * n));
+    json.push_str(&format!("  \"join_results\": {},\n", runs[0].report.result_count));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let (bytes, batches) = match &r.report.transport {
+            Some(t) => (t.total_bytes_sent() + t.total_bytes_received(), t.total_batches_sent()),
+            None => (0, 0),
+        };
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"processes\": {}, \"elapsed_ms\": {:.3}, \
+             \"tuples_per_sec\": {:.0}, \"relative_throughput\": {:.3}, \
+             \"wire_bytes\": {bytes}, \"wire_batches\": {batches}}}{}\n",
+            r.label,
+            r.workers + 1,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.tuples_per_sec,
+            r.tuples_per_sec / base,
+            if i + 1 < runs.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_network.json", &json).expect("write BENCH_network.json");
+    println!("{json}");
+    for r in &runs {
+        eprintln!(
+            "{:>14}: {:>10.0} tuples/s ({:.1} ms){}",
+            r.label,
+            r.tuples_per_sec,
+            r.elapsed.as_secs_f64() * 1e3,
+            match &r.report.transport {
+                Some(t) => format!(
+                    ", {:.1} MiB on the wire",
+                    (t.total_bytes_sent() + t.total_bytes_received()) as f64 / (1 << 20) as f64
+                ),
+                None => String::new(),
+            }
+        );
+    }
+}

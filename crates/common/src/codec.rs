@@ -1,0 +1,476 @@
+//! Hand-rolled wire codec for the TCP transport.
+//!
+//! The distributed runtime ships [`Tuple`]s between peer processes as
+//! **length-prefixed frames**: a little-endian `u32` payload length
+//! followed by the payload bytes. The payload encodings here are
+//! deliberately boring — fixed-width little-endian integers, `u32`-length
+//! strings, one tag byte per enum variant — so that a frame produced by
+//! any build of this workspace decodes identically in any other. No
+//! registry dependencies, no reflection: the codec is the contract.
+//!
+//! Layering: this module knows [`Value`], [`Tuple`] and [`SquallError`]
+//! (the common types every message is made of). The runtime's transport
+//! layer composes these primitives into its own frame vocabulary
+//! (`Data` / `Eos` / `Abort` / …).
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use crate::error::{Result, SquallError};
+use crate::tuple::Tuple;
+use crate::value::{Date, Value};
+
+/// Upper bound on one frame's payload. A length prefix beyond this is
+/// treated as stream corruption and fails fast instead of attempting a
+/// multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+// ---------------------------------------------------------------------
+// Primitive writers (append to a byte buffer)
+// ---------------------------------------------------------------------
+
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+// ---------------------------------------------------------------------
+// Primitive reader
+// ---------------------------------------------------------------------
+
+/// A cursor over an encoded payload. Every accessor bounds-checks and
+/// returns [`SquallError::Codec`] on a short or malformed buffer, so a
+/// corrupted frame surfaces as a typed error instead of a panic.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+// `len` reads a length prefix off the wire; it is not a container size.
+#[allow(clippy::len_without_is_empty)]
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn need(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(SquallError::Codec(format!(
+                "short buffer: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.need(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.need(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.need(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.need(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.need(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        Ok(self.str_ref()?.to_string())
+    }
+
+    /// Borrowed string view — validates in place, no allocation (the
+    /// per-tuple hot path builds `Arc<str>` straight from this).
+    pub fn str_ref(&mut self) -> Result<&'a str> {
+        let n = self.u32()? as usize;
+        let raw = self.need(n)?;
+        std::str::from_utf8(raw).map_err(|_| SquallError::Codec("invalid utf-8 in string".into()))
+    }
+
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.need(n)?.to_vec())
+    }
+
+    /// Length prefix for a repeated section. Every encoded element costs
+    /// at least one byte, so a count beyond the bytes actually remaining
+    /// is corruption — rejected *before* any `with_capacity` touches it.
+    pub fn len(&mut self) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(SquallError::Codec(format!(
+                "implausible element count {n} ({} bytes remain)",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless the whole payload was consumed (trailing garbage means
+    /// the two sides disagree on the encoding).
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(SquallError::Codec(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value / Tuple
+// ---------------------------------------------------------------------
+
+const VAL_NULL: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_STR: u8 = 3;
+const VAL_DATE: u8 = 4;
+
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(buf, VAL_NULL),
+        Value::Int(i) => {
+            put_u8(buf, VAL_INT);
+            put_i64(buf, *i);
+        }
+        Value::Float(f) => {
+            put_u8(buf, VAL_FLOAT);
+            put_f64(buf, *f);
+        }
+        Value::Str(s) => {
+            put_u8(buf, VAL_STR);
+            put_str(buf, s);
+        }
+        Value::Date(d) => {
+            put_u8(buf, VAL_DATE);
+            put_i32(buf, d.0);
+        }
+    }
+}
+
+pub fn get_value(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        VAL_NULL => Value::Null,
+        VAL_INT => Value::Int(r.i64()?),
+        VAL_FLOAT => Value::Float(r.f64()?),
+        VAL_STR => Value::Str(Arc::from(r.str_ref()?)),
+        VAL_DATE => Value::Date(Date(r.i32()?)),
+        tag => return Err(SquallError::Codec(format!("unknown value tag {tag}"))),
+    })
+}
+
+pub fn put_tuple(buf: &mut Vec<u8>, t: &Tuple) {
+    put_u32(buf, t.arity() as u32);
+    for v in t.values() {
+        put_value(buf, v);
+    }
+}
+
+pub fn get_tuple(r: &mut Reader<'_>) -> Result<Tuple> {
+    let n = r.len()?;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(get_value(r)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+pub fn put_tuples(buf: &mut Vec<u8>, ts: &[Tuple]) {
+    put_u32(buf, ts.len() as u32);
+    for t in ts {
+        put_tuple(buf, t);
+    }
+}
+
+pub fn get_tuples(r: &mut Reader<'_>) -> Result<Vec<Tuple>> {
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_tuple(r)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Errors on the wire
+// ---------------------------------------------------------------------
+
+// Variants that must survive a process boundary exactly (the run-abort
+// protocol forwards the failing peer's error to the coordinator, and
+// `MemoryOverflow` semantics are part of the paper's methodology). Less
+// structured variants round-trip as their display text.
+const ERR_MEMORY_OVERFLOW: u8 = 0;
+const ERR_RUNTIME: u8 = 1;
+const ERR_INVALID_PLAN: u8 = 2;
+const ERR_PARSE: u8 = 3;
+const ERR_UNKNOWN_COLUMN: u8 = 4;
+const ERR_UNKNOWN_RELATION: u8 = 5;
+const ERR_INVALID_PARTITIONING: u8 = 6;
+const ERR_IO: u8 = 7;
+const ERR_CODEC: u8 = 8;
+const ERR_OTHER: u8 = 9;
+
+pub fn put_error(buf: &mut Vec<u8>, e: &SquallError) {
+    match e {
+        SquallError::MemoryOverflow { machine, stored, budget } => {
+            put_u8(buf, ERR_MEMORY_OVERFLOW);
+            put_u64(buf, *machine as u64);
+            put_u64(buf, *stored as u64);
+            put_u64(buf, *budget as u64);
+        }
+        SquallError::Runtime(m) => {
+            put_u8(buf, ERR_RUNTIME);
+            put_str(buf, m);
+        }
+        SquallError::InvalidPlan(m) => {
+            put_u8(buf, ERR_INVALID_PLAN);
+            put_str(buf, m);
+        }
+        SquallError::Parse(m) => {
+            put_u8(buf, ERR_PARSE);
+            put_str(buf, m);
+        }
+        SquallError::UnknownColumn(m) => {
+            put_u8(buf, ERR_UNKNOWN_COLUMN);
+            put_str(buf, m);
+        }
+        SquallError::UnknownRelation(m) => {
+            put_u8(buf, ERR_UNKNOWN_RELATION);
+            put_str(buf, m);
+        }
+        SquallError::InvalidPartitioning(m) => {
+            put_u8(buf, ERR_INVALID_PARTITIONING);
+            put_str(buf, m);
+        }
+        SquallError::Io(m) => {
+            put_u8(buf, ERR_IO);
+            put_str(buf, m);
+        }
+        SquallError::Codec(m) => {
+            put_u8(buf, ERR_CODEC);
+            put_str(buf, m);
+        }
+        other => {
+            put_u8(buf, ERR_OTHER);
+            put_str(buf, &other.to_string());
+        }
+    }
+}
+
+pub fn get_error(r: &mut Reader<'_>) -> Result<SquallError> {
+    Ok(match r.u8()? {
+        ERR_MEMORY_OVERFLOW => SquallError::MemoryOverflow {
+            machine: r.u64()? as usize,
+            stored: r.u64()? as usize,
+            budget: r.u64()? as usize,
+        },
+        ERR_RUNTIME => SquallError::Runtime(r.str()?),
+        ERR_INVALID_PLAN => SquallError::InvalidPlan(r.str()?),
+        ERR_PARSE => SquallError::Parse(r.str()?),
+        ERR_UNKNOWN_COLUMN => SquallError::UnknownColumn(r.str()?),
+        ERR_UNKNOWN_RELATION => SquallError::UnknownRelation(r.str()?),
+        ERR_INVALID_PARTITIONING => SquallError::InvalidPartitioning(r.str()?),
+        ERR_IO => SquallError::Io(r.str()?),
+        ERR_CODEC => SquallError::Codec(r.str()?),
+        ERR_OTHER => SquallError::Runtime(r.str()?),
+        tag => return Err(SquallError::Codec(format!("unknown error tag {tag}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Frame IO
+// ---------------------------------------------------------------------
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(SquallError::Codec(format!("frame of {} bytes exceeds cap", payload.len())));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the stream); a mid-frame EOF is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(SquallError::Codec("EOF inside frame length prefix".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(SquallError::Codec(format!("frame length {len} exceeds cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| SquallError::Codec(format!("EOF inside frame payload: {e}")))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn value_roundtrip_covers_every_variant() {
+        let values = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.25),
+            Value::Float(f64::NAN),
+            Value::str("hello wire"),
+            Value::str(""),
+            Value::Date(Date::parse("1996-07-28").unwrap()),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            put_value(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for v in &values {
+            let got = get_value(&mut r).unwrap();
+            // NaN compares equal under Value's total order semantics.
+            assert_eq!(&got, v, "{v:?}");
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn tuple_batches_roundtrip() {
+        let ts = vec![tuple![1, "a", 2.5], tuple![], tuple![Value::Null, 7]];
+        let mut buf = Vec::new();
+        put_tuples(&mut buf, &ts);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_tuples(&mut r).unwrap(), ts);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn error_roundtrip_preserves_memory_overflow_exactly() {
+        let e = SquallError::MemoryOverflow { machine: 3, stored: 1001, budget: 1000 };
+        let mut buf = Vec::new();
+        put_error(&mut buf, &e);
+        let mut r = Reader::new(&buf);
+        assert_eq!(get_error(&mut r).unwrap(), e);
+
+        let e2 = SquallError::Runtime("task panicked".into());
+        let mut buf = Vec::new();
+        put_error(&mut buf, &e2);
+        assert_eq!(get_error(&mut Reader::new(&buf)).unwrap(), e2);
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"abc");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_a_hang() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        wire.truncate(wire.len() - 2); // cut inside the payload
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(read_frame(&mut cursor), Err(SquallError::Codec(_))));
+        // Corrupt length prefix beyond the cap.
+        let mut wire = (u32::MAX).to_le_bytes().to_vec();
+        wire.extend_from_slice(b"xx");
+        assert!(matches!(read_frame(&mut std::io::Cursor::new(wire)), Err(SquallError::Codec(_))));
+    }
+
+    #[test]
+    fn corrupt_element_count_rejected_before_allocation() {
+        // A 12-byte payload claiming 268M tuples: every element costs at
+        // least one byte, so the count must fail immediately (no
+        // multi-gigabyte Vec::with_capacity).
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 268_435_455);
+        buf.extend_from_slice(&[0u8; 8]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(get_tuples(&mut r), Err(SquallError::Codec(_))));
+    }
+
+    #[test]
+    fn short_buffer_is_typed_error() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 5);
+        let mut r = Reader::new(&buf[..4]);
+        assert!(matches!(r.u64(), Err(SquallError::Codec(_))));
+    }
+}

@@ -34,8 +34,13 @@ pub enum SquallError {
     MemoryOverflow { machine: usize, stored: usize, budget: usize },
     /// The runtime failed (channel disconnect, worker panic, ...).
     Runtime(String),
-    /// An I/O error (spill store).
+    /// An I/O error (spill store, cluster sockets).
     Io(String),
+    /// A wire frame could not be encoded or decoded (TCP transport).
+    Codec(String),
+    /// A catalog source cannot be dropped while a live streaming run still
+    /// reads it.
+    SourceInUse { source: String },
 }
 
 impl fmt::Display for SquallError {
@@ -61,6 +66,11 @@ impl fmt::Display for SquallError {
             ),
             SquallError::Runtime(m) => write!(f, "runtime error: {m}"),
             SquallError::Io(m) => write!(f, "I/O error: {m}"),
+            SquallError::Codec(m) => write!(f, "wire codec error: {m}"),
+            SquallError::SourceInUse { source } => write!(
+                f,
+                "source {source} is read by a live streaming run (finish or drop it first)"
+            ),
         }
     }
 }

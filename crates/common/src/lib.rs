@@ -11,6 +11,7 @@
 //! as shared buffers (the paper's Trove-style "primitive collections"
 //! optimization, §3.3).
 
+pub mod codec;
 pub mod error;
 pub mod hash;
 pub mod rng;

@@ -15,9 +15,11 @@ use squall_join::{AggSpec, DBToasterJoin, LocalJoin, TraditionalJoin, WindowSpec
 use squall_partition::optimizer::{build_scheme, SchemeKind};
 use squall_partition::HypercubeScheme;
 use squall_runtime::{
-    Grouping, IterSpoutVec, NodeId, RunHandle, RunOutcome, SchedulerStats, Topology,
-    TopologyBuilder, DEFAULT_BATCH_SIZE,
+    ClusterRun, Grouping, IterSpoutVec, NodeId, RunHandle, RunOutcome, SchedulerStats, Topology,
+    TopologyBuilder, TransportStats, DEFAULT_BATCH_SIZE,
 };
+
+use crate::cluster::{boot_coordinator, ClusterSpec};
 
 /// Which local join algorithm each machine runs (§3.3 / Figure 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +60,7 @@ pub struct AggPlan {
 }
 
 /// Configuration of one multi-way join execution.
+#[derive(Debug, Clone)]
 pub struct MultiwayConfig {
     pub scheme: SchemeKind,
     pub local: LocalJoinKind,
@@ -83,6 +86,10 @@ pub struct MultiwayConfig {
     /// throughput only — routing stays per-tuple, so loads and results are
     /// batch-size independent.
     pub batch_size: usize,
+    /// Split the topology across worker processes over TCP (`None` = run
+    /// every task in this process). Routing, results and per-machine
+    /// loads are placement-independent; only the wire moves.
+    pub cluster: Option<ClusterSpec>,
 }
 
 impl MultiwayConfig {
@@ -99,6 +106,7 @@ impl MultiwayConfig {
             collect_results: true,
             worker_threads: None,
             batch_size: DEFAULT_BATCH_SIZE,
+            cluster: None,
         }
     }
 
@@ -156,6 +164,9 @@ pub struct JoinReport {
     /// still describe the partial run, matching the paper's extrapolation
     /// methodology for the Hash-Hypercube OOM.
     pub error: Option<SquallError>,
+    /// Wire traffic per peer (bytes/batches sent and received) when the
+    /// run was split across processes; `None` for single-process runs.
+    pub transport: Option<TransportStats>,
 }
 
 impl JoinReport {
@@ -186,7 +197,7 @@ fn make_local(kind: LocalJoinKind, spec: &MultiJoinSpec, count_only: bool) -> Bo
 
 /// Everything [`summarize`] needs to turn a finished (or drained) run into
 /// a [`JoinReport`]: node ids, the chosen scheme, and the run mode.
-struct RunContext {
+pub(crate) struct RunContext {
     join_node: NodeId,
     source_nodes: Vec<NodeId>,
     agg_node: Option<NodeId>,
@@ -197,15 +208,17 @@ struct RunContext {
 }
 
 /// A validated, ready-to-run topology plus its reporting context.
-struct Assembled {
-    topology: Topology,
-    ctx: RunContext,
+pub(crate) struct Assembled {
+    pub(crate) topology: Topology,
+    pub(crate) ctx: RunContext,
 }
 
 /// Translate a multi-way join query into a runnable topology (the
-/// Squall-to-Storm translation of Figure 1), shared by the collect-all and
-/// streaming execution paths.
-fn assemble(
+/// Squall-to-Storm translation of Figure 1), shared by the collect-all,
+/// streaming and distributed execution paths (workers rebuild the very
+/// same topology from a shipped [`crate::cluster::JobSpec`] with empty
+/// data — their spout tasks live on the coordinator).
+pub(crate) fn assemble(
     spec: &MultiJoinSpec,
     data: Vec<Vec<Tuple>>,
     cfg: &MultiwayConfig,
@@ -344,8 +357,16 @@ fn assemble(
 
 /// Build the [`JoinReport`] for a finished run. `streamed_count` carries
 /// the count-only tally when the sink output was consumed by a stream
-/// rather than collected in `outcome.outputs`.
-fn summarize(ctx: RunContext, outcome: RunOutcome, streamed_count: Option<u64>) -> JoinReport {
+/// rather than collected in `outcome.outputs`. For distributed runs the
+/// remote peers' metric snapshots must already be merged into
+/// `outcome.metrics` — the report then measures the whole cluster, and
+/// `loads` is identical to the single-process run.
+fn summarize(
+    ctx: RunContext,
+    outcome: RunOutcome,
+    streamed_count: Option<u64>,
+    transport: Option<TransportStats>,
+) -> JoinReport {
     let metrics = &outcome.metrics;
     let join_metrics = metrics.node(ctx.join_node);
     let result_count = match (ctx.agg_set, ctx.collect_results) {
@@ -376,20 +397,32 @@ fn summarize(ctx: RunContext, outcome: RunOutcome, streamed_count: Option<u64>) 
         scheme_description: ctx.scheme_description,
         scheduler: outcome.metrics.scheduler.clone(),
         error: outcome.error,
+        transport,
     }
 }
 
 /// Run a multi-way join (optionally + aggregation) end to end.
 ///
 /// `data[rel]` is relation `rel`'s input stream. Deterministic: the same
-/// inputs, config and seed produce the same loads and results.
+/// inputs, config and seed produce the same loads and results — including
+/// under a [`MultiwayConfig::cluster`] split, where the same topology runs
+/// across OS processes over TCP.
 pub fn run_multiway(
     spec: &MultiJoinSpec,
     data: Vec<Vec<Tuple>>,
     cfg: &MultiwayConfig,
 ) -> Result<JoinReport> {
+    if cfg.cluster.is_some() {
+        // The distributed data plane is inherently streaming (remote sink
+        // rows arrive over the wire); collect it.
+        let mut stream = run_multiway_stream(spec, data, cfg)?;
+        let rows: Vec<Tuple> = stream.by_ref().collect();
+        let mut report = stream.finish();
+        report.results = rows;
+        return Ok(report);
+    }
     let Assembled { topology, ctx } = assemble(spec, data, cfg)?;
-    Ok(summarize(ctx, topology.run(), None))
+    Ok(summarize(ctx, topology.run(), None, None))
 }
 
 /// Launch a multi-way join and return a handle that yields result tuples
@@ -409,8 +442,17 @@ pub fn run_multiway_stream(
 ) -> Result<MultiwayStream> {
     let Assembled { topology, ctx } = assemble(spec, data, cfg)?;
     let count_only = !ctx.agg_set && !ctx.collect_results;
+    let (handle, cluster) = match &cfg.cluster {
+        None => (topology.launch(), None),
+        Some(cluster_spec) => {
+            let (placement, links) = boot_coordinator(topology.layout(), spec, cfg, cluster_spec)?;
+            let (handle, run) = topology.launch_cluster(placement, links);
+            (handle, Some(run))
+        }
+    };
     Ok(MultiwayStream {
-        handle: Some(topology.launch()),
+        handle: Some(handle),
+        cluster,
         ctx: Some(ctx),
         report: None,
         count_only,
@@ -421,7 +463,10 @@ pub fn run_multiway_stream(
 /// Iterator over a running multi-way join's output tuples. See
 /// [`run_multiway_stream`].
 pub struct MultiwayStream {
+    // Field order is drop order: the local pool joins (punctuating every
+    // egress queue) before the cluster links close.
     handle: Option<RunHandle>,
+    cluster: Option<ClusterRun>,
     ctx: Option<RunContext>,
     report: Option<JoinReport>,
     count_only: bool,
@@ -453,7 +498,24 @@ impl MultiwayStream {
     fn complete(&mut self) {
         if let (Some(handle), Some(ctx)) = (self.handle.take(), self.ctx.take()) {
             let streamed = self.count_only.then_some(self.streamed);
-            self.report = Some(summarize(ctx, handle.finish(), streamed));
+            let mut outcome = handle.finish();
+            let mut transport = None;
+            if let Some(cluster) = self.cluster.take() {
+                // The local pool is joined: every egress queue holds its
+                // final punctuation. Drain the links, fold the workers'
+                // metric snapshots (their local task counters; everything
+                // else zero) into ours, and adopt a remote error if we
+                // had none.
+                let summary = cluster.finish(None);
+                for remote in &summary.remote_metrics {
+                    outcome.metrics.merge(remote);
+                }
+                if outcome.error.is_none() {
+                    outcome.error = summary.remote_error;
+                }
+                transport = Some(summary.transport);
+            }
+            self.report = Some(summarize(ctx, outcome, streamed, transport));
         }
     }
 }

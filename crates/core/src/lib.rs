@@ -16,11 +16,13 @@
 //! instance. [`driver::run_multiway`] is exactly that composition.
 
 pub mod adaptive_sim;
+pub mod cluster;
 pub mod driver;
 pub mod operators;
 pub mod pipeline;
 pub mod recovery;
 
+pub use cluster::{run_worker, serve_job, ClusterSpec, JobSpec};
 pub use driver::{
     run_multiway, run_multiway_stream, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig,
     MultiwayStream,

@@ -229,6 +229,7 @@ pub fn run_pipeline(
         scheme_description: "pipeline-of-2-way".into(),
         scheduler: outcome.metrics.scheduler.clone(),
         error: outcome.error,
+        transport: None,
     })
 }
 

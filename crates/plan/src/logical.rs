@@ -178,6 +178,9 @@ pub struct Query {
     pub select: Vec<(Expr, Option<String>)>,
     /// GROUP BY column references.
     pub group_by: Vec<Expr>,
+    /// HAVING conjuncts over the aggregate output (may reference GROUP BY
+    /// columns and aggregate calls, including aggregates not in SELECT).
+    pub having: Vec<Expr>,
     /// Window semantics; `None` = full history.
     pub window: Option<Window>,
     /// ORDER BY keys over the *output* columns, applied in sequence (ties
@@ -227,6 +230,22 @@ impl Query {
 
     pub fn group_by(mut self, cols: impl IntoIterator<Item = Expr>) -> Query {
         self.group_by = cols.into_iter().collect();
+        self
+    }
+
+    /// Add a HAVING conjunct over the aggregate output (top-level ANDs
+    /// flatten, exactly like [`Query::filter`]).
+    pub fn having(mut self, e: Expr) -> Query {
+        fn flatten(e: Expr, out: &mut Vec<Expr>) {
+            match e {
+                Expr::Bin { op: BinOp::And, lhs, rhs } => {
+                    flatten(*lhs, out);
+                    flatten(*rhs, out);
+                }
+                other => out.push(other),
+            }
+        }
+        flatten(e, &mut self.having);
         self
     }
 

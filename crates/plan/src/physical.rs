@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use squall_common::{DataType, Field, Result, Schema, SquallError, Tuple, Value};
+use squall_core::cluster::ClusterSpec;
 use squall_core::driver::{
     run_multiway, run_multiway_stream, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig,
     MultiwayStream, WindowPlan,
@@ -46,6 +47,10 @@ pub struct ExecConfig {
     /// knob only: routing stays per-tuple, so results and per-machine
     /// loads do not depend on it.
     pub batch_size: usize,
+    /// Split every distributed query across these worker processes over
+    /// TCP (`None` = single process). Results and per-machine loads are
+    /// placement-independent; single-table queries still run locally.
+    pub cluster: Option<ClusterSpec>,
 }
 
 impl Default for ExecConfig {
@@ -59,6 +64,7 @@ impl Default for ExecConfig {
             skew_slack: 0.5,
             worker_threads: None,
             batch_size: squall_runtime::DEFAULT_BATCH_SIZE,
+            cluster: None,
         }
     }
 }
@@ -86,6 +92,11 @@ pub struct ResultSet {
     schema: Schema,
     inner: ResultsInner,
     report: Option<JoinReport>,
+    /// Opaque token held while this result is backed by a live run;
+    /// released the moment the stream materializes (or on drop). The
+    /// session layer uses it to refuse catalog mutations under a running
+    /// query.
+    guard: Option<Box<dyn std::any::Any + Send>>,
 }
 
 impl std::fmt::Debug for ResultSet {
@@ -107,11 +118,25 @@ enum ResultsInner {
 
 impl ResultSet {
     fn materialized(schema: Schema, rows: Vec<Tuple>, report: Option<JoinReport>) -> ResultSet {
-        ResultSet { schema, inner: ResultsInner::Rows { rows, cursor: 0 }, report }
+        ResultSet { schema, inner: ResultsInner::Rows { rows, cursor: 0 }, report, guard: None }
     }
 
     fn streaming(schema: Schema, stream: QueryStream) -> ResultSet {
-        ResultSet { schema, inner: ResultsInner::Stream(Box::new(stream)), report: None }
+        ResultSet {
+            schema,
+            inner: ResultsInner::Stream(Box::new(stream)),
+            report: None,
+            guard: None,
+        }
+    }
+
+    /// Attach a token to be dropped when this result stops being a live
+    /// run (stream exhaustion, materialization, or drop). No-op on an
+    /// already-materialized result.
+    pub fn attach_guard(&mut self, guard: Box<dyn std::any::Any + Send>) {
+        if self.is_streaming() {
+            self.guard = Some(guard);
+        }
     }
 
     /// Output column names, in SELECT order.
@@ -157,6 +182,7 @@ impl ResultSet {
             rows.sort();
             self.report = stream.report.take();
             self.inner = ResultsInner::Rows { rows, cursor: 0 };
+            self.guard = None; // the run is over; release the catalog
         }
     }
 }
@@ -179,6 +205,7 @@ impl Iterator for ResultSet {
                 None => {
                     self.report = stream.report.take();
                     self.inner = ResultsInner::Rows { rows: Vec::new(), cursor: 0 };
+                    self.guard = None;
                     None
                 }
             },
@@ -186,46 +213,81 @@ impl Iterator for ResultSet {
     }
 }
 
-/// Live result stream: the distributed run's sink output, projected into
-/// SELECT order tuple by tuple.
+/// Live result stream: the distributed run's sink output, filtered by
+/// HAVING and projected into SELECT order tuple by tuple.
 struct QueryStream {
     inner: Option<MultiwayStream>,
     finalizer: Finalizer,
     /// SQL semantics: a global aggregate over zero rows yields one row.
     emit_empty_agg: bool,
+    /// Engine rows seen (pre-HAVING): the synthetic empty-aggregate row
+    /// only applies when the aggregation itself produced nothing, not
+    /// when HAVING filtered everything out.
+    saw_rows: bool,
     produced: u64,
     report: Option<JoinReport>,
+}
+
+impl QueryStream {
+    /// A row-processing error poisons the run: abort it and surface the
+    /// error through the report.
+    fn poison(&mut self, e: SquallError) {
+        let mut report = self.inner.take().expect("stream present").cancel();
+        report.error.get_or_insert(e);
+        self.report = Some(report);
+    }
 }
 
 impl Iterator for QueryStream {
     type Item = Tuple;
 
     fn next(&mut self) -> Option<Tuple> {
-        let stream = self.inner.as_mut()?;
-        match stream.next() {
-            Some(row) => match self.finalizer.project_final(&row) {
-                Ok(t) => {
-                    self.produced += 1;
-                    Some(t)
+        loop {
+            let stream = self.inner.as_mut()?;
+            match stream.next() {
+                Some(row) => {
+                    self.saw_rows = true;
+                    match self.finalizer.passes(&row) {
+                        Ok(false) => continue,
+                        Ok(true) => {}
+                        Err(e) => {
+                            self.poison(e);
+                            return None;
+                        }
+                    }
+                    match self.finalizer.project_final(&row) {
+                        Ok(t) => {
+                            self.produced += 1;
+                            return Some(t);
+                        }
+                        Err(e) => {
+                            self.poison(e);
+                            return None;
+                        }
+                    }
                 }
-                Err(e) => {
-                    // A projection error poisons the run: abort it and
-                    // surface the error through the report.
-                    let mut report = self.inner.take().expect("stream present").cancel();
-                    report.error.get_or_insert(e);
+                None => {
+                    let report = self.inner.take().expect("stream present").finish();
+                    let ok = report.error.is_none();
                     self.report = Some(report);
-                    None
+                    if ok && !self.saw_rows && self.emit_empty_agg {
+                        match self.finalizer.empty_agg_row() {
+                            Ok(Some(row)) => {
+                                self.produced += 1;
+                                return Some(row);
+                            }
+                            Ok(None) => {}
+                            Err(e) => {
+                                // Run already complete; record the
+                                // projection error on its report.
+                                if let Some(r) = &mut self.report {
+                                    r.error.get_or_insert(e);
+                                }
+                            }
+                        }
+                    }
+                    return None;
                 }
-            },
-            None => {
-                let report = self.inner.take().expect("stream present").finish();
-                let ok = report.error.is_none();
-                self.report = Some(report);
-                if ok && self.produced == 0 && self.emit_empty_agg {
-                    self.produced += 1;
-                    return Some(self.finalizer.empty_agg_row());
-                }
-                None
             }
         }
     }
@@ -263,6 +325,10 @@ struct Finalizer {
     final_items: Vec<FinalItem>,
     group_cols_len: usize,
     aggs: Vec<AggSpec>,
+    /// HAVING predicate over the raw aggregate row (group keys ++ every
+    /// aggregate, hidden ones included); rows failing it are filtered
+    /// before projection.
+    having: Option<ScalarExpr>,
 }
 
 impl Finalizer {
@@ -277,24 +343,35 @@ impl Finalizer {
         Ok(Tuple::new(values))
     }
 
+    /// Does this raw engine row survive the HAVING predicate?
+    fn passes(&self, row: &Tuple) -> Result<bool> {
+        match &self.having {
+            None => Ok(true),
+            Some(h) => h.eval_bool(row),
+        }
+    }
+
     /// SQL semantics for a global aggregate over zero rows: one row with
-    /// COUNT = 0 and NULL sums/averages.
-    fn empty_agg_row(&self) -> Tuple {
-        let values: Vec<Value> = self
-            .final_items
-            .iter()
-            .map(|item| match item {
-                FinalItem::AggRow(i) => {
-                    let agg_idx = i - self.group_cols_len;
-                    match self.aggs[agg_idx].func {
-                        AggFunc::Count => Value::Int(0),
-                        _ => Value::Null,
-                    }
-                }
-                FinalItem::JoinExpr(_) => Value::Null,
-            })
-            .collect();
-        Tuple::new(values)
+    /// COUNT = 0 and NULL sums/averages — unless HAVING rejects it (a
+    /// predicate over the NULL/zero synthetic row that errors or is false
+    /// filters the row, SQL's unknown-is-false). A *projection* error
+    /// over the synthetic row is a real error, reported exactly like one
+    /// over a produced row.
+    fn empty_agg_row(&self) -> Result<Option<Tuple>> {
+        debug_assert_eq!(self.group_cols_len, 0, "synthetic row only for global aggregates");
+        let raw = Tuple::new(
+            self.aggs
+                .iter()
+                .map(|a| match a.func {
+                    AggFunc::Count => Value::Int(0),
+                    _ => Value::Null,
+                })
+                .collect(),
+        );
+        if !self.passes(&raw).unwrap_or(false) {
+            return Ok(None);
+        }
+        self.project_final(&raw).map(Some)
     }
 }
 
@@ -336,6 +413,9 @@ pub struct PhysicalQuery {
     /// Group-by columns in join-output coordinates.
     group_cols: Vec<usize>,
     aggs: Vec<AggSpec>,
+    /// HAVING over the aggregate row (group keys ++ aggs, hidden ones
+    /// included).
+    having: Option<ScalarExpr>,
     final_items: Vec<FinalItem>,
     out_schema: Schema,
     is_aggregate: bool,
@@ -612,6 +692,17 @@ impl PhysicalQuery {
         for &g in &group_globals {
             need_global(g, &mut needed);
         }
+        for e in &q.having {
+            // HAVING aggregate arguments are evaluated over the join
+            // output too — their columns must survive pruning even when
+            // no SELECT item mentions them.
+            let mut names = vec![];
+            e.columns(&mut names);
+            for n in &names {
+                let (t, c) = resolve(n)?;
+                need_global(offsets[t] + c, &mut needed);
+            }
+        }
         if let Some((_, ts_globals, _)) = &window_globals {
             // Event-time columns must survive output-scheme pruning: the
             // window join reads them from the shipped tuples and the
@@ -745,6 +836,98 @@ impl PhysicalQuery {
                 final_items.push(FinalItem::JoinExpr(g.remap_columns(&remap_global)));
             }
         }
+        // HAVING: resolved over the aggregate row (group keys ++
+        // aggregates). Aggregate calls not present in SELECT are appended
+        // as *hidden* aggregate columns — computed and filtered on, never
+        // projected.
+        fn having_scalar(
+            e: &Expr,
+            resolve: &dyn Fn(&str) -> Result<(usize, usize)>,
+            offsets: &[usize],
+            remap_global: &dyn Fn(usize) -> usize,
+            group_cols: &[usize],
+            aggs: &mut Vec<AggSpec>,
+        ) -> Result<ScalarExpr> {
+            Ok(match e {
+                Expr::Agg { func, arg } => {
+                    // COUNT ignores its argument, matching the SELECT
+                    // path's AggSpec::count().
+                    let input = match (func, arg) {
+                        (AggFunc::Count, _) => None,
+                        (_, Some(a)) => {
+                            let g = to_scalar(a, resolve, offsets)?;
+                            Some(g.remap_columns(remap_global))
+                        }
+                        (f, None) => {
+                            return Err(SquallError::InvalidPlan(format!("{f} needs an argument")))
+                        }
+                    };
+                    let idx = match aggs.iter().position(|s| s.func == *func && s.input == input) {
+                        Some(i) => i,
+                        None => {
+                            aggs.push(AggSpec { func: *func, input });
+                            aggs.len() - 1
+                        }
+                    };
+                    ScalarExpr::Column(group_cols.len() + idx)
+                }
+                Expr::Col(n) => {
+                    let (t, c) = resolve(n)?;
+                    let join_col = remap_global(offsets[t] + c);
+                    let pos = group_cols.iter().position(|&g| g == join_col).ok_or_else(|| {
+                        SquallError::InvalidPlan(format!(
+                            "HAVING column {n} must appear in GROUP BY (or inside an aggregate)"
+                        ))
+                    })?;
+                    ScalarExpr::Column(pos)
+                }
+                Expr::Lit(v) => ScalarExpr::Literal(v.clone()),
+                Expr::Bin { op, lhs, rhs } => ScalarExpr::Bin {
+                    op: *op,
+                    lhs: Box::new(having_scalar(
+                        lhs,
+                        resolve,
+                        offsets,
+                        remap_global,
+                        group_cols,
+                        aggs,
+                    )?),
+                    rhs: Box::new(having_scalar(
+                        rhs,
+                        resolve,
+                        offsets,
+                        remap_global,
+                        group_cols,
+                        aggs,
+                    )?),
+                },
+                Expr::Not(x) => ScalarExpr::Not(Box::new(having_scalar(
+                    x,
+                    resolve,
+                    offsets,
+                    remap_global,
+                    group_cols,
+                    aggs,
+                )?)),
+            })
+        }
+        let mut having: Option<ScalarExpr> = None;
+        if !q.having.is_empty() {
+            if !is_aggregate {
+                return Err(SquallError::InvalidPlan(
+                    "HAVING requires aggregation (GROUP BY or aggregate SELECT items)".into(),
+                ));
+            }
+            for e in &q.having {
+                let s =
+                    having_scalar(e, &resolve_fn, &offsets, &remap_global, &group_cols, &mut aggs)?;
+                having = Some(match having {
+                    None => s,
+                    Some(prev) => ScalarExpr::and(prev, s),
+                });
+            }
+        }
+
         if is_aggregate && aggs.is_empty() {
             return Err(SquallError::InvalidPlan(
                 "GROUP BY without aggregates is not supported".into(),
@@ -779,6 +962,7 @@ impl PhysicalQuery {
             atoms,
             group_cols,
             aggs,
+            having,
             final_items,
             out_schema: Schema::new(out_fields),
             is_aggregate,
@@ -831,6 +1015,7 @@ impl PhysicalQuery {
             final_items: self.final_items.clone(),
             group_cols_len: self.group_cols.len(),
             aggs: self.aggs.clone(),
+            having: self.having.clone(),
         }
     }
 
@@ -919,6 +1104,7 @@ impl PhysicalQuery {
         mcfg.seed = cfg.seed;
         mcfg.worker_threads = cfg.worker_threads;
         mcfg.batch_size = cfg.batch_size.max(1);
+        mcfg.cluster = cfg.cluster.clone();
         if let Some(w) = &self.window {
             mcfg = mcfg.with_window(WindowPlan { spec: w.spec, ts_cols: w.ts_cols.clone() });
         }
@@ -948,10 +1134,13 @@ impl PhysicalQuery {
                 let finalizer = self.finalizer();
                 let mut rows = Vec::with_capacity(report.results.len());
                 for r in &report.results {
+                    if !finalizer.passes(r)? {
+                        continue;
+                    }
                     rows.push(finalizer.project_final(r)?);
                 }
-                if rows.is_empty() && self.is_aggregate && self.group_cols.is_empty() {
-                    rows.push(finalizer.empty_agg_row());
+                if report.results.is_empty() && self.is_aggregate && self.group_cols.is_empty() {
+                    rows.extend(finalizer.empty_agg_row()?);
                 }
                 self.finalize_order(&mut rows);
                 Ok(ResultSet::materialized(self.out_schema.clone(), rows, Some(report)))
@@ -983,6 +1172,7 @@ impl PhysicalQuery {
                     inner: Some(inner),
                     finalizer: self.finalizer(),
                     emit_empty_agg: self.is_aggregate && self.group_cols.is_empty(),
+                    saw_rows: false,
                     produced: 0,
                     report: None,
                 };
@@ -999,12 +1189,17 @@ impl PhysicalQuery {
             for t in &data {
                 agg.update(t)?;
             }
+            let groups = agg.snapshot();
+            let had_groups = !groups.is_empty();
             let mut rows = Vec::new();
-            for row in agg.snapshot() {
+            for row in groups {
+                if !finalizer.passes(&row)? {
+                    continue;
+                }
                 rows.push(finalizer.project_final(&row)?);
             }
-            if rows.is_empty() && self.group_cols.is_empty() {
-                rows.push(finalizer.empty_agg_row());
+            if !had_groups && self.group_cols.is_empty() {
+                rows.extend(finalizer.empty_agg_row()?);
             }
             self.finalize_order(&mut rows);
             Ok(rows)
@@ -1046,6 +1241,9 @@ impl PhysicalQuery {
                 self.aggs.len()
             ));
         }
+        if let Some(h) = &self.having {
+            s.push_str(&format!("having: {h}\n"));
+        }
         if !self.order_by.is_empty() || self.limit.is_some() {
             let keys: Vec<String> = self
                 .order_by
@@ -1065,6 +1263,34 @@ impl PhysicalQuery {
 
     pub fn output_schema(&self) -> &Schema {
         &self.out_schema
+    }
+
+    /// Does this plan run as a distributed topology (as opposed to the
+    /// local single-table path)?
+    pub fn is_distributed(&self) -> bool {
+        self.tables.len() > 1
+    }
+
+    /// The topology layout this plan executes as under `cfg` —
+    /// `(names, parallelism, is_spout)` per node, mirroring the driver's
+    /// assembly: one spout per relation, the join component, and the
+    /// aggregation component if present. This is what task→peer placement
+    /// ([`squall_runtime::plan_placement`]) is computed over when the
+    /// session runs on a cluster.
+    pub fn node_layout(&self, cfg: &ExecConfig) -> (Vec<String>, Vec<usize>, Vec<bool>) {
+        let mut names: Vec<String> =
+            self.tables.iter().map(|t| format!("src-{}", t.alias)).collect();
+        let mut parallelism = vec![1usize; self.tables.len()];
+        let mut is_spout = vec![true; self.tables.len()];
+        names.push("join".into());
+        parallelism.push(cfg.machines.max(1));
+        is_spout.push(false);
+        if self.is_aggregate {
+            names.push("agg".into());
+            parallelism.push(cfg.agg_parallelism.max(1));
+            is_spout.push(false);
+        }
+        (names, parallelism, is_spout)
     }
 }
 
@@ -1316,6 +1542,94 @@ mod tests {
             .window(Window::sliding(5))
             .select([col("R.b")]);
         assert!(matches!(PhysicalQuery::plan(&q, &catalog()), Err(SquallError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn having_filters_groups_on_visible_and_hidden_aggregates() {
+        // Groups over R⋈S on a: a=2 → 2 R-rows × 2 S-rows = 4; a=3 → 1.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select([col("R.a"), agg(AggFunc::Count, None)])
+            .having(agg(AggFunc::Count, None).gt(lit(1)));
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows(), vec![tuple![2, 4]]);
+
+        // The aggregate may be absent from SELECT: it becomes a hidden
+        // column (and satisfies the aggregate requirement of GROUP BY).
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select([col("R.a")])
+            .having(agg(AggFunc::Sum, Some(col("S.c"))).gt(lit(300)));
+        let p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        assert!(p.explain().contains("having:"), "{}", p.explain());
+        let mut res = p.execute(&catalog(), &ExecConfig::default()).unwrap();
+        // SUM(S.c): a=2 → (100+150)·2 = 500 > 300; a=3 → 200.
+        assert_eq!(res.rows(), vec![tuple![2]]);
+    }
+
+    #[test]
+    fn having_group_columns_and_single_table_local_path() {
+        let q = Query::from_tables([("R", "R")])
+            .group_by([col("R.a")])
+            .select([col("R.a"), agg(AggFunc::Count, None)])
+            .having(col("R.a").gt(lit(1)).and(agg(AggFunc::Count, None).gt(lit(1))));
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        // R.a groups: 1→1, 2→2, 3→1; a>1 AND count>1 keeps only (2, 2).
+        assert_eq!(res.rows(), vec![tuple![2, 2]]);
+        assert!(res.report().is_none(), "single-table stays local");
+    }
+
+    #[test]
+    fn having_on_empty_global_aggregate_gates_the_synthetic_row() {
+        // No join matches (b ∈ {10..30} vs d ∈ {7,8,9}).
+        let base = Query::from_tables([("R", "R"), ("T", "T")])
+            .filter(col("R.b").eq(col("T.d")))
+            .select([agg(AggFunc::Count, None)]);
+        let q = base.clone().having(agg(AggFunc::Count, None).gt(lit(0)));
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        assert!(res.rows().is_empty(), "COUNT = 0 fails HAVING > 0");
+        let q = base.having(agg(AggFunc::Count, None).eq(lit(0)));
+        let mut res = execute_query(&q, &catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows(), vec![tuple![0i64]], "COUNT = 0 passes HAVING = 0");
+    }
+
+    #[test]
+    fn having_errors_are_typed() {
+        // Non-aggregate query.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .select([col("R.b")])
+            .having(col("R.b").gt(lit(1)));
+        assert!(matches!(PhysicalQuery::plan(&q, &catalog()), Err(SquallError::InvalidPlan(_))));
+        // Plain column outside GROUP BY.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select([col("R.a"), agg(AggFunc::Count, None)])
+            .having(col("R.b").gt(lit(1)));
+        assert!(matches!(PhysicalQuery::plan(&q, &catalog()), Err(SquallError::InvalidPlan(_))));
+        // SUM without an argument inside HAVING.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select([col("R.a"), agg(AggFunc::Count, None)])
+            .having(agg(AggFunc::Sum, None).gt(lit(1)));
+        assert!(PhysicalQuery::plan(&q, &catalog()).is_err());
+    }
+
+    #[test]
+    fn having_prunes_keep_hidden_aggregate_inputs_alive() {
+        // S.c appears only inside the HAVING aggregate — it must survive
+        // output-scheme pruning.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select([col("R.a")])
+            .having(agg(AggFunc::Sum, Some(col("S.c"))).gt(lit(0)));
+        let p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        assert_eq!(p.tables[1].kept, vec![0, 1], "S.c shipped for the hidden SUM");
     }
 
     #[test]

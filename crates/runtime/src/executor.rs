@@ -71,9 +71,14 @@ use squall_common::{SquallError, Tuple};
 use crate::message::{Message, NodeId};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, SchedCounters};
 use crate::topology::{EdgeOut, EdgeTarget, NodeKind, OutputCollector, Spout, Topology};
+use crate::transport::{
+    spawn_cluster, ClusterLinks, ClusterRun, ClusterWiring, LocalTransport, Placement, Transport,
+};
 
 /// Index of a task in the pool (dense over all `(node, task)` pairs).
-pub(crate) type TaskId = usize;
+/// Under a cluster placement the id space is global: every peer numbers
+/// the same topology identically and hosts only its assigned slice.
+pub type TaskId = usize;
 
 /// Tuples a task may process/emit per poll before it must yield. Scaled
 /// with the batch size so one poll amortizes a few flushes, clamped so
@@ -227,12 +232,24 @@ pub(crate) struct Sched {
 }
 
 impl Sched {
-    fn new(n_tasks: usize, n_workers: usize, counters: Arc<SchedCounters>) -> Sched {
+    /// `local` is the set of task ids this process hosts: they start
+    /// queued; everything else is born `Done` (it lives on another peer —
+    /// a stray wakeup for it is a no-op).
+    fn new(
+        n_tasks: usize,
+        n_workers: usize,
+        counters: Arc<SchedCounters>,
+        local: &[TaskId],
+    ) -> Sched {
+        let states: Vec<AtomicU8> = (0..n_tasks).map(|_| AtomicU8::new(DONE)).collect();
+        for &t in local {
+            states[t].store(QUEUED, Ordering::Relaxed);
+        }
         Sched {
-            states: (0..n_tasks).map(|_| AtomicU8::new(QUEUED)).collect(),
-            injector: Mutex::new((0..n_tasks).collect()),
+            states,
+            injector: Mutex::new(local.iter().copied().collect()),
             deques: (0..n_workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            remaining: AtomicUsize::new(n_tasks),
+            remaining: AtomicUsize::new(local.len()),
             sleepers: AtomicUsize::new(0),
             idle_mx: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -498,19 +515,27 @@ impl TaskCell {
 // Run bookkeeping
 // ---------------------------------------------------------------------
 
-struct Shared {
-    abort: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) abort: AtomicBool,
     error: Mutex<Option<SquallError>>,
     finished_at: Mutex<Option<Instant>>,
 }
 
 impl Shared {
-    fn raise(&self, e: SquallError) {
+    pub(crate) fn raise(&self, e: SquallError) {
         let mut slot = self.error.lock().expect("error slot poisoned");
         if slot.is_none() {
             *slot = Some(e);
         }
         self.abort.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn error_clone(&self) -> Option<SquallError> {
+        self.error.lock().expect("error slot poisoned").clone()
     }
 }
 
@@ -659,15 +684,42 @@ impl Topology {
     /// `min(worker_threads, total tasks)` OS threads regardless of the
     /// topology's task count.
     pub fn launch(self) -> RunHandle {
+        self.launch_parts(None).0
+    }
+
+    /// Launch this process's slice of a **distributed** topology: only the
+    /// tasks the [`Placement`] assigns to `links.me` are hosted on the
+    /// local worker pool; edges whose target lives on another peer are
+    /// bridged through the [`crate::transport::TcpTransport`] over the
+    /// established `links`. Finish the [`RunHandle`] first (joining the
+    /// local pool), then the [`ClusterRun`] (draining and closing the
+    /// links, collecting remote metrics).
+    pub fn launch_cluster(
+        self,
+        placement: Placement,
+        links: ClusterLinks,
+    ) -> (RunHandle, ClusterRun) {
+        let (handle, cluster) = self.launch_parts(Some((placement, links)));
+        (handle, cluster.expect("cluster launch yields a ClusterRun"))
+    }
+
+    fn launch_parts(
+        self,
+        cluster: Option<(Placement, ClusterLinks)>,
+    ) -> (RunHandle, Option<ClusterRun>) {
         let n_nodes = self.nodes.len();
         let names: Vec<String> = self.nodes.iter().map(|n| n.name.clone()).collect();
         let parallelism: Vec<usize> = self.nodes.iter().map(|n| n.parallelism).collect();
         let registry = Arc::new(MetricsRegistry::new(names, &parallelism));
         let total_tasks: usize = parallelism.iter().sum();
+        let me = cluster.as_ref().map_or(0, |(_, links)| links.me);
+        let peer_of = cluster.as_ref().map(|(p, _)| p.peer_of_task.clone());
+        let is_local = |id: TaskId| peer_of.as_ref().is_none_or(|peers| peers[id] == me);
+        let local_ids: Vec<TaskId> = (0..total_tasks).filter(|&t| is_local(t)).collect();
         let n_workers = self
             .worker_threads
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
-            .clamp(1, total_tasks.max(1));
+            .clamp(1, local_ids.len().max(1));
         registry.sched().workers.store(n_workers as u64, Ordering::Relaxed);
         let batch_size = self.batch_size.max(1);
         let budget = poll_budget(batch_size);
@@ -688,29 +740,76 @@ impl Topology {
             }
         }
 
-        // One inbox per bolt task.
-        let inboxes: Vec<Vec<Option<Arc<Inbox>>>> = self
-            .nodes
-            .iter()
-            .map(|node| {
-                (0..node.parallelism)
-                    .map(|_| match node.kind {
-                        NodeKind::Spout(_) => None,
-                        NodeKind::Bolt(_) => Some(Arc::new(Inbox::new(self.channel_capacity))),
-                    })
-                    .collect()
-            })
-            .collect();
+        // One inbox per *local* bolt task, dense over the global id space.
+        let mut inboxes: Vec<Option<Arc<Inbox>>> = Vec::with_capacity(total_tasks);
+        for (node_id, node) in self.nodes.iter().enumerate() {
+            for task in 0..node.parallelism {
+                let id = first_task[node_id] + task;
+                inboxes.push(match node.kind {
+                    NodeKind::Bolt(_) if is_local(id) => {
+                        Some(Arc::new(Inbox::new(self.channel_capacity)))
+                    }
+                    _ => None,
+                });
+            }
+        }
 
         let (sink_tx, sink_rx) = channel::<(NodeId, Tuple)>();
         let sinks = self.sinks();
 
-        // Expected EOS per node = total upstream tasks.
+        // Expected EOS per node = total upstream tasks — a *global* count:
+        // remote upstreams punctuate over the wire, so termination counts
+        // are identical to a single-process run.
         let expected_eos: Vec<usize> = (0..n_nodes)
             .map(|i| self.edges.iter().filter(|e| e.to == i).map(|e| parallelism[e.from]).sum())
             .collect();
 
-        let sched = Arc::new(Sched::new(total_tasks, n_workers, registry.sched()));
+        let sched = Arc::new(Sched::new(total_tasks, n_workers, registry.sched(), &local_ids));
+        if local_ids.is_empty() {
+            // Nothing to run here (more peers than tasks): the pool is
+            // born finished.
+            *shared.finished_at.lock().expect("finish stamp poisoned") = Some(Instant::now());
+        }
+
+        // The transport: in-process inbox pushes, or the TCP data plane
+        // bridging remote edges.
+        let (transport, cluster_run): (Arc<dyn Transport>, Option<ClusterRun>) = match cluster {
+            None => (Arc::new(LocalTransport::new(inboxes.clone(), Arc::clone(&sched))), None),
+            Some((placement, links)) => {
+                // Per peer: the punctuation its tasks owe our local tasks
+                // (used to fail fast, not hang, if that peer crashes).
+                let n_peers = placement.n_peers;
+                let mut eos_owed: Vec<Vec<(TaskId, usize)>> = vec![Vec::new(); n_peers];
+                for e in &self.edges {
+                    let mut senders_per_peer = vec![0usize; n_peers];
+                    for t in 0..parallelism[e.from] {
+                        let peers = peer_of.as_ref().expect("cluster placement");
+                        senders_per_peer[peers[first_task[e.from] + t]] += 1;
+                    }
+                    for t in 0..parallelism[e.to] {
+                        let id = first_task[e.to] + t;
+                        if !is_local(id) {
+                            continue;
+                        }
+                        for (p, &cnt) in senders_per_peer.iter().enumerate() {
+                            if p != me && cnt > 0 {
+                                eos_owed[p].push((id, cnt));
+                            }
+                        }
+                    }
+                }
+                let wiring = ClusterWiring {
+                    inboxes: inboxes.clone(),
+                    sched: Arc::clone(&sched),
+                    shared: Arc::clone(&shared),
+                    sink_tx: sink_tx.clone(),
+                    channel_capacity: self.channel_capacity,
+                    eos_owed,
+                };
+                let (transport, run) = spawn_cluster(links, &placement, wiring);
+                (transport, Some(run))
+            }
+        };
 
         let start = Instant::now();
         let mut cells: Vec<Mutex<Option<TaskCell>>> = Vec::with_capacity(total_tasks);
@@ -718,6 +817,10 @@ impl Topology {
             let is_sink = sinks.contains(&node_id);
             for task in 0..node.parallelism {
                 let id = first_task[node_id] + task;
+                if !is_local(id) {
+                    cells.push(Mutex::new(None));
+                    continue;
+                }
                 let edges: Vec<EdgeOut> = self
                     .edges
                     .iter()
@@ -726,13 +829,7 @@ impl Topology {
                         grouping: e.grouping.clone(),
                         seq: 0,
                         targets: (0..parallelism[e.to])
-                            .map(|t| EdgeTarget {
-                                inbox: Arc::clone(
-                                    inboxes[e.to][t].as_ref().expect("edge into a spout"),
-                                ),
-                                task: first_task[e.to] + t,
-                                buffer: Vec::new(),
-                            })
+                            .map(|t| EdgeTarget { task: first_task[e.to] + t, buffer: Vec::new() })
                             .collect(),
                     })
                     .collect();
@@ -746,12 +843,13 @@ impl Topology {
                     counters,
                     batch_size,
                     Arc::clone(&sched),
+                    Arc::clone(&transport),
                 );
                 let op = match &node.kind {
                     NodeKind::Spout(factory) => OperatorState::Spout(factory(task)),
                     NodeKind::Bolt(factory) => OperatorState::Bolt {
                         bolt: factory(task),
-                        inbox: Arc::clone(inboxes[node_id][task].as_ref().expect("bolt inbox")),
+                        inbox: Arc::clone(inboxes[id].as_ref().expect("bolt inbox")),
                         expected_eos: expected_eos[node_id],
                         eos_seen: 0,
                         failed: false,
@@ -766,7 +864,7 @@ impl Topology {
                 })));
             }
         }
-        drop(sink_tx); // cells hold the only remaining sink senders
+        drop(sink_tx); // cells (and coordinator recv pumps) hold the rest
 
         let pool = Arc::new(Pool { sched, cells });
         let workers = (0..n_workers)
@@ -781,7 +879,7 @@ impl Topology {
             })
             .collect();
 
-        RunHandle { sink_rx, workers, registry, shared, start }
+        (RunHandle { sink_rx, workers, registry, shared, start }, cluster_run)
     }
 }
 

@@ -44,12 +44,18 @@ pub mod grouping;
 pub mod message;
 pub mod metrics;
 pub mod topology;
+pub mod transport;
 
-pub use executor::{RunHandle, RunOutcome};
+pub use executor::{RunHandle, RunOutcome, TaskId};
 pub use grouping::{CustomGrouping, Grouping};
 pub use message::NodeId;
 pub use metrics::{MetricsSnapshot, NodeMetrics, SchedulerStats};
 pub use topology::{
     sort_by_event_time, Bolt, FnBolt, IterSpout, IterSpoutVec, OutputCollector, Spout, Topology,
     TopologyBuilder, DEFAULT_BATCH_SIZE,
+};
+pub use transport::{
+    accept_with_deadline, connect_with_retry, describe_placement, plan_placement,
+    read_frame_deadline, ClusterLinks, ClusterRun, ClusterSummary, Frame, LocalTransport,
+    PeerWireStats, Placement, TcpTransport, Transport, TransportStats, HANDSHAKE_TIMEOUT,
 };

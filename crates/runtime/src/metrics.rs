@@ -189,6 +189,34 @@ impl MetricsSnapshot {
         &self.nodes[id]
     }
 
+    /// Fold another snapshot of the *same topology* into this one. Used
+    /// by the distributed coordinator: every peer snapshots the full
+    /// topology with non-local task counters at zero, so an element-wise
+    /// sum reconstructs exactly the counters a single-process run would
+    /// have produced. Scheduler counters sum (each peer ran its own
+    /// pool); queue depth takes the max.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        assert_eq!(self.nodes.len(), other.nodes.len(), "snapshots of different topologies");
+        for (a, b) in self.nodes.iter_mut().zip(&other.nodes) {
+            assert_eq!(a.received.len(), b.received.len(), "parallelism mismatch in merge");
+            for (x, y) in a.received.iter_mut().zip(&b.received) {
+                *x += y;
+            }
+            for (x, y) in a.sent.iter_mut().zip(&b.sent) {
+                *x += y;
+            }
+            for (x, y) in a.emitted.iter_mut().zip(&b.emitted) {
+                *x += y;
+            }
+        }
+        self.scheduler.workers += other.scheduler.workers;
+        self.scheduler.steals += other.scheduler.steals;
+        self.scheduler.yields += other.scheduler.yields;
+        self.scheduler.blocked += other.scheduler.blocked;
+        self.scheduler.max_queue_depth =
+            self.scheduler.max_queue_depth.max(other.scheduler.max_queue_depth);
+    }
+
     pub fn by_name(&self, name: &str) -> Option<&NodeMetrics> {
         self.nodes.iter().find(|n| n.name == name)
     }

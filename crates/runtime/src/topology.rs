@@ -7,10 +7,11 @@ use std::sync::Arc;
 
 use squall_common::{Result, SquallError, Tuple};
 
-use crate::executor::{Inbox, Sched, TaskId};
+use crate::executor::{Sched, TaskId};
 use crate::grouping::Grouping;
 use crate::message::{Message, NodeId};
 use crate::metrics::TaskCounters;
+use crate::transport::Transport;
 
 /// A data source. Each task of a spout node owns one `Spout` instance and
 /// calls `next` until it returns `None` (bounded streams) or the run is
@@ -312,13 +313,28 @@ impl Topology {
     pub fn sources(&self) -> Vec<NodeId> {
         (0..self.nodes.len()).filter(|&i| !self.edges.iter().any(|e| e.to == i)).collect()
     }
+
+    /// Is node `id` a spout (data source)?
+    pub fn is_spout(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id].kind, NodeKind::Spout(_))
+    }
+
+    /// `(names, parallelism, is_spout)` per node — the shape
+    /// [`crate::transport::plan_placement`] consumes.
+    pub fn layout(&self) -> (Vec<String>, Vec<usize>, Vec<bool>) {
+        let names = self.nodes.iter().map(|n| n.name.clone()).collect();
+        let parallelism = self.nodes.iter().map(|n| n.parallelism).collect();
+        let spouts = self.nodes.iter().map(|n| matches!(n.kind, NodeKind::Spout(_))).collect();
+        (names, parallelism, spouts)
+    }
 }
 
 /// One receiving task of an outgoing edge, with its scatter buffer: tuples
 /// routed to this target accumulate here and ship as one
 /// [`Message::Batch`] when `batch_size` is reached (or on punctuation).
+/// Delivery goes through the run's [`Transport`] — the emitter neither
+/// knows nor cares whether the target task lives in this process.
 pub(crate) struct EdgeTarget {
-    pub(crate) inbox: Arc<Inbox>,
     pub(crate) task: TaskId,
     pub(crate) buffer: Vec<Tuple>,
 }
@@ -346,24 +362,28 @@ pub struct OutputCollector {
     scratch: Vec<usize>,
     batch_size: usize,
     sched: Arc<Sched>,
-    /// Set when a flush pushed some target inbox over capacity; the owning
-    /// task checks it after each emit and parks if still true.
+    transport: Arc<dyn Transport>,
+    /// Set when a flush pushed some target's delivery path over capacity;
+    /// the owning task checks it after each emit and parks if still true.
     gated: bool,
 }
 
 /// Ship a target's scatter buffer as one batch. Stands alone (not a
 /// method) so per-edge iteration can split borrows.
-fn flush_target(node: NodeId, target: &mut EdgeTarget, sched: &Sched, gated: &mut bool) {
+fn flush_target(
+    node: NodeId,
+    target: &mut EdgeTarget,
+    transport: &dyn Transport,
+    gated: &mut bool,
+) {
     if target.buffer.is_empty() {
         return;
     }
     let tuples = std::mem::take(&mut target.buffer);
-    let depth = target.inbox.push(Message::Batch { origin: node, tuples });
-    sched.record_depth(depth);
-    if target.inbox.over_capacity() {
+    transport.send(target.task, Message::Batch { origin: node, tuples });
+    if transport.congested(target.task) {
         *gated = true;
     }
-    sched.notify(target.task);
 }
 
 impl OutputCollector {
@@ -377,6 +397,7 @@ impl OutputCollector {
         counters: Arc<TaskCounters>,
         batch_size: usize,
         sched: Arc<Sched>,
+        transport: Arc<dyn Transport>,
     ) -> OutputCollector {
         OutputCollector {
             node,
@@ -388,6 +409,7 @@ impl OutputCollector {
             scratch: Vec::with_capacity(8),
             batch_size,
             sched,
+            transport,
             gated: false,
         }
     }
@@ -412,7 +434,7 @@ impl OutputCollector {
                 target.buffer.push(tuple.clone());
                 sent += 1;
                 if target.buffer.len() >= batch_size {
-                    flush_target(self.node, target, &self.sched, &mut self.gated);
+                    flush_target(self.node, target, &*self.transport, &mut self.gated);
                 }
             }
         }
@@ -426,19 +448,17 @@ impl OutputCollector {
         let mut ignored = false;
         for edge in &mut self.edges {
             for target in &mut edge.targets {
-                flush_target(self.node, target, &self.sched, &mut ignored);
-                let depth = target.inbox.push(Message::Eos);
-                self.sched.record_depth(depth);
-                self.sched.notify(target.task);
+                flush_target(self.node, target, &*self.transport, &mut ignored);
+                self.transport.send(target.task, Message::Eos);
             }
         }
         self.gated = false;
     }
 
-    /// If the last flush overfilled a downstream inbox *and* it is still
-    /// over capacity, register `id` on every such inbox's waiter list and
-    /// report `true` (the task must park). Registration double-checks
-    /// under the inbox lock, so a consumer that drained in between simply
+    /// If the last flush overfilled a downstream delivery path *and* it is
+    /// still over capacity, register `id` on every such path's waiter list
+    /// and report `true` (the task must park). Registration double-checks
+    /// under the path's lock, so a consumer that drained in between simply
     /// lets the task continue.
     pub(crate) fn park_if_gated(&mut self, id: TaskId) -> bool {
         if !self.gated {
@@ -447,7 +467,9 @@ impl OutputCollector {
         let mut blocked = false;
         for edge in &self.edges {
             for target in &edge.targets {
-                if target.inbox.over_capacity() && target.inbox.register_waiter(id) {
+                if self.transport.congested(target.task)
+                    && self.transport.register_waiter(target.task, id)
+                {
                     blocked = true;
                 }
             }

@@ -1,0 +1,1215 @@
+//! The pluggable transport layer: how a task's messages reach another
+//! task, in this process or in another one.
+//!
+//! The executor emits through the [`Transport`] trait and never knows
+//! where a target task lives. Two backends implement it:
+//!
+//! * [`LocalTransport`] — every task is in this process; `send` is an
+//!   inbox push plus a scheduler wakeup (exactly the pre-transport
+//!   behaviour, and the default for [`crate::Topology::launch`]);
+//! * [`TcpTransport`] — tasks are partitioned across peer processes by a
+//!   [`Placement`]; a local target is an inbox push, a remote target is
+//!   routed into that peer's bounded **egress queue**, from which a send
+//!   pump thread writes length-prefixed [`Frame`]s onto an established
+//!   TCP stream. A recv pump per inbound stream pushes arriving batches
+//!   into local inboxes.
+//!
+//! Backpressure composes across the wire: a task that overfills an egress
+//! queue parks exactly like one that overfills a local inbox; the send
+//! pump blocks on the socket when the peer falls behind; the peer's recv
+//! pump stops reading while the destination inbox is over capacity. The
+//! topology is a DAG, so each wait chain points strictly downstream and
+//! terminates at a sink — no distributed cycle can form.
+//!
+//! Termination and failure punctuation travel the same path as data:
+//! `Eos` frames are forwarded per (sender task → target task) edge, so a
+//! bolt's end-of-stream count is identical to a single-process run, and a
+//! raised abort (e.g. [`SquallError::MemoryOverflow`]) is broadcast as an
+//! `Abort` frame by every send pump, so remote spouts stop and every
+//! slice drains exactly like the local abort path.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use squall_common::codec::{self, Reader};
+use squall_common::{Result, SquallError, Tuple};
+
+use crate::executor::{Inbox, Sched, Shared, TaskId};
+use crate::message::{Message, NodeId};
+use crate::metrics::{MetricsSnapshot, NodeMetrics, SchedulerStats};
+
+// ---------------------------------------------------------------------
+// The trait
+// ---------------------------------------------------------------------
+
+/// Point-to-point delivery of [`Message`]s to (possibly remote) tasks.
+///
+/// `send` never blocks — the capacity bound is enforced cooperatively:
+/// after a send the emitter checks [`Transport::congested`] and, if the
+/// path is over capacity, registers itself via
+/// [`Transport::register_waiter`] and parks until the path drains.
+/// Punctuation ([`Message::Eos`]) intentionally ignores the bound so
+/// termination always makes progress.
+pub trait Transport: Send + Sync {
+    /// Deliver a message to task `to`.
+    fn send(&self, to: TaskId, msg: Message);
+
+    /// Is the path to `to` over its soft capacity (the sender should
+    /// yield)?
+    fn congested(&self, to: TaskId) -> bool;
+
+    /// Register `sender` to be woken when the path to `to` drains, *if*
+    /// it is still congested (double-checked under the path's lock).
+    /// Returns whether it registered.
+    fn register_waiter(&self, to: TaskId, sender: TaskId) -> bool;
+}
+
+// ---------------------------------------------------------------------
+// Local backend
+// ---------------------------------------------------------------------
+
+/// In-process delivery: one bounded inbox per local bolt task.
+pub struct LocalTransport {
+    /// Dense over task ids; `None` for spout tasks (no inputs) and, under
+    /// a cluster placement, for tasks hosted elsewhere.
+    inboxes: Vec<Option<Arc<Inbox>>>,
+    sched: Arc<Sched>,
+}
+
+impl LocalTransport {
+    pub(crate) fn new(inboxes: Vec<Option<Arc<Inbox>>>, sched: Arc<Sched>) -> LocalTransport {
+        LocalTransport { inboxes, sched }
+    }
+
+    fn inbox(&self, to: TaskId) -> &Arc<Inbox> {
+        self.inboxes[to].as_ref().expect("message to a task without an inbox")
+    }
+}
+
+impl Transport for LocalTransport {
+    fn send(&self, to: TaskId, msg: Message) {
+        let depth = self.inbox(to).push(msg);
+        self.sched.record_depth(depth);
+        self.sched.notify(to);
+    }
+
+    fn congested(&self, to: TaskId) -> bool {
+        self.inbox(to).over_capacity()
+    }
+
+    fn register_waiter(&self, to: TaskId, sender: TaskId) -> bool {
+        self.inbox(to).register_waiter(sender)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------
+
+/// Assignment of the topology's dense task ids to cluster peers. Peer 0
+/// is always the coordinator (the process driving the query).
+#[derive(Debug, Clone)]
+pub struct Placement {
+    pub n_peers: usize,
+    /// Dense task id → peer index.
+    pub peer_of_task: Vec<usize>,
+}
+
+impl Placement {
+    /// Tasks hosted by `peer`.
+    pub fn tasks_of(&self, peer: usize) -> usize {
+        self.peer_of_task.iter().filter(|&&p| p == peer).count()
+    }
+}
+
+/// Compute the canonical task → peer assignment, identically on every
+/// peer (it is a pure function of the topology shape and the peer
+/// count):
+///
+/// * spout tasks are pinned to the coordinator — the catalog data lives
+///   in the driving process, and shipping tuples (not relations) over
+///   the wire is exactly the paper's source → join network step;
+/// * each bolt node's task range is split into contiguous, near-equal
+///   ranges, one per peer, in peer order (`task * n_peers / parallelism`).
+pub fn plan_placement(parallelism: &[usize], is_spout: &[bool], n_peers: usize) -> Placement {
+    assert!(n_peers > 0);
+    let mut peer_of_task = Vec::with_capacity(parallelism.iter().sum());
+    for (node, &p) in parallelism.iter().enumerate() {
+        for task in 0..p {
+            if is_spout[node] || n_peers == 1 {
+                peer_of_task.push(0);
+            } else {
+                peer_of_task.push(task * n_peers / p);
+            }
+        }
+    }
+    Placement { n_peers, peer_of_task }
+}
+
+/// Human-readable placement table for `explain` output.
+pub fn describe_placement(
+    names: &[String],
+    parallelism: &[usize],
+    is_spout: &[bool],
+    peer_labels: &[String],
+) -> String {
+    let placement = plan_placement(parallelism, is_spout, peer_labels.len());
+    let mut s = String::new();
+    let mut first_task = 0usize;
+    for (node, &p) in parallelism.iter().enumerate() {
+        let mut ranges: Vec<String> = Vec::new();
+        let mut start = 0usize;
+        while start < p {
+            let peer = placement.peer_of_task[first_task + start];
+            let mut end = start;
+            while end + 1 < p && placement.peer_of_task[first_task + end + 1] == peer {
+                end += 1;
+            }
+            let span =
+                if start == end { format!("task {start}") } else { format!("tasks {start}-{end}") };
+            ranges.push(format!("{span} @{}", peer_labels[peer]));
+            start = end + 1;
+        }
+        s.push_str(&format!("  {}: {}\n", names[node], ranges.join(", ")));
+        first_task += p;
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Wire frames
+// ---------------------------------------------------------------------
+
+const FRAME_HELLO: u8 = 0;
+const FRAME_JOB: u8 = 1;
+const FRAME_DATA: u8 = 2;
+const FRAME_EOS: u8 = 3;
+const FRAME_SINK_ROW: u8 = 4;
+const FRAME_ABORT: u8 = 5;
+const FRAME_DONE: u8 = 6;
+const FRAME_GOODBYE: u8 = 7;
+
+/// Everything that travels between peers. The `Job` payload is opaque at
+/// this layer — the driver crate owns the plan encoding; the runtime owns
+/// the data plane.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Connection handshake: which peer is dialing.
+    Hello { peer: usize },
+    /// Coordinator → worker: the serialized query plan slice.
+    Job { payload: Vec<u8> },
+    /// A routed batch for one target task.
+    Data { to_task: TaskId, origin: NodeId, tuples: Vec<Tuple> },
+    /// One upstream task's end-of-stream punctuation for one target task.
+    Eos { to_task: TaskId },
+    /// A sink emission forwarded to the coordinator.
+    SinkRow { node: NodeId, tuple: Tuple },
+    /// A peer raised the run-abort flag; the error is the cause.
+    Abort { error: SquallError },
+    /// Worker → coordinator: final per-task metrics and first error.
+    Done { metrics: MetricsSnapshot, error: Option<SquallError> },
+    /// Clean end of this direction's stream (distinguishes an orderly
+    /// close from a crashed peer).
+    Goodbye,
+}
+
+fn put_metrics(buf: &mut Vec<u8>, m: &MetricsSnapshot) {
+    codec::put_u32(buf, m.nodes.len() as u32);
+    for n in &m.nodes {
+        codec::put_u64(buf, n.node as u64);
+        codec::put_str(buf, &n.name);
+        for counts in [&n.received, &n.sent, &n.emitted] {
+            codec::put_u32(buf, counts.len() as u32);
+            for &c in counts.iter() {
+                codec::put_u64(buf, c);
+            }
+        }
+    }
+    let s = &m.scheduler;
+    for v in [s.workers, s.steals, s.yields, s.blocked, s.max_queue_depth] {
+        codec::put_u64(buf, v);
+    }
+}
+
+fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot> {
+    let n_nodes = r.len()?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let node = r.u64()? as usize;
+        let name = r.str()?;
+        let mut vecs: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for v in vecs.iter_mut() {
+            let n = r.len()?;
+            v.reserve(n);
+            for _ in 0..n {
+                v.push(r.u64()?);
+            }
+        }
+        let [received, sent, emitted] = vecs;
+        nodes.push(NodeMetrics { node, name, received, sent, emitted });
+    }
+    let scheduler = SchedulerStats {
+        workers: r.u64()?,
+        steals: r.u64()?,
+        yields: r.u64()?,
+        blocked: r.u64()?,
+        max_queue_depth: r.u64()?,
+    };
+    Ok(MetricsSnapshot { nodes, scheduler })
+}
+
+impl Frame {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Frame::Hello { peer } => {
+                codec::put_u8(&mut buf, FRAME_HELLO);
+                codec::put_u32(&mut buf, *peer as u32);
+            }
+            Frame::Job { payload } => {
+                codec::put_u8(&mut buf, FRAME_JOB);
+                codec::put_bytes(&mut buf, payload);
+            }
+            Frame::Data { to_task, origin, tuples } => {
+                codec::put_u8(&mut buf, FRAME_DATA);
+                codec::put_u32(&mut buf, *to_task as u32);
+                codec::put_u32(&mut buf, *origin as u32);
+                codec::put_tuples(&mut buf, tuples);
+            }
+            Frame::Eos { to_task } => {
+                codec::put_u8(&mut buf, FRAME_EOS);
+                codec::put_u32(&mut buf, *to_task as u32);
+            }
+            Frame::SinkRow { node, tuple } => {
+                codec::put_u8(&mut buf, FRAME_SINK_ROW);
+                codec::put_u32(&mut buf, *node as u32);
+                codec::put_tuple(&mut buf, tuple);
+            }
+            Frame::Abort { error } => {
+                codec::put_u8(&mut buf, FRAME_ABORT);
+                codec::put_error(&mut buf, error);
+            }
+            Frame::Done { metrics, error } => {
+                codec::put_u8(&mut buf, FRAME_DONE);
+                put_metrics(&mut buf, metrics);
+                match error {
+                    None => codec::put_u8(&mut buf, 0),
+                    Some(e) => {
+                        codec::put_u8(&mut buf, 1);
+                        codec::put_error(&mut buf, e);
+                    }
+                }
+            }
+            Frame::Goodbye => codec::put_u8(&mut buf, FRAME_GOODBYE),
+        }
+        buf
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Frame> {
+        let mut r = Reader::new(payload);
+        let frame = match r.u8()? {
+            FRAME_HELLO => Frame::Hello { peer: r.u32()? as usize },
+            FRAME_JOB => Frame::Job { payload: r.bytes()? },
+            FRAME_DATA => Frame::Data {
+                to_task: r.u32()? as TaskId,
+                origin: r.u32()? as NodeId,
+                tuples: codec::get_tuples(&mut r)?,
+            },
+            FRAME_EOS => Frame::Eos { to_task: r.u32()? as TaskId },
+            FRAME_SINK_ROW => {
+                Frame::SinkRow { node: r.u32()? as NodeId, tuple: codec::get_tuple(&mut r)? }
+            }
+            FRAME_ABORT => Frame::Abort { error: codec::get_error(&mut r)? },
+            FRAME_DONE => {
+                let metrics = get_metrics(&mut r)?;
+                let error = match r.u8()? {
+                    0 => None,
+                    _ => Some(codec::get_error(&mut r)?),
+                };
+                Frame::Done { metrics, error }
+            }
+            FRAME_GOODBYE => Frame::Goodbye,
+            tag => return Err(SquallError::Codec(format!("unknown frame tag {tag}"))),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Write this frame, length-prefixed. Returns the bytes written.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<usize> {
+        let payload = self.encode();
+        codec::write_frame(w, &payload)?;
+        Ok(4 + payload.len())
+    }
+
+    /// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+    pub fn read_from(r: &mut impl std::io::Read) -> Result<Option<(Frame, usize)>> {
+        match codec::read_frame(r)? {
+            None => Ok(None),
+            Some(payload) => {
+                let n = 4 + payload.len();
+                Ok(Some((Frame::decode(&payload)?, n)))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Egress queues
+// ---------------------------------------------------------------------
+
+pub(crate) enum EgressItem {
+    Frame(Frame),
+    /// All local producers are done; drain and close the stream.
+    Close,
+}
+
+struct EgressInner {
+    queue: VecDeque<EgressItem>,
+    waiting_senders: Vec<TaskId>,
+}
+
+/// The bounded per-peer outbound queue. Producer tasks push without
+/// blocking (parking cooperatively when over capacity, exactly like a
+/// local inbox); the single consumer is the peer's send pump thread,
+/// which *does* block — it has nothing else to do.
+pub(crate) struct EgressQueue {
+    inner: Mutex<EgressInner>,
+    cv: Condvar,
+    len: AtomicUsize,
+    capacity: usize,
+}
+
+impl EgressQueue {
+    fn new(capacity: usize) -> EgressQueue {
+        assert!(capacity > 0);
+        EgressQueue {
+            inner: Mutex::new(EgressInner { queue: VecDeque::new(), waiting_senders: Vec::new() }),
+            cv: Condvar::new(),
+            len: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    pub(crate) fn push(&self, item: EgressItem) {
+        let mut inner = self.inner.lock().expect("egress poisoned");
+        inner.queue.push_back(item);
+        self.len.store(inner.queue.len(), Ordering::Release);
+        self.cv.notify_one();
+    }
+
+    fn over_capacity(&self) -> bool {
+        self.len.load(Ordering::Acquire) > self.capacity
+    }
+
+    fn register_waiter(&self, sender: TaskId) -> bool {
+        let mut inner = self.inner.lock().expect("egress poisoned");
+        if inner.queue.len() <= self.capacity {
+            return false;
+        }
+        if !inner.waiting_senders.contains(&sender) {
+            inner.waiting_senders.push(sender);
+        }
+        true
+    }
+
+    /// Pop the next item, waiting up to `timeout`. Parked producers that
+    /// the pop released are handed back in `wake`.
+    fn pop_wait(&self, timeout: Duration, wake: &mut Vec<TaskId>) -> Option<EgressItem> {
+        let mut inner = self.inner.lock().expect("egress poisoned");
+        if inner.queue.is_empty() {
+            let (guard, _) = self.cv.wait_timeout(inner, timeout).expect("egress cv poisoned");
+            inner = guard;
+        }
+        let item = inner.queue.pop_front()?;
+        self.len.store(inner.queue.len(), Ordering::Release);
+        if inner.queue.len() <= self.capacity && !inner.waiting_senders.is_empty() {
+            wake.append(&mut inner.waiting_senders);
+        }
+        Some(item)
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP backend
+// ---------------------------------------------------------------------
+
+/// Established, handshaken sockets for one run: `outbound[p]` carries this
+/// peer's frames *to* `p`; `inbound[p]` carries `p`'s frames to us. Built
+/// by the driver's cluster handshake ([`ClusterLinks::coordinator`] /
+/// [`ClusterLinks::worker`]) and consumed by
+/// [`crate::Topology::launch_cluster`].
+pub struct ClusterLinks {
+    pub me: usize,
+    pub peer_labels: Vec<String>,
+    pub(crate) outbound: Vec<Option<TcpStream>>,
+    pub(crate) inbound: Vec<Option<TcpStream>>,
+}
+
+/// Handshake patience: how long the cluster handshake waits for an
+/// expected peer connection (or its first frame) before failing the run.
+/// A peer that dies mid-handshake must surface a typed error, not hang
+/// the coordinator; dial retries use the same budget.
+pub const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Accept one connection, giving up at `deadline` (the listener polls in
+/// non-blocking mode and is restored to blocking either way).
+pub fn accept_with_deadline(listener: &TcpListener, deadline: Instant) -> Result<TcpStream> {
+    listener.set_nonblocking(true).map_err(SquallError::from)?;
+    let outcome = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break Ok(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    break Err(SquallError::Io(
+                        "timed out waiting for a cluster peer to connect".into(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => break Err(e.into()),
+        }
+    };
+    listener.set_nonblocking(false).ok();
+    let stream = outcome?;
+    stream.set_nonblocking(false).map_err(SquallError::from)?;
+    stream.set_nodelay(true).ok();
+    Ok(stream)
+}
+
+/// Read one frame with a temporary read timeout (cleared afterwards, so
+/// the stream can go on to serve the run's data plane). Exact reads off
+/// the raw stream — a frame racing in behind this one stays queued.
+pub fn read_frame_deadline(
+    stream: &TcpStream,
+    deadline: Instant,
+) -> Result<Option<(Frame, usize)>> {
+    let budget = deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(10));
+    stream.set_read_timeout(Some(budget)).map_err(SquallError::from)?;
+    let out = Frame::read_from(&mut (&*stream));
+    stream.set_read_timeout(None).ok();
+    out
+}
+
+/// Dial `addr`, retrying while the listener comes up (worker processes
+/// race the coordinator at startup).
+pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream> {
+    let start = Instant::now();
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                return Ok(s);
+            }
+            Err(e) => {
+                if start.elapsed() > timeout {
+                    return Err(SquallError::Io(format!("connect {addr}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+impl ClusterLinks {
+    /// Coordinator-side handshake: dial every worker, send its `Job`
+    /// frame on the stream that then becomes our outbound data link, and
+    /// accept one `Hello`-opened inbound link per worker.
+    ///
+    /// `peer_labels[0]` labels the coordinator; `worker_addrs` are dialed
+    /// in peer order (peer `i + 1` = `worker_addrs[i]`).
+    pub fn coordinator(
+        listener: &TcpListener,
+        worker_addrs: &[String],
+        jobs: Vec<Vec<u8>>,
+    ) -> Result<ClusterLinks> {
+        assert_eq!(worker_addrs.len(), jobs.len());
+        let n_peers = worker_addrs.len() + 1;
+        let mut outbound: Vec<Option<TcpStream>> = (0..n_peers).map(|_| None).collect();
+        let mut inbound: Vec<Option<TcpStream>> = (0..n_peers).map(|_| None).collect();
+        for (i, (addr, job)) in worker_addrs.iter().zip(jobs).enumerate() {
+            let mut stream = connect_with_retry(addr, HANDSHAKE_TIMEOUT)?;
+            Frame::Job { payload: job }.write_to(&mut stream)?;
+            outbound[i + 1] = Some(stream);
+        }
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        for _ in 0..worker_addrs.len() {
+            let stream = accept_with_deadline(listener, deadline)?;
+            // Read the handshake frame straight off the stream (exact
+            // reads, no buffering): frames racing in behind the Hello
+            // must stay in the socket for the recv pump.
+            match read_frame_deadline(&stream, deadline)? {
+                Some((Frame::Hello { peer }, _)) if peer >= 1 && peer < n_peers => {
+                    if inbound[peer].is_some() {
+                        return Err(SquallError::Runtime(format!("duplicate hello from {peer}")));
+                    }
+                    inbound[peer] = Some(stream);
+                }
+                other => {
+                    return Err(SquallError::Runtime(format!(
+                        "expected Hello during cluster handshake, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let mut peer_labels = vec!["coordinator".to_string()];
+        peer_labels.extend(worker_addrs.iter().cloned());
+        Ok(ClusterLinks { me: 0, peer_labels, outbound, inbound })
+    }
+
+    /// Worker-side handshake. The coordinator's job connection (already
+    /// accepted, `Job` frame consumed by the caller) becomes `inbound[0]`;
+    /// `pre_accepted` are any `Hello` connections that raced ahead of the
+    /// job frame. Dials every other peer and accepts the rest.
+    pub fn worker(
+        listener: &TcpListener,
+        me: usize,
+        peer_addrs: &[String],
+        job_conn: TcpStream,
+        pre_accepted: Vec<(usize, TcpStream)>,
+    ) -> Result<ClusterLinks> {
+        let n_peers = peer_addrs.len();
+        assert!(me >= 1 && me < n_peers);
+        let mut outbound: Vec<Option<TcpStream>> = (0..n_peers).map(|_| None).collect();
+        let mut inbound: Vec<Option<TcpStream>> = (0..n_peers).map(|_| None).collect();
+        inbound[0] = Some(job_conn);
+        for (peer, stream) in pre_accepted {
+            if peer == me || peer >= n_peers || inbound[peer].is_some() {
+                return Err(SquallError::Runtime(format!("bad pre-accepted hello from {peer}")));
+            }
+            inbound[peer] = Some(stream);
+        }
+        // Dial everyone else (the coordinator and the other workers).
+        for (peer, addr) in peer_addrs.iter().enumerate() {
+            if peer == me {
+                continue;
+            }
+            let mut stream = connect_with_retry(addr, HANDSHAKE_TIMEOUT)?;
+            Frame::Hello { peer: me }.write_to(&mut stream)?;
+            outbound[peer] = Some(stream);
+        }
+        // Accept the remaining inbound hellos (other workers dialing us).
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        while inbound.iter().enumerate().any(|(p, s)| p != me && s.is_none()) {
+            let stream = accept_with_deadline(listener, deadline)?;
+            // Exact reads only — see ClusterLinks::coordinator.
+            match read_frame_deadline(&stream, deadline)? {
+                Some((Frame::Hello { peer }, _)) if peer < n_peers && peer != me => {
+                    if inbound[peer].is_some() {
+                        return Err(SquallError::Runtime(format!("duplicate hello from {peer}")));
+                    }
+                    inbound[peer] = Some(stream);
+                }
+                other => {
+                    return Err(SquallError::Runtime(format!(
+                        "expected Hello during cluster handshake, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let mut peer_labels: Vec<String> = peer_addrs.to_vec();
+        peer_labels[0] = "coordinator".to_string();
+        Ok(ClusterLinks { me, peer_labels, outbound, inbound })
+    }
+}
+
+/// Per-peer wire counters, updated by the pumps.
+#[derive(Debug, Default)]
+pub(crate) struct PeerWire {
+    pub(crate) batches_sent: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) batches_received: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+}
+
+/// Frozen per-peer wire traffic for one run (the distributed analog of
+/// the paper's network-factor monitoring): batches are `Data` frames;
+/// bytes count every frame on the link, punctuation included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerWireStats {
+    pub peer: usize,
+    pub label: String,
+    pub batches_sent: u64,
+    pub bytes_sent: u64,
+    pub batches_received: u64,
+    pub bytes_received: u64,
+}
+
+/// All peers' wire traffic as observed by this process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    pub peers: Vec<PeerWireStats>,
+}
+
+impl TransportStats {
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.peers.iter().map(|p| p.bytes_sent).sum()
+    }
+
+    pub fn total_bytes_received(&self) -> u64 {
+        self.peers.iter().map(|p| p.bytes_received).sum()
+    }
+
+    pub fn total_batches_sent(&self) -> u64 {
+        self.peers.iter().map(|p| p.batches_sent).sum()
+    }
+
+    pub fn total_batches_received(&self) -> u64 {
+        self.peers.iter().map(|p| p.batches_received).sum()
+    }
+}
+
+impl std::fmt::Display for TransportStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for p in &self.peers {
+            writeln!(
+                f,
+                "  peer {} ({}): sent {} batches / {} B, received {} batches / {} B",
+                p.peer, p.label, p.batches_sent, p.bytes_sent, p.batches_received, p.bytes_received
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The TCP backend: local targets hit their inbox, remote targets are
+/// framed into the owning peer's egress queue.
+pub struct TcpTransport {
+    local: LocalTransport,
+    me: usize,
+    peer_of_task: Vec<usize>,
+    egress: Vec<Option<Arc<EgressQueue>>>,
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, to: TaskId, msg: Message) {
+        let peer = self.peer_of_task[to];
+        if peer == self.me {
+            return self.local.send(to, msg);
+        }
+        let q = self.egress[peer].as_ref().expect("no link to peer");
+        let frame = match msg {
+            Message::Batch { origin, tuples } => Frame::Data { to_task: to, origin, tuples },
+            Message::Eos => Frame::Eos { to_task: to },
+        };
+        q.push(EgressItem::Frame(frame));
+    }
+
+    fn congested(&self, to: TaskId) -> bool {
+        let peer = self.peer_of_task[to];
+        if peer == self.me {
+            self.local.congested(to)
+        } else {
+            self.egress[peer].as_ref().expect("no link to peer").over_capacity()
+        }
+    }
+
+    fn register_waiter(&self, to: TaskId, sender: TaskId) -> bool {
+        let peer = self.peer_of_task[to];
+        if peer == self.me {
+            self.local.register_waiter(to, sender)
+        } else {
+            self.egress[peer].as_ref().expect("no link to peer").register_waiter(sender)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The per-run cluster data plane (pumps + remote state)
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct RemoteState {
+    metrics: Vec<MetricsSnapshot>,
+    error: Option<SquallError>,
+}
+
+/// Everything a run finished with, cluster-wise.
+#[derive(Debug)]
+pub struct ClusterSummary {
+    /// Metric snapshots reported by remote peers (coordinator only; each
+    /// covers the full topology with non-local counters at zero — merge
+    /// them with [`MetricsSnapshot::merge`]).
+    pub remote_metrics: Vec<MetricsSnapshot>,
+    /// First error reported by a remote peer, if any.
+    pub remote_error: Option<SquallError>,
+    /// Wire traffic per peer as seen from this process.
+    pub transport: TransportStats,
+}
+
+/// The live cluster side of a launched run: per-peer egress queues and
+/// pump threads. Finish it *after* joining the local worker pool (all
+/// local punctuation is then queued) — [`ClusterRun::finish`] drains the
+/// queues, closes the links and collects remote reports.
+pub struct ClusterRun {
+    me: usize,
+    peer_labels: Vec<String>,
+    egress: Vec<Option<Arc<EgressQueue>>>,
+    send_pumps: Vec<JoinHandle<()>>,
+    recv_pumps: Vec<JoinHandle<()>>,
+    remote: Arc<Mutex<RemoteState>>,
+    wire: Arc<Vec<PeerWire>>,
+    shared: Arc<Shared>,
+}
+
+impl ClusterRun {
+    /// Forward a local sink emission to the coordinator (worker side).
+    pub fn forward_sink(&self, node: NodeId, tuple: Tuple) {
+        debug_assert_ne!(self.me, 0, "the coordinator collects sinks directly");
+        if let Some(q) = self.egress[0].as_ref() {
+            q.push(EgressItem::Frame(Frame::SinkRow { node, tuple }));
+        }
+    }
+
+    /// Raise the run-abort flag; the send pumps broadcast it to peers.
+    pub fn abort(&self) {
+        self.shared.raise(SquallError::Runtime("run cancelled".into()));
+    }
+
+    /// Drain and close every link and collect the remote reports. Workers
+    /// pass their final `(metrics, error)` to ship a `Done` frame to the
+    /// coordinator first.
+    pub fn finish(
+        mut self,
+        done: Option<(MetricsSnapshot, Option<SquallError>)>,
+    ) -> ClusterSummary {
+        if let Some((metrics, error)) = done {
+            if let Some(q) = self.egress[0].as_ref() {
+                q.push(EgressItem::Frame(Frame::Done { metrics, error }));
+            }
+        }
+        self.shutdown();
+        let mut remote = self.remote.lock().expect("remote state poisoned");
+        ClusterSummary {
+            remote_metrics: std::mem::take(&mut remote.metrics),
+            remote_error: remote.error.take(),
+            transport: TransportStats {
+                peers: self
+                    .wire
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| *p != self.me)
+                    .map(|(p, w)| PeerWireStats {
+                        peer: p,
+                        label: self.peer_labels[p].clone(),
+                        batches_sent: w.batches_sent.load(Ordering::Relaxed),
+                        bytes_sent: w.bytes_sent.load(Ordering::Relaxed),
+                        batches_received: w.batches_received.load(Ordering::Relaxed),
+                        bytes_received: w.bytes_received.load(Ordering::Relaxed),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    fn shutdown(&mut self) {
+        for q in self.egress.iter().flatten() {
+            q.push(EgressItem::Close);
+        }
+        for h in self.send_pumps.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.recv_pumps.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ClusterRun {
+    fn drop(&mut self) {
+        if self.send_pumps.is_empty() && self.recv_pumps.is_empty() {
+            return; // finished
+        }
+        // Abandoned mid-run (e.g. a dropped streaming ResultSet): abort so
+        // peers drain, then close out. The local pool was already joined —
+        // RunHandle precedes ClusterRun in every owner, so its Drop ran
+        // first and all local punctuation is queued.
+        self.shared.raise(SquallError::Runtime("run cancelled".into()));
+        self.shutdown();
+    }
+}
+
+/// Wiring shared by the pump spawner: built by `launch_cluster`.
+pub(crate) struct ClusterWiring {
+    pub(crate) inboxes: Vec<Option<Arc<Inbox>>>,
+    pub(crate) sched: Arc<Sched>,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) sink_tx: Sender<(NodeId, Tuple)>,
+    pub(crate) channel_capacity: usize,
+    /// Per peer: how many `Eos` each *local* task is owed by that peer's
+    /// tasks — used to synthesize punctuation if a peer crashes, so the
+    /// run fails with an error instead of hanging.
+    pub(crate) eos_owed: Vec<Vec<(TaskId, usize)>>,
+}
+
+pub(crate) fn spawn_cluster(
+    links: ClusterLinks,
+    placement: &Placement,
+    wiring: ClusterWiring,
+) -> (Arc<TcpTransport>, ClusterRun) {
+    let ClusterLinks { me, peer_labels, outbound, inbound } = links;
+    let n_peers = placement.n_peers;
+    let wire: Arc<Vec<PeerWire>> = Arc::new((0..n_peers).map(|_| PeerWire::default()).collect());
+    let remote: Arc<Mutex<RemoteState>> = Arc::new(Mutex::new(RemoteState::default()));
+
+    let mut egress: Vec<Option<Arc<EgressQueue>>> = (0..n_peers).map(|_| None).collect();
+    let mut send_pumps = Vec::new();
+    for (peer, stream) in outbound.into_iter().enumerate() {
+        let Some(stream) = stream else { continue };
+        let q = Arc::new(EgressQueue::new(wiring.channel_capacity));
+        egress[peer] = Some(Arc::clone(&q));
+        let sched = Arc::clone(&wiring.sched);
+        let shared = Arc::clone(&wiring.shared);
+        let wire = Arc::clone(&wire);
+        send_pumps.push(
+            std::thread::Builder::new()
+                .name(format!("squall-send-{me}-{peer}"))
+                .spawn(move || send_pump(stream, peer, &q, &sched, &shared, &wire))
+                .expect("spawn send pump"),
+        );
+    }
+
+    let mut recv_pumps = Vec::new();
+    for (peer, stream) in inbound.into_iter().enumerate() {
+        let Some(stream) = stream else { continue };
+        let inboxes = wiring.inboxes.clone();
+        let sched = Arc::clone(&wiring.sched);
+        let shared = Arc::clone(&wiring.shared);
+        let remote = Arc::clone(&remote);
+        let wire = Arc::clone(&wire);
+        // Only the coordinator collects remote sink rows into the run's
+        // output channel; worker-held clones would keep it open forever.
+        let sink_tx = (me == 0).then(|| wiring.sink_tx.clone());
+        let eos_owed = wiring.eos_owed[peer].clone();
+        recv_pumps.push(
+            std::thread::Builder::new()
+                .name(format!("squall-recv-{me}-{peer}"))
+                .spawn(move || {
+                    recv_pump(
+                        stream, peer, inboxes, &sched, &shared, &remote, &wire, sink_tx, eos_owed,
+                    )
+                })
+                .expect("spawn recv pump"),
+        );
+    }
+    drop(wiring.sink_tx);
+
+    let transport = Arc::new(TcpTransport {
+        local: LocalTransport::new(wiring.inboxes, Arc::clone(&wiring.sched)),
+        me,
+        peer_of_task: placement.peer_of_task.clone(),
+        egress: egress.clone(),
+    });
+    let run = ClusterRun {
+        me,
+        peer_labels,
+        egress,
+        send_pumps,
+        recv_pumps,
+        remote,
+        wire,
+        shared: wiring.shared,
+    };
+    (transport, run)
+}
+
+fn send_pump(
+    stream: TcpStream,
+    peer: usize,
+    q: &EgressQueue,
+    sched: &Sched,
+    shared: &Shared,
+    wire: &[PeerWire],
+) {
+    let mut w = BufWriter::new(stream);
+    let counters = &wire[peer];
+    let mut abort_sent = false;
+    let mut broken = false;
+    let mut wake = Vec::new();
+    loop {
+        if !abort_sent && !broken && shared.is_aborted() {
+            let error =
+                shared.error_clone().unwrap_or_else(|| SquallError::Runtime("aborted".into()));
+            abort_sent = true;
+            let wrote = (Frame::Abort { error }).write_to(&mut w).and_then(|n| {
+                w.flush()?;
+                Ok(n)
+            });
+            match wrote {
+                Ok(n) => {
+                    counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(_) => broken = true,
+            }
+        }
+        let item = q.pop_wait(Duration::from_millis(20), &mut wake);
+        for t in wake.drain(..) {
+            sched.notify(t);
+        }
+        match item {
+            Some(EgressItem::Frame(frame)) => {
+                if broken {
+                    continue; // keep draining so producers never park forever
+                }
+                let is_batch = matches!(frame, Frame::Data { .. });
+                match frame.write_to(&mut w) {
+                    Ok(n) => {
+                        counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                        if is_batch {
+                            counters.batches_sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) => {
+                        broken = true;
+                        shared.raise(SquallError::Io(format!("send to peer {peer}: {e}")));
+                    }
+                }
+            }
+            Some(EgressItem::Close) => {
+                if !broken {
+                    if let Ok(n) = Frame::Goodbye.write_to(&mut w) {
+                        counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                }
+                break;
+            }
+            None => {
+                // Idle: push buffered bytes onto the wire so a quiet link
+                // never sits on latency.
+                if !broken && w.flush().is_err() {
+                    broken = true;
+                }
+            }
+        }
+    }
+    let _ = w.flush();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recv_pump(
+    stream: TcpStream,
+    peer: usize,
+    inboxes: Vec<Option<Arc<Inbox>>>,
+    sched: &Sched,
+    shared: &Shared,
+    remote: &Mutex<RemoteState>,
+    wire: &[PeerWire],
+    sink_tx: Option<Sender<(NodeId, Tuple)>>,
+    eos_owed: Vec<(TaskId, usize)>,
+) {
+    let mut r = BufReader::new(stream);
+    let counters = &wire[peer];
+    let mut clean = false;
+    loop {
+        match Frame::read_from(&mut r) {
+            Ok(Some((frame, n))) => {
+                counters.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+                match frame {
+                    Frame::Data { to_task, origin, tuples } => {
+                        counters.batches_received.fetch_add(1, Ordering::Relaxed);
+                        let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
+                            shared.raise(SquallError::Runtime(format!(
+                                "peer {peer} addressed non-local task {to_task}"
+                            )));
+                            continue;
+                        };
+                        // Stop reading while the destination is over
+                        // capacity: TCP flow control then pushes back on
+                        // the sending peer. Abort lifts the gate so
+                        // drain-to-terminate always progresses.
+                        while inbox.over_capacity() && !shared.is_aborted() {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        let depth = inbox.push(Message::Batch { origin, tuples });
+                        sched.record_depth(depth);
+                        sched.notify(to_task);
+                    }
+                    Frame::Eos { to_task } => {
+                        let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
+                            continue;
+                        };
+                        inbox.push(Message::Eos);
+                        sched.notify(to_task);
+                    }
+                    Frame::SinkRow { node, tuple } => {
+                        if let Some(tx) = &sink_tx {
+                            let _ = tx.send((node, tuple));
+                        }
+                    }
+                    Frame::Abort { error } => shared.raise(error),
+                    Frame::Done { metrics, error } => {
+                        let mut state = remote.lock().expect("remote state poisoned");
+                        state.metrics.push(metrics);
+                        if state.error.is_none() {
+                            state.error = error;
+                        }
+                        clean = true;
+                        break;
+                    }
+                    Frame::Goodbye => {
+                        clean = true;
+                        break;
+                    }
+                    Frame::Hello { .. } | Frame::Job { .. } => {
+                        shared.raise(SquallError::Runtime(format!(
+                            "unexpected handshake frame from peer {peer} mid-run"
+                        )));
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                shared.raise(e);
+                break;
+            }
+        }
+    }
+    if !clean {
+        // The peer vanished mid-run: fail the run and synthesize the
+        // punctuation its tasks owed us, so every local task terminates
+        // (with the error reported) instead of waiting forever.
+        shared.raise(SquallError::Runtime(format!("peer {peer} disconnected mid-run")));
+        for (task, count) in eos_owed {
+            if let Some(inbox) = inboxes.get(task).and_then(|i| i.as_ref()) {
+                for _ in 0..count {
+                    inbox.push(Message::Eos);
+                }
+                sched.notify(task);
+            }
+        }
+    }
+    drop(sink_tx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squall_common::tuple;
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = vec![
+            Frame::Hello { peer: 3 },
+            Frame::Job { payload: vec![1, 2, 3] },
+            Frame::Data { to_task: 7, origin: 2, tuples: vec![tuple![1, "x"], tuple![2.5]] },
+            Frame::Eos { to_task: 9 },
+            Frame::SinkRow { node: 4, tuple: tuple![42] },
+            Frame::Abort {
+                error: SquallError::MemoryOverflow { machine: 1, stored: 10, budget: 5 },
+            },
+            Frame::Goodbye,
+        ];
+        for f in frames {
+            let encoded = f.encode();
+            let decoded = Frame::decode(&encoded).unwrap();
+            assert_eq!(format!("{f:?}"), format!("{decoded:?}"));
+        }
+    }
+
+    #[test]
+    fn done_frame_roundtrips_metrics() {
+        let metrics = MetricsSnapshot {
+            nodes: vec![NodeMetrics {
+                node: 0,
+                name: "join".into(),
+                received: vec![1, 2, 3],
+                sent: vec![4, 5, 6],
+                emitted: vec![7, 8, 9],
+            }],
+            scheduler: SchedulerStats {
+                workers: 2,
+                steals: 3,
+                yields: 4,
+                blocked: 5,
+                max_queue_depth: 6,
+            },
+        };
+        let f =
+            Frame::Done { metrics: metrics.clone(), error: Some(SquallError::Runtime("x".into())) };
+        match Frame::decode(&f.encode()).unwrap() {
+            Frame::Done { metrics: m, error } => {
+                assert_eq!(m, metrics);
+                assert_eq!(error, Some(SquallError::Runtime("x".into())));
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placement_pins_spouts_and_splits_bolts() {
+        // 2 spout nodes (1 task each), a join of 8, an agg of 3; 3 peers.
+        let p = plan_placement(&[1, 1, 8, 3], &[true, true, false, false], 3);
+        assert_eq!(&p.peer_of_task[..2], &[0, 0], "spouts on the coordinator");
+        // Join tasks 0..8 → contiguous near-even ranges.
+        assert_eq!(&p.peer_of_task[2..10], &[0, 0, 0, 1, 1, 1, 2, 2]);
+        // Agg tasks 0..3 → one per peer.
+        assert_eq!(&p.peer_of_task[10..], &[0, 1, 2]);
+        assert_eq!(p.tasks_of(0) + p.tasks_of(1) + p.tasks_of(2), 13);
+        // Single peer degenerates to everything-local.
+        let solo = plan_placement(&[1, 8], &[true, false], 1);
+        assert!(solo.peer_of_task.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn describe_placement_is_readable() {
+        let names = vec!["src-R".to_string(), "join".to_string()];
+        let text = describe_placement(
+            &names,
+            &[1, 4],
+            &[true, false],
+            &["coordinator".to_string(), "127.0.0.1:9001".to_string()],
+        );
+        assert!(text.contains("src-R: task 0 @coordinator"), "{text}");
+        assert!(text.contains("join: tasks 0-1 @coordinator, tasks 2-3 @127.0.0.1:9001"), "{text}");
+    }
+
+    #[test]
+    fn handshake_helpers_time_out_instead_of_hanging() {
+        // No peer ever connects: accept gives up at the deadline.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let deadline = Instant::now() + Duration::from_millis(50);
+        assert!(matches!(accept_with_deadline(&listener, deadline), Err(SquallError::Io(_))));
+        // A peer connects but never sends its first frame: the read
+        // gives up too (and the error is typed, not a hang).
+        let addr = listener.local_addr().unwrap();
+        let _silent = TcpStream::connect(addr).unwrap();
+        let stream = accept_with_deadline(&listener, Instant::now() + Duration::from_secs(1))
+            .expect("connection pending");
+        let deadline = Instant::now() + Duration::from_millis(50);
+        assert!(read_frame_deadline(&stream, deadline).is_err());
+        // And the timeout is cleared afterwards: a frame sent now reads
+        // fine on the same stream.
+        let mut dialer = TcpStream::connect(addr).unwrap();
+        let accepted =
+            accept_with_deadline(&listener, Instant::now() + Duration::from_secs(1)).unwrap();
+        Frame::Hello { peer: 3 }.write_to(&mut dialer).unwrap();
+        match read_frame_deadline(&accepted, Instant::now() + Duration::from_secs(1)) {
+            Ok(Some((Frame::Hello { peer: 3 }, _))) => {}
+            other => panic!("expected Hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn egress_queue_gates_and_wakes() {
+        let q = EgressQueue::new(2);
+        assert!(!q.over_capacity());
+        for _ in 0..3 {
+            q.push(EgressItem::Frame(Frame::Goodbye));
+        }
+        assert!(q.over_capacity());
+        assert!(q.register_waiter(7));
+        let mut wake = Vec::new();
+        // Popping back to capacity releases the waiter.
+        assert!(q.pop_wait(Duration::from_millis(1), &mut wake).is_some());
+        assert_eq!(wake, vec![7]);
+        // Below capacity, registration declines.
+        assert!(!q.register_waiter(7));
+    }
+}

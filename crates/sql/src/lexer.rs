@@ -6,8 +6,9 @@ use squall_common::{Result, SquallError};
 /// uppercase; identifiers keep their case.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
-    /// Keyword (SELECT, FROM, WHERE, GROUP, BY, AS, AND, OR, NOT, COUNT,
-    /// SUM, AVG, WINDOW, SLIDING, TUMBLING, ON, ORDER, ASC, DESC, LIMIT).
+    /// Keyword (SELECT, FROM, WHERE, GROUP, BY, HAVING, AS, AND, OR, NOT,
+    /// COUNT, SUM, AVG, WINDOW, SLIDING, TUMBLING, ON, ORDER, ASC, DESC,
+    /// LIMIT).
     Keyword(String),
     /// Possibly qualified identifier (`a` or `a.b`).
     Ident(String),
@@ -21,9 +22,9 @@ pub enum Token {
     Sym(&'static str),
 }
 
-const KEYWORDS: [&str; 19] = [
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "COUNT", "SUM", "WINDOW",
-    "SLIDING", "TUMBLING", "ON", "ORDER", "ASC", "DESC", "LIMIT",
+const KEYWORDS: [&str; 20] = [
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS", "AND", "OR", "NOT", "COUNT", "SUM",
+    "WINDOW", "SLIDING", "TUMBLING", "ON", "ORDER", "ASC", "DESC", "LIMIT",
 ];
 
 fn is_ident_start(c: char) -> bool {

@@ -122,6 +122,10 @@ impl Parser {
             }
             q.group_by = group;
         }
+        if self.eat_keyword("HAVING") {
+            let cond = self.disjunction()?;
+            q = q.having(cond);
+        }
         if q.window.is_none() && self.eat_keyword("WINDOW") {
             q.window = Some(self.window_clause()?);
         }
@@ -183,25 +187,7 @@ impl Parser {
     }
 
     fn select_item(&mut self) -> Result<(Expr, Option<String>)> {
-        let e = match self.peek() {
-            Some(Token::Keyword(k)) if k == "COUNT" || k == "SUM" || k == "AVG" => {
-                let func = match k.as_str() {
-                    "COUNT" => AggFunc::Count,
-                    "SUM" => AggFunc::Sum,
-                    _ => AggFunc::Avg,
-                };
-                self.pos += 1;
-                self.expect_sym("(")?;
-                let arg = if func == AggFunc::Count && self.eat_sym("*") {
-                    None
-                } else {
-                    Some(Box::new(self.additive()?))
-                };
-                self.expect_sym(")")?;
-                Expr::Agg { func, arg }
-            }
-            _ => self.additive()?,
-        };
+        let e = self.additive()?;
         let alias = if self.eat_keyword("AS") { Some(self.ident()?) } else { None };
         Ok((e, alias))
     }
@@ -276,6 +262,26 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr> {
+        // Aggregate calls parse anywhere an expression does (they appear
+        // in SELECT and HAVING; the planner rejects misplaced ones).
+        if let Some(Token::Keyword(k)) = self.peek() {
+            if k == "COUNT" || k == "SUM" || k == "AVG" {
+                let func = match k.as_str() {
+                    "COUNT" => AggFunc::Count,
+                    "SUM" => AggFunc::Sum,
+                    _ => AggFunc::Avg,
+                };
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let arg = if func == AggFunc::Count && self.eat_sym("*") {
+                    None
+                } else {
+                    Some(Box::new(self.additive()?))
+                };
+                self.expect_sym(")")?;
+                return Ok(Expr::Agg { func, arg });
+            }
+        }
         match self.next() {
             Some(Token::Ident(s)) => Ok(Expr::Col(s)),
             Some(Token::Int(i)) => Ok(Expr::Lit(Value::Int(i))),
@@ -423,6 +429,33 @@ mod tests {
         assert!(parse("SELECT a FROM R, S WINDOW SLIDING ON ts").is_err(), "missing size");
         assert!(parse("SELECT a FROM R, S WINDOW SLIDING 0 ON ts").is_err(), "zero size");
         assert!(parse("SELECT a FROM R, S WINDOW SLIDING 30 ON").is_err(), "missing column");
+    }
+
+    #[test]
+    fn having_clause_parses_aggregates_and_conjuncts() {
+        let q = parse(
+            "SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a \
+             GROUP BY R.a HAVING COUNT(*) > 2 AND SUM(S.c) >= 10",
+        )
+        .unwrap();
+        assert_eq!(q.having.len(), 2, "AND flattens into conjuncts");
+        assert!(q.having[0].has_agg());
+        assert!(q.having[1].has_agg());
+        // HAVING may reference group columns and compose with ORDER BY.
+        let q = parse(
+            "SELECT R.a, COUNT(*) AS n FROM R, S WHERE R.a = S.a \
+             GROUP BY R.a HAVING R.a > 1 ORDER BY n DESC LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(q.having.len(), 1);
+        assert!(!q.having[0].has_agg());
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn having_clause_errors() {
+        assert!(parse("SELECT a FROM R GROUP BY a HAVING").is_err(), "missing predicate");
+        assert!(parse("SELECT a FROM R HAVING COUNT( > 1").is_err(), "malformed aggregate");
     }
 
     #[test]

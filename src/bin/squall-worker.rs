@@ -1,0 +1,45 @@
+//! `squall-worker` — join a Squall cluster.
+//!
+//! A worker binds a TCP listener and serves distributed query jobs: for
+//! each job it receives the serialized plan from the coordinator, rebuilds
+//! the identical topology, hosts its assigned task range on its own
+//! cooperative worker pool, exchanges batches with its peers over TCP,
+//! and reports its metrics when the run drains.
+//!
+//! ```text
+//! squall-worker --listen 127.0.0.1:7401          # serve jobs forever
+//! squall-worker --listen 127.0.0.1:0 --once      # ephemeral port, one job
+//! ```
+//!
+//! The bound address is printed as `LISTENING <addr>` on stdout before the
+//! first job is accepted, so spawners can use port 0 and discover the
+//! ephemeral port. Point a session at the workers with
+//! `Session::builder().cluster(["<addr>", ...])`.
+
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!("usage: squall-worker [--listen <addr>] [--once]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--once" => once = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if let Err(e) = squall::engine::cluster::run_worker(&listen, once, |addr| {
+        println!("LISTENING {addr}");
+        std::io::stdout().flush().ok();
+    }) {
+        eprintln!("squall-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -66,6 +66,6 @@ pub use squall_runtime as runtime;
 pub use squall_sql as sql;
 
 pub use session::{
-    agg, avg, col, count, lit, sum, AggFunc, ExecConfig, LocalJoinKind, QueryBuilder, ResultSet,
-    SchemeKind, Session, SessionBuilder, SourceDef, SourceKind, Window, WindowKind,
+    agg, avg, col, count, lit, sum, AggFunc, ClusterSpec, ExecConfig, LocalJoinKind, QueryBuilder,
+    ResultSet, SchemeKind, Session, SessionBuilder, SourceDef, SourceKind, Window, WindowKind,
 };

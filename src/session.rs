@@ -41,10 +41,13 @@
 //! # let _ = count; // re-exported builder helper
 //! ```
 
-use squall_common::{Result, Schema, Tuple};
+use std::sync::{Arc, Mutex};
+
+use squall_common::{FxHashMap, Result, Schema, SquallError, Tuple};
 use squall_plan::physical::{execute_query, execute_query_stream, PhysicalQuery};
 use squall_plan::Catalog;
 
+pub use squall_core::cluster::ClusterSpec;
 pub use squall_core::driver::{JoinReport, LocalJoinKind};
 pub use squall_expr::AggFunc;
 pub use squall_partition::optimizer::SchemeKind;
@@ -145,8 +148,58 @@ impl SessionBuilder {
         self
     }
 
+    /// Split every distributed query across these `squall-worker`
+    /// processes (listen addresses) over TCP. The driving process is the
+    /// cluster's *coordinator*: it keeps the catalog, hosts the spout
+    /// tasks and its share of the join/aggregation machines, and collects
+    /// results; the workers host the remaining task ranges. Results and
+    /// per-machine loads are placement-independent — a clustered run
+    /// returns exactly what the single-process run returns, plus
+    /// per-peer wire metrics in [`JoinReport::transport`].
+    ///
+    /// Start each worker with `squall-worker --listen <addr>` (or
+    /// [`squall_core::cluster::run_worker`] in-process); `explain` prints
+    /// the task→peer placement.
+    pub fn cluster<I, S>(mut self, workers: I) -> SessionBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        // An empty worker list is a misconfiguration; it surfaces as a
+        // typed InvalidPlan when a distributed query runs (no panics in
+        // the builder).
+        self.config.cluster = Some(ClusterSpec::new(workers));
+        self
+    }
+
     pub fn build(self) -> Session {
-        Session { catalog: Catalog::new(), config: self.config }
+        Session { catalog: Catalog::new(), config: self.config, live: Arc::default() }
+    }
+}
+
+/// Reference counts of *live streaming runs* per source name. A streaming
+/// [`ResultSet`] holds a [`LiveGuard`] that decrements on release, so the
+/// session can refuse to drop a source out from under a running query.
+type LiveSources = Arc<Mutex<FxHashMap<String, usize>>>;
+
+/// Attached to a streaming `ResultSet`; releases its sources when the run
+/// stops being live (exhaustion, materialization or drop).
+struct LiveGuard {
+    names: Vec<String>,
+    registry: LiveSources,
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        let mut live = self.registry.lock().expect("live-source registry poisoned");
+        for name in &self.names {
+            if let Some(count) = live.get_mut(name) {
+                *count -= 1;
+                if *count == 0 {
+                    live.remove(name);
+                }
+            }
+        }
     }
 }
 
@@ -156,6 +209,9 @@ impl SessionBuilder {
 pub struct Session {
     catalog: Catalog,
     config: ExecConfig,
+    /// Shared with every streaming `ResultSet` this session hands out
+    /// (clones of a session share it too — they share the live runs).
+    live: LiveSources,
 }
 
 impl Session {
@@ -223,9 +279,17 @@ impl Session {
         Ok(self)
     }
 
-    /// Drop a registered source; returns whether it existed.
-    pub fn deregister(&mut self, name: &str) -> bool {
-        self.catalog.deregister(name)
+    /// Drop a registered source; returns whether it existed. Refuses with
+    /// a typed [`SquallError::SourceInUse`] while a live streaming run
+    /// ([`Session::sql_stream`] / [`QueryBuilder::stream`]) still reads
+    /// the source — finish, materialize or drop the stream first.
+    pub fn deregister(&mut self, name: &str) -> Result<bool> {
+        let live = self.live.lock().expect("live-source registry poisoned");
+        if live.get(name).copied().unwrap_or(0) > 0 {
+            return Err(SquallError::SourceInUse { source: name.to_string() });
+        }
+        drop(live);
+        Ok(self.catalog.deregister(name))
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -254,9 +318,11 @@ impl Session {
     /// Declarative interface, streaming: rows are yielded through the
     /// [`ResultSet`] iterator *while the topology runs*. A run that fails
     /// mid-way ends the stream early — check [`ResultSet::error`] after
-    /// exhaustion before trusting the rows as complete.
+    /// exhaustion before trusting the rows as complete. While the stream
+    /// is live its sources are pinned: [`Session::deregister`] on them
+    /// returns [`SquallError::SourceInUse`].
     pub fn sql_stream(&self, text: &str) -> Result<ResultSet> {
-        execute_query_stream(&squall_sql::parse(text)?, &self.catalog, &self.config)
+        self.run_stream(&squall_sql::parse(text)?)
     }
 
     /// Run an already-built logical query block (materialized).
@@ -264,9 +330,23 @@ impl Session {
         execute_query(query, &self.catalog, &self.config)
     }
 
-    /// Run an already-built logical query block, streaming.
+    /// Run an already-built logical query block, streaming. Live streams
+    /// pin their sources in the catalog (see [`Session::deregister`]).
     pub fn run_stream(&self, query: &Query) -> Result<ResultSet> {
-        execute_query_stream(query, &self.catalog, &self.config)
+        let mut rs = execute_query_stream(query, &self.catalog, &self.config)?;
+        if rs.is_streaming() {
+            let mut names: Vec<String> = query.tables.iter().map(|(t, _)| t.clone()).collect();
+            names.sort();
+            names.dedup();
+            {
+                let mut live = self.live.lock().expect("live-source registry poisoned");
+                for n in &names {
+                    *live.entry(n.clone()).or_insert(0) += 1;
+                }
+            }
+            rs.attach_guard(Box::new(LiveGuard { names, registry: Arc::clone(&self.live) }));
+        }
+        Ok(rs)
     }
 
     /// The optimized physical plan for a SQL query, as text: selection
@@ -277,9 +357,11 @@ impl Session {
 
     /// The optimized physical plan for a logical query block, as text,
     /// followed by the executor configuration the session would run it
-    /// with.
+    /// with — including the task→peer placement when the session runs on
+    /// a cluster.
     pub fn explain_query(&self, query: &Query) -> Result<String> {
-        let mut text = PhysicalQuery::plan(query, &self.catalog)?.explain();
+        let plan = PhysicalQuery::plan(query, &self.catalog)?;
+        let mut text = plan.explain();
         let workers = match self.config.worker_threads {
             Some(n) => n.to_string(),
             None => "auto".to_string(),
@@ -288,6 +370,24 @@ impl Session {
             "executor: {} machines, {} worker threads, batch size {}\n",
             self.config.machines, workers, self.config.batch_size
         ));
+        if let Some(cluster) = &self.config.cluster {
+            if plan.is_distributed() {
+                let (names, parallelism, is_spout) = plan.node_layout(&self.config);
+                text.push_str(&format!(
+                    "cluster: {} peers over TCP (coordinator + {} workers)\n",
+                    cluster.workers.len() + 1,
+                    cluster.workers.len()
+                ));
+                text.push_str(&squall_runtime::describe_placement(
+                    &names,
+                    &parallelism,
+                    &is_spout,
+                    &cluster.peer_labels(),
+                ));
+            } else {
+                text.push_str("cluster: single-table query runs locally on the coordinator\n");
+            }
+        }
         Ok(text)
     }
 
@@ -309,6 +409,7 @@ impl Session {
             tables: vec![(table.into(), alias.into())],
             filters: Vec::new(),
             group_by: Vec::new(),
+            having: Vec::new(),
             select: Vec::new(),
             window: None,
             order_by: Vec::new(),
@@ -333,6 +434,7 @@ pub struct QueryBuilder<'s> {
     tables: Vec<(String, String)>,
     filters: Vec<Expr>,
     group_by: Vec<Expr>,
+    having: Vec<Expr>,
     select: Vec<(Expr, Option<String>)>,
     window: Option<Window>,
     order_by: Vec<OrderKey>,
@@ -371,6 +473,16 @@ impl QueryBuilder<'_> {
     /// GROUP BY columns.
     pub fn group_by(mut self, cols: impl IntoIterator<Item = Expr>) -> Self {
         self.group_by.extend(cols);
+        self
+    }
+
+    /// Add a HAVING conjunct over the aggregate output — SQL's
+    /// `HAVING <predicate>`. May reference GROUP BY columns and aggregate
+    /// calls (including aggregates not in the SELECT list, which are
+    /// computed as hidden columns):
+    /// `.having(count().gt(lit(5)))`. Requires aggregation.
+    pub fn having(mut self, predicate: Expr) -> Self {
+        self.having.push(predicate);
         self
     }
 
@@ -436,12 +548,16 @@ impl QueryBuilder<'_> {
             filters: Vec::new(),
             select,
             group_by: self.group_by,
+            having: Vec::new(),
             window: self.window,
             order_by: self.order_by,
             limit: self.limit,
         };
         for predicate in self.filters {
             query = query.filter(predicate);
+        }
+        for predicate in self.having {
+            query = query.having(predicate);
         }
         query
     }
@@ -603,6 +719,57 @@ mod tests {
     }
 
     #[test]
+    fn having_sql_and_builder_agree() {
+        let s = session();
+        let mut sql = s
+            .sql(
+                "SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a \
+                 GROUP BY R.a HAVING COUNT(*) > 1",
+            )
+            .unwrap();
+        let mut imp = s
+            .from("R")
+            .join("S")
+            .on(col("R.a").eq(col("S.a")))
+            .group_by([col("R.a")])
+            .select([col("R.a"), count()])
+            .having(count().gt(lit(1)))
+            .run()
+            .unwrap();
+        // Groups: a=2 → 4 matches, a=3 → 1 match; only a=2 survives.
+        assert_eq!(sql.rows(), vec![tuple![2, 4]]);
+        assert_eq!(sql.rows(), imp.rows());
+        // The streaming path filters identically.
+        let mut st = s
+            .sql_stream(
+                "SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a \
+                 GROUP BY R.a HAVING COUNT(*) > 1",
+            )
+            .unwrap();
+        let mut streamed: Vec<Tuple> = st.by_ref().collect();
+        streamed.sort();
+        assert_eq!(streamed, vec![tuple![2, 4]]);
+        // And explain mentions the predicate.
+        let text = s
+            .explain(
+                "SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a GROUP BY R.a HAVING COUNT(*) > 1",
+            )
+            .unwrap();
+        assert!(text.contains("having:"), "{text}");
+    }
+
+    #[test]
+    fn having_hidden_aggregate_filters_without_projecting() {
+        let s = session();
+        // SUM(S.c) is only in HAVING: a=2 → 500, a=3 → 200.
+        let mut rs = s
+            .sql("SELECT R.a FROM R, S WHERE R.a = S.a GROUP BY R.a HAVING SUM(S.c) > 300")
+            .unwrap();
+        assert_eq!(rs.rows(), vec![tuple![2]]);
+        assert_eq!(rs.schema().arity(), 1, "hidden aggregate is not projected");
+    }
+
+    #[test]
     fn order_by_limit_sql_and_builder_agree() {
         let s = session();
         let mut sql = s
@@ -753,8 +920,40 @@ mod tests {
             Err(SquallError::InvalidSource { .. })
         ));
         // Deregister frees the name for a replacement.
-        assert!(s.deregister("R"));
+        assert!(s.deregister("R").unwrap());
+        assert!(!s.deregister("R").unwrap(), "already gone");
         s.register("R", schema, vec![tuple![1, 2]]).unwrap();
+    }
+
+    #[test]
+    fn deregister_refuses_sources_of_live_streams() {
+        let mut s = session();
+        let mut stream = s.sql_stream("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap();
+        assert!(stream.is_streaming());
+        let first = stream.next();
+        assert!(first.is_some());
+        // Both sources are pinned while the run is live.
+        assert!(matches!(
+            s.deregister("R"),
+            Err(SquallError::SourceInUse { source }) if source == "R"
+        ));
+        assert!(matches!(s.deregister("S"), Err(SquallError::SourceInUse { .. })));
+        // Dropping the stream (aborting the run) releases them.
+        drop(stream);
+        assert!(s.deregister("R").unwrap());
+
+        // Exhausting a stream releases too, even while rows stay readable.
+        let mut s = session();
+        let mut stream = s.sql_stream("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap();
+        while stream.next().is_some() {}
+        assert!(s.deregister("S").unwrap());
+        assert!(stream.error().is_none());
+
+        // Materialized runs never pin: sql() completes before returning.
+        let mut s = session();
+        let mut rs = s.sql("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap();
+        assert!(!rs.rows().is_empty());
+        assert!(s.deregister("R").unwrap());
     }
 
     #[test]

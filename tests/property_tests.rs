@@ -8,7 +8,8 @@
 //! * DBToaster's aggregated views preserve result cardinalities.
 
 use proptest::prelude::*;
-use squall::common::{tuple, DataType, Schema, SplitMix64, Tuple, Value};
+use squall::common::{tuple, DataType, Schema, SplitMix64, SquallError, Tuple, Value};
+use squall::engine::cluster::{serve_job, ClusterSpec};
 use squall::engine::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
 use squall::expr::{JoinAtom, MultiJoinSpec, RelationDef};
 use squall::join::naive::{naive_join, same_multiset};
@@ -48,8 +49,112 @@ fn rand_data(n_rels: usize, rows: usize, dom: i64, seed: u64) -> Vec<Vec<Tuple>>
         .collect()
 }
 
+/// In-process workers over real loopback TCP: the transport serializes
+/// every batch through genuine sockets either way; the e2e suite covers
+/// the separate-OS-process variant with spawned `squall-worker` children.
+fn loopback_workers(n: usize) -> (ClusterSpec, Vec<std::thread::JoinHandle<()>>) {
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..n {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        addrs.push(listener.local_addr().unwrap().to_string());
+        handles.push(std::thread::spawn(move || serve_job(&listener).unwrap()));
+    }
+    (ClusterSpec::new(addrs), handles)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The transport contract on the 3-way hypercube scenario: a run split
+    /// across TCP peers produces row-identical results and identical
+    /// per-machine loads to the single-process run, for arbitrary data,
+    /// machine counts, schemes and peer counts.
+    #[test]
+    fn tcp_transport_matches_local_on_hypercube(
+        seed in 0u64..500,
+        machines in 2usize..10,
+        dom in 3i64..12,
+        skew_mask in 0u8..8,
+        n_workers in 1usize..3,
+        scheme_pick in 0u8..3,
+        batch in 0u8..2,
+    ) {
+        let spec = chain_spec(3, skew_mask, &[60, 60, 60]);
+        let data = rand_data(3, 60, dom, seed);
+        let kind = [SchemeKind::Hash, SchemeKind::Random, SchemeKind::Hybrid][scheme_pick as usize];
+        let mut cfg = MultiwayConfig::new(kind, LocalJoinKind::DBToaster, machines);
+        cfg.seed = seed;
+        cfg.batch_size = [7, 64][batch as usize];
+        let local = run_multiway(&spec, data.clone(), &cfg).unwrap();
+        prop_assert!(local.error.is_none());
+
+        let (cluster, handles) = loopback_workers(n_workers);
+        cfg.cluster = Some(cluster);
+        let dist = run_multiway(&spec, data, &cfg).unwrap();
+        for h in handles { h.join().unwrap(); }
+        prop_assert!(dist.error.is_none(), "{:?}", dist.error);
+        prop_assert!(same_multiset(&dist.results, &local.results),
+            "{} distributed vs {} local rows", dist.results.len(), local.results.len());
+        prop_assert_eq!(&dist.loads, &local.loads, "per-machine loads differ across the wire");
+        prop_assert_eq!(dist.result_count, local.result_count);
+        prop_assert!(dist.transport.is_some());
+    }
+
+    /// Same contract for the windowed-join scenario (event-time windows
+    /// need per-relation FIFO order, which the wire must preserve), and
+    /// for the MemoryOverflow abort-drain path (the typed error crosses
+    /// the wire; every process drains instead of hanging).
+    #[test]
+    fn tcp_transport_matches_local_on_windows_and_abort(
+        seed in 0u64..500,
+        machines in 2usize..8,
+        width in 5u64..60,
+    ) {
+        use squall::engine::driver::WindowPlan;
+        use squall::join::WindowSpec;
+
+        let spec = chain_spec(2, 0, &[80, 80]);
+        // Column 1 doubles as the event-time column (non-negative by
+        // construction in rand_data's 0..dom range — widen the domain so
+        // windows actually evict).
+        let data = rand_data(2, 80, 200, seed);
+        let mut sorted = data.clone();
+        for (d, ts_col) in sorted.iter_mut().zip([1usize, 1]) {
+            squall::runtime::sort_by_event_time(d, ts_col).unwrap();
+        }
+        let mut cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, machines);
+        cfg.seed = seed;
+        cfg.window = Some(WindowPlan { spec: WindowSpec::Sliding { size: width }, ts_cols: vec![1, 1] });
+        let local = run_multiway(&spec, sorted.clone(), &cfg).unwrap();
+        prop_assert!(local.error.is_none());
+
+        let (cluster, handles) = loopback_workers(1);
+        cfg.cluster = Some(cluster);
+        let dist = run_multiway(&spec, sorted, &cfg).unwrap();
+        for h in handles { h.join().unwrap(); }
+        prop_assert!(same_multiset(&dist.results, &local.results),
+            "windowed: {} distributed vs {} local", dist.results.len(), local.results.len());
+        prop_assert_eq!(&dist.loads, &local.loads);
+
+        // Abort-drain: a budget small enough to overflow some machine.
+        let spec = chain_spec(3, 0, &[120, 120, 120]);
+        let data = rand_data(3, 120, 3, seed);
+        let mut cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 2)
+            .count_only()
+            .with_budget(20);
+        cfg.seed = seed;
+        let local = run_multiway(&spec, data.clone(), &cfg).unwrap();
+        prop_assert!(matches!(local.error, Some(SquallError::MemoryOverflow { .. })));
+        let (cluster, handles) = loopback_workers(1);
+        cfg.cluster = Some(cluster);
+        let dist = run_multiway(&spec, data, &cfg).unwrap();
+        for h in handles { h.join().unwrap(); }
+        prop_assert!(
+            matches!(dist.error, Some(SquallError::MemoryOverflow { budget: 20, .. })),
+            "typed overflow must cross the wire, got {:?}", dist.error
+        );
+    }
 
     #[test]
     fn scheme_routing_meets_exactly_once(
