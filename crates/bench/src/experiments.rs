@@ -572,7 +572,7 @@ pub fn abl_temporal_skew() -> Vec<Row> {
     ]
 }
 
-/// A3 — Adaptive 1-Bucket under drifting |R|:|S| (the [32] scenario).
+/// A3 — Adaptive 1-Bucket under drifting |R|:|S| (the \[32\] scenario).
 pub fn abl_adaptive() -> Vec<Row> {
     let arrivals = adaptive_sim::drifting_stream(500, 20_000, 12, 21);
     let stat = adaptive_sim::simulate(16, &arrivals, false, 5);

@@ -1,4 +1,4 @@
-//! Executable model of the Adaptive 1-Bucket operator ([32], §5
+//! Executable model of the Adaptive 1-Bucket operator (\[32\], §5
 //! "Hypercube sizes").
 //!
 //! The decision logic lives in [`squall_partition::AdaptiveMatrix`]; this
@@ -135,7 +135,7 @@ pub fn simulate(machines: usize, arrivals: &[Arrival], adaptive: bool, seed: u64
 }
 
 /// A drifting workload: the first `phase1` arrivals are evenly split, the
-/// rest are `ratio`:1 in favour of R — the [32] drift scenario.
+/// rest are `ratio`:1 in favour of R — the \[32\] drift scenario.
 pub fn drifting_stream(phase1: usize, phase2: usize, ratio: usize, seed: u64) -> Vec<Arrival> {
     let mut rng = SplitMix64::new(seed);
     let mut out = Vec::with_capacity(phase1 + phase2);

@@ -51,11 +51,22 @@ pub struct WindowPlan {
 }
 
 /// Optional aggregation stage after the join.
+///
+/// With [`MultiwayConfig::window`] also set, the stage aggregates **per
+/// window** instead of over the full join history: state is keyed by
+/// `(window, group key)`, windows close on the minimum watermark across
+/// the join tasks, and the result rows are
+/// `(window_start, window_end, group…, agg…)` (bounds inclusive), emitted
+/// in window order. Per-window mode runs at parallelism 1 (the ordering
+/// contract needs a single emitter); `parallelism` applies to the
+/// full-history mode only.
 #[derive(Debug, Clone)]
 pub struct AggPlan {
     /// Group-by columns of the join output schema.
     pub group_cols: Vec<usize>,
+    /// The aggregate columns, in output order.
     pub aggs: Vec<AggSpec>,
+    /// Task count of the aggregation component (full-history mode).
     pub parallelism: usize,
 }
 
@@ -134,6 +145,27 @@ impl MultiwayConfig {
 }
 
 /// Everything a run reports (the §6 monitoring quantities).
+///
+/// ```
+/// use squall_common::{tuple, DataType, Schema};
+/// use squall_core::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
+/// use squall_expr::{JoinAtom, MultiJoinSpec, RelationDef};
+/// use squall_partition::optimizer::SchemeKind;
+///
+/// let schema = Schema::of(&[("a", DataType::Int)]);
+/// let spec = MultiJoinSpec::new(
+///     vec![RelationDef::new("R", schema.clone(), 2), RelationDef::new("S", schema, 2)],
+///     vec![JoinAtom::eq(0, 0, 1, 0)],
+/// ).unwrap();
+/// let data = vec![vec![tuple![1], tuple![2]], vec![tuple![2], tuple![3]]];
+/// let cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 2);
+/// let report = run_multiway(&spec, data, &cfg).unwrap();
+/// assert!(report.error.is_none());
+/// assert_eq!(report.result_count, 1, "only the key 2 joins");
+/// assert_eq!(report.input_count, 4);
+/// assert_eq!(report.loads.len(), 2, "one load counter per join machine");
+/// assert!(report.max_load() >= 1 && report.avg_load() > 0.0);
+/// ```
 #[derive(Debug)]
 pub struct JoinReport {
     /// Join results (or aggregate rows when an [`AggPlan`] was set; or
@@ -231,6 +263,14 @@ pub(crate) fn assemble(
         )));
     }
     if let Some(w) = &cfg.window {
+        if matches!(w.spec, WindowSpec::FullHistory) {
+            // FullHistory is the *absence* of a window plan; under an
+            // aggregate it would panic inside the per-window bolt, so
+            // reject it as the typed planning error it is.
+            return Err(SquallError::InvalidPlan(
+                "a window plan must be tumbling or sliding (FullHistory = no window)".into(),
+            ));
+        }
         if w.ts_cols.len() != spec.n_relations() {
             return Err(SquallError::InvalidPlan(format!(
                 "window plan names {} ts columns for {} relations",
@@ -288,6 +328,10 @@ pub(crate) fn assemble(
     let spec_for_bolt = Arc::clone(&spec_arc);
     let origin_map = Arc::new(origin_map);
     let window = cfg.window.clone();
+    // Windowed aggregation downstream: the join tasks forward their
+    // event-time watermarks (throttled to one per window length) so the
+    // aggregate can close windows while the stream is still running.
+    let windowed_agg = cfg.window.is_some() && cfg.agg.is_some();
     let join_node = b.add_bolt("join", cfg.machines, move |task| {
         let origin_to_rel: FxHashMap<usize, usize> =
             origin_map.iter().map(|(&k, &v)| (k, v)).collect();
@@ -296,7 +340,7 @@ pub(crate) fn assemble(
             Some(w) => {
                 let arities: Vec<usize> =
                     spec_for_bolt.relations.iter().map(|r| r.schema.arity()).collect();
-                crate::operators::JoinBolt::new_windowed(
+                let mut bolt = crate::operators::JoinBolt::new_windowed(
                     task,
                     origin_to_rel,
                     local_join,
@@ -304,7 +348,16 @@ pub(crate) fn assemble(
                     w.spec,
                     w.ts_cols.clone(),
                     &arities,
-                )
+                );
+                if windowed_agg {
+                    let granule = match w.spec {
+                        WindowSpec::Tumbling { width } => width,
+                        WindowSpec::Sliding { size } => size,
+                        WindowSpec::FullHistory => 1,
+                    };
+                    bolt = bolt.with_watermark_forwarding(granule);
+                }
+                bolt
             }
             None => crate::operators::JoinBolt::new(
                 task,
@@ -328,16 +381,48 @@ pub(crate) fn assemble(
     if let Some(agg) = &cfg.agg {
         let group_cols = agg.group_cols.clone();
         let aggs = agg.aggs.clone();
-        let node = b.add_bolt("agg", agg.parallelism, move |_task| {
-            Box::new(crate::operators::AggBolt::new(group_cols.clone(), aggs.clone(), false))
-        });
-        // Group-key partitioning; a global grouping if no keys.
-        let grouping = if agg.group_cols.is_empty() {
-            Grouping::Global
-        } else {
-            Grouping::Fields(agg.group_cols.clone())
+        let node = match &cfg.window {
+            Some(w) => {
+                // Per-window aggregation. The event-time columns move to
+                // join-output coordinates (the same mapping the windowed
+                // join uses for its result predicate). One task: closed
+                // windows then stream to the sink in global window order —
+                // the per-window ordering contract — and every join
+                // task's watermark funnels into a single minimum.
+                let arities: Vec<usize> = spec.relations.iter().map(|r| r.schema.arity()).collect();
+                let ts_cols = squall_join::output_ts_cols(&arities, &w.ts_cols);
+                let wspec = w.spec;
+                let n_upstream = cfg.machines.max(1);
+                let node = b.add_bolt("agg", 1, move |_task| {
+                    Box::new(crate::operators::WindowedAggBolt::new(
+                        wspec,
+                        ts_cols.clone(),
+                        group_cols.clone(),
+                        aggs.clone(),
+                        n_upstream,
+                    ))
+                });
+                b.connect(join_node, node, Grouping::Global);
+                node
+            }
+            None => {
+                let node = b.add_bolt("agg", agg.parallelism, move |_task| {
+                    Box::new(crate::operators::AggBolt::new(
+                        group_cols.clone(),
+                        aggs.clone(),
+                        false,
+                    ))
+                });
+                // Group-key partitioning; a global grouping if no keys.
+                let grouping = if agg.group_cols.is_empty() {
+                    Grouping::Global
+                } else {
+                    Grouping::Fields(agg.group_cols.clone())
+                };
+                b.connect(join_node, node, grouping);
+                node
+            }
         };
-        b.connect(join_node, node, grouping);
         agg_node = Some(node);
     }
 
@@ -664,6 +749,126 @@ mod tests {
         assert_eq!(report.results[0], tuple![expected]);
     }
 
+    /// Two event streams (key, ts), event-time sorted — the input shape
+    /// windowed topologies require.
+    fn event_streams(n: usize, dom: i64, ts_step: i64, seed: u64) -> Vec<Vec<Tuple>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..2)
+            .map(|_| {
+                let mut ts = 0i64;
+                (0..n)
+                    .map(|_| {
+                        ts += rng.next_range(0, ts_step);
+                        tuple![rng.next_range(0, dom), ts]
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn two_stream_spec() -> MultiJoinSpec {
+        let s = Schema::of(&[("k", DataType::Int), ("ts", DataType::Int)]);
+        MultiJoinSpec::new(
+            vec![RelationDef::new("A", s.clone(), 100), RelationDef::new("B", s, 100)],
+            vec![JoinAtom::eq(0, 0, 1, 0)],
+        )
+        .unwrap()
+    }
+
+    /// Brute-force per-window GROUP BY COUNT oracle over the pair join.
+    /// Windows: tumbling `[k·w, (k+1)·w)`, sliding `[s, s+size]` for every
+    /// integer start — a row counts in a window iff both timestamps lie
+    /// inside. Rows are `(start, end_inclusive, key, count)`.
+    fn window_count_oracle(data: &[Vec<Tuple>], spec: WindowSpec) -> Vec<Tuple> {
+        use std::collections::BTreeMap;
+        let mut per_window: BTreeMap<(u64, i64), i64> = BTreeMap::new();
+        for x in &data[0] {
+            for y in &data[1] {
+                if x.get(0) != y.get(0) {
+                    continue;
+                }
+                let (tx, ty) =
+                    (x.get(1).as_int().unwrap() as u64, y.get(1).as_int().unwrap() as u64);
+                let (lo, hi) = (tx.min(ty), tx.max(ty));
+                let key = x.get(0).as_int().unwrap();
+                match spec {
+                    WindowSpec::Tumbling { width } => {
+                        if tx / width == ty / width {
+                            *per_window.entry((hi / width * width, key)).or_insert(0) += 1;
+                        }
+                    }
+                    WindowSpec::Sliding { size } => {
+                        for s in hi.saturating_sub(size)..=lo {
+                            *per_window.entry((s, key)).or_insert(0) += 1;
+                        }
+                    }
+                    WindowSpec::FullHistory => unreachable!(),
+                }
+            }
+        }
+        per_window
+            .into_iter()
+            .map(|((start, key), count)| {
+                let end = match spec {
+                    WindowSpec::Tumbling { width } => start + width - 1,
+                    WindowSpec::Sliding { size } => start + size,
+                    WindowSpec::FullHistory => unreachable!(),
+                };
+                tuple![start as i64, end as i64, key, count]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn windowed_aggregate_matches_per_window_oracle() {
+        let spec = two_stream_spec();
+        for (wspec, seed) in
+            [(WindowSpec::Tumbling { width: 10 }, 21u64), (WindowSpec::Sliding { size: 7 }, 22)]
+        {
+            let data = event_streams(60, 5, 4, seed);
+            let oracle = window_count_oracle(&data, wspec);
+            assert!(!oracle.is_empty(), "oracle must exercise something");
+            let cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 4)
+                .with_window(WindowPlan { spec: wspec, ts_cols: vec![1, 1] })
+                .with_agg(AggPlan {
+                    group_cols: vec![0],
+                    aggs: vec![AggSpec::count()],
+                    parallelism: 3, // ignored: per-window mode pins to 1 task
+                });
+            let report = run_multiway(&spec, data, &cfg).unwrap();
+            assert!(report.error.is_none(), "{:?}", report.error);
+            let mut rows = report.results.clone();
+            rows.sort();
+            assert_eq!(rows, oracle, "{wspec:?}");
+        }
+    }
+
+    #[test]
+    fn windowed_aggregate_streams_closed_windows_in_order() {
+        let spec = two_stream_spec();
+        let wspec = WindowSpec::Tumbling { width: 8 };
+        let data = event_streams(80, 4, 3, 5);
+        let oracle = window_count_oracle(&data, wspec);
+        let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 3)
+            .with_window(WindowPlan { spec: wspec, ts_cols: vec![1, 1] })
+            .with_agg(AggPlan {
+                group_cols: vec![0],
+                aggs: vec![AggSpec::count()],
+                parallelism: 1,
+            });
+        let mut stream = run_multiway_stream(&spec, data, &cfg).unwrap();
+        let streamed: Vec<Tuple> = stream.by_ref().collect();
+        assert!(stream.report().unwrap().error.is_none());
+        // Production order is window order: starts are non-decreasing.
+        let starts: Vec<i64> = streamed.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "closed windows must stream in window order");
+        let mut rows = streamed;
+        rows.sort();
+        assert_eq!(rows, oracle);
+    }
+
     #[test]
     fn memory_budget_aborts_with_overflow() {
         let spec = rst_spec(false);
@@ -731,6 +936,20 @@ mod tests {
         assert!(report.replication_factor > 1.0);
         assert!(report.skew_degree < 1.5, "random scheme balances load");
         assert!(report.network_factor > 0.0);
+    }
+
+    #[test]
+    fn full_history_window_plan_rejected() {
+        let spec = two_stream_spec();
+        let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 2)
+            .with_window(WindowPlan { spec: WindowSpec::FullHistory, ts_cols: vec![1, 1] })
+            .with_agg(AggPlan {
+                group_cols: vec![0],
+                aggs: vec![AggSpec::count()],
+                parallelism: 1,
+            });
+        let err = run_multiway(&spec, event_streams(10, 3, 2, 1), &cfg).unwrap_err();
+        assert!(matches!(err, SquallError::InvalidPlan(_)), "{err}");
     }
 
     #[test]

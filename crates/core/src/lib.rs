@@ -6,7 +6,7 @@
 //! driver that maps a multi-way join query onto a
 //! [`squall_runtime::Topology`], the pipeline-of-2-way-joins comparator
 //! (§7.2), replication-aware peer recovery (§5 "Fault tolerance") and the
-//! Adaptive 1-Bucket simulation ([32]).
+//! Adaptive 1-Bucket simulation (\[32\]).
 //!
 //! The central design point is *separation of concerns* (§3.4): "Squall
 //! requires no changes in the partitioning scheme and local join when

@@ -1,6 +1,8 @@
 //! Physical operators: the bolts Squall installs into topologies.
 
-use squall_common::{FxHashMap, Result, SquallError, Tuple};
+use std::collections::BTreeMap;
+
+use squall_common::{FxHashMap, Result, SquallError, Tuple, Value};
 use squall_expr::ScalarExpr;
 use squall_join::{AggSpec, GroupByAggregator, LocalJoin, WindowJoin, WindowSpec};
 use squall_runtime::{Bolt, NodeId, OutputCollector};
@@ -94,6 +96,12 @@ pub struct JoinBolt {
     buf: Vec<Tuple>,
     wbuf: Vec<(Tuple, i64)>,
     results: u64,
+    /// Event-time mode with a windowed aggregate downstream: forward the
+    /// bolt's watermark whenever it advances by at least this granule
+    /// (plus a final `u64::MAX` at end-of-stream). `None` = no forwarding.
+    wm_granule: Option<u64>,
+    /// Next watermark value at which a forward is due.
+    next_wm: u64,
 }
 
 impl JoinBolt {
@@ -117,6 +125,8 @@ impl JoinBolt {
             buf: Vec::new(),
             wbuf: Vec::new(),
             results: 0,
+            wm_granule: None,
+            next_wm: 0,
         }
     }
 
@@ -148,7 +158,22 @@ impl JoinBolt {
             buf: Vec::new(),
             wbuf: Vec::new(),
             results: 0,
+            wm_granule: None,
+            next_wm: 0,
         }
+    }
+
+    /// Forward this task's event-time watermark downstream whenever it
+    /// advances by at least `granule` time units, plus a final `u64::MAX`
+    /// watermark at end-of-stream. Windowed aggregation downstream closes
+    /// windows on the minimum forwarded watermark across all join tasks;
+    /// the granule throttles how often scatter buffers are flushed for a
+    /// watermark (one window length is the natural choice). Event-time
+    /// bolts only.
+    pub fn with_watermark_forwarding(mut self, granule: u64) -> JoinBolt {
+        assert!(self.join.is_event_time(), "watermark forwarding needs event-time windows");
+        self.wm_granule = Some(granule.max(1));
+        self
     }
 
     pub fn with_budget(mut self, budget: usize) -> JoinBolt {
@@ -202,6 +227,18 @@ impl Bolt for JoinBolt {
                 }
             }
         }
+        if let Some(granule) = self.wm_granule {
+            // Watermark forwarding: the results emitted above all carry
+            // event time ≥ the bolt's watermark, so promising it downstream
+            // is safe; the granule batches promises so buffers are not
+            // flushed on every arrival.
+            if let Some(w) = self.join.watermark() {
+                if w >= self.next_wm {
+                    out.emit_watermark(w);
+                    self.next_wm = w.saturating_add(granule);
+                }
+            }
+        }
         if let Some(budget) = self.budget {
             let stored = self.join.inner().stored();
             if stored > budget {
@@ -212,6 +249,13 @@ impl Bolt for JoinBolt {
     }
 
     fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
+        if self.wm_granule.is_some() {
+            // This task will never emit again: release downstream windows
+            // unconditionally (a task that saw no data for some relation
+            // never advanced its watermark — without this, windowed
+            // aggregation could only close windows at its own finish).
+            out.emit_watermark(u64::MAX);
+        }
         if self.emit == JoinEmit::CountOnly {
             out.emit(squall_common::tuple![self.results as i64]);
         }
@@ -248,6 +292,188 @@ impl Bolt for AggBolt {
                 out.emit(row);
             }
         }
+        Ok(())
+    }
+}
+
+/// Per-window aggregation: the windowed mode of the aggregation component
+/// (§2 "window semantics for its operators" — the window applied to the
+/// *aggregate*, not just the join).
+///
+/// State is keyed by `(window_start, group key)`: each incoming join
+/// result is folded into every window it belongs to —
+///
+/// * **tumbling `width`** — exactly one window, `[k·width, (k+1)·width)`
+///   where `k = ⌊ts/width⌋` (the window predicate upstream guarantees all
+///   constituent timestamps share the bucket);
+/// * **sliding `size`** — every window `[s, s+size]` (inclusive, matching
+///   the join's `max − min ≤ size` predicate) that contains *all*
+///   constituent timestamps: `s ∈ [max−size, min]`, one window per time
+///   unit, so adjacent windows overlap.
+///
+/// A window is **closed** — its rows finalized and emitted, its state
+/// dropped — once the minimum watermark across every upstream join task
+/// guarantees no further result can fall into it (tumbling: watermark
+/// reached the next bucket; sliding: `start < watermark − size`). Closed
+/// windows are emitted in ascending `window_start` order, each row shaped
+/// `(window_start, window_end, group…, agg…)` with both bounds inclusive,
+/// and the remaining windows flush — still in order — at end-of-stream.
+/// The bolt runs at parallelism 1 so this order is the order the query's
+/// sink observes: the streaming per-window contract of `ResultSet`.
+pub struct WindowedAggBolt {
+    spec: WindowSpec,
+    /// Positions of each relation's event-time column in the join-output
+    /// row (results are concatenated in relation order).
+    ts_cols: Vec<usize>,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    /// Open windows by start, each with its own group-by state.
+    windows: BTreeMap<u64, GroupByAggregator>,
+    /// Latest watermark per upstream task `(node, task)`.
+    frontiers: FxHashMap<(NodeId, usize), u64>,
+    /// Upstream task count; window closing waits until every task has
+    /// promised a frontier (before that no minimum is meaningful).
+    n_upstream: usize,
+    /// Every window with `start` below this has been emitted; a data row
+    /// for such a window would violate the watermark contract.
+    closed_before: u64,
+}
+
+impl WindowedAggBolt {
+    /// `ts_cols` are the constituent event-time columns in join-output
+    /// coordinates; `n_upstream` is the join component's parallelism.
+    pub fn new(
+        spec: WindowSpec,
+        ts_cols: Vec<usize>,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        n_upstream: usize,
+    ) -> WindowedAggBolt {
+        assert!(
+            !matches!(spec, WindowSpec::FullHistory),
+            "per-window aggregation needs a bounded window shape"
+        );
+        assert!(!ts_cols.is_empty(), "event-time columns required");
+        assert!(n_upstream > 0);
+        WindowedAggBolt {
+            spec,
+            ts_cols,
+            group_cols,
+            aggs,
+            windows: BTreeMap::new(),
+            frontiers: FxHashMap::default(),
+            n_upstream,
+            closed_before: 0,
+        }
+    }
+
+    /// Inclusive end of the window starting at `start`.
+    fn window_end(&self, start: u64) -> u64 {
+        match self.spec {
+            WindowSpec::Tumbling { width } => start + width - 1,
+            WindowSpec::Sliding { size } => start + size,
+            WindowSpec::FullHistory => unreachable!("rejected at construction"),
+        }
+    }
+
+    /// Emit and drop every window with `start < boundary`, in window
+    /// order.
+    fn close_below(&mut self, boundary: u64, out: &mut OutputCollector) {
+        while let Some(entry) = self.windows.first_entry() {
+            if *entry.key() >= boundary {
+                break;
+            }
+            let (start, agg) = entry.remove_entry();
+            self.emit_window(start, &agg, out);
+        }
+        self.closed_before = self.closed_before.max(boundary);
+    }
+
+    fn emit_window(&self, start: u64, agg: &GroupByAggregator, out: &mut OutputCollector) {
+        let end = self.window_end(start);
+        for row in agg.snapshot() {
+            let mut values = Vec::with_capacity(2 + row.arity());
+            values.push(Value::Int(start as i64));
+            values.push(Value::Int(end as i64));
+            values.extend(row.values().iter().cloned());
+            out.emit(Tuple::new(values));
+        }
+    }
+
+    /// Open windows (testing / introspection).
+    pub fn open_windows(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+impl Bolt for WindowedAggBolt {
+    fn execute(&mut self, _origin: NodeId, tuple: Tuple, _out: &mut OutputCollector) -> Result<()> {
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for &c in &self.ts_cols {
+            let v = tuple.get(c).as_int()?;
+            if v < 0 {
+                return Err(SquallError::Runtime(format!(
+                    "negative event-time timestamp {v} in aggregate input"
+                )));
+            }
+            lo = lo.min(v as u64);
+            hi = hi.max(v as u64);
+        }
+        // The windows this result belongs to (see the type docs).
+        let (first, last) = match self.spec {
+            WindowSpec::Tumbling { width } => {
+                debug_assert_eq!(lo / width, hi / width, "join window predicate violated");
+                let start = hi / width * width;
+                (start, start)
+            }
+            WindowSpec::Sliding { size } => (hi.saturating_sub(size), lo),
+            WindowSpec::FullHistory => unreachable!("rejected at construction"),
+        };
+        if first < self.closed_before {
+            return Err(SquallError::Runtime(format!(
+                "late join result for closed window {first} (closed below {})",
+                self.closed_before
+            )));
+        }
+        for start in first..=last {
+            self.windows
+                .entry(start)
+                .or_insert_with(|| {
+                    GroupByAggregator::new(self.group_cols.clone(), self.aggs.clone())
+                })
+                .update(&tuple)?;
+        }
+        Ok(())
+    }
+
+    fn watermark(
+        &mut self,
+        origin: NodeId,
+        from_task: usize,
+        ts: u64,
+        out: &mut OutputCollector,
+    ) -> Result<()> {
+        let slot = self.frontiers.entry((origin, from_task)).or_insert(0);
+        *slot = (*slot).max(ts);
+        if self.frontiers.len() < self.n_upstream {
+            return Ok(()); // some upstream task has made no promise yet
+        }
+        let w = self.frontiers.values().copied().min().unwrap_or(0);
+        // Any future result carries max-constituent-ts ≥ w, so its
+        // earliest window start is bounded below; everything under that
+        // bound is final.
+        let boundary = match self.spec {
+            WindowSpec::Tumbling { width } => w / width * width,
+            WindowSpec::Sliding { size } => w.saturating_sub(size),
+            WindowSpec::FullHistory => unreachable!("rejected at construction"),
+        };
+        self.close_below(boundary, out);
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
+        // All inputs done: every remaining window is final.
+        self.close_below(u64::MAX, out);
         Ok(())
     }
 }

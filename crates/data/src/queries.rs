@@ -12,7 +12,8 @@ use crate::google_cluster::{self, GoogleClusterData, FAIL};
 use crate::tpch::{self, TpchData};
 use crate::webgraph::{self, HUB};
 
-/// A query ready for [`squall_core::run_multiway`]-style execution.
+/// A query ready for `squall_core::driver::run_multiway`-style execution
+/// (the data crate does not depend on the engine, so the link is textual).
 pub struct QueryInstance {
     pub spec: MultiJoinSpec,
     pub data: Vec<Vec<Tuple>>,

@@ -1,5 +1,5 @@
 //! The DBToaster-style local multi-way join — higher-order incremental
-//! view maintenance (Ahmad, Kennedy, Koch & Nikolic [9]; §3.3).
+//! view maintenance (Ahmad, Kennedy, Koch & Nikolic \[9\]; §3.3).
 //!
 //! "Instead of maintaining only the final result, DBToaster maintains all
 //! the intermediate (n−1)-, (n−2)-, …, and 2-way joins. When a new tuple

@@ -13,7 +13,7 @@
 //!   conditions); every arrival recomputes the full (n−1)-way remainder, so
 //!   cost explodes with the number of relations;
 //! * [`DBToasterJoin`] — the higher-order incremental view maintenance
-//!   algorithm of Ahmad et al. [9]: every *connected sub-join* is kept
+//!   algorithm of Ahmad et al. \[9\]: every *connected sub-join* is kept
 //!   materialized, so an arrival only probes pre-joined views. "The savings
 //!   grow with the increase in the number of relations" — the Figure 8
 //!   experiments quantify exactly this gap.
@@ -38,7 +38,7 @@ pub use dbtoaster::DBToasterJoin;
 pub use naive::naive_join;
 pub use spill::SpillStore;
 pub use traditional::TraditionalJoin;
-pub use window::{WindowJoin, WindowSpec};
+pub use window::{output_ts_cols, WindowJoin, WindowSpec};
 
 use squall_common::Tuple;
 

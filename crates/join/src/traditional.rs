@@ -3,7 +3,7 @@
 //!
 //! "Upon tuple arrival, we store the tuple, update all of its indexes, and
 //! lookup indexes on the opposite relation(s) in order to produce result
-//! tuples." For 2-way joins this is the classic symmetric hash join [69];
+//! tuples." For 2-way joins this is the classic symmetric hash join \[69\];
 //! for n-way joins every arrival must *recompute* the (n−1)-way remainder
 //! by cascading base-relation probes — the recomputation DBToaster
 //! amortizes away, and the reason Figure 8 shows an order-of-magnitude gap

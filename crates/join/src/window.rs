@@ -45,6 +45,24 @@ pub enum WindowSpec {
     Sliding { size: u64 },
 }
 
+/// Positions of each relation's event-time column within a join *output*
+/// row. Results concatenate relations in order, so relation `rel`'s
+/// timestamp lands at `arities[..rel].sum() + ts_cols[rel]`. Shared by
+/// the event-time [`WindowJoin`] (window predicate over emitted results)
+/// and the per-window aggregation bolt downstream of it — one mapping,
+/// so the two can never drift.
+pub fn output_ts_cols(arities: &[usize], ts_cols: &[usize]) -> Vec<usize> {
+    assert_eq!(arities.len(), ts_cols.len(), "one ts column per relation");
+    let mut out = Vec::with_capacity(arities.len());
+    let mut off = 0;
+    for (a, &c) in arities.iter().zip(ts_cols) {
+        assert!(c < *a, "ts column {c} out of range for arity {a}");
+        out.push(off + c);
+        off += a;
+    }
+    out
+}
+
 /// A windowed local join: any full-history [`LocalJoin`] plus expiration.
 pub struct WindowJoin<J: LocalJoin> {
     inner: J,
@@ -92,14 +110,7 @@ impl<J: LocalJoin> WindowJoin<J> {
         arities: &[usize],
         ts_cols: &[usize],
     ) -> WindowJoin<J> {
-        assert_eq!(arities.len(), ts_cols.len(), "one ts column per relation");
-        let mut out_ts = Vec::with_capacity(arities.len());
-        let mut off = 0;
-        for (a, &c) in arities.iter().zip(ts_cols) {
-            assert!(c < *a, "ts column {c} out of range for arity {a}");
-            out_ts.push(off + c);
-            off += a;
-        }
+        let out_ts = output_ts_cols(arities, ts_cols);
         WindowJoin {
             inner,
             spec,
@@ -232,6 +243,16 @@ impl<J: LocalJoin> WindowJoin<J> {
             }
         }
         true
+    }
+
+    /// The event-time watermark: the minimum of the per-relation timestamp
+    /// frontiers, i.e. the largest `w` such that every future arrival is
+    /// guaranteed to carry a timestamp ≥ `w`. `None` until every relation
+    /// has been seen (no promise can be made yet) or in arrival-order /
+    /// full-history mode, which tracks no frontiers.
+    pub fn watermark(&self) -> Option<u64> {
+        self.out_ts_cols.as_ref()?;
+        self.frontier.iter().copied().try_fold(u64::MAX, |m, f| f.map(|f| m.min(f)))
     }
 
     /// Tuples currently held in the window (all relations).

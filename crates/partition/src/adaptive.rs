@@ -1,4 +1,4 @@
-//! The Adaptive 1-Bucket controller (Elseidy et al. [32], §5 "Hypercube
+//! The Adaptive 1-Bucket controller (Elseidy et al. \[32\], §5 "Hypercube
 //! sizes").
 //!
 //! In an online system the relative relation sizes change at run time, so a
@@ -30,7 +30,7 @@ pub struct AdaptiveMatrix {
     n_r: u64,
     n_s: u64,
     /// Reshape when `current_load / optimal_load` exceeds this factor
-    /// (hysteresis against oscillation; [32] uses a similar trigger).
+    /// (hysteresis against oscillation; \[32\] uses a similar trigger).
     trigger_ratio: f64,
     /// Do not consider reshaping before this many tuples were observed
     /// (early cardinalities are noise).

@@ -1,5 +1,5 @@
 //! The Equi-Weight Histogram (EWH) scheme — Vitorovic, Elseidy & Koch,
-//! ICDE 2016 [66], summarized in §3.1 of the Squall paper.
+//! ICDE 2016 \[66\], summarized in §3.1 of the Squall paper.
 //!
 //! Like M-Bucket, EWH range-partitions both inputs and assigns only
 //! candidate cells. The difference is *what it balances*: EWH "provides an

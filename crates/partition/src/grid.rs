@@ -1,5 +1,5 @@
 //! Shared machinery for the range-partitioning 2-way join schemes
-//! (M-Bucket [54] and EWH [66]).
+//! (M-Bucket \[54\] and EWH \[66\]).
 //!
 //! Both schemes view the join `R ⋈_θ S` as a matrix: rows are ranges of the
 //! R-side key, columns ranges of the S-side key (boundaries from equi-depth

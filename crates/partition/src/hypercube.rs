@@ -35,7 +35,7 @@ pub struct Dimension {
     pub name: String,
     /// Number of coordinates; the product over dimensions is the number of
     /// machines the scheme uses (≤ the machines available, per Chu et al.
-    /// [26] integer dimension sizing).
+    /// \[26\] integer dimension sizing).
     pub size: usize,
     pub kind: PartitionKind,
     /// Attribute occurrences `(relation, column)` partitioned on this axis.

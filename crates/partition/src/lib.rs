@@ -12,17 +12,17 @@
 //! |---|---|---|---|
 //! | hash / Fields               | none      | no  | equi |
 //! | round-robin key map         | none      | n/a (small domains) | equi |
-//! | M-Bucket range [54]         | small     | redistribution skew only | band/inequality |
-//! | EWH histogram [66]          | small     | redistribution + join product skew | band/inequality |
-//! | 1-Bucket random [54]        | O(√p)     | all skew types | any theta |
-//! | Hash-Hypercube [8]          | per-dim   | no  | multi-way equi |
-//! | Random-Hypercube [74]       | high      | all | multi-way theta |
+//! | M-Bucket range \[54\]         | small     | redistribution skew only | band/inequality |
+//! | EWH histogram \[66\]          | small     | redistribution + join product skew | band/inequality |
+//! | 1-Bucket random \[54\]        | O(√p)     | all skew types | any theta |
+//! | Hash-Hypercube \[8\]          | per-dim   | no  | multi-way equi |
+//! | Random-Hypercube \[74\]       | high      | all | multi-way theta |
 //! | **Hybrid-Hypercube** (ours) | minimal needed | all | multi-way, mixed |
 //!
 //! The [`hypercube`] module holds the shared machinery (dimension vectors,
 //! routing, the analytic load model); [`optimizer`] holds the three §4
 //! optimization algorithms; [`onebucket`]/[`mbucket`]/[`ewh`] the 2-way
-//! schemes; [`adaptive`] the Adaptive 1-Bucket controller of [32];
+//! schemes; [`adaptive`] the Adaptive 1-Bucket controller of \[32\];
 //! [`stats`] run-time statistics (top-k sketch, skew detection, the
 //! `(L−L_mf)/p + L_mf` cost model of §3.4); [`keymap`] the predefined-key
 //! round-robin assignment that fixes hash-imperfection skew (§5); and

@@ -1,4 +1,4 @@
-//! The M-Bucket scheme of Okcan & Riedewald [54].
+//! The M-Bucket scheme of Okcan & Riedewald \[54\].
 //!
 //! M-Bucket range-partitions both join inputs and assigns the candidate
 //! cells of the matrix to machines balancing the *input* each machine

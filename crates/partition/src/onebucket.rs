@@ -1,4 +1,4 @@
-//! The 1-Bucket scheme of Okcan & Riedewald [54]: random partitioning over
+//! The 1-Bucket scheme of Okcan & Riedewald \[54\]: random partitioning over
 //! a matrix (a 2-dimensional hypercube).
 //!
 //! Each R tuple picks a random *row* and is replicated across that row's
@@ -15,7 +15,7 @@ use crate::hypercube::{Dimension, HypercubeScheme, PartitionKind};
 /// (estimated) relation sizes over at most `machines` machines.
 ///
 /// The optimal shape balances `|R|/rows + |S|/cols` subject to
-/// `rows·cols ≤ machines` (integer sizes, per [26]).
+/// `rows·cols ≤ machines` (integer sizes, per \[26\]).
 pub fn one_bucket(r_size: u64, s_size: u64, machines: usize, seed: u64) -> Result<HypercubeScheme> {
     let (rows, cols) = optimal_matrix(r_size, s_size, machines)?;
     Ok(matrix_scheme(rows, cols, seed))
@@ -43,7 +43,7 @@ pub fn optimal_matrix(r_size: u64, s_size: u64, machines: usize) -> Result<(usiz
 }
 
 /// Build a 1-Bucket scheme with an explicit shape (used by the adaptive
-/// operator when it re-shapes at run time, [32]).
+/// operator when it re-shapes at run time, \[32\]).
 pub fn matrix_scheme(rows: usize, cols: usize, seed: u64) -> HypercubeScheme {
     HypercubeScheme::new(
         2,

@@ -1,17 +1,17 @@
 //! The hypercube optimization algorithms of §4.
 //!
 //! All three schemes share one integer dimension-sizing step (the
-//! breadth-first enumeration of Chu et al. [26], which avoids the
+//! breadth-first enumeration of Chu et al. \[26\], which avoids the
 //! non-integer dimension sizes of the original formulations [8, 18]): given
 //! dimension descriptors and relation sizes, enumerate every size vector
 //! with `∏ pⱼ ≤ p` and keep the one minimizing the per-machine load
 //! `L = Σᵢ |Rᵢ| / ∏_{j ∋ Rᵢ} pⱼ`, breaking ties by total communication and
 //! then lexicographically (determinism).
 //!
-//! * **Hash-Hypercube** [8]: one dimension per join-key equivalence class
+//! * **Hash-Hypercube** \[8\]: one dimension per join-key equivalence class
 //!   (the paper's observation that *join keys suffice* — non-join
 //!   attributes never improve the load).
-//! * **Random-Hypercube** [74]: reduced to the Hash-Hypercube problem by
+//! * **Random-Hypercube** \[74\]: reduced to the Hash-Hypercube problem by
 //!   introducing one fresh *quasi-attribute* per relation (the paper's
 //!   reduction), then using random placement on every dimension.
 //! * **Hybrid-Hypercube** (the paper's contribution): rename each *skewed*
@@ -58,7 +58,7 @@ pub fn build_scheme(
     }
 }
 
-/// Hash-Hypercube [8]: dimensions are the join-key equivalence classes,
+/// Hash-Hypercube \[8\]: dimensions are the join-key equivalence classes,
 /// hash partitioned. Rejects non-equi joins (the scheme cannot express
 /// them, §3.1).
 pub fn hash_hypercube(spec: &MultiJoinSpec, machines: usize, seed: u64) -> Result<HypercubeScheme> {
@@ -88,7 +88,7 @@ pub fn hash_hypercube(spec: &MultiJoinSpec, machines: usize, seed: u64) -> Resul
     size_dimensions(spec, dims, machines, seed)
 }
 
-/// Random-Hypercube [74] via the paper's quasi-attribute reduction: one
+/// Random-Hypercube \[74\] via the paper's quasi-attribute reduction: one
 /// fresh dimension per relation, randomly partitioned. Supports any
 /// condition (the condition is evaluated locally).
 pub fn random_hypercube(

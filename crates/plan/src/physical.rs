@@ -88,6 +88,31 @@ impl Default for ExecConfig {
 /// fails. A *streaming* run that fails mid-way simply ends the iterator
 /// early — check [`ResultSet::error`] (or `report()?.error`) after
 /// exhaustion before trusting the rows as complete.
+///
+/// ```
+/// use squall_common::{tuple, DataType, Schema};
+/// use squall_plan::physical::{execute_query, ExecConfig};
+/// use squall_plan::{col, Catalog, Query};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register(
+///     "R",
+///     Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+///     vec![tuple![1, 10], tuple![2, 20]],
+/// ).unwrap();
+/// catalog.register(
+///     "S",
+///     Schema::of(&[("a", DataType::Int), ("c", DataType::Int)]),
+///     vec![tuple![2, 7]],
+/// ).unwrap();
+/// let q = Query::from_tables([("R", "R"), ("S", "S")])
+///     .filter(col("R.a").eq(col("S.a")))
+///     .select([col("R.b"), col("S.c")]);
+/// let mut rs = execute_query(&q, &catalog, &ExecConfig::default()).unwrap();
+/// assert_eq!(rs.schema().arity(), 2);
+/// assert_eq!(rs.rows(), vec![tuple![20, 7]]);
+/// assert!(rs.report().is_some(), "distributed runs report metrics");
+/// ```
 pub struct ResultSet {
     schema: Schema,
     inner: ResultsInner,
@@ -419,6 +444,9 @@ pub struct PhysicalQuery {
     final_items: Vec<FinalItem>,
     out_schema: Schema,
     is_aggregate: bool,
+    /// Window + aggregation: results are per-window rows with
+    /// `window_start` / `window_end` output columns prepended.
+    windowed_agg: bool,
     window: Option<PhysWindow>,
     /// ORDER BY keys as `(output column, descending)` pairs.
     order_by: Vec<(usize, bool)>,
@@ -934,6 +962,25 @@ impl PhysicalQuery {
             ));
         }
 
+        // Windowed aggregation: the engine emits per-window rows shaped
+        // (window_start, window_end, group…, agg…), so two output columns
+        // are prepended and every aggregate-row index — SELECT items and
+        // the HAVING predicate, which then filters per-window groups —
+        // shifts by two.
+        let windowed_agg = is_aggregate && window.is_some();
+        if windowed_agg {
+            for item in &mut final_items {
+                if let FinalItem::AggRow(i) = item {
+                    *i += 2;
+                }
+            }
+            final_items.insert(0, FinalItem::AggRow(1));
+            final_items.insert(0, FinalItem::AggRow(0));
+            out_fields.insert(0, Field::new("window_end", DataType::Int));
+            out_fields.insert(0, Field::new("window_start", DataType::Int));
+            having = having.map(|h| h.remap_columns(&|c| c + 2));
+        }
+
         // ORDER BY keys name *output* columns: a SELECT alias or the
         // item's display name.
         let mut order_by = Vec::with_capacity(q.order_by.len());
@@ -966,6 +1013,7 @@ impl PhysicalQuery {
             final_items,
             out_schema: Schema::new(out_fields),
             is_aggregate,
+            windowed_agg,
             window,
             order_by,
             limit: q.limit.map(|n| n as usize),
@@ -1139,7 +1187,14 @@ impl PhysicalQuery {
                     }
                     rows.push(finalizer.project_final(r)?);
                 }
-                if report.results.is_empty() && self.is_aggregate && self.group_cols.is_empty() {
+                if report.results.is_empty()
+                    && self.is_aggregate
+                    && self.group_cols.is_empty()
+                    && !self.windowed_agg
+                {
+                    // A per-window global aggregate over zero rows has no
+                    // windows, hence no rows — the synthetic COUNT=0 row
+                    // is a full-history artifact.
                     rows.extend(finalizer.empty_agg_row()?);
                 }
                 self.finalize_order(&mut rows);
@@ -1171,7 +1226,9 @@ impl PhysicalQuery {
                 let stream = QueryStream {
                     inner: Some(inner),
                     finalizer: self.finalizer(),
-                    emit_empty_agg: self.is_aggregate && self.group_cols.is_empty(),
+                    emit_empty_agg: self.is_aggregate
+                        && self.group_cols.is_empty()
+                        && !self.windowed_agg,
                     saw_rows: false,
                     produced: 0,
                     report: None,
@@ -1236,9 +1293,14 @@ impl PhysicalQuery {
         }
         if self.is_aggregate {
             s.push_str(&format!(
-                "aggregate: group by {:?}, {} agg(s)\n",
+                "aggregate: group by {:?}, {} agg(s){}\n",
                 self.group_cols,
-                self.aggs.len()
+                self.aggs.len(),
+                if self.windowed_agg {
+                    " — per window (window_start, window_end prepended)"
+                } else {
+                    ""
+                }
             ));
         }
         if let Some(h) = &self.having {
@@ -1287,7 +1349,9 @@ impl PhysicalQuery {
         is_spout.push(false);
         if self.is_aggregate {
             names.push("agg".into());
-            parallelism.push(cfg.agg_parallelism.max(1));
+            // Per-window aggregation pins to one task (the window-order
+            // emission contract); full-history aggregation scales.
+            parallelism.push(if self.windowed_agg { 1 } else { cfg.agg_parallelism.max(1) });
             is_spout.push(false);
         }
         (names, parallelism, is_spout)
@@ -1512,9 +1576,119 @@ mod tests {
         assert_eq!(p.tables[1].kept, vec![0, 1]);
         assert!(p.explain().contains("window"));
         // Tumbling width 10: (1@0,1@8) share bucket 0; (2@20,2@25) share
-        // bucket 2; (1@50,1@49) split across buckets 5 and 4.
+        // bucket 2; (1@50,1@49) split across buckets 5 and 4. With an
+        // aggregate under a window the count is *per window*, with the
+        // window bounds prepended to the output row.
         let mut res = p.execute(&stream_catalog(), &ExecConfig::default()).unwrap();
-        assert_eq!(res.rows(), vec![tuple![2]]);
+        assert_eq!(res.rows(), vec![tuple![0, 9, 1], tuple![20, 29, 1]]);
+        assert_eq!(res.schema().field(0).name, "window_start");
+        assert_eq!(res.schema().field(1).name, "window_end");
+    }
+
+    #[test]
+    fn windowed_group_by_emits_per_window_rows() {
+        use crate::logical::Window;
+        // SELECT A.k, COUNT(*) … WINDOW TUMBLING 10 GROUP BY A.k.
+        // In-window pairs: (1@0,1@8) → bucket 0; (2@20,2@25) → bucket 2.
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::tumbling(10))
+            .group_by([col("A.k")])
+            .select([col("A.k"), agg(AggFunc::Count, None)]);
+        let p = PhysicalQuery::plan(&q, &stream_catalog()).unwrap();
+        assert!(p.explain().contains("per window"), "{}", p.explain());
+        let mut res = p.execute(&stream_catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows(), vec![tuple![0, 9, 1, 1], tuple![20, 29, 2, 1]]);
+        // The streaming path yields the same rows, in window order.
+        let streamed: Vec<Tuple> =
+            p.execute_stream(&stream_catalog(), &ExecConfig::default()).unwrap().collect();
+        assert_eq!(streamed, vec![tuple![0, 9, 1, 1], tuple![20, 29, 2, 1]]);
+    }
+
+    #[test]
+    fn windowed_sliding_aggregate_overlaps_windows() {
+        use crate::logical::Window;
+        // Sliding size 10: a pair spanning [lo, hi] lands in every window
+        // [s, s+10] containing both, i.e. s ∈ [hi−10 (clamped to 0), lo].
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::sliding(10))
+            .group_by([col("A.k")])
+            .select([col("A.k"), agg(AggFunc::Count, None)]);
+        let mut res = execute_query(&q, &stream_catalog(), &ExecConfig::default()).unwrap();
+        let starts: Vec<i64> = res
+            .rows()
+            .iter()
+            .filter(|t| t.get(2) == &Value::Int(1))
+            .map(|t| t.get(0).as_int().unwrap())
+            .collect();
+        // Pair (1@0,1@8): start 0 only (negative starts clamp). Pair
+        // (1@50,1@49): starts 40..=49 — ten overlapping windows.
+        let expected: Vec<i64> = std::iter::once(0).chain(40..=49).collect();
+        assert_eq!(starts, expected);
+    }
+
+    #[test]
+    fn having_filters_per_window_groups() {
+        use crate::logical::Window;
+        // HAVING COUNT(*) > 1 over per-window groups: only sliding windows
+        // containing ≥ 2 pairs survive. With size 30, pairs (1@0,1@8) and
+        // (2@20,2@25) co-occupy windows [s, s+30] with s ∈ [0, max(0,..)]…
+        // concretely both pairs fit when s ≤ 0 and s+30 ≥ 25 → s = 0 only
+        // for groups — but the groups differ (k=1 vs k=2), so COUNT per
+        // (window, group) stays 1 and everything is filtered.
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::sliding(30))
+            .group_by([col("A.k")])
+            .select([col("A.k"), agg(AggFunc::Count, None)])
+            .having(agg(AggFunc::Count, None).gt(lit(1)));
+        let mut res = execute_query(&q, &stream_catalog(), &ExecConfig::default()).unwrap();
+        assert!(res.rows().is_empty(), "{:?}", res.rows());
+        // Global per-window count with sliding 60: all five |Δ| ≤ 60
+        // pairs fit window 0; windows 1..=8 still hold the three pairs
+        // not anchored at ts 0; from s = 9 the count drops to 2 and
+        // HAVING > 2 cuts the stream off.
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::sliding(60))
+            .select([agg(AggFunc::Count, None)])
+            .having(agg(AggFunc::Count, None).gt(lit(2)));
+        let mut res = execute_query(&q, &stream_catalog(), &ExecConfig::default()).unwrap();
+        let mut expected = vec![tuple![0, 60, 5]];
+        expected.extend((1..=8).map(|s| tuple![s, s + 60, 3]));
+        assert_eq!(res.rows(), expected);
+    }
+
+    #[test]
+    fn windowed_global_aggregate_with_no_windows_yields_no_rows() {
+        use crate::logical::Window;
+        // No join matches at all → no windows → no synthetic COUNT=0 row
+        // (that row is a full-history artifact).
+        let schema = Schema::of(&[("k", DataType::Int), ("ts", DataType::Int)]);
+        let mut c = Catalog::new();
+        c.register_stream("A", schema.clone(), vec![tuple![1, 0]], "ts").unwrap();
+        c.register_stream("B", schema, vec![tuple![2, 1]], "ts").unwrap();
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::tumbling(10))
+            .select([agg(AggFunc::Count, None)]);
+        let mut res = execute_query(&q, &c, &ExecConfig::default()).unwrap();
+        assert!(res.rows().is_empty());
+    }
+
+    #[test]
+    fn windowed_aggregate_order_by_window_columns() {
+        use crate::logical::Window;
+        let q = Query::from_tables([("A", "A"), ("B", "B")])
+            .filter(col("A.k").eq(col("B.k")))
+            .window(Window::tumbling(10))
+            .group_by([col("A.k")])
+            .select([col("A.k"), agg(AggFunc::Count, None)])
+            .order_by("window_start", true)
+            .limit(1);
+        let mut res = execute_query(&q, &stream_catalog(), &ExecConfig::default()).unwrap();
+        assert_eq!(res.rows(), vec![tuple![20, 29, 2, 1]], "latest window first");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Pooled cooperative execution of a topology.
 //!
 //! Each task (the paper's "machine") is a *pollable state machine* — a
-//! [`TaskCell`] holding its inbox, its operator state (spout or bolt) and
+//! `TaskCell` holding its inbox, its operator state (spout or bolt) and
 //! its scatter buffers — scheduled cooperatively onto a **fixed pool of
 //! worker threads**. Workers pull runnable task ids from their own deque
 //! first, then from a shared injector, then *steal* from the other
@@ -467,6 +467,21 @@ impl TaskCell {
                             }
                         }
                     } // else: drain-and-discard so upstreams terminate
+                    if out.park_if_gated(id) {
+                        return Poll::Park;
+                    }
+                    if processed >= budget {
+                        return Poll::Yield;
+                    }
+                }
+                Some(Message::Watermark { origin, from_task, ts }) => {
+                    processed += 1;
+                    if !*failed && !shared.abort.load(Ordering::Relaxed) {
+                        if let Err(e) = bolt.watermark(origin, from_task, ts, out) {
+                            shared.raise(e);
+                            *failed = true;
+                        }
+                    }
                     if out.park_if_gated(id) {
                         return Poll::Park;
                     }
@@ -1320,6 +1335,87 @@ mod tests {
         let c = run_with(4096);
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn watermarks_are_ordered_after_prior_data_and_broadcast() {
+        // mid emits a watermark after every tuple; down asserts that when
+        // watermark W arrives, every tuple with value < W has already been
+        // seen (the flush-before-watermark contract), on every task of a
+        // Fields-partitioned downstream (watermarks broadcast).
+        let mut b = TopologyBuilder::new().batch_size(16);
+        let src = b.add_spout("src", 1, int_spout(0, 300));
+        struct Fwd;
+        impl crate::topology::Bolt for Fwd {
+            fn execute(&mut self, _o: NodeId, t: Tuple, out: &mut OutputCollector) -> Result<()> {
+                let v = t.get(0).as_int()? as u64;
+                out.emit(t);
+                out.emit_watermark(v);
+                Ok(())
+            }
+        }
+        let mid = b.add_bolt("mid", 1, |_| Box::new(Fwd));
+        struct Check {
+            highest_data: i64,
+            watermarks: Vec<u64>,
+        }
+        impl crate::topology::Bolt for Check {
+            fn execute(&mut self, _o: NodeId, t: Tuple, _out: &mut OutputCollector) -> Result<()> {
+                let v = t.get(0).as_int()?;
+                // The watermark contract: no tuple below an already-seen
+                // watermark may arrive after it.
+                if let Some(&w) = self.watermarks.last() {
+                    if (v as u64) < w {
+                        return Err(SquallError::Runtime(format!("late tuple {v} after {w}")));
+                    }
+                }
+                self.highest_data = self.highest_data.max(v);
+                Ok(())
+            }
+            fn watermark(
+                &mut self,
+                origin: NodeId,
+                from_task: usize,
+                ts: u64,
+                _out: &mut OutputCollector,
+            ) -> Result<()> {
+                if (origin, from_task) != (1, 0) {
+                    return Err(SquallError::Runtime("wrong watermark origin".into()));
+                }
+                if let Some(&last) = self.watermarks.last() {
+                    if ts < last {
+                        return Err(SquallError::Runtime("watermark regressed".into()));
+                    }
+                }
+                // Every tuple this task owns with value ≤ ts must have
+                // arrived before the watermark (Fields grouping: this
+                // task's share are values ≡ task (mod 3), but checking
+                // the max suffices: data for *this* sender is FIFO).
+                if self.highest_data >= 0 && (self.highest_data as u64) > ts {
+                    return Err(SquallError::Runtime(format!(
+                        "data {} overtook watermark {ts}",
+                        self.highest_data
+                    )));
+                }
+                self.watermarks.push(ts);
+                Ok(())
+            }
+            fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
+                out.emit(tuple![self.watermarks.len() as i64]);
+                Ok(())
+            }
+        }
+        let down =
+            b.add_bolt("down", 3, |_| Box::new(Check { highest_data: -1, watermarks: vec![] }));
+        b.connect(src, mid, Grouping::Global);
+        b.connect(mid, down, Grouping::Fields(vec![0]));
+        let outcome = b.build().unwrap().run();
+        assert!(outcome.error.is_none(), "{:?}", outcome.error);
+        // Watermarks are broadcast: every one of the 3 tasks saw all 300.
+        for (_, t) in &outcome.outputs {
+            assert_eq!(t.get(0).as_int().unwrap(), 300);
+        }
+        assert_eq!(outcome.outputs.len(), 3);
     }
 
     #[test]

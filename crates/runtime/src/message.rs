@@ -27,4 +27,22 @@ pub enum Message {
     /// once it has received one `Eos` per upstream task. `Eos` follows all
     /// of that sender's data (scatter buffers are flushed first).
     Eos,
+    /// Event-time progress punctuation from one upstream task: the sender
+    /// promises that every data tuple it emits *after* this message
+    /// carries event time ≥ `ts`. Watermarks are broadcast to every
+    /// downstream task (groupings do not apply — progress is global) and
+    /// are ordered after the sender's earlier data (scatter buffers are
+    /// flushed first, exactly like `Eos`). Windowed aggregation closes
+    /// windows on the minimum watermark across its upstream tasks; a task
+    /// that finishes emits a final `ts = u64::MAX` watermark so completed
+    /// inputs never hold the minimum down.
+    Watermark {
+        /// The node that emitted the watermark.
+        origin: NodeId,
+        /// The emitting task's index *within* `origin` (watermark minima
+        /// are tracked per upstream task, not per node).
+        from_task: usize,
+        /// The event-time frontier being promised.
+        ts: u64,
+    },
 }

@@ -33,6 +33,22 @@ pub trait Bolt: Send {
         let _ = out;
         Ok(())
     }
+
+    /// Process one event-time watermark from upstream task `from_task` of
+    /// node `origin` (see [`crate::message::Message::Watermark`]): every
+    /// later tuple from that task carries event time ≥ `ts`. The default
+    /// ignores watermarks — only operators with per-window state (the
+    /// windowed aggregation bolt) need them.
+    fn watermark(
+        &mut self,
+        origin: NodeId,
+        from_task: usize,
+        ts: u64,
+        out: &mut OutputCollector,
+    ) -> Result<()> {
+        let _ = (origin, from_task, ts, out);
+        Ok(())
+    }
 }
 
 /// Blanket spout over an iterator.
@@ -439,6 +455,27 @@ impl OutputCollector {
             }
         }
         self.counters.sent.fetch_add(sent, Ordering::Relaxed);
+    }
+
+    /// Broadcast an event-time watermark to *every* downstream task of
+    /// every outgoing edge (groupings do not apply: progress is a promise
+    /// about all future emissions, so every consumer needs it). Each
+    /// target's scatter buffer is flushed first, which keeps the
+    /// data-before-watermark order that windowed aggregation relies on.
+    /// No-op on sink nodes — the query output channel carries rows only.
+    pub fn emit_watermark(&mut self, ts: u64) {
+        if self.is_sink {
+            return;
+        }
+        for edge in &mut self.edges {
+            for target in &mut edge.targets {
+                flush_target(self.node, target, &*self.transport, &mut self.gated);
+                self.transport.send(
+                    target.task,
+                    Message::Watermark { origin: self.node, from_task: self.task, ts },
+                );
+            }
+        }
     }
 
     /// Flush every scatter buffer and punctuate every downstream task with

@@ -22,8 +22,10 @@
 //! terminates at a sink — no distributed cycle can form.
 //!
 //! Termination and failure punctuation travel the same path as data:
-//! `Eos` frames are forwarded per (sender task → target task) edge, so a
-//! bolt's end-of-stream count is identical to a single-process run, and a
+//! `Eos` and `Watermark` frames are forwarded per (sender task → target
+//! task) edge — ordered after that sender's earlier data — so a bolt's
+//! end-of-stream count and a windowed aggregate's window-closing decisions
+//! are identical to a single-process run, and a
 //! raised abort (e.g. [`SquallError::MemoryOverflow`]) is broadcast as an
 //! `Abort` frame by every send pump, so remote spouts stop and every
 //! slice drains exactly like the local abort path.
@@ -194,6 +196,7 @@ const FRAME_SINK_ROW: u8 = 4;
 const FRAME_ABORT: u8 = 5;
 const FRAME_DONE: u8 = 6;
 const FRAME_GOODBYE: u8 = 7;
+const FRAME_WATERMARK: u8 = 8;
 
 /// Everything that travels between peers. The `Job` payload is opaque at
 /// this layer — the driver crate owns the plan encoding; the runtime owns
@@ -208,6 +211,11 @@ pub enum Frame {
     Data { to_task: TaskId, origin: NodeId, tuples: Vec<Tuple> },
     /// One upstream task's end-of-stream punctuation for one target task.
     Eos { to_task: TaskId },
+    /// One upstream task's event-time watermark for one target task: every
+    /// later `Data` tuple from `(origin, from_task)` carries event time ≥
+    /// `ts`. Ordered after that sender's earlier data on the link, exactly
+    /// like `Eos` — windowed aggregation closes windows on it.
+    Watermark { to_task: TaskId, origin: NodeId, from_task: usize, ts: u64 },
     /// A sink emission forwarded to the coordinator.
     SinkRow { node: NodeId, tuple: Tuple },
     /// A peer raised the run-abort flag; the error is the cause.
@@ -286,6 +294,13 @@ impl Frame {
                 codec::put_u8(&mut buf, FRAME_EOS);
                 codec::put_u32(&mut buf, *to_task as u32);
             }
+            Frame::Watermark { to_task, origin, from_task, ts } => {
+                codec::put_u8(&mut buf, FRAME_WATERMARK);
+                codec::put_u32(&mut buf, *to_task as u32);
+                codec::put_u32(&mut buf, *origin as u32);
+                codec::put_u32(&mut buf, *from_task as u32);
+                codec::put_u64(&mut buf, *ts);
+            }
             Frame::SinkRow { node, tuple } => {
                 codec::put_u8(&mut buf, FRAME_SINK_ROW);
                 codec::put_u32(&mut buf, *node as u32);
@@ -322,6 +337,12 @@ impl Frame {
                 tuples: codec::get_tuples(&mut r)?,
             },
             FRAME_EOS => Frame::Eos { to_task: r.u32()? as TaskId },
+            FRAME_WATERMARK => Frame::Watermark {
+                to_task: r.u32()? as TaskId,
+                origin: r.u32()? as NodeId,
+                from_task: r.u32()? as usize,
+                ts: r.u64()?,
+            },
             FRAME_SINK_ROW => {
                 Frame::SinkRow { node: r.u32()? as NodeId, tuple: codec::get_tuple(&mut r)? }
             }
@@ -698,6 +719,9 @@ impl Transport for TcpTransport {
         let frame = match msg {
             Message::Batch { origin, tuples } => Frame::Data { to_task: to, origin, tuples },
             Message::Eos => Frame::Eos { to_task: to },
+            Message::Watermark { origin, from_task, ts } => {
+                Frame::Watermark { to_task: to, origin, from_task, ts }
+            }
         };
         q.push(EgressItem::Frame(frame));
     }
@@ -1038,6 +1062,16 @@ fn recv_pump(
                         inbox.push(Message::Eos);
                         sched.notify(to_task);
                     }
+                    Frame::Watermark { to_task, origin, from_task, ts } => {
+                        // Punctuation, like Eos: pushed without the
+                        // capacity wait (the pump reads sequentially, so
+                        // it still lands after the sender's earlier data).
+                        let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
+                            continue;
+                        };
+                        inbox.push(Message::Watermark { origin, from_task, ts });
+                        sched.notify(to_task);
+                    }
                     Frame::SinkRow { node, tuple } => {
                         if let Some(tx) = &sink_tx {
                             let _ = tx.send((node, tuple));
@@ -1100,6 +1134,7 @@ mod tests {
             Frame::Job { payload: vec![1, 2, 3] },
             Frame::Data { to_task: 7, origin: 2, tuples: vec![tuple![1, "x"], tuple![2.5]] },
             Frame::Eos { to_task: 9 },
+            Frame::Watermark { to_task: 11, origin: 2, from_task: 3, ts: 12345 },
             Frame::SinkRow { node: 4, tuple: tuple![42] },
             Frame::Abort {
                 error: SquallError::MemoryOverflow { machine: 1, stored: 10, budget: 5 },

@@ -53,6 +53,8 @@
 //! assert_eq!(result2.rows(), result.rows());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod session;
 
 pub use squall_common as common;

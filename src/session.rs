@@ -172,6 +172,7 @@ impl SessionBuilder {
         self
     }
 
+    /// Freeze the configuration into a [`Session`] with an empty catalog.
     pub fn build(self) -> Session {
         Session { catalog: Catalog::new(), config: self.config, live: Arc::default() }
     }
@@ -221,6 +222,12 @@ impl Session {
         Session::default()
     }
 
+    /// Start configuring a session fluently.
+    ///
+    /// ```
+    /// let session = squall::Session::builder().machines(8).batch_size(128).build();
+    /// assert_eq!(session.config().machines, 8);
+    /// ```
     pub fn builder() -> SessionBuilder {
         SessionBuilder::default()
     }
@@ -292,14 +299,18 @@ impl Session {
         Ok(self.catalog.deregister(name))
     }
 
+    /// The session's source catalog (registered tables and streams).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
+    /// Mutable access to the source catalog (e.g. to move data between
+    /// sessions without re-registering).
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         &mut self.catalog
     }
 
+    /// The execution configuration every query of this session runs with.
     pub fn config(&self) -> &ExecConfig {
         &self.config
     }
@@ -490,6 +501,44 @@ impl QueryBuilder<'_> {
     /// or `.window(Window::tumbling(60))`. Without [`Window::on`], every
     /// relation must be a registered stream with a declared event-time
     /// column. Equivalent to SQL's `WINDOW SLIDING/TUMBLING <n> [ON <col>]`.
+    ///
+    /// Combined with [`QueryBuilder::group_by`] (or aggregate SELECT
+    /// items) the query aggregates **per window**: result rows are
+    /// `(window_start, window_end, group…, agg…)` with both bounds
+    /// inclusive — tumbling windows are the buckets
+    /// `[k·width, (k+1)·width)`, sliding windows are every `[s, s+size]`
+    /// containing all of a result's timestamps (adjacent windows overlap).
+    /// Closed windows stream through the [`ResultSet`] iterator in window
+    /// order while the topology runs.
+    ///
+    /// ```
+    /// use squall::{col, count, Session, Window};
+    /// use squall::common::{tuple, DataType, Schema};
+    ///
+    /// let schema = Schema::of(&[("ad_id", DataType::Int), ("ts", DataType::Int)]);
+    /// let mut session = Session::builder().machines(2).build();
+    /// session
+    ///     .register_stream(
+    ///         "impressions",
+    ///         schema.clone(),
+    ///         vec![tuple![1, 3], tuple![1, 17]],
+    ///         "ts",
+    ///     )
+    ///     .unwrap()
+    ///     .register_stream("clicks", schema, vec![tuple![1, 5], tuple![1, 12]], "ts")
+    ///     .unwrap();
+    /// let mut per_window = session
+    ///     .from_as("impressions", "I")
+    ///     .join_as("clicks", "C")
+    ///     .on(col("I.ad_id").eq(col("C.ad_id")))
+    ///     .window(Window::tumbling(10))
+    ///     .group_by([col("I.ad_id")])
+    ///     .select([col("I.ad_id"), count()])
+    ///     .run()
+    ///     .unwrap();
+    /// // Bucket [0,10) pairs (1@3,1@5); bucket [10,20) pairs (1@17,1@12).
+    /// assert_eq!(per_window.rows(), vec![tuple![0, 9, 1, 1], tuple![10, 19, 1, 1]]);
+    /// ```
     pub fn window(mut self, window: Window) -> Self {
         self.window = Some(window);
         self
@@ -1033,6 +1082,42 @@ mod tests {
         assert!(rs.report().expect("report after exhaustion").error.is_none());
         streamed.sort();
         assert_eq!(streamed, vec![tuple![1, 0, 5], tuple![2, 10, 39], tuple![2, 41, 39]]);
+    }
+
+    #[test]
+    fn windowed_group_by_sql_and_builder_agree() {
+        let s = stream_session();
+        // Per-window GROUP BY: in-window pairs (|Δts| ≤ 30, same ad) are
+        // (1@0,1@5), (2@10,2@39), (2@41,2@39); tumbling 40 buckets them
+        // as [0,40) → (1@0,1@5), (2@10,2@39) and [40,80) → (2@41,2@39)…
+        // except (2@10,2@39) shares bucket 0 and (2@41,2@39) straddles —
+        // the engine's window predicate decides; SQL and builder must
+        // simply agree and carry the window-bound columns.
+        let sql_text = "SELECT I.ad_id, COUNT(*) FROM impressions I, clicks C \
+                        WHERE I.ad_id = C.ad_id WINDOW TUMBLING 40 GROUP BY I.ad_id";
+        let mut sql = s.sql(sql_text).unwrap();
+        let mut imp = s
+            .from_as("impressions", "I")
+            .join_as("clicks", "C")
+            .on(col("I.ad_id").eq(col("C.ad_id")))
+            .window(Window::tumbling(40))
+            .group_by([col("I.ad_id")])
+            .select([col("I.ad_id"), count()])
+            .run()
+            .unwrap();
+        // Bucket [0,40): (1@0,1@5) and (2@10,2@39).
+        assert_eq!(sql.rows(), vec![tuple![0, 39, 1, 1], tuple![0, 39, 2, 1]]);
+        assert_eq!(sql.rows(), imp.rows());
+        assert_eq!(sql.schema().field(0).name, "window_start");
+        assert_eq!(sql.schema().field(1).name, "window_end");
+        // The streaming path yields the same rows, in window order.
+        let mut st = s.sql_stream(sql_text).unwrap();
+        let streamed: Vec<Tuple> = st.by_ref().collect();
+        assert!(st.error().is_none());
+        assert_eq!(streamed, vec![tuple![0, 39, 1, 1], tuple![0, 39, 2, 1]]);
+        // EXPLAIN announces per-window aggregation (and the pinned task).
+        let text = s.explain(sql_text).unwrap();
+        assert!(text.contains("per window"), "{text}");
     }
 
     #[test]

@@ -204,6 +204,93 @@ fn distributed_streaming_resultset_yields_while_running() {
     assert_eq!(local.sql(WINDOWED_SQL).unwrap().rows(), streamed);
 }
 
+const WINDOWED_AGG_SQL: &str = "SELECT I.ad_id, COUNT(*) FROM impressions I, clicks C \
+                                WHERE I.ad_id = C.ad_id WINDOW TUMBLING 100 ON ts \
+                                GROUP BY I.ad_id";
+
+#[test]
+fn windowed_aggregate_split_across_processes_matches_local() {
+    // Per-window GROUP BY: watermarks cross the TCP edges (remote join
+    // tasks → the coordinator's aggregate task), so the per-window rows
+    // must be identical to the single-process run regardless of placement.
+    let base = || Session::builder().machines(6).seed(3);
+    let mut local = stream_session(base());
+    let mut local_rs = local.sql(WINDOWED_AGG_SQL).unwrap();
+    let local_rows = local_rs.rows().to_vec();
+    assert!(local_rows.len() > 3, "several (window, group) rows expected");
+    assert_eq!(local_rs.schema().field(0).name, "window_start");
+
+    let workers = spawn_workers(2);
+    let mut dist = stream_session(base().cluster(worker_addrs(&workers)));
+    std::mem::swap(dist.catalog_mut(), local.catalog_mut());
+    // Streaming consumption: closed windows arrive over the wire in
+    // window order, before end-of-run.
+    let mut rs = dist.sql_stream(WINDOWED_AGG_SQL).unwrap();
+    assert!(rs.is_streaming());
+    let streamed: Vec<Tuple> = rs.by_ref().collect();
+    let report = rs.report().expect("report after exhaustion");
+    assert!(report.error.is_none(), "{:?}", report.error);
+    for w in workers {
+        w.join();
+    }
+    let starts: Vec<i64> = streamed.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+    let mut sorted = starts.clone();
+    sorted.sort_unstable();
+    assert_eq!(starts, sorted, "per-window rows must stream in window order");
+    let mut rows = streamed;
+    rows.sort();
+    assert_eq!(rows, local_rows, "per-window rows are placement-independent");
+    assert_reports_match(local_rs.report().unwrap(), report);
+}
+
+#[test]
+fn windowed_aggregate_abort_drains_across_processes() {
+    // A join-machine memory budget that overflows mid-stream: the typed
+    // error must cross the wire and both modes must drain — watermark
+    // punctuation must never wedge the abort path.
+    use squall::engine::driver::{AggPlan, WindowPlan};
+    use squall::join::{AggSpec, WindowSpec};
+
+    let schema = Schema::of(&[("k", DataType::Int), ("ts", DataType::Int)]);
+    let spec = MultiJoinSpec::new(
+        vec![RelationDef::new("A", schema.clone(), 400), RelationDef::new("B", schema, 400)],
+        vec![JoinAtom::eq(0, 0, 1, 0)],
+    )
+    .unwrap();
+    let mut rng = SplitMix64::new(17);
+    let data: Vec<Vec<Tuple>> = (0..2)
+        .map(|_| {
+            let mut ts = 0i64;
+            (0..400)
+                .map(|_| {
+                    ts += rng.next_range(0, 3);
+                    tuple![rng.next_range(0, 4), ts]
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 2)
+        .with_window(WindowPlan { spec: WindowSpec::Sliding { size: 500 }, ts_cols: vec![1, 1] })
+        .with_agg(AggPlan { group_cols: vec![0], aggs: vec![AggSpec::count()], parallelism: 1 })
+        .with_budget(80);
+    let local = run_multiway(&spec, data.clone(), &cfg).unwrap();
+    let Some(SquallError::MemoryOverflow { budget: local_budget, .. }) = local.error else {
+        panic!("seed setup must overflow locally, got {:?}", local.error);
+    };
+
+    let workers = spawn_workers(2);
+    cfg.cluster = Some(ClusterSpec::new(worker_addrs(&workers)));
+    let dist = run_multiway(&spec, data, &cfg).unwrap();
+    for w in workers {
+        w.join();
+    }
+    match dist.error {
+        Some(SquallError::MemoryOverflow { budget, .. }) => assert_eq!(budget, local_budget),
+        other => panic!("expected MemoryOverflow across the wire, got {other:?}"),
+    }
+}
+
 #[test]
 fn memory_overflow_on_a_worker_aborts_and_drains_every_process() {
     // Driver-level so the per-machine budget knob is reachable. The

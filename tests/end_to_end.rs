@@ -572,16 +572,25 @@ fn windowed_tumbling_counts_match_oracle() {
         .select([count()])
         .run()
         .unwrap();
-    let expected = a
-        .iter()
-        .flat_map(|x| b.iter().map(move |y| (x, y)))
-        .filter(|(x, y)| {
-            x.get(0) == y.get(0)
-                && x.get(1).as_int().unwrap() / width == y.get(1).as_int().unwrap() / width
-        })
-        .count() as i64;
-    assert!(expected > 0);
-    assert_eq!(res.rows(), vec![tuple![expected]]);
+    // A windowed aggregate counts *per window*: one row per non-empty
+    // tumbling bucket, shaped (window_start, window_end, count).
+    let mut oracle: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+    for x in &a {
+        for y in &b {
+            let (tx, ty) = (x.get(1).as_int().unwrap(), y.get(1).as_int().unwrap());
+            if x.get(0) == y.get(0) && tx / width == ty / width {
+                *oracle.entry(tx / width * width).or_insert(0) += 1;
+            }
+        }
+    }
+    assert!(oracle.len() > 1, "several windows must be exercised");
+    let expected: Vec<Tuple> = oracle.iter().map(|(&s, &n)| tuple![s, s + width - 1, n]).collect();
+    assert_eq!(res.rows(), expected);
+    // The per-window counts still partition the full windowed-join output.
+    let total: i64 = oracle.values().sum();
+    let mut join_rows =
+        session.sql("SELECT A.k FROM A, B WHERE A.k = B.k WINDOW TUMBLING 50").unwrap();
+    assert_eq!(join_rows.rows().len() as i64, total);
 }
 
 #[test]

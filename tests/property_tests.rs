@@ -357,6 +357,102 @@ proptest! {
         prop_assert_eq!(built.rows(), sql.rows(), "tumbling builder vs SQL");
     }
 
+    /// Windowed GROUP BY against a brute-force per-window oracle: every
+    /// (window, group) row — tumbling buckets including the exact
+    /// `k·width` boundary (timestamps are drawn so multiples of `width`
+    /// occur), and sliding windows with their per-time-unit overlap.
+    /// SQL and the builder must agree, and a run split across TCP peers
+    /// must return the identical per-window rows.
+    #[test]
+    fn windowed_aggregates_match_per_window_oracle(
+        seed in 0u64..200,
+        machines in 1usize..6,
+        width in 2u64..12,
+        size in 1u64..10,
+        dom in 2i64..6,
+        distribute in 0u8..2,
+    ) {
+        // Timestamps step by 0..width, so exact window boundaries (ts a
+        // multiple of width) are common — the k·width case must open
+        // window k, never leak into k−1.
+        let mut rng = SplitMix64::new(seed);
+        let mut gen = |n: usize| -> Vec<Tuple> {
+            let mut ts = 0i64;
+            (0..n)
+                .map(|_| {
+                    ts += rng.next_range(0, width as i64 + 1);
+                    tuple![rng.next_range(0, dom), ts]
+                })
+                .collect()
+        };
+        let (a, b) = (gen(30), gen(30));
+        let schema = Schema::of(&[("k", DataType::Int), ("ts", DataType::Int)]);
+        let mut session = squall::Session::builder().machines(machines).seed(seed).build();
+        session
+            .register_stream("A", schema.clone(), a.clone(), "ts").unwrap()
+            .register_stream("B", schema, b.clone(), "ts").unwrap();
+
+        // In-memory oracle: per-window COUNT per group key.
+        let oracle = |win_of: &dyn Fn(u64, u64) -> (u64, u64), end_of: &dyn Fn(u64) -> u64| {
+            let mut acc: std::collections::BTreeMap<(u64, i64), i64> = Default::default();
+            for x in &a {
+                for y in &b {
+                    if x.get(0) != y.get(0) { continue; }
+                    let (tx, ty) = (x.get(1).as_int().unwrap() as u64, y.get(1).as_int().unwrap() as u64);
+                    let (first, last) = win_of(tx.min(ty), tx.max(ty));
+                    if first > last { continue; } // pair joins in no window
+                    for s in first..=last {
+                        *acc.entry((s, x.get(0).as_int().unwrap())).or_insert(0) += 1;
+                    }
+                }
+            }
+            acc.into_iter()
+                .map(|((s, k), n)| tuple![s as i64, end_of(s) as i64, k, n])
+                .collect::<Vec<Tuple>>()
+        };
+
+        // Tumbling: one window iff both timestamps share the bucket.
+        let w = width;
+        let tumbling_oracle = oracle(
+            &|lo, hi| if lo / w == hi / w { (hi / w * w, hi / w * w) } else { (1, 0) },
+            &|s| s + w - 1,
+        );
+        let sql = format!(
+            "SELECT A.k, COUNT(*) FROM A, B WHERE A.k = B.k WINDOW TUMBLING {w} ON ts GROUP BY A.k"
+        );
+        let mut via_sql = session.sql(&sql).unwrap();
+        prop_assert_eq!(via_sql.rows(), &tumbling_oracle[..], "tumbling vs oracle");
+        let mut built = session
+            .from("A").join("B")
+            .on(squall::col("A.k").eq(squall::col("B.k")))
+            .window(squall::Window::tumbling(w))
+            .group_by([squall::col("A.k")])
+            .select([squall::col("A.k"), squall::count()])
+            .run()
+            .unwrap();
+        prop_assert_eq!(built.rows(), via_sql.rows(), "tumbling builder vs SQL");
+
+        // Sliding: all windows [s, s+size] containing both timestamps.
+        let sz = size;
+        let sliding_oracle = oracle(&|lo, hi| (hi.saturating_sub(sz), lo), &|s| s + sz);
+        let sql = format!(
+            "SELECT A.k, COUNT(*) FROM A, B WHERE A.k = B.k WINDOW SLIDING {sz} ON ts GROUP BY A.k"
+        );
+        let mut via_sql = session.sql(&sql).unwrap();
+        prop_assert_eq!(via_sql.rows(), &sliding_oracle[..], "sliding vs oracle");
+
+        // Placement independence: the same per-window rows over TCP.
+        if distribute == 1 {
+            let (cluster, handles) = loopback_workers(1);
+            let mut dist = squall::Session::builder().machines(machines).seed(seed).build();
+            std::mem::swap(dist.catalog_mut(), session.catalog_mut());
+            dist.config_mut().cluster = Some(cluster);
+            let mut rs = dist.sql(&sql).unwrap();
+            prop_assert_eq!(rs.rows(), &sliding_oracle[..], "distributed sliding vs oracle");
+            for h in handles { h.join().unwrap(); }
+        }
+    }
+
     #[test]
     fn spill_store_roundtrips(
         rows in proptest::collection::vec(
