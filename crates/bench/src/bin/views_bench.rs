@@ -1,0 +1,186 @@
+//! `views_bench` — incremental view maintenance vs per-batch recompute.
+//!
+//! The standing-query value proposition in one number: keep a 3-way
+//! join-plus-GROUP-BY resident and feed it appends (`CREATE MATERIALIZED
+//! VIEW` once, then `append` + `snapshot` per batch), against re-running
+//! the full SELECT from scratch after every batch. Both modes produce
+//! byte-identical rows after every batch — asserted — so the benchmark
+//! doubles as a correctness smoke test. Writes `BENCH_views.json`.
+//!
+//! ```text
+//! cargo run --release -p squall-bench --bin views_bench            # full
+//! cargo run --release -p squall-bench --bin views_bench -- --smoke # CI
+//! ```
+
+use std::time::{Duration, Instant};
+
+use squall::Session;
+use squall_common::{tuple, DataType, Schema, SplitMix64, Tuple};
+
+const VIEW_SQL: &str = "SELECT R.a, COUNT(*) FROM R, S, T \
+                        WHERE R.b = S.b AND S.c = T.c GROUP BY R.a";
+
+fn gen_rows(rng: &mut SplitMix64, n: usize, dom: i64) -> Vec<Tuple> {
+    (0..n).map(|_| tuple![rng.next_range(0, dom), rng.next_range(0, dom)]).collect()
+}
+
+/// A fresh session with the initial R(a,b), S(b,c), T(c,d) contents.
+fn base_session(machines: usize, init: usize, dom: i64, seed: u64) -> Session {
+    let mut rng = SplitMix64::new(seed);
+    let mut s = Session::builder().machines(machines).seed(seed).build();
+    s.register(
+        "R",
+        Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+        gen_rows(&mut rng, init, dom),
+    )
+    .expect("register R");
+    s.register(
+        "S",
+        Schema::of(&[("b", DataType::Int), ("c", DataType::Int)]),
+        gen_rows(&mut rng, init, dom),
+    )
+    .expect("register S");
+    s.register(
+        "T",
+        Schema::of(&[("c", DataType::Int), ("d", DataType::Int)]),
+        gen_rows(&mut rng, init, dom),
+    )
+    .expect("register T");
+    s
+}
+
+/// The append batches, identical for both modes: each batch touches every
+/// relation so every delta path stays hot.
+fn batches(n_batches: usize, batch: usize, dom: i64, seed: u64) -> Vec<[Vec<Tuple>; 3]> {
+    let mut rng = SplitMix64::new(seed ^ 0xfeed);
+    (0..n_batches)
+        .map(|_| {
+            [
+                gen_rows(&mut rng, batch, dom),
+                gen_rows(&mut rng, batch, dom),
+                gen_rows(&mut rng, batch, dom),
+            ]
+        })
+        .collect()
+}
+
+struct Mode {
+    label: &'static str,
+    total: Duration,
+    per_batch_ms: Vec<f64>,
+    final_rows: Vec<Tuple>,
+}
+
+/// Incremental: one resident view; per batch, append to all three sources
+/// and take a consistent snapshot.
+fn run_incremental(
+    machines: usize,
+    init: usize,
+    dom: i64,
+    seed: u64,
+    work: &[[Vec<Tuple>; 3]],
+) -> Mode {
+    let mut s = base_session(machines, init, dom, seed);
+    let view = s
+        .sql(&format!("CREATE MATERIALIZED VIEW v AS {VIEW_SQL}"))
+        .map(|_| s.view("v").expect("just created"))
+        .expect("create view");
+    let mut per_batch_ms = Vec::with_capacity(work.len());
+    let mut final_rows = Vec::new();
+    let start = Instant::now();
+    for batch in work {
+        let t0 = Instant::now();
+        for (name, rows) in ["R", "S", "T"].iter().zip(batch) {
+            s.append(name, rows.clone()).expect("append batch");
+        }
+        final_rows = view.snapshot().expect("consistent snapshot");
+        per_batch_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let total = start.elapsed();
+    let report = s.drop_view("v").expect("drop view");
+    let stats = report.maintenance.expect("standing report");
+    eprintln!("incremental maintenance counters: {stats}");
+    Mode { label: "incremental", total, per_batch_ms, final_rows }
+}
+
+/// Recompute: no view; per batch, append to the catalog and re-run the
+/// full SELECT from scratch.
+fn run_recompute(
+    machines: usize,
+    init: usize,
+    dom: i64,
+    seed: u64,
+    work: &[[Vec<Tuple>; 3]],
+) -> Mode {
+    let mut s = base_session(machines, init, dom, seed);
+    let mut per_batch_ms = Vec::with_capacity(work.len());
+    let mut final_rows = Vec::new();
+    let start = Instant::now();
+    for batch in work {
+        let t0 = Instant::now();
+        for (name, rows) in ["R", "S", "T"].iter().zip(batch) {
+            s.append(name, rows.clone()).expect("append batch");
+        }
+        final_rows = s.sql(VIEW_SQL).expect("full recompute").rows().to_vec();
+        per_batch_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let total = start.elapsed();
+    Mode { label: "recompute", total, per_batch_ms, final_rows }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (machines, init, dom, n_batches, batch) =
+        if smoke { (4, 4_000, 2_000, 8, 50) } else { (4, 40_000, 20_000, 40, 200) };
+    let work = batches(n_batches, batch, dom, 7);
+
+    let inc = run_incremental(machines, init, dom, 7, &work);
+    let rec = run_recompute(machines, init, dom, 7, &work);
+    assert_eq!(
+        inc.final_rows, rec.final_rows,
+        "incremental maintenance must equal the full recompute byte-for-byte"
+    );
+    assert!(!inc.final_rows.is_empty(), "degenerate benchmark: empty view");
+
+    let speedup = rec.total.as_secs_f64() / inc.total.as_secs_f64().max(1e-9);
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"standing view (3-way join + GROUP BY): incremental \
+         maintenance per append batch vs full SELECT recompute per batch\",\n",
+    );
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    json.push_str(&format!("  \"machines\": {machines},\n"));
+    json.push_str(&format!("  \"initial_rows_per_relation\": {init},\n"));
+    json.push_str(&format!("  \"batches\": {n_batches},\n"));
+    json.push_str(&format!("  \"appends_per_batch\": {},\n", 3 * batch));
+    json.push_str(&format!("  \"view_rows\": {},\n", inc.final_rows.len()));
+    json.push_str(&format!("  \"incremental_over_recompute_speedup\": {speedup:.2},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in [&inc, &rec].iter().enumerate() {
+        let mean = m.per_batch_ms.iter().sum::<f64>() / m.per_batch_ms.len() as f64;
+        let worst = m.per_batch_ms.iter().cloned().fold(0.0f64, f64::max);
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"total_ms\": {:.3}, \"mean_batch_ms\": {:.3}, \
+             \"worst_batch_ms\": {:.3}}}{}\n",
+            m.label,
+            m.total.as_secs_f64() * 1e3,
+            mean,
+            worst,
+            if i == 0 { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_views.json", &json).expect("write BENCH_views.json");
+    println!("{json}");
+    eprintln!(
+        "incremental {:.1} ms vs recompute {:.1} ms over {} batches → {speedup:.2}x",
+        inc.total.as_secs_f64() * 1e3,
+        rec.total.as_secs_f64() * 1e3,
+        n_batches,
+    );
+    assert!(
+        speedup > 1.0,
+        "incremental maintenance should beat per-batch recompute (got {speedup:.2}x)"
+    );
+}

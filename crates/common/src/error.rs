@@ -41,6 +41,9 @@ pub enum SquallError {
     /// A catalog source cannot be dropped while a live streaming run still
     /// reads it.
     SourceInUse { source: String },
+    /// A materialized view cannot be dropped while a subscriber still
+    /// reads its change stream.
+    ViewInUse { view: String },
 }
 
 impl fmt::Display for SquallError {
@@ -71,6 +74,9 @@ impl fmt::Display for SquallError {
                 f,
                 "source {source} is read by a live streaming run (finish or drop it first)"
             ),
+            SquallError::ViewInUse { view } => {
+                write!(f, "view {view} has live change-stream subscribers (drop them first)")
+            }
         }
     }
 }

@@ -387,6 +387,7 @@ impl JobSpec {
         codec::put_bool(&mut buf, cfg.collect_results);
         put_opt_u64(&mut buf, cfg.worker_threads.map(|w| w as u64));
         codec::put_u64(&mut buf, cfg.batch_size as u64);
+        codec::put_bool(&mut buf, cfg.standing);
         buf
     }
 
@@ -470,6 +471,7 @@ impl JobSpec {
         cfg.collect_results = r.bool()?;
         cfg.worker_threads = get_opt_u64(&mut r)?.map(|w| w as usize);
         cfg.batch_size = r.u64()? as usize;
+        cfg.standing = r.bool()?;
         r.finish()?;
         Ok(JobSpec { me, peers, spec, cfg })
     }
@@ -548,12 +550,18 @@ pub fn serve_job(listener: &TcpListener) -> Result<()> {
     // Rebuild the identical topology — without data: every spout task is
     // placed on the coordinator, so the factories are never invoked here.
     let empty_data: Vec<Vec<squall_common::Tuple>> = vec![Vec::new(); job.spec.n_relations()];
-    let assembled = assemble(&job.spec, empty_data, &job.cfg)?;
-    let (_, parallelism, is_spout) = assembled.topology.layout();
+    let topology = if job.cfg.standing {
+        // Standing views rebuild the resident topology shape; the live
+        // queues and the view sink live on the coordinator only.
+        crate::standing::assemble_standing(&job.spec, empty_data, &job.cfg, None)?.0
+    } else {
+        assemble(&job.spec, empty_data, &job.cfg)?.topology
+    };
+    let (_, parallelism, is_spout) = topology.layout();
     let placement = plan_placement(&parallelism, &is_spout, job.peers.len());
 
     let links = ClusterLinks::worker(listener, job.me, &job.peers, job_conn, hellos)?;
-    let (mut handle, cluster) = assembled.topology.launch_cluster(placement, links);
+    let (mut handle, cluster) = topology.launch_cluster(placement, links);
 
     // Local sink emissions stream to the coordinator as they happen.
     while let Some((node, tuple)) = handle.recv() {
@@ -630,6 +638,7 @@ mod tests {
         cfg.batch_size = 17;
         cfg.worker_threads = Some(3);
         cfg.collect_results = false;
+        cfg.standing = true;
         cfg.agg = Some(AggPlan {
             group_cols: vec![0, 3],
             aggs: vec![AggSpec::count(), AggSpec::sum(ScalarExpr::col(5))],
@@ -658,6 +667,7 @@ mod tests {
         assert_eq!(decoded.cfg.batch_size, 17);
         assert_eq!(decoded.cfg.worker_threads, Some(3));
         assert!(!decoded.cfg.collect_results);
+        assert!(decoded.cfg.standing);
         let agg = decoded.cfg.agg.unwrap();
         assert_eq!(agg.group_cols, vec![0, 3]);
         assert_eq!(agg.aggs.len(), 2);

@@ -101,6 +101,12 @@ pub struct MultiwayConfig {
     /// every task in this process). Routing, results and per-machine
     /// loads are placement-independent; only the wire moves.
     pub cluster: Option<ClusterSpec>,
+    /// Resident (standing-view) topology: spouts are live queues that
+    /// stay up after the initial load, tuples carry trailing
+    /// multiplicity/epoch columns, and the sink is a view-maintenance
+    /// bolt (see [`crate::standing`]). Workers use this flag to rebuild
+    /// the standing topology shape instead of the batch one.
+    pub standing: bool,
 }
 
 impl MultiwayConfig {
@@ -118,6 +124,7 @@ impl MultiwayConfig {
             worker_threads: None,
             batch_size: DEFAULT_BATCH_SIZE,
             cluster: None,
+            standing: false,
         }
     }
 
@@ -199,6 +206,42 @@ pub struct JoinReport {
     /// Wire traffic per peer (bytes/batches sent and received) when the
     /// run was split across processes; `None` for single-process runs.
     pub transport: Option<TransportStats>,
+    /// View-maintenance counters for resident (standing-view) runs;
+    /// `None` for batch queries.
+    pub maintenance: Option<MaintenanceStats>,
+}
+
+/// Incremental-maintenance counters of one resident view (surfaced
+/// through [`JoinReport::maintenance`] and the session's `explain`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// `append()` rounds acknowledged since launch.
+    pub appends: u64,
+    /// `retract()` rounds acknowledged since launch.
+    pub retractions: u64,
+    /// Signed deltas the view sink received from the delta join.
+    pub deltas_in: u64,
+    /// Epochs fully applied (initial load = epoch 1).
+    pub epochs_applied: u64,
+    /// Net row changes (+1/−1 entries) applied to the materialized rows.
+    pub rows_changed: u64,
+    /// Consistent snapshots served.
+    pub snapshots: u64,
+}
+
+impl std::fmt::Display for MaintenanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "appends {} retractions {} deltas-in {} epochs {} row-changes {} snapshots {}",
+            self.appends,
+            self.retractions,
+            self.deltas_in,
+            self.epochs_applied,
+            self.rows_changed,
+            self.snapshots
+        )
+    }
 }
 
 impl JoinReport {
@@ -483,6 +526,7 @@ fn summarize(
         scheduler: outcome.metrics.scheduler.clone(),
         error: outcome.error,
         transport,
+        maintenance: None,
     }
 }
 

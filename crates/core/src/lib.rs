@@ -21,11 +21,17 @@ pub mod driver;
 pub mod operators;
 pub mod pipeline;
 pub mod recovery;
+pub mod standing;
 
 pub use cluster::{run_worker, serve_job, ClusterSpec, JobSpec};
+pub use driver::MaintenanceStats;
 pub use driver::{
     run_multiway, run_multiway_stream, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig,
     MultiwayStream,
 };
 pub use operators::{AggBolt, JoinBolt, SelectProjectBolt};
 pub use pipeline::run_pipeline;
+pub use standing::{
+    assemble_standing, launch_standing, ChangeBatch, DeltaRound, StandingHandle, StandingLayout,
+    ViewPlan, ViewShared, ViewWindow,
+};

@@ -230,6 +230,7 @@ pub fn run_pipeline(
         scheduler: outcome.metrics.scheduler.clone(),
         error: outcome.error,
         transport: None,
+        maintenance: None,
     })
 }
 

@@ -214,6 +214,17 @@ impl DBToasterJoin {
         self.views.iter().map(|v| (v.members.clone(), v.len())).collect()
     }
 
+    /// Apply a **signed** delta `(tuple, mult)` to relation `rel` and push
+    /// the resulting signed result deltas into `out` — the Z-set face of
+    /// the operator used by standing materialized views: `mult = +1`
+    /// inserts, `mult = -1` retracts, and emitted multiplicities carry the
+    /// sign through (a retraction of a stored match emits a negative
+    /// delta). Intermediate views are maintained exactly as for
+    /// [`LocalJoin::insert`]/[`LocalJoin::remove`].
+    pub fn delta(&mut self, rel: usize, tuple: &Tuple, mult: i64, out: &mut Vec<(Tuple, i64)>) {
+        self.apply_delta(rel, tuple, mult, Sink::Signed(out));
+    }
+
     fn apply_delta(&mut self, rel: usize, tuple: &Tuple, mult: i64, mut out: Sink<'_>) {
         debug_assert_eq!(tuple.arity(), self.arities[rel], "arity mismatch for relation {rel}");
         let mut key_buf: Vec<Value> = Vec::new();
@@ -271,19 +282,24 @@ impl DBToasterJoin {
                 let merged = Tuple::new(values);
                 match plan.view_id {
                     Some(vid) => self.views[vid].update(&merged, delta_mult),
-                    None => {
-                        if delta_mult > 0 {
-                            match &mut out {
-                                Sink::None => {}
-                                Sink::Expand(v) => {
-                                    for _ in 0..delta_mult {
-                                        v.push(merged.clone());
-                                    }
-                                }
-                                Sink::Weighted(v) => v.push((merged.clone(), delta_mult)),
+                    None => match &mut out {
+                        Sink::None => {}
+                        Sink::Expand(v) => {
+                            for _ in 0..delta_mult {
+                                v.push(merged.clone());
                             }
                         }
-                    }
+                        Sink::Weighted(v) => {
+                            if delta_mult > 0 {
+                                v.push((merged.clone(), delta_mult));
+                            }
+                        }
+                        Sink::Signed(v) => {
+                            if delta_mult != 0 {
+                                v.push((merged.clone(), delta_mult));
+                            }
+                        }
+                    },
                 }
                 // Advance the odometer.
                 let mut c = 0;
@@ -311,6 +327,9 @@ enum Sink<'a> {
     None,
     Expand(&'a mut Vec<Tuple>),
     Weighted(&'a mut Vec<(Tuple, i64)>),
+    /// Z-set output: results carry their signed multiplicity, retractions
+    /// included (the standing-view delta plane).
+    Signed(&'a mut Vec<(Tuple, i64)>),
 }
 
 impl LocalJoin for DBToasterJoin {
@@ -659,6 +678,29 @@ mod tests {
         let mut out = Vec::new();
         j.insert(0, &tuple![5], &mut out);
         assert_eq!(out, vec![tuple![5]]);
+    }
+
+    #[test]
+    fn signed_deltas_carry_retractions() {
+        let spec = MultiJoinSpec::new(
+            vec![
+                RelationDef::new("R", Schema::of(&[("a", DataType::Int)]), 0),
+                RelationDef::new("S", Schema::of(&[("a", DataType::Int)]), 0),
+            ],
+            vec![JoinAtom::eq(0, 0, 1, 0)],
+        )
+        .unwrap();
+        let mut j = DBToasterJoin::new(&spec);
+        let mut out = Vec::new();
+        j.delta(0, &tuple![7], 1, &mut out);
+        assert!(out.is_empty());
+        j.delta(1, &tuple![7], 1, &mut out);
+        assert_eq!(out, vec![(tuple![7, 7], 1)]);
+        out.clear();
+        // Retracting the R side must emit a negative result delta.
+        j.delta(0, &tuple![7], -1, &mut out);
+        assert_eq!(out, vec![(tuple![7, 7], -1)]);
+        assert_eq!(j.view_sizes().iter().map(|(_, n)| n).sum::<usize>(), 1, "only S remains");
     }
 
     #[test]

@@ -140,6 +140,81 @@ impl Catalog {
         Ok(())
     }
 
+    /// Append rows to a registered source (the catalog half of feeding a
+    /// standing view). Arity is validated like at registration; for
+    /// streams, every appended row's event-time must also be ≥ the
+    /// current maximum (spouts promise ascending event time, and appended
+    /// rows are emitted after everything already stored).
+    pub fn append(&mut self, name: &str, rows: Vec<Tuple>) -> Result<()> {
+        let src = self
+            .sources
+            .iter_mut()
+            .find(|s| s.name == name)
+            .ok_or_else(|| SquallError::UnknownRelation(name.to_string()))?;
+        let invalid =
+            |reason: String| SquallError::InvalidSource { source: name.to_string(), reason };
+        if let Some(t) = rows.iter().find(|t| t.arity() != src.schema.arity()) {
+            return Err(invalid(format!(
+                "appended tuple arity {} does not match schema arity {}",
+                t.arity(),
+                src.schema.arity()
+            )));
+        }
+        if let SourceKind::Stream { time_col } = src.kind {
+            let floor =
+                src.data.iter().map(|t| t.get(time_col).as_int().unwrap_or(0)).max().unwrap_or(0);
+            let mut rows = rows;
+            for t in &rows {
+                match t.get(time_col) {
+                    Value::Int(v) if *v >= floor => {}
+                    Value::Int(v) => {
+                        return Err(invalid(format!(
+                            "appended event time {v} is behind the stream's watermark {floor}"
+                        )))
+                    }
+                    other => {
+                        return Err(invalid(format!(
+                            "event-time column must hold non-negative Int values, found {other:?}"
+                        )))
+                    }
+                }
+            }
+            rows.sort_by_key(|t| t.get(time_col).as_int().expect("validated above"));
+            Arc::make_mut(&mut src.data).extend(rows);
+        } else {
+            Arc::make_mut(&mut src.data).extend(rows);
+        }
+        Ok(())
+    }
+
+    /// Remove rows from a registered table, one stored occurrence per
+    /// given row. Streams are append-only (their event-time contract has
+    /// no room for retraction); a row that is not present is a typed
+    /// error — retracting what was never stored would silently corrupt
+    /// every standing view over the source.
+    pub fn retract(&mut self, name: &str, rows: &[Tuple]) -> Result<()> {
+        let src = self
+            .sources
+            .iter_mut()
+            .find(|s| s.name == name)
+            .ok_or_else(|| SquallError::UnknownRelation(name.to_string()))?;
+        let invalid =
+            |reason: String| SquallError::InvalidSource { source: name.to_string(), reason };
+        if src.is_stream() {
+            return Err(invalid("streams are append-only; cannot retract".to_string()));
+        }
+        let data = Arc::make_mut(&mut src.data);
+        for row in rows {
+            match data.iter().position(|t| t == row) {
+                Some(i) => {
+                    data.swap_remove(i);
+                }
+                None => return Err(invalid(format!("cannot retract row {row}: not in the table"))),
+            }
+        }
+        Ok(())
+    }
+
     /// Drop a source; returns whether it existed. Re-registering under the
     /// same name requires deregistering first (duplicates are rejected).
     pub fn deregister(&mut self, name: &str) -> bool {
@@ -215,6 +290,40 @@ mod tests {
         let def = c.get("clicks").unwrap();
         assert!(def.is_stream());
         assert_eq!(def.event_time_col(), Some(1));
+    }
+
+    #[test]
+    fn append_and_retract_mutate_tables() {
+        let mut c = Catalog::new();
+        c.register("R", Schema::of(&[("a", DataType::Int)]), vec![tuple![1], tuple![1]]).unwrap();
+        c.append("R", vec![tuple![2]]).unwrap();
+        assert_eq!(c.get("R").unwrap().data.len(), 3);
+        // One occurrence per retracted row, duplicates stay.
+        c.retract("R", &[tuple![1]]).unwrap();
+        assert_eq!(c.get("R").unwrap().data.len(), 2);
+        // Absent rows are a typed error.
+        let missing = c.retract("R", &[tuple![99]]);
+        assert!(matches!(missing, Err(SquallError::InvalidSource { .. })));
+        // Arity still validated on append.
+        let bad = c.append("R", vec![tuple![1, 2]]);
+        assert!(matches!(bad, Err(SquallError::InvalidSource { .. })));
+    }
+
+    #[test]
+    fn stream_appends_are_monotonic_and_retract_free() {
+        let mut c = Catalog::new();
+        let s = Schema::of(&[("ad", DataType::Int), ("ts", DataType::Int)]);
+        c.register_stream("clicks", s, vec![tuple![1, 10]], "ts").unwrap();
+        c.append("clicks", vec![tuple![2, 12], tuple![3, 11]]).unwrap();
+        // Stored sorted by event time.
+        let data = &c.get("clicks").unwrap().data;
+        assert_eq!(data.as_slice(), &[tuple![1, 10], tuple![3, 11], tuple![2, 12]]);
+        // Event time may not regress behind the stored maximum.
+        let late = c.append("clicks", vec![tuple![4, 5]]);
+        assert!(matches!(late, Err(SquallError::InvalidSource { .. })));
+        // Streams are append-only.
+        let retract = c.retract("clicks", &[tuple![1, 10]]);
+        assert!(matches!(retract, Err(SquallError::InvalidSource { .. })));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use squall_core::driver::{
     run_multiway, run_multiway_stream, AggPlan, JoinReport, LocalJoinKind, MultiwayConfig,
     MultiwayStream, WindowPlan,
 };
+use squall_core::standing::{ViewPlan, ViewWindow};
 use squall_expr::join_cond::CmpOp;
 use squall_expr::{AggFunc, JoinAtom, MultiJoinSpec, RelationDef, ScalarExpr};
 use squall_join::WindowSpec;
@@ -142,7 +143,11 @@ enum ResultsInner {
 }
 
 impl ResultSet {
-    fn materialized(schema: Schema, rows: Vec<Tuple>, report: Option<JoinReport>) -> ResultSet {
+    /// A result set over already-materialized rows — how view-lifecycle
+    /// statements (which have no topology run of their own to stream)
+    /// return snapshots and shutdown reports through the same API as
+    /// queries.
+    pub fn materialized(schema: Schema, rows: Vec<Tuple>, report: Option<JoinReport>) -> ResultSet {
         ResultSet { schema, inner: ResultsInner::Rows { rows, cursor: 0 }, report, guard: None }
     }
 
@@ -416,6 +421,18 @@ struct DistributedPlan {
     spec: MultiJoinSpec,
     data: Vec<Vec<Tuple>>,
     mcfg: MultiwayConfig,
+}
+
+/// Everything needed to launch a query as a resident materialized view:
+/// the join spec and prepared initial load, the (standing-flagged)
+/// topology configuration, and the view-maintenance plan the sink runs.
+/// Produced by [`PhysicalQuery::prepare_standing`], consumed by
+/// [`squall_core::standing::launch_standing`].
+pub struct StandingPlan {
+    pub spec: MultiJoinSpec,
+    pub data: Vec<Vec<Tuple>>,
+    pub mcfg: MultiwayConfig,
+    pub view: ViewPlan,
 }
 
 /// Resolved window semantics: the shape plus each relation's event-time
@@ -1164,6 +1181,160 @@ impl PhysicalQuery {
             });
         }
         Ok(Prepared::Distributed(Box::new(DistributedPlan { spec, data, mcfg })))
+    }
+
+    /// Plan this query as a **standing view**: the same source-side work
+    /// and scheme selection as [`PhysicalQuery::execute`], but producing a
+    /// resident-topology configuration plus the [`ViewPlan`] the
+    /// view-maintenance sink runs — instead of a one-shot run.
+    ///
+    /// Standing restrictions, rejected with typed errors: ORDER BY and
+    /// LIMIT have no incremental meaning (a view is an unordered
+    /// multiset; order when you read it), and a *windowed* view must
+    /// window every relation on its stream's declared event-time column —
+    /// that is the only column whose appends the catalog keeps monotonic,
+    /// which the window join's eviction contract depends on.
+    pub fn prepare_standing(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<StandingPlan> {
+        if !self.order_by.is_empty() || self.limit.is_some() {
+            return Err(SquallError::InvalidPlan(
+                "ORDER BY / LIMIT are not supported in a materialized view \
+                 (views are unordered; order when querying the view)"
+                    .into(),
+            ));
+        }
+        if let Some(w) = &self.window {
+            if let Some(t) = w.presorted.iter().position(|p| !p) {
+                return Err(SquallError::InvalidPlan(format!(
+                    "windowed standing views must window on each stream's declared \
+                     event-time column, but {} windows on an undeclared column",
+                    self.tables[t].alias
+                )));
+            }
+        }
+        // Source-side work over the initial contents.
+        let mut data: Vec<Vec<Tuple>> = Vec::with_capacity(self.tables.len());
+        for (t, pt) in self.tables.iter().enumerate() {
+            let raw = Arc::clone(&catalog.get(&pt.name)?.data);
+            data.push(self.prepare_table(t, &raw)?);
+        }
+        // Unlike the one-shot path, NO skew sampling and NO random
+        // routing: a retraction's delta must land on the exact machine
+        // holding the matching insert, so every tuple's route has to be a
+        // pure function of its content. The random escape hatch for
+        // skewed keys (§3.4) trades that determinism for balance, which
+        // would strand +1/−1 pairs on different machines and corrupt the
+        // maintained state — standing views always route by key hash.
+        let rels: Vec<RelationDef> = self
+            .tables
+            .iter()
+            .zip(&data)
+            .map(|(pt, d)| RelationDef::new(pt.alias.clone(), pt.schema.clone(), d.len() as u64))
+            .collect();
+        let spec = MultiJoinSpec::new(rels, self.atoms.clone())?;
+        if self.tables.len() > 1 && !spec.is_connected() {
+            return Err(SquallError::InvalidPlan(
+                "join graph is disconnected (Cartesian products unsupported)".into(),
+            ));
+        }
+
+        let mut mcfg = MultiwayConfig::new(SchemeKind::Hash, cfg.local, cfg.machines);
+        mcfg.seed = cfg.seed;
+        mcfg.worker_threads = cfg.worker_threads;
+        mcfg.batch_size = cfg.batch_size.max(1);
+        mcfg.cluster = cfg.cluster.clone();
+        mcfg.standing = true;
+        if let Some(w) = &self.window {
+            mcfg = mcfg.with_window(WindowPlan { spec: w.spec, ts_cols: w.ts_cols.clone() });
+        }
+        // No `mcfg.agg`: in a standing topology the view sink aggregates,
+        // diffing published rows per epoch.
+
+        let view = self.view_plan(&spec)?;
+        Ok(StandingPlan { spec, data, mcfg, view })
+    }
+
+    /// The sink half of [`PhysicalQuery::prepare_standing`]: how signed
+    /// join deltas become view rows.
+    fn view_plan(&self, spec: &MultiJoinSpec) -> Result<ViewPlan> {
+        let windowed = if self.windowed_agg {
+            let w = self.window.as_ref().expect("windowed_agg implies a window");
+            let arities: Vec<usize> = spec.relations.iter().map(|r| r.schema.arity()).collect();
+            Some(ViewWindow {
+                spec: w.spec,
+                ts_cols: squall_join::output_ts_cols(&arities, &w.ts_cols),
+            })
+        } else {
+            None
+        };
+        let (group_cols, aggs, finalize) = if self.is_aggregate {
+            let mut finalize = Vec::with_capacity(self.final_items.len());
+            for item in &self.final_items {
+                match item {
+                    FinalItem::AggRow(i) => finalize.push(ScalarExpr::col(*i)),
+                    FinalItem::JoinExpr(_) => {
+                        return Err(SquallError::InvalidPlan(
+                            "aggregate view SELECT items must be group keys or aggregates".into(),
+                        ))
+                    }
+                }
+            }
+            if self.windowed_agg {
+                // The sink's input rows are (window_start, window_end,
+                // join output…): group keys and aggregate inputs shift by
+                // the two prepended window columns — HAVING and the SELECT
+                // items were already shifted at plan time.
+                let group_cols: Vec<usize> =
+                    [0, 1].into_iter().chain(self.group_cols.iter().map(|c| c + 2)).collect();
+                let aggs: Vec<AggSpec> = self
+                    .aggs
+                    .iter()
+                    .map(|a| AggSpec {
+                        func: a.func,
+                        input: a.input.as_ref().map(|e| e.remap_columns(&|c| c + 2)),
+                    })
+                    .collect();
+                (group_cols, aggs, finalize)
+            } else {
+                (self.group_cols.clone(), self.aggs.clone(), finalize)
+            }
+        } else {
+            let mut finalize = Vec::with_capacity(self.final_items.len());
+            for item in &self.final_items {
+                match item {
+                    FinalItem::JoinExpr(e) => finalize.push(e.clone()),
+                    FinalItem::AggRow(_) => {
+                        return Err(SquallError::InvalidPlan(
+                            "aggregate SELECT item in a non-aggregate view".into(),
+                        ))
+                    }
+                }
+            }
+            (Vec::new(), Vec::new(), finalize)
+        };
+        Ok(ViewPlan {
+            group_cols,
+            aggs,
+            is_aggregate: self.is_aggregate,
+            having: self.having.clone(),
+            finalize,
+            emit_empty_agg: self.is_aggregate && self.group_cols.is_empty() && !self.windowed_agg,
+            windowed,
+        })
+    }
+
+    /// Apply one source's pushed-down work (filter, derived columns,
+    /// projection) to externally supplied rows — the transformation the
+    /// session's `append`/`retract` path must run before feeding deltas
+    /// to a resident view, since the view's join sees post-pushdown rows.
+    pub fn transform_source_rows(&self, t: usize, rows: &[Tuple]) -> Result<Vec<Tuple>> {
+        self.prepare_table(t, rows)
+    }
+
+    /// The `(source name, alias)` pairs of this query's FROM clause, in
+    /// relation order — how the session maps a mutated source to the
+    /// relation indices of a resident view.
+    pub fn source_tables(&self) -> Vec<(&str, &str)> {
+        self.tables.iter().map(|t| (t.name.as_str(), t.alias.as_str())).collect()
     }
 
     /// Execute against the catalog, materializing every row (sorted).

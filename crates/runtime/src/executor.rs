@@ -70,7 +70,7 @@ use squall_common::{SquallError, Tuple};
 
 use crate::message::{Message, NodeId};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, SchedCounters};
-use crate::topology::{EdgeOut, EdgeTarget, NodeKind, OutputCollector, Spout, Topology};
+use crate::topology::{EdgeOut, EdgeTarget, NodeKind, OutputCollector, Spout, SpoutPoll, Topology};
 use crate::transport::{
     spawn_cluster, ClusterLinks, ClusterRun, ClusterWiring, LocalTransport, Placement, Transport,
 };
@@ -404,8 +404,8 @@ impl TaskCell {
                 out.flush_and_punctuate();
                 return Poll::Done;
             }
-            match spout.next() {
-                Some(t) => {
+            match spout.poll() {
+                SpoutPoll::Tuple(t) => {
                     out.emit(t);
                     produced += 1;
                     if out.park_if_gated(id) {
@@ -415,7 +415,27 @@ impl TaskCell {
                         return Poll::Yield;
                     }
                 }
-                None => {
+                SpoutPoll::Watermark(ts) => {
+                    out.emit_watermark(ts);
+                    produced += 1;
+                    if out.park_if_gated(id) {
+                        return Poll::Park;
+                    }
+                    if produced >= budget {
+                        return Poll::Yield;
+                    }
+                }
+                SpoutPoll::Idle => {
+                    // Resident source with nothing pending: ship any
+                    // half-full batches so no delta waits on a sleeping
+                    // task, then park until a writer wakes us. (If the
+                    // flush overfilled a downstream, also register on its
+                    // waiter list — parking is correct either way.)
+                    out.flush_buffers();
+                    let _ = out.park_if_gated(id);
+                    return Poll::Park;
+                }
+                SpoutPoll::Eos => {
                     out.flush_and_punctuate();
                     return Poll::Done;
                 }
@@ -600,7 +620,26 @@ pub struct RunHandle {
     workers: Vec<JoinHandle<()>>,
     registry: Arc<MetricsRegistry>,
     shared: Arc<Shared>,
+    sched: Arc<Sched>,
     start: Instant,
+}
+
+/// A cheap, clonable handle that can wake parked tasks of a launched
+/// topology from *outside* the worker pool. This is how resident
+/// topologies (standing materialized views) are driven: a writer pushes
+/// deltas into a spout's live queue, then wakes that spout task so it
+/// polls again. Waking a running, queued or finished task is a no-op.
+#[derive(Clone)]
+pub struct TaskWaker {
+    sched: Arc<Sched>,
+}
+
+impl TaskWaker {
+    /// Wake task `id` (dense over `(node, task)` pairs, same numbering as
+    /// the topology layout). Idempotent.
+    pub fn wake(&self, id: TaskId) {
+        self.sched.notify(id);
+    }
 }
 
 impl RunHandle {
@@ -621,6 +660,28 @@ impl RunHandle {
     /// readable.
     pub fn abort(&self) {
         self.shared.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// A clonable waker for this run's tasks (see [`TaskWaker`]).
+    pub fn waker(&self) -> TaskWaker {
+        TaskWaker { sched: Arc::clone(&self.sched) }
+    }
+
+    /// Has any task raised an error (or has the run been aborted)?
+    pub fn is_aborted(&self) -> bool {
+        self.shared.is_aborted()
+    }
+
+    /// The first error raised by any task so far, if any. Unlike
+    /// [`RunHandle::finish`] this does not consume the handle — resident
+    /// topologies use it to surface failures while staying up.
+    pub fn error(&self) -> Option<SquallError> {
+        self.shared.error_clone()
+    }
+
+    /// A live snapshot of the per-task counters (the run keeps going).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Wait for all tasks, collecting any unconsumed sink output, and
@@ -881,7 +942,7 @@ impl Topology {
         }
         drop(sink_tx); // cells (and coordinator recv pumps) hold the rest
 
-        let pool = Arc::new(Pool { sched, cells });
+        let pool = Arc::new(Pool { sched: Arc::clone(&sched), cells });
         let workers = (0..n_workers)
             .map(|w| {
                 let pool = Arc::clone(&pool);
@@ -894,7 +955,7 @@ impl Topology {
             })
             .collect();
 
-        (RunHandle { sink_rx, workers, registry, shared, start }, cluster_run)
+        (RunHandle { sink_rx, workers, registry, shared, sched, start }, cluster_run)
     }
 }
 

@@ -41,18 +41,20 @@
 
 pub mod executor;
 pub mod grouping;
+pub mod live;
 pub mod message;
 pub mod metrics;
 pub mod topology;
 pub mod transport;
 
-pub use executor::{RunHandle, RunOutcome, TaskId};
+pub use executor::{RunHandle, RunOutcome, TaskId, TaskWaker};
 pub use grouping::{CustomGrouping, Grouping};
+pub use live::{LiveItem, LiveQueue, LiveSpout};
 pub use message::NodeId;
 pub use metrics::{MetricsSnapshot, NodeMetrics, SchedulerStats};
 pub use topology::{
-    sort_by_event_time, Bolt, FnBolt, IterSpout, IterSpoutVec, OutputCollector, Spout, Topology,
-    TopologyBuilder, DEFAULT_BATCH_SIZE,
+    sort_by_event_time, Bolt, FnBolt, IterSpout, IterSpoutVec, OutputCollector, Spout, SpoutPoll,
+    Topology, TopologyBuilder, DEFAULT_BATCH_SIZE,
 };
 pub use transport::{
     accept_with_deadline, connect_with_retry, describe_placement, plan_placement,

@@ -13,12 +13,42 @@ use crate::message::{Message, NodeId};
 use crate::metrics::TaskCounters;
 use crate::transport::Transport;
 
+/// What a spout produced on one poll. Bounded sources only ever see
+/// [`SpoutPoll::Tuple`] and [`SpoutPoll::Eos`] (the defaulted
+/// [`Spout::poll`] maps `next()` onto them); *resident* sources — standing
+/// materialized views — additionally use [`SpoutPoll::Idle`] to park
+/// without terminating and [`SpoutPoll::Watermark`] to punctuate epochs.
+pub enum SpoutPoll {
+    /// One data tuple to emit downstream.
+    Tuple(Tuple),
+    /// Broadcast a watermark to every downstream task (epoch / event-time
+    /// frontier punctuation).
+    Watermark(u64),
+    /// Nothing available *right now*, but the stream is not over: the task
+    /// parks until an external writer wakes it (see
+    /// [`crate::executor::TaskWaker`]).
+    Idle,
+    /// The stream has ended; the task flushes, punctuates and finishes.
+    Eos,
+}
+
 /// A data source. Each task of a spout node owns one `Spout` instance and
 /// calls `next` until it returns `None` (bounded streams) or the run is
-/// aborted. Online/unbounded execution is modeled by long streams — the
-/// engine itself never requires an end.
+/// aborted. Online/unbounded execution is modeled by long streams or, for
+/// resident topologies, by overriding [`Spout::poll`] so the source can
+/// park idle ([`SpoutPoll::Idle`]) instead of ending.
 pub trait Spout: Send {
     fn next(&mut self) -> Option<Tuple>;
+
+    /// Poll the source once. The default delegates to [`Spout::next`]:
+    /// `Some` becomes [`SpoutPoll::Tuple`], `None` becomes
+    /// [`SpoutPoll::Eos`]. Resident sources override this.
+    fn poll(&mut self) -> SpoutPoll {
+        match self.next() {
+            Some(t) => SpoutPoll::Tuple(t),
+            None => SpoutPoll::Eos,
+        }
+    }
 }
 
 /// A computation node. Each task owns one `Bolt` instance.
@@ -474,6 +504,17 @@ impl OutputCollector {
                     target.task,
                     Message::Watermark { origin: self.node, from_task: self.task, ts },
                 );
+            }
+        }
+    }
+
+    /// Flush every scatter buffer without punctuating. Resident spouts call
+    /// this before parking idle so no delta sits in a half-full batch while
+    /// the task sleeps.
+    pub(crate) fn flush_buffers(&mut self) {
+        for edge in &mut self.edges {
+            for target in &mut edge.targets {
+                flush_target(self.node, target, &*self.transport, &mut self.gated);
             }
         }
     }

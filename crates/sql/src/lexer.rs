@@ -8,7 +8,7 @@ use squall_common::{Result, SquallError};
 pub enum Token {
     /// Keyword (SELECT, FROM, WHERE, GROUP, BY, HAVING, AS, AND, OR, NOT,
     /// COUNT, SUM, AVG, WINDOW, SLIDING, TUMBLING, ON, ORDER, ASC, DESC,
-    /// LIMIT).
+    /// LIMIT, CREATE, DROP, MATERIALIZED, VIEW).
     Keyword(String),
     /// Possibly qualified identifier (`a` or `a.b`).
     Ident(String),
@@ -22,9 +22,31 @@ pub enum Token {
     Sym(&'static str),
 }
 
-const KEYWORDS: [&str; 20] = [
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS", "AND", "OR", "NOT", "COUNT", "SUM",
-    "WINDOW", "SLIDING", "TUMBLING", "ON", "ORDER", "ASC", "DESC", "LIMIT",
+const KEYWORDS: [&str; 24] = [
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "COUNT",
+    "SUM",
+    "WINDOW",
+    "SLIDING",
+    "TUMBLING",
+    "ON",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "CREATE",
+    "DROP",
+    "MATERIALIZED",
+    "VIEW",
 ];
 
 fn is_ident_start(c: char) -> bool {

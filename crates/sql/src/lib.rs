@@ -30,4 +30,4 @@ mod lexer;
 mod parser;
 
 pub use lexer::{tokenize, Token};
-pub use parser::parse;
+pub use parser::{parse, parse_statement, Statement};

@@ -6,15 +6,56 @@ use squall_plan::logical::{Expr, OrderKey, Query, Window};
 
 use crate::lexer::{tokenize, Token};
 
+/// One parsed SQL statement: a query, or a view-lifecycle command.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// A SELECT query.
+    Select(Query),
+    /// `CREATE MATERIALIZED VIEW <name> AS <select>` — launch a resident
+    /// topology maintaining the query incrementally.
+    CreateView {
+        /// The view's name (its own namespace, distinct from sources).
+        name: String,
+        /// The defining SELECT.
+        query: Query,
+    },
+    /// `DROP MATERIALIZED VIEW <name>` — tear the resident topology down.
+    DropView {
+        /// The view to drop.
+        name: String,
+    },
+}
+
 /// Parse one SELECT statement.
 pub fn parse(sql: &str) -> Result<Query> {
     let tokens = tokenize(sql)?;
     let mut p = Parser { tokens, pos: 0 };
     let q = p.query()?;
-    if p.pos != p.tokens.len() {
-        return Err(SquallError::Parse(format!("trailing input at token {:?}", p.peek())));
-    }
+    p.expect_end()?;
     Ok(q)
+}
+
+/// Parse one statement: SELECT, CREATE MATERIALIZED VIEW or DROP
+/// MATERIALIZED VIEW.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = if p.eat_keyword("CREATE") {
+        p.expect_keyword("MATERIALIZED")?;
+        p.expect_keyword("VIEW")?;
+        let name = p.ident()?;
+        p.expect_keyword("AS")?;
+        let query = p.query()?;
+        Statement::CreateView { name, query }
+    } else if p.eat_keyword("DROP") {
+        p.expect_keyword("MATERIALIZED")?;
+        p.expect_keyword("VIEW")?;
+        Statement::DropView { name: p.ident()? }
+    } else {
+        Statement::Select(p.query()?)
+    };
+    p.expect_end()?;
+    Ok(stmt)
 }
 
 struct Parser {
@@ -74,6 +115,13 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(SquallError::Parse(format!("expected identifier, found {other:?}"))),
         }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos != self.tokens.len() {
+            return Err(SquallError::Parse(format!("trailing input at token {:?}", self.peek())));
+        }
+        Ok(())
     }
 
     fn query(&mut self) -> Result<Query> {
@@ -507,6 +555,35 @@ mod tests {
         assert!(parse("SELECT a FROM R WHERE").is_err());
         assert!(parse("SELECT a FROM R extra garbage ,").is_err());
         assert!(parse("SELECT COUNT( FROM R").is_err());
+    }
+
+    #[test]
+    fn view_statements_parse() {
+        let s = parse_statement(
+            "CREATE MATERIALIZED VIEW hot_ads AS \
+             SELECT c.ad, COUNT(*) FROM clicks c, ads a \
+             WHERE c.ad = a.id GROUP BY c.ad",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateView { name, query } => {
+                assert_eq!(name, "hot_ads");
+                assert_eq!(query.tables.len(), 2);
+                assert_eq!(query.group_by.len(), 1);
+            }
+            other => panic!("expected CreateView, got {other:?}"),
+        }
+        let s = parse_statement("DROP MATERIALIZED VIEW hot_ads").unwrap();
+        assert!(matches!(s, Statement::DropView { name } if name == "hot_ads"));
+        // Plain SELECT still routes through.
+        let s = parse_statement("SELECT a FROM R").unwrap();
+        assert!(matches!(s, Statement::Select(_)));
+        // Malformed lifecycle statements are parse errors.
+        assert!(parse_statement("CREATE VIEW v AS SELECT a FROM R").is_err());
+        assert!(parse_statement("DROP MATERIALIZED VIEW").is_err());
+        assert!(parse_statement("CREATE MATERIALIZED VIEW v AS SELECT a FROM R , ,").is_err());
+        // `parse` itself refuses lifecycle statements.
+        assert!(parse("DROP MATERIALIZED VIEW v").is_err());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Standing queries: a materialized view that stays **resident** — the
+//! topology launched by `CREATE MATERIALIZED VIEW` keeps running, and
+//! every later `append`/`retract` on a base table flows through the
+//! distributed join as a signed delta instead of triggering a recompute.
+//!
+//! * **Part 1** — `CREATE MATERIALIZED VIEW` over a 3-way join + GROUP
+//!   BY; post-launch appends and retractions; every snapshot is
+//!   read-your-writes consistent and equals the full recompute.
+//! * **Part 2** — the change stream: subscribers receive one batch of
+//!   net `(row, ±count)` changes per epoch, and `DROP MATERIALIZED
+//!   VIEW` is refused while a subscription is live.
+//! * **Part 3** — operations: `explain` lists resident views with their
+//!   delta plumbing and live maintenance counters; dropping the view
+//!   returns its lifetime report.
+//!
+//! ```text
+//! cargo run --release --example standing_views
+//! ```
+
+use squall::common::{tuple, DataType, Schema, SplitMix64, SquallError, Tuple};
+use squall::Session;
+
+const VIEW_SQL: &str = "SELECT R.a, COUNT(*) FROM R, S, T \
+                        WHERE R.b = S.b AND S.c = T.c GROUP BY R.a";
+
+/// Full-recompute oracle: the defining SELECT from scratch on the
+/// session's current catalog.
+fn recompute(s: &Session) -> Vec<Tuple> {
+    s.clone().sql(VIEW_SQL).expect("recompute").rows().to_vec()
+}
+
+fn main() {
+    let mut rng = SplitMix64::new(3);
+    let mut gen = |n: usize, dom: i64| -> Vec<Tuple> {
+        (0..n).map(|_| tuple![rng.next_range(0, dom), rng.next_range(0, dom)]).collect()
+    };
+    let mut session = Session::builder().machines(4).seed(3).build();
+    session
+        .register("R", Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]), gen(2_000, 300))
+        .expect("register R")
+        .register("S", Schema::of(&[("b", DataType::Int), ("c", DataType::Int)]), gen(2_000, 300))
+        .expect("register S")
+        .register("T", Schema::of(&[("c", DataType::Int), ("d", DataType::Int)]), gen(2_000, 300))
+        .expect("register T");
+
+    // Part 1 — create the view; the statement's result set is the initial
+    // snapshot, and the topology stays resident afterwards.
+    let mut initial = session
+        .sql(&format!("CREATE MATERIALIZED VIEW conversions AS {VIEW_SQL}"))
+        .expect("create view");
+    let view = session.view("conversions").expect("resident");
+    println!(
+        "created view `{}`: {} groups at epoch {}",
+        view.name(),
+        initial.rows().len(),
+        view.epoch()
+    );
+
+    // Appends propagate as +1 deltas; each snapshot is read-your-writes
+    // consistent and byte-identical to recomputing the SELECT.
+    let new_rows = gen(500, 300);
+    session.append("R", new_rows.clone()).expect("append R");
+    session.append("S", gen(500, 300)).expect("append S");
+    assert_eq!(view.snapshot().expect("snapshot"), recompute(&session), "appends");
+
+    // Retractions propagate as −1 deltas, shrinking counts and deleting
+    // groups whose support disappears.
+    session.retract("R", new_rows[..200].to_vec()).expect("retract R");
+    assert_eq!(view.snapshot().expect("snapshot"), recompute(&session), "retraction");
+    println!(
+        "after 1000 appends and 200 retractions: {} groups, still equal to a full recompute",
+        view.snapshot().expect("snapshot").len()
+    );
+
+    // Part 2 — the change stream: net per-epoch deltas, and the typed
+    // ViewInUse guard while a subscription is live.
+    let sub = view.subscribe();
+    match session.drop_view("conversions") {
+        Err(SquallError::ViewInUse { view }) => {
+            println!("drop refused while subscribed (ViewInUse: {view})")
+        }
+        other => panic!("expected ViewInUse, got {other:?}"),
+    }
+    session.append("T", gen(300, 300)).expect("append T");
+    view.snapshot().expect("quiesce");
+    let mut changed = 0usize;
+    while let Some(batch) = sub.try_recv() {
+        changed += batch.changes.len();
+        if let Some((row, mult)) = batch.changes.first() {
+            println!(
+                "epoch {}: {} net changes, e.g. {row} x {mult:+}",
+                batch.epoch,
+                batch.changes.len()
+            );
+        }
+    }
+    assert!(changed > 0, "the T appends must change some group");
+    drop(sub);
+
+    // Part 3 — operations: explain lists the resident view, drop returns
+    // its lifetime maintenance report.
+    let text = session.explain(VIEW_SQL).expect("explain");
+    let resident: Vec<&str> = text.lines().filter(|l| l.contains("resident view")).collect();
+    println!("explain: {}", resident.join(" / "));
+    assert!(!resident.is_empty(), "explain lists resident views");
+
+    let report = session.drop_view("conversions").expect("drop view");
+    let stats = report.maintenance.expect("standing run reports maintenance");
+    println!("dropped: {stats}");
+    assert!(stats.epochs_applied >= 4 && stats.retractions >= 1, "{stats}");
+    assert!(session.view("conversions").is_err(), "view is gone after DROP");
+}

@@ -56,6 +56,7 @@
 #![deny(missing_docs)]
 
 pub mod session;
+pub mod views;
 
 pub use squall_common as common;
 pub use squall_core as engine;
@@ -71,3 +72,6 @@ pub use session::{
     agg, avg, col, count, lit, sum, AggFunc, ClusterSpec, ExecConfig, LocalJoinKind, QueryBuilder,
     ResultSet, SchemeKind, Session, SessionBuilder, SourceDef, SourceKind, Window, WindowKind,
 };
+pub use squall_core::driver::MaintenanceStats;
+pub use squall_core::standing::ChangeBatch;
+pub use views::{ViewHandle, ViewSubscription};

@@ -174,7 +174,12 @@ impl SessionBuilder {
 
     /// Freeze the configuration into a [`Session`] with an empty catalog.
     pub fn build(self) -> Session {
-        Session { catalog: Catalog::new(), config: self.config, live: Arc::default() }
+        Session {
+            catalog: Catalog::new(),
+            config: self.config,
+            live: Arc::default(),
+            views: crate::views::ViewRegistry::default(),
+        }
     }
 }
 
@@ -208,11 +213,14 @@ impl Drop for LiveGuard {
 /// execution configuration every query of this session runs with.
 #[derive(Debug, Clone, Default)]
 pub struct Session {
-    catalog: Catalog,
-    config: ExecConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) config: ExecConfig,
     /// Shared with every streaming `ResultSet` this session hands out
     /// (clones of a session share it too — they share the live runs).
     live: LiveSources,
+    /// Resident materialized views (shared across clones, like `live`:
+    /// a view created on one clone is visible — and feedable — on all).
+    pub(crate) views: crate::views::ViewRegistry,
 }
 
 impl Session {
@@ -289,13 +297,18 @@ impl Session {
     /// Drop a registered source; returns whether it existed. Refuses with
     /// a typed [`SquallError::SourceInUse`] while a live streaming run
     /// ([`Session::sql_stream`] / [`QueryBuilder::stream`]) still reads
-    /// the source — finish, materialize or drop the stream first.
+    /// the source — finish, materialize or drop the stream first — or
+    /// while a resident materialized view maintains itself over the
+    /// source ([`Session::create_view`]; `DROP MATERIALIZED VIEW` first).
     pub fn deregister(&mut self, name: &str) -> Result<bool> {
         let live = self.live.lock().expect("live-source registry poisoned");
         if live.get(name).copied().unwrap_or(0) > 0 {
             return Err(SquallError::SourceInUse { source: name.to_string() });
         }
         drop(live);
+        if self.views.reads_source(name) {
+            return Err(SquallError::SourceInUse { source: name.to_string() });
+        }
         Ok(self.catalog.deregister(name))
     }
 
@@ -321,9 +334,29 @@ impl Session {
         &mut self.config
     }
 
-    /// Declarative interface: parse and run SQL, materializing the rows.
+    /// Declarative interface: parse and run one SQL statement,
+    /// materializing the rows.
+    ///
+    /// Besides SELECT, the statement may be a view-lifecycle command:
+    /// `CREATE MATERIALIZED VIEW <name> AS <select>` launches a resident
+    /// topology maintaining the query incrementally (the returned rows
+    /// are the view's initial snapshot; see [`Session::create_view`]) and
+    /// `DROP MATERIALIZED VIEW <name>` tears it down (no rows; the
+    /// lifetime [`JoinReport`] is attached to the result).
     pub fn sql(&self, text: &str) -> Result<ResultSet> {
-        execute_query(&squall_sql::parse(text)?, &self.catalog, &self.config)
+        match squall_sql::parse_statement(text)? {
+            squall_sql::Statement::Select(q) => execute_query(&q, &self.catalog, &self.config),
+            squall_sql::Statement::CreateView { name, query } => {
+                let view = self.create_view(name, &query)?;
+                let rows = view.snapshot()?;
+                Ok(ResultSet::materialized(view.schema().clone(), rows, None))
+            }
+            squall_sql::Statement::DropView { name } => {
+                let report = self.drop_view(&name)?;
+                let schema = Schema::new(Vec::new());
+                Ok(ResultSet::materialized(schema, Vec::new(), Some(report)))
+            }
+        }
     }
 
     /// Declarative interface, streaming: rows are yielded through the
@@ -399,7 +432,47 @@ impl Session {
                 text.push_str("cluster: single-table query runs locally on the coordinator\n");
             }
         }
+        text.push_str(&self.views.describe(&self.config));
         Ok(text)
+    }
+
+    /// Append rows to a registered source. The catalog is updated (with
+    /// the same validation as registration: arity, and for streams a
+    /// non-regressing event time) and every resident materialized view
+    /// reading the source incorporates the rows incrementally — a
+    /// subsequent [`crate::views::ViewHandle::snapshot`] observes them
+    /// (read-your-writes).
+    pub fn append(&mut self, source: &str, rows: Vec<Tuple>) -> Result<&mut Session> {
+        let ordered = self.order_for_source(source, rows)?;
+        self.catalog.append(source, ordered.clone())?;
+        self.views.apply_delta(source, &ordered, 1)?;
+        Ok(self)
+    }
+
+    /// Remove rows from a registered table, one stored occurrence per
+    /// given row (streams are append-only; rows that are not stored are a
+    /// typed error). Every resident materialized view reading the table
+    /// retracts the rows incrementally — aggregates decrease, join
+    /// results disappear.
+    pub fn retract(&mut self, source: &str, rows: Vec<Tuple>) -> Result<&mut Session> {
+        self.catalog.retract(source, &rows)?;
+        self.views.apply_delta(source, &rows, -1)?;
+        Ok(self)
+    }
+
+    /// Stream appends must reach the resident views in event-time order —
+    /// sort the batch on the declared column up front (the catalog sorts
+    /// its own storage identically).
+    fn order_for_source(&self, source: &str, mut rows: Vec<Tuple>) -> Result<Vec<Tuple>> {
+        let def = self.catalog.get(source)?;
+        if let Some(c) = def.event_time_col() {
+            if rows.iter().any(|t| t.arity() != def.schema.arity()) {
+                // Let the catalog produce its usual arity error.
+                return Ok(rows);
+            }
+            rows.sort_by_key(|t| t.get(c).as_int().unwrap_or(i64::MAX));
+        }
+        Ok(rows)
     }
 
     /// Imperative interface: open a query builder on a first relation
@@ -627,6 +700,14 @@ impl QueryBuilder<'_> {
     pub fn explain(self) -> Result<String> {
         let session = self.session;
         session.explain_query(&self.build())
+    }
+
+    /// Build and launch as a resident materialized view — the imperative
+    /// twin of `CREATE MATERIALIZED VIEW <name> AS <select>`. See
+    /// [`Session::create_view`].
+    pub fn create_view(self, name: impl Into<String>) -> Result<crate::views::ViewHandle> {
+        let session = self.session;
+        session.create_view(name, &self.build())
     }
 }
 
@@ -1130,5 +1211,124 @@ mod tests {
             )
             .unwrap();
         assert!(text.contains("window"), "{text}");
+    }
+
+    /// Resident view snapshots observe every acked append/retract and
+    /// match a full SELECT recompute byte-for-byte at every step.
+    #[test]
+    fn view_snapshots_read_their_writes() {
+        let mut s = session();
+        let select = "SELECT R.b, S.c FROM R, S WHERE R.a = S.a";
+        let view = s.create_view("rs", &squall_sql::parse(select).unwrap()).unwrap();
+        assert_eq!(view.snapshot().unwrap(), s.sql(select).unwrap().rows());
+        s.append("R", vec![tuple![4, 40]]).unwrap();
+        assert_eq!(view.snapshot().unwrap(), s.sql(select).unwrap().rows());
+        s.retract("S", vec![tuple![2, 100]]).unwrap();
+        s.append("S", vec![tuple![4, 400], tuple![1, 111]]).unwrap();
+        assert_eq!(view.snapshot().unwrap(), s.sql(select).unwrap().rows());
+        let stats = view.maintenance();
+        assert!(stats.appends >= 2 && stats.retractions >= 1, "{stats}");
+        let report = s.drop_view("rs").unwrap();
+        let final_stats = report.maintenance.expect("drop report carries counters");
+        assert!(final_stats.appends >= stats.appends, "{final_stats}");
+        assert!(final_stats.snapshots >= 3, "{final_stats}");
+    }
+
+    /// DROP is refused while a change-stream subscriber is alive; the
+    /// subscriber sees the net deltas of each applied epoch.
+    #[test]
+    fn drop_view_refuses_while_subscribed() {
+        let mut s = session();
+        let view = s
+            .create_view("rs", &squall_sql::parse("SELECT R.b FROM R, S WHERE R.a = S.a").unwrap())
+            .unwrap();
+        let sub = view.subscribe();
+        assert!(matches!(
+            s.drop_view("rs"),
+            Err(SquallError::ViewInUse { view }) if view == "rs"
+        ));
+        s.append("R", vec![tuple![4, 40]]).unwrap();
+        s.append("S", vec![tuple![4, 999]]).unwrap();
+        view.snapshot().unwrap();
+        let got: Vec<_> = std::iter::from_fn(|| sub.try_recv()).collect();
+        assert!(
+            got.iter().any(|b| b.changes.iter().any(|(t, m)| *t == tuple![40] && *m == 1)),
+            "subscriber observed the new join row: {got:?}"
+        );
+        drop(sub);
+        assert!(s.drop_view("rs").is_ok());
+        assert!(s.view("rs").is_err(), "dropped view is gone");
+    }
+
+    /// A source cannot be deregistered while a resident view reads it.
+    #[test]
+    fn deregister_refuses_source_read_by_view() {
+        let mut s = session();
+        s.create_view("rs", &squall_sql::parse("SELECT R.b FROM R, S WHERE R.a = S.a").unwrap())
+            .unwrap();
+        assert!(matches!(
+            s.deregister("R"),
+            Err(SquallError::SourceInUse { source }) if source == "R"
+        ));
+        s.drop_view("rs").unwrap();
+        assert!(s.deregister("R").unwrap());
+    }
+
+    /// The SQL front door: CREATE returns the initial snapshot, DROP
+    /// returns the maintenance report, and explain lists resident views.
+    #[test]
+    fn sql_create_and_drop_materialized_view() {
+        let mut s = session();
+        let mut created = s
+            .sql("CREATE MATERIALIZED VIEW v AS SELECT R.b, S.c FROM R, S WHERE R.a = S.a")
+            .unwrap();
+        assert_eq!(
+            created.rows(),
+            s.sql("SELECT R.b, S.c FROM R, S WHERE R.a = S.a").unwrap().rows()
+        );
+        assert!(matches!(
+            s.sql("CREATE MATERIALIZED VIEW v AS SELECT R.b FROM R"),
+            Err(SquallError::DuplicateSource(_))
+        ));
+        s.append("R", vec![tuple![2, 22]]).unwrap();
+        let text = s.explain("SELECT R.b FROM R").unwrap();
+        assert!(text.contains("resident view v"), "{text}");
+        assert!(text.contains("maintenance:"), "{text}");
+        let mut dropped = s.sql("DROP MATERIALIZED VIEW v").unwrap();
+        let report = dropped.report().expect("drop returns the view's report");
+        assert!(report.maintenance.is_some(), "{report:?}");
+        assert!(matches!(s.sql("DROP MATERIALIZED VIEW v"), Err(SquallError::UnknownRelation(_))));
+        let text = s.explain("SELECT R.b FROM R").unwrap();
+        assert!(!text.contains("resident view"), "{text}");
+    }
+
+    /// Aggregate views maintain GROUP BY state incrementally, including
+    /// group birth and death under retraction.
+    #[test]
+    fn aggregate_view_tracks_group_changes() {
+        let mut s = session();
+        let select = "SELECT R.a, COUNT(*) FROM R, S WHERE R.a = S.a GROUP BY R.a";
+        let view = s.create_view("counts", &squall_sql::parse(select).unwrap()).unwrap();
+        assert_eq!(view.snapshot().unwrap(), s.sql(select).unwrap().rows());
+        // Births a brand-new group (a=4 joins nothing yet, then S gains 4).
+        s.append("S", vec![tuple![4, 1]]).unwrap();
+        s.append("R", vec![tuple![4, 44]]).unwrap();
+        assert_eq!(view.snapshot().unwrap(), s.sql(select).unwrap().rows());
+        // Kills the group again.
+        s.retract("R", vec![tuple![4, 44]]).unwrap();
+        assert_eq!(view.snapshot().unwrap(), s.sql(select).unwrap().rows());
+        s.drop_view("counts").unwrap();
+    }
+
+    /// Stream sources stay append-only under views: retract is refused,
+    /// appends must respect event time.
+    #[test]
+    fn stream_sources_are_append_only_for_views() {
+        let mut s = stream_session();
+        let err = s.retract("clicks", vec![tuple![1, 5]]).unwrap_err();
+        assert!(matches!(err, SquallError::InvalidSource { .. }), "{err}");
+        let err = s.append("clicks", vec![tuple![9, 1]]).unwrap_err();
+        assert!(matches!(err, SquallError::InvalidSource { .. }), "late event: {err}");
+        s.append("clicks", vec![tuple![2, 95]]).unwrap();
     }
 }
