@@ -1,0 +1,219 @@
+//! `recovery_bench` — what fault tolerance costs and what recovery takes.
+//!
+//! Two numbers, written to `BENCH_recovery.json`:
+//!
+//! 1. **Checkpoint overhead**: the same standing-view append workload
+//!    (3-way join + GROUP BY, snapshot per batch) with checkpointing
+//!    off, at the default interval (16 epochs) and at an aggressive one
+//!    (4 epochs); min-of-reps wall time each, overhead relative to off.
+//!    The smoke run asserts the default interval stays within 15%.
+//! 2. **Recovery time**: a clustered view over loopback workers is torn
+//!    down and re-admitted onto a fresh worker set via
+//!    [`squall::ViewHandle::recover`] — checkpoint restore plus replay —
+//!    and the first post-recovery snapshot must equal the no-failure
+//!    recompute, so the benchmark doubles as a correctness smoke test.
+//!
+//! ```text
+//! cargo run --release -p squall-bench --bin recovery_bench            # full
+//! cargo run --release -p squall-bench --bin recovery_bench -- --smoke # CI
+//! ```
+
+use std::time::{Duration, Instant};
+
+use squall::engine::cluster::serve_job;
+use squall::Session;
+use squall_common::{tuple, DataType, Schema, SplitMix64, Tuple};
+
+const VIEW_SQL: &str = "SELECT R.a, COUNT(*) FROM R, S, T \
+                        WHERE R.b = S.b AND S.c = T.c GROUP BY R.a";
+
+fn gen_rows(rng: &mut SplitMix64, n: usize, dom: i64) -> Vec<Tuple> {
+    (0..n).map(|_| tuple![rng.next_range(0, dom), rng.next_range(0, dom)]).collect()
+}
+
+fn register_base(s: &mut Session, init: usize, dom: i64, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for (name, cols) in [("R", ("a", "b")), ("S", ("b", "c")), ("T", ("c", "d"))] {
+        s.register(
+            name,
+            Schema::of(&[(cols.0, DataType::Int), (cols.1, DataType::Int)]),
+            gen_rows(&mut rng, init, dom),
+        )
+        .expect("register relation");
+    }
+}
+
+/// Per-batch appends, identical across every config under comparison.
+fn batches(n_batches: usize, batch: usize, dom: i64, seed: u64) -> Vec<[Vec<Tuple>; 3]> {
+    let mut rng = SplitMix64::new(seed ^ 0xfeed);
+    (0..n_batches)
+        .map(|_| {
+            [
+                gen_rows(&mut rng, batch, dom),
+                gen_rows(&mut rng, batch, dom),
+                gen_rows(&mut rng, batch, dom),
+            ]
+        })
+        .collect()
+}
+
+/// One workload run at a given checkpoint interval: resident view, all
+/// batches applied with a consistent snapshot each, total wall time.
+/// Returns (elapsed, completed checkpoints, final rows).
+fn run_workload(
+    machines: usize,
+    init: usize,
+    dom: i64,
+    seed: u64,
+    interval: u64,
+    work: &[[Vec<Tuple>; 3]],
+) -> (Duration, u64, Vec<Tuple>) {
+    let mut s =
+        Session::builder().machines(machines).seed(seed).checkpoint_interval(interval).build();
+    register_base(&mut s, init, dom, seed);
+    let view = s
+        .sql(&format!("CREATE MATERIALIZED VIEW v AS {VIEW_SQL}"))
+        .map(|_| s.view("v").expect("just created"))
+        .expect("create view");
+    let start = Instant::now();
+    let mut final_rows = Vec::new();
+    for batch in work {
+        for (name, rows) in ["R", "S", "T"].iter().zip(batch) {
+            s.append(name, rows.clone()).expect("append batch");
+        }
+        final_rows = view.snapshot().expect("consistent snapshot");
+    }
+    let elapsed = start.elapsed();
+    let report = s.drop_view("v").expect("drop view");
+    let checkpoints = report.maintenance.expect("standing report").checkpoints;
+    (elapsed, checkpoints, final_rows)
+}
+
+/// In-process loopback workers: each thread serves jobs until its
+/// listener's current job ends (errors included — a torn-down run is
+/// normal here).
+fn loopback_workers(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().expect("local addr").to_string();
+            std::thread::spawn(move || {
+                let _ = serve_job(&listener);
+            });
+            addr
+        })
+        .collect()
+}
+
+/// Clustered view → mutate → recover onto a fresh worker set → first
+/// snapshot. Returns (recover call ms, first snapshot ms).
+fn run_recovery(machines: usize, init: usize, dom: i64, seed: u64, batch: usize) -> (f64, f64) {
+    let addrs = loopback_workers(2);
+    let mut s = Session::builder()
+        .machines(machines)
+        .seed(seed)
+        .cluster(addrs)
+        .checkpoint_interval(2)
+        .build();
+    register_base(&mut s, init, dom, seed);
+    let view = s
+        .sql(&format!("CREATE MATERIALIZED VIEW v AS {VIEW_SQL}"))
+        .map(|_| s.view("v").expect("just created"))
+        .expect("create view");
+    let mut rng = SplitMix64::new(seed ^ 0xdead);
+    for _ in 0..3 {
+        for name in ["R", "S", "T"] {
+            s.append(name, gen_rows(&mut rng, batch, dom)).expect("append");
+        }
+    }
+    let before = view.snapshot().expect("pre-recovery snapshot");
+
+    let t0 = Instant::now();
+    view.recover(loopback_workers(2)).expect("recover onto fresh workers");
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let after = view.snapshot().expect("post-recovery snapshot");
+    let snapshot_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(before, after, "recovery must reproduce the exact pre-failure view");
+    s.drop_view("v").expect("drop view");
+    (recover_ms, snapshot_ms)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (machines, init, dom, n_batches, batch, reps) =
+        if smoke { (4, 2_000, 1_000, 12, 100, 3) } else { (4, 10_000, 5_000, 32, 200, 5) };
+    let work = batches(n_batches, batch, dom, 7);
+
+    // --- Section 1: checkpoint overhead ------------------------------
+    let intervals: [u64; 3] = [0, 16, 4];
+    let mut best: Vec<(u64, f64, u64)> = Vec::new(); // (interval, best ms, checkpoints)
+    let mut oracle: Option<Vec<Tuple>> = None;
+    for &interval in &intervals {
+        let mut best_ms = f64::INFINITY;
+        let mut checkpoints = 0;
+        for _ in 0..reps {
+            let (elapsed, cps, rows) = run_workload(machines, init, dom, 7, interval, &work);
+            best_ms = best_ms.min(elapsed.as_secs_f64() * 1e3);
+            checkpoints = cps;
+            match &oracle {
+                None => oracle = Some(rows),
+                Some(o) => assert_eq!(o, &rows, "interval {interval} changed the view contents"),
+            }
+        }
+        eprintln!("interval {interval}: best {best_ms:.1} ms, {checkpoints} checkpoints");
+        best.push((interval, best_ms, checkpoints));
+    }
+    let baseline = best[0].1;
+    let overhead = |ms: f64| -> f64 {
+        if baseline > 0.0 {
+            (ms / baseline - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    };
+
+    // --- Section 2: recovery time ------------------------------------
+    let (recover_ms, post_snapshot_ms) = run_recovery(machines, init / 4, dom, 7, batch);
+    eprintln!(
+        "recover(): {recover_ms:.1} ms, first post-recovery snapshot {post_snapshot_ms:.1} ms"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"checkpoint overhead (standing 3-way join + GROUP BY workload \
+         at checkpoint intervals 0/16/4) and recovery time (restore + replay onto a fresh \
+         loopback worker set)\",\n",
+    );
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    json.push_str(&format!("  \"machines\": {machines},\n"));
+    json.push_str(&format!("  \"initial_rows_per_relation\": {init},\n"));
+    json.push_str(&format!("  \"batches\": {n_batches},\n"));
+    json.push_str(&format!("  \"appends_per_batch\": {},\n", 3 * batch));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, (interval, ms, cps)) in best.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"interval-{interval}\", \"best_total_ms\": {ms:.3}, \
+             \"checkpoints\": {cps}, \"overhead_pct\": {:.2}}}{}\n",
+            overhead(*ms),
+            if i + 1 < best.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"recover_ms\": {recover_ms:.3},\n"));
+    json.push_str(&format!("  \"post_recovery_snapshot_ms\": {post_snapshot_ms:.3}\n"));
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("{json}");
+
+    let default_overhead = overhead(best[1].1);
+    assert!(best[1].2 >= 1, "default interval never checkpointed — degenerate benchmark");
+    if smoke {
+        assert!(
+            default_overhead <= 15.0,
+            "default checkpoint interval costs {default_overhead:.1}% (budget: 15%)"
+        );
+    }
+}

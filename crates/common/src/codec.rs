@@ -266,6 +266,7 @@ const ERR_INVALID_PARTITIONING: u8 = 6;
 const ERR_IO: u8 = 7;
 const ERR_CODEC: u8 = 8;
 const ERR_OTHER: u8 = 9;
+const ERR_WORKER_LOST: u8 = 10;
 
 pub fn put_error(buf: &mut Vec<u8>, e: &SquallError) {
     match e {
@@ -307,6 +308,11 @@ pub fn put_error(buf: &mut Vec<u8>, e: &SquallError) {
             put_u8(buf, ERR_CODEC);
             put_str(buf, m);
         }
+        SquallError::WorkerLost { addr, last_epoch } => {
+            put_u8(buf, ERR_WORKER_LOST);
+            put_str(buf, addr);
+            put_u64(buf, *last_epoch);
+        }
         other => {
             put_u8(buf, ERR_OTHER);
             put_str(buf, &other.to_string());
@@ -330,6 +336,7 @@ pub fn get_error(r: &mut Reader<'_>) -> Result<SquallError> {
         ERR_IO => SquallError::Io(r.str()?),
         ERR_CODEC => SquallError::Codec(r.str()?),
         ERR_OTHER => SquallError::Runtime(r.str()?),
+        ERR_WORKER_LOST => SquallError::WorkerLost { addr: r.str()?, last_epoch: r.u64()? },
         tag => return Err(SquallError::Codec(format!("unknown error tag {tag}"))),
     })
 }
@@ -348,8 +355,14 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
     Ok(())
 }
 
+/// Marker text produced by [`read_frame`] when a socket read timeout
+/// (`SO_RCVTIMEO`) fires — the heartbeat watchdog's silence signal.
+pub const READ_TIMED_OUT: &str = "frame read timed out (peer silent)";
+
 /// Read one length-prefixed frame. `Ok(None)` on a clean EOF at a frame
-/// boundary (the peer closed the stream); a mid-frame EOF is an error.
+/// boundary (the peer closed the stream); a mid-frame EOF is an error. A
+/// socket read timeout surfaces as `Io(READ_TIMED_OUT)` so a heartbeat
+/// watchdog can tell silence apart from a closed stream.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
@@ -363,6 +376,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(SquallError::Io(READ_TIMED_OUT.into()))
+            }
             Err(e) => return Err(e.into()),
         }
     }

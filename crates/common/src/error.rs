@@ -44,6 +44,11 @@ pub enum SquallError {
     /// A materialized view cannot be dropped while a subscriber still
     /// reads its change stream.
     ViewInUse { view: String },
+    /// A cluster peer died mid-run (socket closed or heartbeat silence).
+    /// Carries the dead peer's address and the last epoch it was seen
+    /// alive at — the input the checkpoint/recovery subsystem plans
+    /// re-admission from.
+    WorkerLost { addr: String, last_epoch: u64 },
 }
 
 impl fmt::Display for SquallError {
@@ -76,6 +81,9 @@ impl fmt::Display for SquallError {
             ),
             SquallError::ViewInUse { view } => {
                 write!(f, "view {view} has live change-stream subscribers (drop them first)")
+            }
+            SquallError::WorkerLost { addr, last_epoch } => {
+                write!(f, "worker {addr} lost (last seen alive at epoch {last_epoch})")
             }
         }
     }

@@ -96,6 +96,12 @@ pub struct JobSpec {
     pub peers: Vec<String>,
     pub spec: MultiJoinSpec,
     pub cfg: MultiwayConfig,
+    /// Recovery relaunch: rebuild operators holding state through this
+    /// epoch (`0` = a fresh run).
+    pub resume_epoch: u64,
+    /// Recovery relaunch: every join task's checkpoint blob (the worker
+    /// restores the tasks placed on it and ignores the rest).
+    pub restore_join: Vec<(u32, Vec<u8>)>,
 }
 
 // ---------------------------------------------------------------------
@@ -388,6 +394,14 @@ impl JobSpec {
         put_opt_u64(&mut buf, cfg.worker_threads.map(|w| w as u64));
         codec::put_u64(&mut buf, cfg.batch_size as u64);
         codec::put_bool(&mut buf, cfg.standing);
+        codec::put_u64(&mut buf, cfg.checkpoint_interval);
+        codec::put_u64(&mut buf, cfg.heartbeat_timeout_ms);
+        codec::put_u64(&mut buf, self.resume_epoch);
+        codec::put_u32(&mut buf, self.restore_join.len() as u32);
+        for (task, blob) in &self.restore_join {
+            codec::put_u32(&mut buf, *task);
+            codec::put_bytes(&mut buf, blob);
+        }
         buf
     }
 
@@ -472,8 +486,18 @@ impl JobSpec {
         cfg.worker_threads = get_opt_u64(&mut r)?.map(|w| w as usize);
         cfg.batch_size = r.u64()? as usize;
         cfg.standing = r.bool()?;
+        cfg.checkpoint_interval = r.u64()?;
+        cfg.heartbeat_timeout_ms = r.u64()?;
+        let resume_epoch = r.u64()?;
+        let n_blobs = r.len()?;
+        let mut restore_join = Vec::with_capacity(n_blobs);
+        for _ in 0..n_blobs {
+            let task = r.u32()?;
+            let blob = r.bytes()?;
+            restore_join.push((task, blob));
+        }
         r.finish()?;
-        Ok(JobSpec { me, peers, spec, cfg })
+        Ok(JobSpec { me, peers, spec, cfg, resume_epoch, restore_join })
     }
 }
 
@@ -484,11 +508,18 @@ impl JobSpec {
 /// Bind the coordinator's ephemeral listener, ship a [`JobSpec`] to every
 /// worker and complete the link handshake. The returned placement is the
 /// same one every worker computes for itself.
+///
+/// On a recovery relaunch, `restore` ships the checkpoint's join blobs in
+/// every job (each worker restores its placed tasks) and `readmit`
+/// prefaces each job with a `Readmit` frame carrying the resume epoch, so
+/// workers log the re-admission distinctly from a fresh job.
 pub(crate) fn boot_coordinator(
     layout: (Vec<String>, Vec<usize>, Vec<bool>),
     spec: &MultiJoinSpec,
     cfg: &MultiwayConfig,
     cluster: &ClusterSpec,
+    restore: Option<&crate::checkpoint::RestoreState>,
+    readmit: Option<u64>,
 ) -> Result<(Placement, ClusterLinks)> {
     if cluster.workers.is_empty() {
         return Err(SquallError::InvalidPlan("cluster with no workers".into()));
@@ -507,13 +538,29 @@ pub(crate) fn boot_coordinator(
 
     let mut shipped_cfg = cfg.clone();
     shipped_cfg.cluster = None; // a worker never re-distributes its slice
+    let (resume_epoch, restore_join) = match restore {
+        None => (0, Vec::new()),
+        Some(rs) => {
+            let mut blobs: Vec<(u32, Vec<u8>)> =
+                rs.join.iter().map(|(&t, b)| (t as u32, b.clone())).collect();
+            blobs.sort_by_key(|(t, _)| *t);
+            (rs.epoch, blobs)
+        }
+    };
     let jobs: Vec<Vec<u8>> = (1..peers.len())
         .map(|me| {
-            JobSpec { me, peers: peers.clone(), spec: spec.clone(), cfg: shipped_cfg.clone() }
-                .encode()
+            JobSpec {
+                me,
+                peers: peers.clone(),
+                spec: spec.clone(),
+                cfg: shipped_cfg.clone(),
+                resume_epoch,
+                restore_join: restore_join.clone(),
+            }
+            .encode()
         })
         .collect();
-    let links = ClusterLinks::coordinator(&listener, &cluster.workers, jobs)?;
+    let links = ClusterLinks::coordinator(&listener, &cluster.workers, jobs, readmit)?;
     Ok((placement, links))
 }
 
@@ -527,6 +574,7 @@ pub(crate) fn boot_coordinator(
 /// the job's run has fully drained.
 pub fn serve_job(listener: &TcpListener) -> Result<()> {
     let mut hellos: Vec<(usize, TcpStream)> = Vec::new();
+    let mut readmitted: Option<u64> = None;
     let (job_payload, job_conn) = loop {
         let (stream, _) = listener.accept().map_err(SquallError::from)?;
         stream.set_nodelay(true).ok();
@@ -538,6 +586,20 @@ pub fn serve_job(listener: &TcpListener) -> Result<()> {
         match squall_runtime::transport::read_frame_deadline(&stream, deadline)? {
             Some((Frame::Job { payload }, _)) => break (payload, stream),
             Some((Frame::Hello { peer }, _)) => hellos.push((peer, stream)),
+            Some((Frame::Readmit { peer, epoch }, _)) => {
+                // A recovering coordinator re-admits this worker: the Job
+                // frame follows on the same stream.
+                eprintln!("squall-worker: re-admitted as peer {peer} at epoch {epoch}");
+                readmitted = Some(epoch);
+                match squall_runtime::transport::read_frame_deadline(&stream, deadline)? {
+                    Some((Frame::Job { payload }, _)) => break (payload, stream),
+                    other => {
+                        return Err(SquallError::Runtime(format!(
+                            "expected Job after Readmit, got {other:?}"
+                        )))
+                    }
+                }
+            }
             other => {
                 return Err(SquallError::Runtime(format!(
                     "expected Job or Hello from a cluster peer, got {other:?}"
@@ -546,22 +608,71 @@ pub fn serve_job(listener: &TcpListener) -> Result<()> {
         }
     };
     let job = JobSpec::decode(&job_payload)?;
+    eprintln!(
+        "squall-worker: accepted job as peer {} of {} ({}, checkpoint-interval {})",
+        job.me,
+        job.peers.len(),
+        if job.cfg.standing { "standing" } else { "batch" },
+        job.cfg.checkpoint_interval,
+    );
 
     // Rebuild the identical topology — without data: every spout task is
     // placed on the coordinator, so the factories are never invoked here.
     let empty_data: Vec<Vec<squall_common::Tuple>> = vec![Vec::new(); job.spec.n_relations()];
-    let topology = if job.cfg.standing {
+    // Checkpoint plumbing: join bolts on this worker hand snapshot blobs
+    // to a local channel; a detached forwarder ships them to the
+    // coordinator as `SnapshotBlob` frames once the links are up.
+    let mut blob_rx = None;
+    let (topology, restored) = if job.cfg.standing {
+        let blob_tx = (job.cfg.checkpoint_interval > 0).then(|| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            blob_rx = Some(rx);
+            tx
+        });
+        let restore = (job.resume_epoch > 0).then(|| {
+            std::sync::Arc::new(crate::checkpoint::RestoreState {
+                epoch: job.resume_epoch,
+                join: job.restore_join.iter().map(|(t, b)| (*t as usize, b.clone())).collect(),
+                sink: None,
+            })
+        });
+        let restored = restore.is_some();
         // Standing views rebuild the resident topology shape; the live
         // queues and the view sink live on the coordinator only.
-        crate::standing::assemble_standing(&job.spec, empty_data, &job.cfg, None)?.0
+        let topology = crate::standing::assemble_standing(
+            &job.spec, empty_data, &job.cfg, None, restore, blob_tx,
+        )?
+        .0;
+        (topology, restored)
     } else {
-        assemble(&job.spec, empty_data, &job.cfg)?.topology
+        (assemble(&job.spec, empty_data, &job.cfg)?.topology, false)
     };
+    if restored {
+        eprintln!(
+            "squall-worker: restoring join state from checkpoint epoch {} ({} blobs shipped)",
+            job.resume_epoch,
+            job.restore_join.len()
+        );
+    }
     let (_, parallelism, is_spout) = topology.layout();
     let placement = plan_placement(&parallelism, &is_spout, job.peers.len());
 
-    let links = ClusterLinks::worker(listener, job.me, &job.peers, job_conn, hellos)?;
+    let mut links = ClusterLinks::worker(listener, job.me, &job.peers, job_conn, hellos)?;
+    if job.cfg.standing && job.cfg.heartbeat_timeout_ms > 0 {
+        links.heartbeat = Some(std::time::Duration::from_millis(job.cfg.heartbeat_timeout_ms));
+    }
     let (mut handle, cluster) = topology.launch_cluster(placement, links);
+
+    // Forward checkpoint blobs to the coordinator in the background; the
+    // thread dies with the channel when the topology is torn down.
+    if let (Some(rx), Some(sender)) = (blob_rx.take(), cluster.frame_sender()) {
+        std::thread::spawn(move || {
+            while let Ok((role, task, epoch, payload)) = rx.recv() {
+                sender.send(Frame::SnapshotBlob { role, task, epoch, payload });
+            }
+        });
+    }
+    let _ = readmitted; // logged above; the run itself is epoch-agnostic
 
     // Local sink emissions stream to the coordinator as they happen.
     while let Some((node, tuple)) = handle.recv() {
@@ -589,11 +700,16 @@ pub fn run_worker(
     on_ready: impl FnOnce(std::net::SocketAddr),
 ) -> Result<()> {
     let listener = TcpListener::bind(listen)?;
-    on_ready(listener.local_addr()?);
+    let addr = listener.local_addr()?;
+    eprintln!("squall-worker: listening on {addr}");
+    on_ready(addr);
     loop {
         match serve_job(&listener) {
             Ok(()) => {}
             Err(e) if once => return Err(e),
+            Err(SquallError::WorkerLost { addr, last_epoch }) => eprintln!(
+                "squall-worker: heartbeat miss — peer {addr} lost after epoch {last_epoch}; awaiting re-admission"
+            ),
             Err(e) => eprintln!("squall-worker: job failed: {e}; serving the next one"),
         }
         if once {
@@ -646,11 +762,15 @@ mod tests {
         });
         cfg.window =
             Some(WindowPlan { spec: WindowSpec::Sliding { size: 30 }, ts_cols: vec![1, 1, 0] });
+        cfg.checkpoint_interval = 5;
+        cfg.heartbeat_timeout_ms = 750;
         let job = JobSpec {
             me: 2,
             peers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into(), "127.0.0.1:3".into()],
             spec: rst_spec(),
             cfg,
+            resume_epoch: 9,
+            restore_join: vec![(0, vec![1, 2, 3]), (3, Vec::new())],
         };
         let decoded = JobSpec::decode(&job.encode()).unwrap();
         assert_eq!(decoded.me, 2);
@@ -675,6 +795,10 @@ mod tests {
         let w = decoded.cfg.window.unwrap();
         assert_eq!(w.spec, WindowSpec::Sliding { size: 30 });
         assert_eq!(w.ts_cols, vec![1, 1, 0]);
+        assert_eq!(decoded.cfg.checkpoint_interval, 5);
+        assert_eq!(decoded.cfg.heartbeat_timeout_ms, 750);
+        assert_eq!(decoded.resume_epoch, 9);
+        assert_eq!(decoded.restore_join, vec![(0, vec![1, 2, 3]), (3, Vec::new())]);
     }
 
     /// Spawn in-process worker threads, each serving one job over real
@@ -843,6 +967,8 @@ mod tests {
             peers: vec!["a".into(), "b".into()],
             spec: rst_spec(),
             cfg: MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::Traditional, 2),
+            resume_epoch: 0,
+            restore_join: Vec::new(),
         };
         let mut bytes = job.encode();
         bytes.truncate(bytes.len() - 3);

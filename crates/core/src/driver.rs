@@ -107,6 +107,15 @@ pub struct MultiwayConfig {
     /// bolt (see [`crate::standing`]). Workers use this flag to rebuild
     /// the standing topology shape instead of the batch one.
     pub standing: bool,
+    /// Checkpoint every N epochs (standing views only; `0` disables). At
+    /// each multiple an aligned barrier flows through the data plane and
+    /// every stateful operator ships a snapshot blob to the coordinator's
+    /// [`crate::checkpoint::CheckpointStore`].
+    pub checkpoint_interval: u64,
+    /// Declare a peer lost after this long without traffic (clustered
+    /// standing views only; `0` disables liveness timeouts). Peers beat at
+    /// a quarter of this interval when idle.
+    pub heartbeat_timeout_ms: u64,
 }
 
 impl MultiwayConfig {
@@ -125,6 +134,8 @@ impl MultiwayConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             cluster: None,
             standing: false,
+            checkpoint_interval: 16,
+            heartbeat_timeout_ms: 2000,
         }
     }
 
@@ -227,19 +238,30 @@ pub struct MaintenanceStats {
     pub rows_changed: u64,
     /// Consistent snapshots served.
     pub snapshots: u64,
+    /// Completed checkpoints (all operator blobs stored).
+    pub checkpoints: u64,
+    /// Recoveries performed after a lost worker.
+    pub recoveries: u64,
+    /// Epochs replayed after recovery and deduplicated at the view sink
+    /// (exactly-once: replays never mutate the materialized rows twice).
+    pub replayed_epochs: u64,
 }
 
 impl std::fmt::Display for MaintenanceStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "appends {} retractions {} deltas-in {} epochs {} row-changes {} snapshots {}",
+            "appends {} retractions {} deltas-in {} epochs {} row-changes {} snapshots {} \
+             checkpoints {} recoveries {} replayed-epochs {}",
             self.appends,
             self.retractions,
             self.deltas_in,
             self.epochs_applied,
             self.rows_changed,
-            self.snapshots
+            self.snapshots,
+            self.checkpoints,
+            self.recoveries,
+            self.replayed_epochs
         )
     }
 }
@@ -574,7 +596,8 @@ pub fn run_multiway_stream(
     let (handle, cluster) = match &cfg.cluster {
         None => (topology.launch(), None),
         Some(cluster_spec) => {
-            let (placement, links) = boot_coordinator(topology.layout(), spec, cfg, cluster_spec)?;
+            let (placement, links) =
+                boot_coordinator(topology.layout(), spec, cfg, cluster_spec, None, None)?;
             let (handle, run) = topology.launch_cluster(placement, links);
             (handle, Some(run))
         }

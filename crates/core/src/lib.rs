@@ -16,6 +16,7 @@
 //! instance. [`driver::run_multiway`] is exactly that composition.
 
 pub mod adaptive_sim;
+pub mod checkpoint;
 pub mod cluster;
 pub mod driver;
 pub mod operators;
@@ -23,6 +24,7 @@ pub mod pipeline;
 pub mod recovery;
 pub mod standing;
 
+pub use checkpoint::{CheckpointStore, RestoreState};
 pub use cluster::{run_worker, serve_job, ClusterSpec, JobSpec};
 pub use driver::MaintenanceStats;
 pub use driver::{

@@ -44,22 +44,34 @@
 //! tears the topology down — locally and across cluster workers alike.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use squall_common::codec::{self, Reader};
 use squall_common::{FxHashMap, FxHashSet, Result, SquallError, Tuple, Value};
 use squall_expr::{AggFunc, MultiJoinSpec, ScalarExpr};
-use squall_join::{AggSpec, DBToasterJoin, GroupByAggregator, LocalJoin, WindowJoin, WindowSpec};
+use squall_join::{
+    AggSpec, DBToasterJoin, GroupByAggregator, LocalJoin, Snapshot, WindowJoin, WindowSpec,
+};
 use squall_partition::optimizer::build_scheme;
 use squall_runtime::{
     Bolt, ClusterRun, Grouping, LiveItem, LiveQueue, LiveSpout, NodeId, OutputCollector, RunHandle,
     TaskWaker, Topology, TopologyBuilder,
 };
 
-use crate::cluster::boot_coordinator;
+use crate::checkpoint::{
+    CheckpointStore, RestoreState, SnapshotBlobMsg, JOIN_BLOB_FULL, JOIN_BLOB_WINDOWED, ROLE_JOIN,
+    ROLE_SINK,
+};
+use crate::cluster::{boot_coordinator, ClusterSpec};
 use crate::driver::{JoinReport, MaintenanceStats, MultiwayConfig};
+
+/// How long a synchronous checkpoint round waits for all blobs before
+/// proceeding with a partial checkpoint (recovery then falls back to the
+/// last complete one, or completes this one from peer replicas).
+const CHECKPOINT_DEADLINE: Duration = Duration::from_secs(30);
 
 // ---------------------------------------------------------------------
 // Plan
@@ -120,6 +132,9 @@ struct Counters {
     epochs_applied: AtomicU64,
     rows_changed: AtomicU64,
     snapshots: AtomicU64,
+    checkpoints: AtomicU64,
+    recoveries: AtomicU64,
+    replayed_epochs: AtomicU64,
 }
 
 struct ViewState {
@@ -137,6 +152,9 @@ pub struct ViewShared {
     state: Mutex<ViewState>,
     cv: Condvar,
     counters: Counters,
+    /// Set while a recovery tears the old run down: the dying sink's
+    /// `finish` must not flush partially-received epochs into the rows.
+    recovering: AtomicBool,
 }
 
 impl Default for ViewShared {
@@ -155,6 +173,7 @@ impl ViewShared {
             }),
             cv: Condvar::new(),
             counters: Counters::default(),
+            recovering: AtomicBool::new(false),
         }
     }
 
@@ -177,8 +196,18 @@ impl ViewShared {
 
     /// Apply one epoch's net changes, publish to subscribers and advance
     /// the applied-epoch watermark. Called by the sink bolt only.
-    fn publish(&self, epoch: u64, changes: Vec<(Tuple, i64)>) {
+    ///
+    /// Exactly-once: an epoch at or below the applied watermark is a
+    /// post-recovery *replay* — already in the rows and already published —
+    /// so it is dropped here (returns `false`). The shared state persists
+    /// across recoveries, which makes this the natural dedup point.
+    fn publish(&self, epoch: u64, changes: Vec<(Tuple, i64)>) -> bool {
         let mut st = self.lock();
+        if epoch <= st.applied {
+            drop(st);
+            self.cv.notify_all();
+            return false;
+        }
         for (row, m) in &changes {
             use std::collections::hash_map::Entry;
             match st.rows.entry(row.clone()) {
@@ -203,6 +232,7 @@ impl ViewShared {
         st.applied = st.applied.max(epoch);
         drop(st);
         self.cv.notify_all();
+        true
     }
 
     /// Block until `epoch` is fully applied, then return the view rows
@@ -250,6 +280,9 @@ impl ViewShared {
             epochs_applied: self.counters.epochs_applied.load(Ordering::Relaxed),
             rows_changed: self.counters.rows_changed.load(Ordering::Relaxed),
             snapshots: self.counters.snapshots.load(Ordering::Relaxed),
+            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+            recoveries: self.counters.recoveries.load(Ordering::Relaxed),
+            replayed_epochs: self.counters.replayed_epochs.load(Ordering::Relaxed),
         }
     }
 }
@@ -281,6 +314,9 @@ pub struct ViewJoinBolt {
     machine: usize,
     budget: Option<usize>,
     wbuf: Vec<(Tuple, i64)>,
+    /// Checkpoint blob channel (local on the coordinator; forwarded as
+    /// `SnapshotBlob` frames by the worker). `None` = checkpoints off.
+    blob_tx: Option<Sender<SnapshotBlobMsg>>,
 }
 
 impl ViewJoinBolt {
@@ -290,6 +326,7 @@ impl ViewJoinBolt {
         join: StandingJoin,
         n_sources: usize,
         budget: Option<usize>,
+        blob_tx: Option<Sender<SnapshotBlobMsg>>,
     ) -> ViewJoinBolt {
         ViewJoinBolt {
             origin_to_rel,
@@ -300,7 +337,23 @@ impl ViewJoinBolt {
             machine,
             budget,
             wbuf: Vec::new(),
+            blob_tx,
         }
+    }
+
+    /// Rebuild join state from a checkpoint blob (tag byte + the wrapped
+    /// operator's [`Snapshot`] bytes).
+    fn restore(&mut self, blob: &[u8]) -> Result<()> {
+        let mut r = Reader::new(blob);
+        let tag = r.u8()?;
+        match (&mut self.join, tag) {
+            (StandingJoin::Full(j), JOIN_BLOB_FULL) => j.restore_state(&mut r)?,
+            (StandingJoin::Windowed { join, .. }, JOIN_BLOB_WINDOWED) => {
+                join.restore_state(&mut r)?
+            }
+            _ => return Err(SquallError::Codec("join checkpoint blob tag mismatch".into())),
+        }
+        r.finish()
     }
 }
 
@@ -379,6 +432,30 @@ impl Bolt for ViewJoinBolt {
         }
         Ok(())
     }
+
+    /// Barrier alignment: snapshot this task's join state, ship the blob
+    /// toward the coordinator's checkpoint store, and forward the barrier
+    /// downstream. Alignment guarantees the state covers exactly the
+    /// epochs up to the barrier's (no later input exists during a
+    /// synchronous checkpoint round).
+    fn barrier(&mut self, epoch: u64, out: &mut OutputCollector) -> Result<()> {
+        if let Some(tx) = &self.blob_tx {
+            let mut buf = Vec::new();
+            match &self.join {
+                StandingJoin::Full(j) => {
+                    buf.push(JOIN_BLOB_FULL);
+                    j.snapshot_state(&mut buf);
+                }
+                StandingJoin::Windowed { join, .. } => {
+                    buf.push(JOIN_BLOB_WINDOWED);
+                    join.snapshot_state(&mut buf);
+                }
+            }
+            let _ = tx.send((ROLE_JOIN, self.machine, epoch, buf));
+        }
+        out.emit_barrier(epoch);
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -414,10 +491,16 @@ pub struct ViewSinkBolt {
     n_upstream: usize,
     applied: u64,
     state: SinkState,
+    blob_tx: Option<Sender<SnapshotBlobMsg>>,
 }
 
 impl ViewSinkBolt {
-    fn new(plan: Arc<ViewPlan>, shared: Arc<ViewShared>, n_upstream: usize) -> ViewSinkBolt {
+    fn new(
+        plan: Arc<ViewPlan>,
+        shared: Arc<ViewShared>,
+        n_upstream: usize,
+        blob_tx: Option<Sender<SnapshotBlobMsg>>,
+    ) -> ViewSinkBolt {
         let state = if plan.is_aggregate {
             SinkState::Agg {
                 agg: GroupByAggregator::new(plan.group_cols.clone(), plan.aggs.clone()),
@@ -435,7 +518,35 @@ impl ViewSinkBolt {
             n_upstream,
             applied: 0,
             state,
+            blob_tx,
         }
+    }
+
+    /// Rebuild sink state from a checkpoint blob and resume at the
+    /// checkpoint's epoch: replayed epochs at or below it are rejected by
+    /// the late-delta gate, and re-derived epochs above it are recomputed
+    /// deterministically (then deduplicated in [`ViewShared::publish`]).
+    fn restore(&mut self, epoch: u64, blob: &[u8]) -> Result<()> {
+        let mut r = Reader::new(blob);
+        let kind = r.u8()?;
+        match (&mut self.state, kind) {
+            (SinkState::Plain, 0) => {}
+            (SinkState::Agg { agg, published, primed }, 1) => {
+                agg.restore_state(&mut r)?;
+                published.clear();
+                let n = r.len()?;
+                for _ in 0..n {
+                    let key = codec::get_tuple(&mut r)?.values().to_vec();
+                    let row = codec::get_tuple(&mut r)?;
+                    published.insert(key, row);
+                }
+                *primed = r.bool()?;
+            }
+            _ => return Err(SquallError::Codec("sink checkpoint blob kind mismatch".into())),
+        }
+        r.finish()?;
+        self.applied = epoch;
+        Ok(())
     }
 
     /// HAVING-gate and project one raw aggregate row into its published
@@ -591,8 +702,12 @@ impl ViewSinkBolt {
             }
             let deltas = self.pending.remove(&epoch).expect("first key present");
             let changes = self.apply_epoch(deltas)?;
-            self.shared.counters.epochs_applied.fetch_add(1, Ordering::Relaxed);
-            self.shared.publish(epoch, changes);
+            let counter = if self.shared.publish(epoch, changes) {
+                &self.shared.counters.epochs_applied
+            } else {
+                &self.shared.counters.replayed_epochs
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
             self.applied = epoch;
         }
         if self.applied < w {
@@ -635,10 +750,43 @@ impl Bolt for ViewSinkBolt {
     }
 
     fn finish(&mut self, _out: &mut OutputCollector) -> Result<()> {
+        // During a recovery teardown the pending buffer may hold *partial*
+        // epochs (the lost worker's deltas never arrived): flushing them
+        // would corrupt the rows the restarted topology re-derives.
+        if self.shared.recovering.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         // DROP: every queue is closed and drained, so everything pending
         // is final; the u64::MAX advance unblocks any waiter racing the
         // shutdown.
         self.apply_through(u64::MAX)
+    }
+
+    /// Barrier alignment: per-sender FIFO means every delta and watermark
+    /// of the barrier's epoch already arrived, so `applied` equals the
+    /// barrier epoch and the state is exactly the view through it.
+    fn barrier(&mut self, epoch: u64, _out: &mut OutputCollector) -> Result<()> {
+        debug_assert_eq!(self.applied, epoch, "sink aligned before applying the epoch");
+        if let Some(tx) = &self.blob_tx {
+            let mut buf = Vec::new();
+            match &self.state {
+                SinkState::Plain => buf.push(0u8),
+                SinkState::Agg { agg, published, primed } => {
+                    buf.push(1u8);
+                    agg.snapshot_state(&mut buf);
+                    let mut keys: Vec<&Vec<Value>> = published.keys().collect();
+                    keys.sort();
+                    codec::put_u32(&mut buf, keys.len() as u32);
+                    for key in keys {
+                        codec::put_tuple(&mut buf, &Tuple::new(key.clone()));
+                        codec::put_tuple(&mut buf, &published[key]);
+                    }
+                    codec::put_bool(&mut buf, *primed);
+                }
+            }
+            let _ = tx.send((ROLE_SINK, 0, epoch, buf));
+        }
+        Ok(())
     }
 }
 
@@ -661,11 +809,18 @@ fn tag_delta(row: &Tuple, mult: i64, epoch: u64) -> Tuple {
 /// shared state on the coordinator; workers pass `None` — their spout
 /// and sink factories are never invoked (spouts and parallelism-1 bolts
 /// are pinned to peer 0 by `plan_placement`).
+///
+/// `restore` rebuilds every operator from a checkpoint instead of
+/// starting empty (the epoch-1 preload is then suppressed — recovery
+/// replays buffered rounds with their original epochs). `blob_tx` is
+/// where operators ship their checkpoint blobs at barrier alignment.
 pub fn assemble_standing(
     spec: &MultiJoinSpec,
     data: Vec<Vec<Tuple>>,
     cfg: &MultiwayConfig,
     coordinator: Option<(Arc<ViewPlan>, Arc<ViewShared>)>,
+    restore: Option<Arc<RestoreState>>,
+    blob_tx: Option<Sender<SnapshotBlobMsg>>,
 ) -> Result<(Topology, Vec<Arc<LiveQueue>>, StandingLayout)> {
     if data.len() != spec.n_relations() {
         return Err(SquallError::InvalidPlan(format!(
@@ -699,10 +854,12 @@ pub fn assemble_standing(
     let mut source_nodes = Vec::with_capacity(spec.n_relations());
     for (rel, tuples) in data.into_iter().enumerate() {
         let queue = Arc::new(LiveQueue::new());
-        for t in &tuples {
-            queue.push(LiveItem::Delta(tag_delta(t, 1, 1)));
+        if restore.is_none() {
+            for t in &tuples {
+                queue.push(LiveItem::Delta(tag_delta(t, 1, 1)));
+            }
+            queue.push(LiveItem::Watermark(1));
         }
-        queue.push(LiveItem::Watermark(1));
         let q = Arc::clone(&queue);
         let node = b.add_spout(format!("src-{}", spec.relations[rel].name), 1, move |_task| {
             Box::new(LiveSpout::new(Arc::clone(&q)))
@@ -729,6 +886,8 @@ pub fn assemble_standing(
         let d = s.describe();
         (Some(s), d)
     };
+    let join_restore = restore.clone();
+    let join_blob_tx = blob_tx.clone();
     let join_node = b.add_bolt("join", machines, move |task| {
         let origin_to_rel: FxHashMap<usize, usize> =
             origin_map.iter().map(|(&k, &v)| (k, v)).collect();
@@ -744,7 +903,16 @@ pub fn assemble_standing(
             }
             None => StandingJoin::Full(inner),
         };
-        Box::new(ViewJoinBolt::new(task, origin_to_rel, join, n_rel, budget))
+        let mut bolt =
+            ViewJoinBolt::new(task, origin_to_rel, join, n_rel, budget, join_blob_tx.clone());
+        if let Some(rs) = &join_restore {
+            if let Some(blob) = rs.join.get(&task) {
+                // Blobs are self-produced (and byte-checked by recovery):
+                // failing to parse one is a bug, not an input error.
+                bolt.restore(blob).expect("restore self-produced join checkpoint blob");
+            }
+        }
+        Box::new(bolt)
     });
     for (rel, &src) in source_nodes.iter().enumerate() {
         let grouping = match &scheme {
@@ -755,9 +923,18 @@ pub fn assemble_standing(
     }
 
     // The view sink: one task, pinned to the coordinator.
+    let sink_restore = restore;
     let sink_node = b.add_bolt("view", 1, move |_task| match &coordinator {
         Some((plan, shared)) => {
-            Box::new(ViewSinkBolt::new(Arc::clone(plan), Arc::clone(shared), machines))
+            let mut bolt =
+                ViewSinkBolt::new(Arc::clone(plan), Arc::clone(shared), machines, blob_tx.clone());
+            if let Some(rs) = &sink_restore {
+                if let Some(blob) = &rs.sink {
+                    bolt.restore(rs.epoch, blob)
+                        .expect("restore self-produced sink checkpoint blob");
+                }
+            }
+            Box::new(bolt)
         }
         None => unreachable!(
             "view sink runs at parallelism 1, which plan_placement pins to the coordinator"
@@ -765,7 +942,11 @@ pub fn assemble_standing(
     });
     b.connect(join_node, sink_node, Grouping::Global);
 
-    Ok((b.build()?, queues, StandingLayout { source_nodes, join_node, scheme_description }))
+    Ok((
+        b.build()?,
+        queues,
+        StandingLayout { source_nodes, join_node, join_tasks: machines, scheme_description },
+    ))
 }
 
 /// Node ids (and the chosen scheme) of an assembled standing topology —
@@ -773,6 +954,8 @@ pub fn assemble_standing(
 pub struct StandingLayout {
     pub source_nodes: Vec<NodeId>,
     pub join_node: NodeId,
+    /// Join-task (machine) count — how many join blobs a checkpoint needs.
+    pub join_tasks: usize,
     pub scheme_description: String,
 }
 
@@ -790,27 +973,51 @@ pub fn launch_standing(
     debug_assert!(cfg.standing, "launch_standing needs cfg.standing");
     let input_count: u64 = data.iter().map(|d| d.len() as u64).sum();
     let plan = Arc::new(plan);
-    let (topology, queues, layout) =
-        assemble_standing(spec, data, cfg, Some((Arc::clone(&plan), Arc::clone(&shared))))?;
+    // Recovery replays the initial load from scratch when no checkpoint
+    // completed yet, so clustered runs keep a copy.
+    let initial_data = if cfg.cluster.is_some() { data.clone() } else { Vec::new() };
+    let (blob_tx, blob_rx) = std::sync::mpsc::channel();
+    let blob_tx = (cfg.checkpoint_interval > 0).then_some(blob_tx);
+    let (topology, queues, layout) = assemble_standing(
+        spec,
+        data,
+        cfg,
+        Some((Arc::clone(&plan), Arc::clone(&shared))),
+        None,
+        blob_tx.clone(),
+    )?;
     let (handle, cluster) = match &cfg.cluster {
         None => (topology.launch(), None),
         Some(cluster_spec) => {
-            let (placement, links) = boot_coordinator(topology.layout(), spec, cfg, cluster_spec)?;
+            let (placement, mut links) =
+                boot_coordinator(topology.layout(), spec, cfg, cluster_spec, None, None)?;
+            links.blob_tx = blob_tx.clone();
+            if cfg.heartbeat_timeout_ms > 0 {
+                links.heartbeat = Some(Duration::from_millis(cfg.heartbeat_timeout_ms));
+            }
             let (handle, run) = topology.launch_cluster(placement, links);
             (handle, Some(run))
         }
     };
     let waker = handle.waker();
+    let store = CheckpointStore::new(layout.join_tasks);
     Ok(StandingHandle {
         queues,
         shared,
         waker,
-        handle,
+        handle: Some(handle),
         cluster,
         layout,
         input_count,
         issued: 1,
         start: Instant::now(),
+        spec: spec.clone(),
+        cfg: cfg.clone(),
+        plan,
+        initial_data,
+        replay: Vec::new(),
+        store,
+        blob_rx: blob_tx.is_some().then_some(blob_rx),
     })
 }
 
@@ -824,13 +1031,26 @@ pub struct StandingHandle {
     queues: Vec<Arc<LiveQueue>>,
     shared: Arc<ViewShared>,
     waker: TaskWaker,
-    handle: RunHandle,
+    /// `None` only transiently, inside [`StandingHandle::recover`].
+    handle: Option<RunHandle>,
     cluster: Option<ClusterRun>,
     layout: StandingLayout,
     input_count: u64,
     /// Latest issued epoch (initial load = 1).
     issued: u64,
     start: Instant,
+    /// What recovery needs to re-assemble the topology.
+    spec: MultiJoinSpec,
+    cfg: MultiwayConfig,
+    plan: Arc<ViewPlan>,
+    /// Clustered runs only: the initial load, replayed when no checkpoint
+    /// completed before a failure.
+    initial_data: Vec<Vec<Tuple>>,
+    /// Rounds issued since the last complete checkpoint, with their
+    /// epochs — the replay log of recovery.
+    replay: Vec<(u64, Vec<DeltaRound>)>,
+    store: CheckpointStore,
+    blob_rx: Option<Receiver<SnapshotBlobMsg>>,
 }
 
 impl StandingHandle {
@@ -860,6 +1080,11 @@ impl StandingHandle {
     /// a subsequent [`StandingHandle::snapshot`] observes it.
     pub fn apply(&mut self, rounds: Vec<DeltaRound>) -> Result<u64> {
         let epoch = self.issued + 1;
+        // Clustered runs log every round until a checkpoint covers it —
+        // the replay input of recovery.
+        if self.cluster.is_some() && self.cfg.checkpoint_interval > 0 {
+            self.replay.push((epoch, rounds.clone()));
+        }
         let mut retracts = false;
         for (rel, rows, mult) in rounds {
             if rel >= self.queues.len() {
@@ -885,14 +1110,53 @@ impl StandingHandle {
         for t in 0..self.queues.len() {
             self.waker.wake(t);
         }
+        if self.cfg.checkpoint_interval > 0 && epoch.is_multiple_of(self.cfg.checkpoint_interval) {
+            self.checkpoint(epoch);
+        }
         Ok(epoch)
+    }
+
+    /// One synchronous checkpoint round: inject an aligned barrier behind
+    /// epoch `epoch`'s watermark and block until every operator's blob
+    /// lands (or a generous deadline passes — the checkpoint then stays
+    /// partial and recovery falls back, possibly via §5 peer
+    /// reconstruction). Blocking keeps barriers trivially aligned: no
+    /// epoch-`e+1` delta exists anywhere while the epoch-`e` snapshot is
+    /// taken, so operator state is exactly the view through `e`.
+    fn checkpoint(&mut self, epoch: u64) {
+        let Some(rx) = self.blob_rx.as_ref() else { return };
+        for q in &self.queues {
+            q.push(LiveItem::Barrier(epoch));
+        }
+        for t in 0..self.queues.len() {
+            self.waker.wake(t);
+        }
+        let deadline = Instant::now() + CHECKPOINT_DEADLINE;
+        while !self.store.is_complete(epoch) {
+            if Instant::now() >= deadline {
+                break;
+            }
+            if self.handle.as_ref().and_then(|h| h.error()).is_some() {
+                break; // dead topology: the error surfaces via error()
+            }
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(msg) => self.store.insert(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if self.store.is_complete(epoch) {
+            self.shared.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+            self.store.trim_below(epoch);
+            self.replay.retain(|(e, _)| *e > epoch);
+        }
     }
 
     /// A consistent snapshot of the view rows (multiplicities expanded,
     /// unsorted): waits until every issued epoch is applied —
     /// read-your-writes for every acked append/retract.
     pub fn snapshot(&self, timeout: Duration) -> Result<Vec<Tuple>> {
-        self.shared.snapshot_rows(self.issued, timeout, || self.handle.error())
+        self.shared.snapshot_rows(self.issued, timeout, || self.error())
     }
 
     /// Subscribe to the change stream.
@@ -900,9 +1164,121 @@ impl StandingHandle {
         self.shared.subscribe()
     }
 
-    /// The error that aborted the resident run, if any.
+    /// The error that aborted the resident run, if any — a lost cluster
+    /// peer surfaces here as [`SquallError::WorkerLost`].
     pub fn error(&self) -> Option<SquallError> {
-        self.handle.error()
+        self.handle.as_ref().and_then(|h| h.error())
+    }
+
+    /// Restart the view on `cluster` after a failure (typically a
+    /// [`SquallError::WorkerLost`] from [`StandingHandle::error`]): tear
+    /// the dead run down, restore every operator from the freshest usable
+    /// checkpoint — completing a partial one from §5 peer replicas when
+    /// the scheme replicates — and replay the rounds issued since, with
+    /// their original epochs. The shared view state (rows, subscribers,
+    /// applied watermark) persists across the restart, and replayed
+    /// epochs dedup against it: subscribers see every change exactly
+    /// once.
+    pub fn recover(&mut self, cluster: ClusterSpec) -> Result<()> {
+        if self.cfg.cluster.is_none() {
+            return Err(SquallError::Runtime(
+                "recover() applies to clustered standing views".into(),
+            ));
+        }
+        // Tear the dead run down. The sink must not flush partial epochs
+        // into the shared rows while the cascade drains.
+        self.shared.recovering.store(true, Ordering::SeqCst);
+        for q in &self.queues {
+            q.close();
+        }
+        for t in 0..self.queues.len() {
+            self.waker.wake(t);
+        }
+        if let Some(mut handle) = self.handle.take() {
+            while handle.recv().is_some() {}
+            let _ = handle.finish();
+        }
+        if let Some(run) = self.cluster.take() {
+            let _ = run.finish(None);
+        }
+        if let Some(rx) = self.blob_rx.as_ref() {
+            // Blobs that arrived after the last checkpoint wait (e.g. a
+            // straggler completing a previously-partial epoch).
+            while let Ok(msg) = rx.try_recv() {
+                self.store.insert(msg);
+            }
+        }
+        self.shared.recovering.store(false, Ordering::SeqCst);
+
+        // Prefer the newest checkpoint, completing a partial one from the
+        // surviving replicas when the partitioning makes that sound (§5).
+        let n_rel = self.spec.n_relations();
+        if n_rel > 1 {
+            if let Ok(scheme) =
+                build_scheme(self.cfg.scheme, &self.spec, self.layout.join_tasks, self.cfg.seed)
+            {
+                self.store.reconstruct_newest(&scheme, n_rel);
+            }
+        }
+        let restore =
+            self.store.latest_complete().and_then(|e| self.store.restore_state(e)).map(Arc::new);
+        let resume = restore.as_ref().map(|r| r.epoch).unwrap_or(0);
+
+        // Relaunch on the new cluster, restored; no checkpoint yet means
+        // replaying everything from the initial load.
+        self.cfg.cluster = Some(cluster);
+        let data =
+            if restore.is_some() { vec![Vec::new(); n_rel] } else { self.initial_data.clone() };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let blob_tx = (self.cfg.checkpoint_interval > 0).then_some(tx);
+        let (topology, queues, layout) = assemble_standing(
+            &self.spec,
+            data,
+            &self.cfg,
+            Some((Arc::clone(&self.plan), Arc::clone(&self.shared))),
+            restore.clone(),
+            blob_tx.clone(),
+        )?;
+        let cluster_spec = self.cfg.cluster.clone().expect("cluster just set");
+        let (placement, mut links) = boot_coordinator(
+            topology.layout(),
+            &self.spec,
+            &self.cfg,
+            &cluster_spec,
+            restore.as_deref(),
+            Some(resume),
+        )?;
+        links.blob_tx = blob_tx.clone();
+        if self.cfg.heartbeat_timeout_ms > 0 {
+            links.heartbeat = Some(Duration::from_millis(self.cfg.heartbeat_timeout_ms));
+        }
+        let (handle, run) = topology.launch_cluster(placement, links);
+        self.waker = handle.waker();
+        self.handle = Some(handle);
+        self.cluster = Some(run);
+        self.queues = queues;
+        self.layout = layout;
+        self.blob_rx = blob_tx.is_some().then_some(rx);
+        self.shared.counters.recoveries.fetch_add(1, Ordering::Relaxed);
+
+        // Replay every round after the restored checkpoint with its
+        // original epoch and watermark; no barriers — the rounds stay in
+        // the log until a fresh checkpoint covers them.
+        self.replay.retain(|(e, _)| *e > resume);
+        for (epoch, rounds) in &self.replay {
+            for (rel, rows, mult) in rounds {
+                for row in rows {
+                    self.queues[*rel].push(LiveItem::Delta(tag_delta(row, *mult, *epoch)));
+                }
+            }
+            for q in &self.queues {
+                q.push(LiveItem::Watermark(*epoch));
+            }
+        }
+        for t in 0..self.queues.len() {
+            self.waker.wake(t);
+        }
+        Ok(())
     }
 
     /// Close every source queue and drain the shutdown cascade,
@@ -913,13 +1289,14 @@ impl StandingHandle {
             queues,
             shared,
             waker,
-            mut handle,
+            handle,
             cluster,
             layout,
             input_count,
             start,
             ..
         } = self;
+        let mut handle = handle.expect("handle present outside recover()");
         for q in &queues {
             q.close();
         }

@@ -6,8 +6,11 @@
 //! incremental view maintenance). All three aggregates are also
 //! *subtractable*, which the sliding-window variants exploit.
 
+use squall_common::codec::{self, Reader};
 use squall_common::{FxHashMap, Result, Tuple, Value};
 use squall_expr::{AggFunc, ScalarExpr};
+
+use crate::Snapshot;
 
 /// One aggregate column: the function plus its input expression (COUNT
 /// needs none).
@@ -163,6 +166,48 @@ impl GroupByAggregator {
 
     pub fn n_groups(&self) -> usize {
         self.groups.len()
+    }
+}
+
+impl Snapshot for GroupByAggregator {
+    /// Raw accumulators per group: AVG is not invertible from published
+    /// rows, so the state ships as-is. Groups are sorted by key so equal
+    /// state means equal bytes.
+    fn snapshot_state(&self, buf: &mut Vec<u8>) {
+        let mut keys: Vec<&Vec<Value>> = self.groups.keys().collect();
+        keys.sort();
+        codec::put_u32(buf, keys.len() as u32);
+        for key in keys {
+            codec::put_tuple(buf, &Tuple::new(key.clone()));
+            let states = &self.groups[key];
+            codec::put_u32(buf, states.len() as u32);
+            for st in states {
+                codec::put_i64(buf, st.count);
+                codec::put_i64(buf, st.int_sum);
+                codec::put_f64(buf, st.float_sum);
+                codec::put_bool(buf, st.all_int);
+            }
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        self.groups.clear();
+        let n_groups = r.len()?;
+        for _ in 0..n_groups {
+            let key = codec::get_tuple(r)?.values().to_vec();
+            let n_states = r.len()?;
+            let mut states = Vec::with_capacity(n_states);
+            for _ in 0..n_states {
+                states.push(AggState {
+                    count: r.i64()?,
+                    int_sum: r.i64()?,
+                    float_sum: r.f64()?,
+                    all_int: r.bool()?,
+                });
+            }
+            self.groups.insert(key, states);
+        }
+        Ok(())
     }
 }
 

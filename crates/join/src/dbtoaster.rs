@@ -22,12 +22,13 @@
 //! never a recomputation. The delta for the full relation set is the
 //! emitted result.
 
-use squall_common::{FxHashMap, Tuple, Value};
+use squall_common::codec::{self, Reader};
+use squall_common::{FxHashMap, Result, Tuple, Value};
 use squall_expr::join_cond::CmpOp;
 use squall_expr::MultiJoinSpec;
 
 use crate::views::View;
-use crate::LocalJoin;
+use crate::{LocalJoin, Snapshot};
 
 /// How one segment of a ΔV_S tuple is assembled.
 #[derive(Debug, Clone, Copy)]
@@ -322,6 +323,43 @@ impl DBToasterJoin {
     }
 }
 
+impl Snapshot for DBToasterJoin {
+    /// Base relations only: every intermediate view is a pure function of
+    /// the singleton views, so restore replays the bases through the
+    /// delta path. Rows are sorted so equal state means equal bytes.
+    fn snapshot_state(&self, buf: &mut Vec<u8>) {
+        codec::put_u32(buf, self.arities.len() as u32);
+        for rel in 0..self.arities.len() {
+            let base = self.views.iter().find(|v| v.members.as_slice() == [rel]);
+            let mut rows: Vec<(&Tuple, i64)> = match base {
+                Some(v) => v.scan().collect(),
+                None => Vec::new(), // single-relation join: stateless
+            };
+            rows.sort_by(|a, b| a.0.cmp(b.0));
+            codec::put_u32(buf, rows.len() as u32);
+            for (t, m) in rows {
+                codec::put_tuple(buf, t);
+                codec::put_i64(buf, m);
+            }
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        let n = r.len()?;
+        let mut discard = Vec::new();
+        for rel in 0..n {
+            let rows = r.len()?;
+            for _ in 0..rows {
+                let t = codec::get_tuple(r)?;
+                let m = r.i64()?;
+                self.delta(rel, &t, m, &mut discard);
+                discard.clear();
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Where result deltas go.
 enum Sink<'a> {
     None,
@@ -421,6 +459,18 @@ impl AggregatedDBToaster {
     /// Join-keys-only variant (COUNT(*) queries).
     pub fn minimal(spec: &MultiJoinSpec) -> AggregatedDBToaster {
         AggregatedDBToaster::new(spec, &vec![Vec::new(); spec.n_relations()])
+    }
+}
+
+impl Snapshot for AggregatedDBToaster {
+    /// The projection is configuration, not state: only the inner join's
+    /// (already projected) bases ship.
+    fn snapshot_state(&self, buf: &mut Vec<u8>) {
+        self.inner.snapshot_state(buf)
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        self.inner.restore_state(r)
     }
 }
 

@@ -28,6 +28,7 @@
 pub mod agg;
 pub mod dbtoaster;
 pub mod naive;
+pub mod snapshot;
 pub mod spill;
 pub mod traditional;
 pub mod views;
@@ -36,6 +37,7 @@ pub mod window;
 pub use agg::{AggSpec, GroupByAggregator};
 pub use dbtoaster::DBToasterJoin;
 pub use naive::naive_join;
+pub use snapshot::Snapshot;
 pub use spill::SpillStore;
 pub use traditional::TraditionalJoin;
 pub use window::{output_ts_cols, WindowJoin, WindowSpec};

@@ -29,9 +29,10 @@
 
 use std::collections::VecDeque;
 
-use squall_common::Tuple;
+use squall_common::codec::{self, Reader};
+use squall_common::{Result, Tuple};
 
-use crate::LocalJoin;
+use crate::{LocalJoin, Snapshot};
 
 /// Window shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +263,64 @@ impl<J: LocalJoin> WindowJoin<J> {
 
     pub fn inner(&self) -> &J {
         &self.inner
+    }
+}
+
+impl<J: LocalJoin> Snapshot for WindowJoin<J> {
+    /// Live window buffers plus frontiers only: the wrapped join's state
+    /// is exactly the joins of the live tuples, so restore re-inserts them
+    /// (discarding output) instead of shipping inner views. Per-relation
+    /// buffers are already deterministic — they hold arrival order, which
+    /// the runtime's ordered channels make identical across runs of the
+    /// same input prefix.
+    fn snapshot_state(&self, buf: &mut Vec<u8>) {
+        codec::put_u64(buf, self.current_window);
+        codec::put_u32(buf, self.live.len() as u32);
+        for q in &self.live {
+            codec::put_u32(buf, q.len() as u32);
+            for (ts, t) in q {
+                codec::put_u64(buf, *ts);
+                codec::put_tuple(buf, t);
+            }
+        }
+        codec::put_u32(buf, self.frontier.len() as u32);
+        for f in &self.frontier {
+            match f {
+                None => codec::put_u8(buf, 0),
+                Some(ts) => {
+                    codec::put_u8(buf, 1);
+                    codec::put_u64(buf, *ts);
+                }
+            }
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        self.current_window = r.u64()?;
+        let n_rel = r.len()?;
+        let mut discard = Vec::new();
+        for rel in 0..n_rel {
+            let n = r.len()?;
+            for _ in 0..n {
+                let ts = r.u64()?;
+                let t = codec::get_tuple(r)?;
+                // Straight into the inner join — no expiry pass: every
+                // serialized tuple was live at the snapshot watermark, so
+                // none can be expired at restore either.
+                self.inner.insert_weighted(rel, &t, &mut discard);
+                discard.clear();
+                self.live[rel].push_back((ts, t));
+            }
+        }
+        let n_front = r.len()?;
+        self.frontier.clear();
+        for _ in 0..n_front {
+            self.frontier.push(match r.u8()? {
+                0 => None,
+                _ => Some(r.u64()?),
+            });
+        }
+        Ok(())
     }
 }
 

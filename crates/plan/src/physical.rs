@@ -52,6 +52,12 @@ pub struct ExecConfig {
     /// TCP (`None` = single process). Results and per-machine loads are
     /// placement-independent; single-table queries still run locally.
     pub cluster: Option<ClusterSpec>,
+    /// Checkpoint a standing view's operator state every this many
+    /// epochs (`0` disables). One-shot queries ignore it.
+    pub checkpoint_interval: u64,
+    /// Declare a cluster peer lost after this much heartbeat silence, in
+    /// milliseconds (`0` disables failure detection). Standing only.
+    pub heartbeat_timeout_ms: u64,
 }
 
 impl Default for ExecConfig {
@@ -66,6 +72,8 @@ impl Default for ExecConfig {
             worker_threads: None,
             batch_size: squall_runtime::DEFAULT_BATCH_SIZE,
             cluster: None,
+            checkpoint_interval: 16,
+            heartbeat_timeout_ms: 2000,
         }
     }
 }
@@ -1170,6 +1178,8 @@ impl PhysicalQuery {
         mcfg.worker_threads = cfg.worker_threads;
         mcfg.batch_size = cfg.batch_size.max(1);
         mcfg.cluster = cfg.cluster.clone();
+        mcfg.checkpoint_interval = cfg.checkpoint_interval;
+        mcfg.heartbeat_timeout_ms = cfg.heartbeat_timeout_ms;
         if let Some(w) = &self.window {
             mcfg = mcfg.with_window(WindowPlan { spec: w.spec, ts_cols: w.ts_cols.clone() });
         }
@@ -1242,6 +1252,8 @@ impl PhysicalQuery {
         mcfg.worker_threads = cfg.worker_threads;
         mcfg.batch_size = cfg.batch_size.max(1);
         mcfg.cluster = cfg.cluster.clone();
+        mcfg.checkpoint_interval = cfg.checkpoint_interval;
+        mcfg.heartbeat_timeout_ms = cfg.heartbeat_timeout_ms;
         mcfg.standing = true;
         if let Some(w) = &self.window {
             mcfg = mcfg.with_window(WindowPlan { spec: w.spec, ts_cols: w.ts_cols.clone() });

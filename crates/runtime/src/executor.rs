@@ -59,8 +59,8 @@
 //! runtime error, and its task still punctuates downstream so nothing
 //! hangs.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -347,6 +347,10 @@ enum OperatorState {
         inbox: Arc<Inbox>,
         expected_eos: usize,
         eos_seen: usize,
+        /// Checkpoint barriers seen per epoch; a bolt *aligns* on an epoch
+        /// once it has one barrier per upstream task (the same count as
+        /// `expected_eos`), then snapshots and forwards it.
+        barriers: BTreeMap<u64, usize>,
         /// The bolt errored; keep draining, stop executing.
         failed: bool,
     },
@@ -376,18 +380,21 @@ impl TaskCell {
             OperatorState::Spout(spout) => {
                 Self::poll_spout(spout, &mut self.out, self.id, self.budget, &self.shared)
             }
-            OperatorState::Bolt { bolt, inbox, expected_eos, eos_seen, failed } => Self::poll_bolt(
-                bolt,
-                inbox,
-                expected_eos,
-                eos_seen,
-                failed,
-                &mut self.out,
-                self.id,
-                self.budget,
-                &self.shared,
-                sched,
-            ),
+            OperatorState::Bolt { bolt, inbox, expected_eos, eos_seen, barriers, failed } => {
+                Self::poll_bolt(
+                    bolt,
+                    inbox,
+                    expected_eos,
+                    eos_seen,
+                    barriers,
+                    failed,
+                    &mut self.out,
+                    self.id,
+                    self.budget,
+                    &self.shared,
+                    sched,
+                )
+            }
         }
     }
 
@@ -425,6 +432,16 @@ impl TaskCell {
                         return Poll::Yield;
                     }
                 }
+                SpoutPoll::Barrier(epoch) => {
+                    out.emit_barrier(epoch);
+                    produced += 1;
+                    if out.park_if_gated(id) {
+                        return Poll::Park;
+                    }
+                    if produced >= budget {
+                        return Poll::Yield;
+                    }
+                }
                 SpoutPoll::Idle => {
                     // Resident source with nothing pending: ship any
                     // half-full batches so no delta waits on a sleeping
@@ -449,6 +466,7 @@ impl TaskCell {
         inbox: &Arc<Inbox>,
         expected_eos: &usize,
         eos_seen: &mut usize,
+        barriers: &mut BTreeMap<u64, usize>,
         failed: &mut bool,
         out: &mut OutputCollector,
         id: TaskId,
@@ -509,6 +527,29 @@ impl TaskCell {
                         return Poll::Yield;
                     }
                 }
+                Some(Message::Barrier { epoch }) => {
+                    processed += 1;
+                    let seen = barriers.entry(epoch).or_insert(0);
+                    *seen += 1;
+                    if *seen >= *expected_eos {
+                        // Aligned: one barrier per upstream task is in, so
+                        // operator state reflects exactly epochs ≤ `epoch`.
+                        barriers.remove(&epoch);
+                        if !*failed && !shared.abort.load(Ordering::Relaxed) {
+                            if let Err(e) = bolt.barrier(epoch, out) {
+                                shared.raise(e);
+                                *failed = true;
+                            }
+                        }
+                        shared.epoch.fetch_max(epoch, Ordering::Relaxed);
+                    }
+                    if out.park_if_gated(id) {
+                        return Poll::Park;
+                    }
+                    if processed >= budget {
+                        return Poll::Yield;
+                    }
+                }
                 Some(Message::Eos) => {
                     *eos_seen += 1;
                     if *eos_seen >= *expected_eos {
@@ -552,6 +593,10 @@ impl TaskCell {
 
 pub(crate) struct Shared {
     pub(crate) abort: AtomicBool,
+    /// Highest checkpoint epoch any local bolt has aligned on. Heartbeat
+    /// frames advertise this so a coordinator learning of a peer's death
+    /// knows the last epoch it was seen alive at.
+    pub(crate) epoch: AtomicU64,
     error: Mutex<Option<SquallError>>,
     finished_at: Mutex<Option<Instant>>,
 }
@@ -802,6 +847,7 @@ impl Topology {
 
         let shared = Arc::new(Shared {
             abort: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
             error: Mutex::new(None),
             finished_at: Mutex::new(None),
         });
@@ -928,6 +974,7 @@ impl Topology {
                         inbox: Arc::clone(inboxes[id].as_ref().expect("bolt inbox")),
                         expected_eos: expected_eos[node_id],
                         eos_seen: 0,
+                        barriers: BTreeMap::new(),
                         failed: false,
                     },
                 };

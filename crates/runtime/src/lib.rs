@@ -58,6 +58,7 @@ pub use topology::{
 };
 pub use transport::{
     accept_with_deadline, connect_with_retry, describe_placement, plan_placement,
-    read_frame_deadline, ClusterLinks, ClusterRun, ClusterSummary, Frame, LocalTransport,
-    PeerWireStats, Placement, TcpTransport, Transport, TransportStats, HANDSHAKE_TIMEOUT,
+    read_frame_deadline, ClusterLinks, ClusterRun, ClusterSummary, Frame, FrameSender,
+    LocalTransport, PeerWireStats, Placement, TcpTransport, Transport, TransportStats,
+    HANDSHAKE_TIMEOUT,
 };

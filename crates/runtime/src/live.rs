@@ -28,6 +28,9 @@ pub enum LiveItem {
     /// An epoch watermark to broadcast downstream after the deltas that
     /// precede it in the queue.
     Watermark(u64),
+    /// A checkpoint barrier to broadcast downstream after the epoch
+    /// watermark it seals (see [`crate::message::Message::Barrier`]).
+    Barrier(u64),
 }
 
 struct LiveState {
@@ -88,6 +91,7 @@ impl LiveQueue {
         match inner.queue.pop_front() {
             Some(LiveItem::Delta(t)) => SpoutPoll::Tuple(t),
             Some(LiveItem::Watermark(ts)) => SpoutPoll::Watermark(ts),
+            Some(LiveItem::Barrier(epoch)) => SpoutPoll::Barrier(epoch),
             None if inner.closed => SpoutPoll::Eos,
             None => SpoutPoll::Idle,
         }
@@ -111,12 +115,12 @@ impl LiveSpout {
 impl Spout for LiveSpout {
     fn next(&mut self) -> Option<Tuple> {
         // Only meaningful for bounded use; the executor drives resident
-        // spouts through `poll`. Watermarks cannot be represented here, so
-        // skip them and stop on Idle/Eos.
+        // spouts through `poll`. Watermarks and barriers cannot be
+        // represented here, so skip them and stop on Idle/Eos.
         loop {
             match self.queue.pop() {
                 SpoutPoll::Tuple(t) => return Some(t),
-                SpoutPoll::Watermark(_) => continue,
+                SpoutPoll::Watermark(_) | SpoutPoll::Barrier(_) => continue,
                 SpoutPoll::Idle | SpoutPoll::Eos => return None,
             }
         }

@@ -45,4 +45,18 @@ pub enum Message {
         /// The event-time frontier being promised.
         ts: u64,
     },
+    /// A checkpoint barrier (Chandy-Lamport style alignment marker). The
+    /// coordinator injects one per source after the epoch-`epoch`
+    /// watermark; barriers are broadcast downstream exactly like
+    /// watermarks (flushed after the sender's earlier data, one per
+    /// upstream task). A task *aligns* once it has received one barrier
+    /// for `epoch` from every upstream task; at that instant its operator
+    /// state reflects precisely the deltas of epochs ≤ `epoch`, so the
+    /// aligned task snapshots its state and forwards the barrier. Because
+    /// every channel is FIFO and each task applies input single-threadedly,
+    /// alignment needs no channel capture and never stalls the pipeline.
+    Barrier {
+        /// The checkpoint epoch this barrier seals.
+        epoch: u64,
+    },
 }

@@ -24,6 +24,9 @@ pub enum SpoutPoll {
     /// Broadcast a watermark to every downstream task (epoch / event-time
     /// frontier punctuation).
     Watermark(u64),
+    /// Broadcast a checkpoint barrier sealing `epoch` to every downstream
+    /// task (see [`crate::message::Message::Barrier`]).
+    Barrier(u64),
     /// Nothing available *right now*, but the stream is not over: the task
     /// parks until an external writer wakes it (see
     /// [`crate::executor::TaskWaker`]).
@@ -77,6 +80,17 @@ pub trait Bolt: Send {
         out: &mut OutputCollector,
     ) -> Result<()> {
         let _ = (origin, from_task, ts, out);
+        Ok(())
+    }
+
+    /// Called once per checkpoint epoch, at the instant barriers for
+    /// `epoch` have *aligned* — one received from every upstream task, so
+    /// this task's state reflects exactly the deltas of epochs ≤ `epoch`
+    /// (see [`crate::message::Message::Barrier`]). Snapshot-capable
+    /// operators serialize their state here before forwarding; the default
+    /// is stateless and just forwards the barrier downstream.
+    fn barrier(&mut self, epoch: u64, out: &mut OutputCollector) -> Result<()> {
+        out.emit_barrier(epoch);
         Ok(())
     }
 }
@@ -504,6 +518,23 @@ impl OutputCollector {
                     target.task,
                     Message::Watermark { origin: self.node, from_task: self.task, ts },
                 );
+            }
+        }
+    }
+
+    /// Broadcast a checkpoint barrier to *every* downstream task of every
+    /// outgoing edge, exactly like [`OutputCollector::emit_watermark`]:
+    /// scatter buffers flush first, so the barrier follows all of this
+    /// task's earlier data (the FIFO ordering that makes alignment exact).
+    /// No-op on sink nodes.
+    pub fn emit_barrier(&mut self, epoch: u64) {
+        if self.is_sink {
+            return;
+        }
+        for edge in &mut self.edges {
+            for target in &mut edge.targets {
+                flush_target(self.node, target, &*self.transport, &mut self.gated);
+                self.transport.send(target.task, Message::Barrier { epoch });
             }
         }
     }

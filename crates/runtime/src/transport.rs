@@ -197,6 +197,15 @@ const FRAME_ABORT: u8 = 5;
 const FRAME_DONE: u8 = 6;
 const FRAME_GOODBYE: u8 = 7;
 const FRAME_WATERMARK: u8 = 8;
+const FRAME_BARRIER: u8 = 9;
+const FRAME_HEARTBEAT: u8 = 10;
+const FRAME_SNAPSHOT_BLOB: u8 = 11;
+const FRAME_READMIT: u8 = 12;
+
+/// One operator checkpoint blob as delivered to the coordinator's
+/// collector channel: `(role, task, epoch, payload)` — the fields of
+/// [`Frame::SnapshotBlob`].
+pub type SnapshotBlobMsg = (u8, usize, u64, Vec<u8>);
 
 /// Everything that travels between peers. The `Job` payload is opaque at
 /// this layer — the driver crate owns the plan encoding; the runtime owns
@@ -216,6 +225,26 @@ pub enum Frame {
     /// `ts`. Ordered after that sender's earlier data on the link, exactly
     /// like `Eos` — windowed aggregation closes windows on it.
     Watermark { to_task: TaskId, origin: NodeId, from_task: usize, ts: u64 },
+    /// One upstream task's checkpoint barrier for one target task. Ordered
+    /// after that sender's earlier data on the link, exactly like `Eos`
+    /// and `Watermark` — barrier alignment across the wire is identical to
+    /// a single-process run.
+    Barrier { to_task: TaskId, epoch: u64 },
+    /// Liveness beacon: the sender is alive and its bolts have aligned on
+    /// checkpoint epochs up to `epoch`. Sent on otherwise-idle links when
+    /// the failure detector is armed; receiving one refreshes the link's
+    /// read deadline and records the peer's checkpoint progress.
+    Heartbeat { epoch: u64 },
+    /// An aligned task's serialized operator state for checkpoint `epoch`,
+    /// shipped to the coordinator's checkpoint store. `role` distinguishes
+    /// the operator kind (0 = join bolt, 1 = view sink); `task` is the
+    /// task index *within* that role's node.
+    SnapshotBlob { role: u8, task: usize, epoch: u64, payload: Vec<u8> },
+    /// Coordinator → worker, ahead of a recovery `Job`: this connection
+    /// re-admits the worker as peer `peer` into a run being restored from
+    /// checkpoint `epoch` (lets the worker log the re-admission and
+    /// distinguish it from a fresh job).
+    Readmit { peer: usize, epoch: u64 },
     /// A sink emission forwarded to the coordinator.
     SinkRow { node: NodeId, tuple: Tuple },
     /// A peer raised the run-abort flag; the error is the cause.
@@ -301,6 +330,27 @@ impl Frame {
                 codec::put_u32(&mut buf, *from_task as u32);
                 codec::put_u64(&mut buf, *ts);
             }
+            Frame::Barrier { to_task, epoch } => {
+                codec::put_u8(&mut buf, FRAME_BARRIER);
+                codec::put_u32(&mut buf, *to_task as u32);
+                codec::put_u64(&mut buf, *epoch);
+            }
+            Frame::Heartbeat { epoch } => {
+                codec::put_u8(&mut buf, FRAME_HEARTBEAT);
+                codec::put_u64(&mut buf, *epoch);
+            }
+            Frame::SnapshotBlob { role, task, epoch, payload } => {
+                codec::put_u8(&mut buf, FRAME_SNAPSHOT_BLOB);
+                codec::put_u8(&mut buf, *role);
+                codec::put_u32(&mut buf, *task as u32);
+                codec::put_u64(&mut buf, *epoch);
+                codec::put_bytes(&mut buf, payload);
+            }
+            Frame::Readmit { peer, epoch } => {
+                codec::put_u8(&mut buf, FRAME_READMIT);
+                codec::put_u32(&mut buf, *peer as u32);
+                codec::put_u64(&mut buf, *epoch);
+            }
             Frame::SinkRow { node, tuple } => {
                 codec::put_u8(&mut buf, FRAME_SINK_ROW);
                 codec::put_u32(&mut buf, *node as u32);
@@ -343,6 +393,15 @@ impl Frame {
                 from_task: r.u32()? as usize,
                 ts: r.u64()?,
             },
+            FRAME_BARRIER => Frame::Barrier { to_task: r.u32()? as TaskId, epoch: r.u64()? },
+            FRAME_HEARTBEAT => Frame::Heartbeat { epoch: r.u64()? },
+            FRAME_SNAPSHOT_BLOB => Frame::SnapshotBlob {
+                role: r.u8()?,
+                task: r.u32()? as usize,
+                epoch: r.u64()?,
+                payload: r.bytes()?,
+            },
+            FRAME_READMIT => Frame::Readmit { peer: r.u32()? as usize, epoch: r.u64()? },
             FRAME_SINK_ROW => {
                 Frame::SinkRow { node: r.u32()? as NodeId, tuple: codec::get_tuple(&mut r)? }
             }
@@ -469,6 +528,16 @@ impl EgressQueue {
 pub struct ClusterLinks {
     pub me: usize,
     pub peer_labels: Vec<String>,
+    /// Where arriving [`Frame::SnapshotBlob`]s are delivered as
+    /// `(role, task, epoch, payload)` — set by the checkpointing
+    /// coordinator before launch; `None` discards them.
+    pub blob_tx: Option<Sender<SnapshotBlobMsg>>,
+    /// Failure-detector patience: when set, the pumps exchange
+    /// [`Frame::Heartbeat`]s on idle links (at a quarter of this period)
+    /// and arm a read deadline — a peer silent for this long is declared
+    /// [`SquallError::WorkerLost`]. `None` (the default) keeps the
+    /// pre-checkpointing behaviour: only a closed socket fails the run.
+    pub heartbeat: Option<Duration>,
     pub(crate) outbound: Vec<Option<TcpStream>>,
     pub(crate) inbound: Vec<Option<TcpStream>>,
 }
@@ -546,10 +615,15 @@ impl ClusterLinks {
     ///
     /// `peer_labels[0]` labels the coordinator; `worker_addrs` are dialed
     /// in peer order (peer `i + 1` = `worker_addrs[i]`).
+    ///
+    /// With `readmit_epoch` set (a recovery relaunch), each job is
+    /// prefaced by a `Readmit` frame on the same stream so the worker can
+    /// tell a re-admission from a fresh job.
     pub fn coordinator(
         listener: &TcpListener,
         worker_addrs: &[String],
         jobs: Vec<Vec<u8>>,
+        readmit_epoch: Option<u64>,
     ) -> Result<ClusterLinks> {
         assert_eq!(worker_addrs.len(), jobs.len());
         let n_peers = worker_addrs.len() + 1;
@@ -557,6 +631,9 @@ impl ClusterLinks {
         let mut inbound: Vec<Option<TcpStream>> = (0..n_peers).map(|_| None).collect();
         for (i, (addr, job)) in worker_addrs.iter().zip(jobs).enumerate() {
             let mut stream = connect_with_retry(addr, HANDSHAKE_TIMEOUT)?;
+            if let Some(epoch) = readmit_epoch {
+                Frame::Readmit { peer: i + 1, epoch }.write_to(&mut stream)?;
+            }
             Frame::Job { payload: job }.write_to(&mut stream)?;
             outbound[i + 1] = Some(stream);
         }
@@ -582,7 +659,7 @@ impl ClusterLinks {
         }
         let mut peer_labels = vec!["coordinator".to_string()];
         peer_labels.extend(worker_addrs.iter().cloned());
-        Ok(ClusterLinks { me: 0, peer_labels, outbound, inbound })
+        Ok(ClusterLinks { me: 0, peer_labels, blob_tx: None, heartbeat: None, outbound, inbound })
     }
 
     /// Worker-side handshake. The coordinator's job connection (already
@@ -637,7 +714,7 @@ impl ClusterLinks {
         }
         let mut peer_labels: Vec<String> = peer_addrs.to_vec();
         peer_labels[0] = "coordinator".to_string();
-        Ok(ClusterLinks { me, peer_labels, outbound, inbound })
+        Ok(ClusterLinks { me, peer_labels, blob_tx: None, heartbeat: None, outbound, inbound })
     }
 }
 
@@ -648,6 +725,9 @@ pub(crate) struct PeerWire {
     pub(crate) bytes_sent: AtomicU64,
     pub(crate) batches_received: AtomicU64,
     pub(crate) bytes_received: AtomicU64,
+    /// Highest checkpoint epoch this peer has advertised (via heartbeats)
+    /// — the "last seen alive at" epoch reported when the peer is lost.
+    pub(crate) last_epoch: AtomicU64,
 }
 
 /// Frozen per-peer wire traffic for one run (the distributed analog of
@@ -722,6 +802,7 @@ impl Transport for TcpTransport {
             Message::Watermark { origin, from_task, ts } => {
                 Frame::Watermark { to_task: to, origin, from_task, ts }
             }
+            Message::Barrier { epoch } => Frame::Barrier { to_task: to, epoch },
         };
         q.push(EgressItem::Frame(frame));
     }
@@ -783,7 +864,29 @@ pub struct ClusterRun {
     shared: Arc<Shared>,
 }
 
+/// A cheap, clonable handle pushing control-plane frames (snapshot blobs)
+/// onto one peer link from *outside* the worker pool — how a worker's
+/// checkpoint forwarder ships aligned state to the coordinator. Frames are
+/// ordered after everything already queued on the link.
+#[derive(Clone)]
+pub struct FrameSender {
+    q: Arc<EgressQueue>,
+}
+
+impl FrameSender {
+    /// Queue `frame` for the link's send pump.
+    pub fn send(&self, frame: Frame) {
+        self.q.push(EgressItem::Frame(frame));
+    }
+}
+
 impl ClusterRun {
+    /// A [`FrameSender`] onto the coordinator link (`None` on the
+    /// coordinator itself, which has no link to peer 0).
+    pub fn frame_sender(&self) -> Option<FrameSender> {
+        self.egress[0].as_ref().map(|q| FrameSender { q: Arc::clone(q) })
+    }
+
     /// Forward a local sink emission to the coordinator (worker side).
     pub fn forward_sink(&self, node: NodeId, tuple: Tuple) {
         debug_assert_ne!(self.me, 0, "the coordinator collects sinks directly");
@@ -878,7 +981,7 @@ pub(crate) fn spawn_cluster(
     placement: &Placement,
     wiring: ClusterWiring,
 ) -> (Arc<TcpTransport>, ClusterRun) {
-    let ClusterLinks { me, peer_labels, outbound, inbound } = links;
+    let ClusterLinks { me, peer_labels, blob_tx, heartbeat, outbound, inbound } = links;
     let n_peers = placement.n_peers;
     let wire: Arc<Vec<PeerWire>> = Arc::new((0..n_peers).map(|_| PeerWire::default()).collect());
     let remote: Arc<Mutex<RemoteState>> = Arc::new(Mutex::new(RemoteState::default()));
@@ -895,7 +998,7 @@ pub(crate) fn spawn_cluster(
         send_pumps.push(
             std::thread::Builder::new()
                 .name(format!("squall-send-{me}-{peer}"))
-                .spawn(move || send_pump(stream, peer, &q, &sched, &shared, &wire))
+                .spawn(move || send_pump(stream, peer, &q, &sched, &shared, &wire, heartbeat))
                 .expect("spawn send pump"),
         );
     }
@@ -911,14 +1014,24 @@ pub(crate) fn spawn_cluster(
         // Only the coordinator collects remote sink rows into the run's
         // output channel; worker-held clones would keep it open forever.
         let sink_tx = (me == 0).then(|| wiring.sink_tx.clone());
+        let blob_tx = blob_tx.clone();
         let eos_owed = wiring.eos_owed[peer].clone();
+        let peer_label = peer_labels[peer].clone();
         recv_pumps.push(
             std::thread::Builder::new()
                 .name(format!("squall-recv-{me}-{peer}"))
                 .spawn(move || {
-                    recv_pump(
-                        stream, peer, inboxes, &sched, &shared, &remote, &wire, sink_tx, eos_owed,
-                    )
+                    RecvPump {
+                        stream,
+                        peer,
+                        peer_label,
+                        inboxes,
+                        sink_tx,
+                        blob_tx,
+                        heartbeat,
+                        eos_owed,
+                    }
+                    .run(&sched, &shared, &remote, &wire)
                 })
                 .expect("spawn recv pump"),
         );
@@ -951,7 +1064,12 @@ fn send_pump(
     sched: &Sched,
     shared: &Shared,
     wire: &[PeerWire],
+    heartbeat: Option<Duration>,
 ) {
+    // Beat at a quarter of the detector's patience so a healthy link is
+    // never declared dead merely for being idle.
+    let beat_every = heartbeat.map(|t| (t / 4).max(Duration::from_millis(5)));
+    let mut last_beat = Instant::now();
     let mut w = BufWriter::new(stream);
     let counters = &wire[peer];
     let mut abort_sent = false;
@@ -1006,7 +1124,21 @@ fn send_pump(
             }
             None => {
                 // Idle: push buffered bytes onto the wire so a quiet link
-                // never sits on latency.
+                // never sits on latency, and beat if the failure detector
+                // is armed (data flowing counts as liveness by itself, so
+                // busy links skip the beacon).
+                if let Some(every) = beat_every {
+                    if !broken && last_beat.elapsed() >= every {
+                        last_beat = Instant::now();
+                        let epoch = shared.epoch.load(Ordering::Relaxed);
+                        match (Frame::Heartbeat { epoch }).write_to(&mut w) {
+                            Ok(n) => {
+                                counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                            }
+                            Err(_) => broken = true,
+                        }
+                    }
+                }
                 if !broken && w.flush().is_err() {
                     broken = true;
                 }
@@ -1016,110 +1148,149 @@ fn send_pump(
     let _ = w.flush();
 }
 
-#[allow(clippy::too_many_arguments)]
-fn recv_pump(
+/// Everything one inbound-link pump owns (bundled so the spawn site stays
+/// under the argument-count lint and the failure path has the peer's
+/// label at hand).
+struct RecvPump {
     stream: TcpStream,
     peer: usize,
+    peer_label: String,
     inboxes: Vec<Option<Arc<Inbox>>>,
-    sched: &Sched,
-    shared: &Shared,
-    remote: &Mutex<RemoteState>,
-    wire: &[PeerWire],
     sink_tx: Option<Sender<(NodeId, Tuple)>>,
+    blob_tx: Option<Sender<SnapshotBlobMsg>>,
+    heartbeat: Option<Duration>,
     eos_owed: Vec<(TaskId, usize)>,
-) {
-    let mut r = BufReader::new(stream);
-    let counters = &wire[peer];
-    let mut clean = false;
-    loop {
-        match Frame::read_from(&mut r) {
-            Ok(Some((frame, n))) => {
-                counters.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
-                match frame {
-                    Frame::Data { to_task, origin, tuples } => {
-                        counters.batches_received.fetch_add(1, Ordering::Relaxed);
-                        let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
+}
+
+impl RecvPump {
+    fn run(self, sched: &Sched, shared: &Shared, remote: &Mutex<RemoteState>, wire: &[PeerWire]) {
+        let RecvPump { stream, peer, peer_label, inboxes, sink_tx, blob_tx, heartbeat, eos_owed } =
+            self;
+        // Arm the failure detector: a link silent for the heartbeat
+        // timeout fails the read (peers beat at a quarter of it, so only
+        // a dead or wedged peer trips this).
+        if let Some(timeout) = heartbeat {
+            stream.set_read_timeout(Some(timeout)).ok();
+        }
+        let mut r = BufReader::new(stream);
+        let counters = &wire[peer];
+        let mut clean = false;
+        loop {
+            match Frame::read_from(&mut r) {
+                Ok(Some((frame, n))) => {
+                    counters.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+                    match frame {
+                        Frame::Data { to_task, origin, tuples } => {
+                            counters.batches_received.fetch_add(1, Ordering::Relaxed);
+                            let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
+                                shared.raise(SquallError::Runtime(format!(
+                                    "peer {peer} addressed non-local task {to_task}"
+                                )));
+                                continue;
+                            };
+                            // Stop reading while the destination is over
+                            // capacity: TCP flow control then pushes back on
+                            // the sending peer. Abort lifts the gate so
+                            // drain-to-terminate always progresses.
+                            while inbox.over_capacity() && !shared.is_aborted() {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            let depth = inbox.push(Message::Batch { origin, tuples });
+                            sched.record_depth(depth);
+                            sched.notify(to_task);
+                        }
+                        Frame::Eos { to_task } => {
+                            let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
+                                continue;
+                            };
+                            inbox.push(Message::Eos);
+                            sched.notify(to_task);
+                        }
+                        Frame::Watermark { to_task, origin, from_task, ts } => {
+                            // Punctuation, like Eos: pushed without the
+                            // capacity wait (the pump reads sequentially, so
+                            // it still lands after the sender's earlier data).
+                            let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
+                                continue;
+                            };
+                            inbox.push(Message::Watermark { origin, from_task, ts });
+                            sched.notify(to_task);
+                        }
+                        Frame::Barrier { to_task, epoch } => {
+                            // Punctuation, like Watermark: alignment counts
+                            // stay identical to a single-process run.
+                            let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
+                                continue;
+                            };
+                            inbox.push(Message::Barrier { epoch });
+                            sched.notify(to_task);
+                        }
+                        Frame::Heartbeat { epoch } => {
+                            counters.last_epoch.fetch_max(epoch, Ordering::Relaxed);
+                        }
+                        Frame::SnapshotBlob { role, task, epoch, payload } => {
+                            counters.last_epoch.fetch_max(epoch, Ordering::Relaxed);
+                            if let Some(tx) = &blob_tx {
+                                let _ = tx.send((role, task, epoch, payload));
+                            }
+                        }
+                        Frame::SinkRow { node, tuple } => {
+                            if let Some(tx) = &sink_tx {
+                                let _ = tx.send((node, tuple));
+                            }
+                        }
+                        Frame::Abort { error } => shared.raise(error),
+                        Frame::Done { metrics, error } => {
+                            let mut state = remote.lock().expect("remote state poisoned");
+                            state.metrics.push(metrics);
+                            if state.error.is_none() {
+                                state.error = error;
+                            }
+                            clean = true;
+                            break;
+                        }
+                        Frame::Goodbye => {
+                            clean = true;
+                            break;
+                        }
+                        Frame::Hello { .. } | Frame::Job { .. } | Frame::Readmit { .. } => {
                             shared.raise(SquallError::Runtime(format!(
-                                "peer {peer} addressed non-local task {to_task}"
+                                "unexpected handshake frame from peer {peer} mid-run"
                             )));
-                            continue;
-                        };
-                        // Stop reading while the destination is over
-                        // capacity: TCP flow control then pushes back on
-                        // the sending peer. Abort lifts the gate so
-                        // drain-to-terminate always progresses.
-                        while inbox.over_capacity() && !shared.is_aborted() {
-                            std::thread::sleep(Duration::from_micros(200));
                         }
-                        let depth = inbox.push(Message::Batch { origin, tuples });
-                        sched.record_depth(depth);
-                        sched.notify(to_task);
                     }
-                    Frame::Eos { to_task } => {
-                        let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
-                            continue;
-                        };
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Heartbeat silence is the failure detector firing,
+                    // not a codec problem: skip the raise and let the
+                    // unclean path below report the typed loss.
+                    let silent = matches!(&e, SquallError::Io(m) if m == codec::READ_TIMED_OUT);
+                    if !silent {
+                        shared.raise(e);
+                    }
+                    break;
+                }
+            }
+        }
+        if !clean {
+            // The peer vanished mid-run: fail the run with the typed loss
+            // (recovery plans re-admission from it) and synthesize the
+            // punctuation its tasks owed us, so every local task
+            // terminates instead of waiting forever.
+            let last_epoch = counters.last_epoch.load(Ordering::Relaxed);
+            shared.raise(SquallError::WorkerLost { addr: peer_label, last_epoch });
+            for (task, count) in eos_owed {
+                if let Some(inbox) = inboxes.get(task).and_then(|i| i.as_ref()) {
+                    for _ in 0..count {
                         inbox.push(Message::Eos);
-                        sched.notify(to_task);
                     }
-                    Frame::Watermark { to_task, origin, from_task, ts } => {
-                        // Punctuation, like Eos: pushed without the
-                        // capacity wait (the pump reads sequentially, so
-                        // it still lands after the sender's earlier data).
-                        let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
-                            continue;
-                        };
-                        inbox.push(Message::Watermark { origin, from_task, ts });
-                        sched.notify(to_task);
-                    }
-                    Frame::SinkRow { node, tuple } => {
-                        if let Some(tx) = &sink_tx {
-                            let _ = tx.send((node, tuple));
-                        }
-                    }
-                    Frame::Abort { error } => shared.raise(error),
-                    Frame::Done { metrics, error } => {
-                        let mut state = remote.lock().expect("remote state poisoned");
-                        state.metrics.push(metrics);
-                        if state.error.is_none() {
-                            state.error = error;
-                        }
-                        clean = true;
-                        break;
-                    }
-                    Frame::Goodbye => {
-                        clean = true;
-                        break;
-                    }
-                    Frame::Hello { .. } | Frame::Job { .. } => {
-                        shared.raise(SquallError::Runtime(format!(
-                            "unexpected handshake frame from peer {peer} mid-run"
-                        )));
-                    }
+                    sched.notify(task);
                 }
             }
-            Ok(None) => break,
-            Err(e) => {
-                shared.raise(e);
-                break;
-            }
         }
+        drop(sink_tx);
     }
-    if !clean {
-        // The peer vanished mid-run: fail the run and synthesize the
-        // punctuation its tasks owed us, so every local task terminates
-        // (with the error reported) instead of waiting forever.
-        shared.raise(SquallError::Runtime(format!("peer {peer} disconnected mid-run")));
-        for (task, count) in eos_owed {
-            if let Some(inbox) = inboxes.get(task).and_then(|i| i.as_ref()) {
-                for _ in 0..count {
-                    inbox.push(Message::Eos);
-                }
-                sched.notify(task);
-            }
-        }
-    }
-    drop(sink_tx);
 }
 
 #[cfg(test)]
@@ -1135,6 +1306,10 @@ mod tests {
             Frame::Data { to_task: 7, origin: 2, tuples: vec![tuple![1, "x"], tuple![2.5]] },
             Frame::Eos { to_task: 9 },
             Frame::Watermark { to_task: 11, origin: 2, from_task: 3, ts: 12345 },
+            Frame::Barrier { to_task: 5, epoch: 9 },
+            Frame::Heartbeat { epoch: 17 },
+            Frame::SnapshotBlob { role: 1, task: 3, epoch: 9, payload: vec![9, 8, 7] },
+            Frame::Readmit { peer: 2, epoch: 4 },
             Frame::SinkRow { node: 4, tuple: tuple![42] },
             Frame::Abort {
                 error: SquallError::MemoryOverflow { machine: 1, stored: 10, budget: 5 },
@@ -1228,6 +1403,34 @@ mod tests {
         match read_frame_deadline(&accepted, Instant::now() + Duration::from_secs(1)) {
             Ok(Some((Frame::Hello { peer: 3 }, _))) => {}
             other => panic!("expected Hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_frames_preserve_link_order() {
+        // Barriers and blobs ride the same FIFO stream as data, so
+        // alignment across the wire sees them strictly after the sender's
+        // earlier frames — exactly the Eos/Watermark ordering contract.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut dialer = TcpStream::connect(addr).unwrap();
+        let accepted =
+            accept_with_deadline(&listener, Instant::now() + Duration::from_secs(1)).unwrap();
+        let sent = vec![
+            Frame::Data { to_task: 1, origin: 0, tuples: vec![tuple![1]] },
+            Frame::Watermark { to_task: 1, origin: 0, from_task: 0, ts: 4 },
+            Frame::Barrier { to_task: 1, epoch: 4 },
+            Frame::Heartbeat { epoch: 4 },
+            Frame::SnapshotBlob { role: 0, task: 1, epoch: 4, payload: vec![1, 2] },
+            Frame::Goodbye,
+        ];
+        for f in &sent {
+            f.write_to(&mut dialer).unwrap();
+        }
+        let mut r = BufReader::new(accepted);
+        for f in &sent {
+            let (got, _) = Frame::read_from(&mut r).unwrap().expect("frame");
+            assert_eq!(format!("{got:?}"), format!("{f:?}"));
         }
     }
 

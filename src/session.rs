@@ -172,6 +172,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Checkpoint every resident view's operator state every `n` epochs
+    /// (default 16; `0` disables). A checkpoint is an aligned snapshot:
+    /// an epoch-tagged barrier flows through the data plane, every join
+    /// task and the view sink serialize their state, and the coordinator
+    /// keeps the latest complete set — the restart point for
+    /// [`crate::ViewHandle::recover`] after a worker loss. One-shot
+    /// queries ignore this knob.
+    pub fn checkpoint_interval(mut self, n: u64) -> SessionBuilder {
+        self.config.checkpoint_interval = n;
+        self
+    }
+
+    /// Declare a cluster peer lost after `ms` milliseconds of heartbeat
+    /// silence (default 2000; `0` disables failure detection). Peers
+    /// beat at a quarter of this interval when idle; a killed worker
+    /// surfaces as a typed [`squall_common::SquallError::WorkerLost`] on
+    /// the view. Standing (resident view) topologies only.
+    pub fn heartbeat_timeout_ms(mut self, ms: u64) -> SessionBuilder {
+        self.config.heartbeat_timeout_ms = ms;
+        self
+    }
+
     /// Freeze the configuration into a [`Session`] with an empty catalog.
     pub fn build(self) -> Session {
         Session {

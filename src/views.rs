@@ -350,6 +350,36 @@ impl ViewHandle {
         let handle = self.inner.handle.lock().expect("view handle poisoned");
         handle.as_ref().and_then(|h| h.error())
     }
+
+    /// Restart a clustered view after a worker loss, re-admitting the
+    /// given worker set (surviving peers plus replacements — any mix of
+    /// old and new `squall-worker` addresses).
+    ///
+    /// The topology is torn down, operator state is restored from the
+    /// last complete checkpoint — reconstructing a lost peer's join
+    /// blobs from surviving replicas first when the partitioning scheme
+    /// replicates (§5) — and every acked epoch since that checkpoint is
+    /// replayed from the coordinator's buffer. Epoch deduplication at
+    /// the view sink makes the replay exactly-once: a post-recovery
+    /// [`ViewHandle::snapshot`] equals the no-failure run's snapshot.
+    ///
+    /// Only meaningful on a clustered session; an in-process view
+    /// returns a typed error. Subscribers and the shared row state
+    /// survive the restart.
+    pub fn recover<I, S>(&self, workers: I) -> Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut handle = self.inner.handle.lock().expect("view handle poisoned");
+        let Some(h) = handle.as_mut() else {
+            return Err(SquallError::Runtime(format!(
+                "materialized view {} is shutting down",
+                self.inner.name
+            )));
+        };
+        h.recover(squall_core::ClusterSpec::new(workers))
+    }
 }
 
 /// A live subscription to a view's change stream (see
