@@ -8,9 +8,15 @@
 //! the wire traffic. Results and per-machine loads are asserted identical
 //! across all three, so the benchmark doubles as a cluster smoke test.
 //!
+//! Each TCP run also reports `wire_bytes_per_input_tuple` — the columnar
+//! frame encoding's footprint per tuple shipped — and `--min-rel2 <f>`
+//! turns the 2-worker relative throughput into a CI gate: the process
+//! exits non-zero if `tcp-2-workers` falls below `f × local`.
+//!
 //! ```text
 //! cargo run --release -p squall-bench --bin network_bench            # full
 //! cargo run --release -p squall-bench --bin network_bench -- --smoke # CI
+//! cargo run --release -p squall-bench --bin network_bench -- --smoke --min-rel2 0.70
 //! ```
 
 use std::net::TcpListener;
@@ -102,7 +108,12 @@ fn measure(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let min_rel2: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-rel2")
+        .map(|i| args.get(i + 1).expect("--min-rel2 needs a value").parse().expect("float"));
     let (n, dom, reps) = if smoke { (15_000, 300_000, 1) } else { (50_000, 1_000_000, 3) };
     let spec = rst_spec(n as u64);
     let data = rst_data(n, dom, 42);
@@ -141,12 +152,14 @@ fn main() {
         json.push_str(&format!(
             "    {{\"config\": \"{}\", \"processes\": {}, \"elapsed_ms\": {:.3}, \
              \"tuples_per_sec\": {:.0}, \"relative_throughput\": {:.3}, \
-             \"wire_bytes\": {bytes}, \"wire_batches\": {batches}}}{}\n",
+             \"wire_bytes\": {bytes}, \"wire_batches\": {batches}, \
+             \"wire_bytes_per_input_tuple\": {:.1}}}{}\n",
             r.label,
             r.workers + 1,
             r.elapsed.as_secs_f64() * 1e3,
             r.tuples_per_sec,
             r.tuples_per_sec / base,
+            bytes as f64 / (3 * n) as f64,
             if i + 1 < runs.len() { "," } else { "" },
         ));
     }
@@ -162,11 +175,20 @@ fn main() {
             r.elapsed.as_secs_f64() * 1e3,
             match &r.report.transport {
                 Some(t) => format!(
-                    ", {:.1} MiB on the wire",
-                    (t.total_bytes_sent() + t.total_bytes_received()) as f64 / (1 << 20) as f64
+                    ", {:.1} MiB on the wire ({:.1} B/tuple)",
+                    (t.total_bytes_sent() + t.total_bytes_received()) as f64 / (1 << 20) as f64,
+                    (t.total_bytes_sent() + t.total_bytes_received()) as f64 / (3 * n) as f64
                 ),
                 None => String::new(),
             }
         );
+    }
+    if let Some(floor) = min_rel2 {
+        let rel2 = runs[2].tuples_per_sec / base;
+        if rel2 < floor {
+            eprintln!("FAIL: tcp-2-workers relative throughput {rel2:.3} < floor {floor:.3}");
+            std::process::exit(1);
+        }
+        eprintln!("gate: tcp-2-workers relative throughput {rel2:.3} >= floor {floor:.3}");
     }
 }

@@ -6,16 +6,26 @@
 //! batched-vs-per-tuple speedups. `batch_size = 1` reproduces the old
 //! per-tuple messaging; the batched configurations must beat it.
 //!
+//! The report also carries per-stage microbenchmarks isolating the three
+//! data-plane stages — wire encode/decode (row codec vs columnar chunk
+//! codec), routing (per-row `Value` hashing vs columnar key hashing) and
+//! the local join operator — so a regression shows *where* it happened,
+//! not just that end-to-end throughput moved.
+//!
 //! ```text
 //! cargo run --release -p squall-bench --bin runtime_bench            # full
 //! cargo run --release -p squall-bench --bin runtime_bench -- --smoke # CI
 //! ```
 
-use std::time::Duration;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
-use squall_common::{tuple, DataType, Schema, SplitMix64, Tuple};
+use squall_common::codec::{self, Reader};
+use squall_common::hash::{partition_of, FxHasher};
+use squall_common::{tuple, Chunk, DataType, Schema, SplitMix64, Tuple};
 use squall_core::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
 use squall_expr::{JoinAtom, MultiJoinSpec, RelationDef};
+use squall_join::{DBToasterJoin, LocalJoin};
 use squall_partition::optimizer::SchemeKind;
 
 const MACHINES: usize = 16;
@@ -70,6 +80,94 @@ fn measure(spec: &MultiJoinSpec, data: &[Vec<Tuple>], batch_size: usize, reps: u
     best.expect("reps > 0")
 }
 
+/// Best-of-`reps` throughput (tuples/s) of `work` over `n` tuples.
+fn best_rate(n: usize, reps: usize, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        work();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    n as f64 / best.max(1e-9)
+}
+
+/// Isolated per-stage throughputs over the bench data: wire encode+decode
+/// (row codec vs columnar chunk codec at batch 64), routing hash
+/// (per-row `Value` hashing vs columnar key hashing, both reduced with
+/// the same Lemire partition map) and the bare local-join operator.
+struct StageRates {
+    encode_rows: f64,
+    encode_chunks: f64,
+    route_rows: f64,
+    route_chunks: f64,
+    operator: f64,
+}
+
+fn stage_rates(data: &[Vec<Tuple>], spec: &MultiJoinSpec, reps: usize) -> StageRates {
+    let tuples: Vec<Tuple> = data.iter().flatten().cloned().collect();
+    let n = tuples.len();
+    let batches: Vec<&[Tuple]> = tuples.chunks(64).collect();
+    let chunks: Vec<Chunk> = batches.iter().map(|b| Chunk::from_tuples(b)).collect();
+
+    let encode_rows = best_rate(n, reps, || {
+        let mut buf = Vec::new();
+        for b in &batches {
+            buf.clear();
+            codec::put_u32(&mut buf, b.len() as u32);
+            for t in *b {
+                codec::put_tuple(&mut buf, t);
+            }
+            let mut r = Reader::new(&buf);
+            let k = r.len().expect("len");
+            for _ in 0..k {
+                std::hint::black_box(codec::get_tuple(&mut r).expect("tuple"));
+            }
+        }
+    });
+    let encode_chunks = best_rate(n, reps, || {
+        let mut buf = Vec::new();
+        for c in &chunks {
+            buf.clear();
+            codec::put_chunk(&mut buf, c);
+            let mut r = Reader::new(&buf);
+            std::hint::black_box(codec::get_chunk(&mut r).expect("chunk"));
+        }
+    });
+    // Routing hash on the join-key column (col 1), reduced to a machine
+    // index exactly like `Grouping::Fields` does.
+    let route_rows = best_rate(n, reps, || {
+        let mut acc = 0usize;
+        for t in &tuples {
+            let mut h = FxHasher::default();
+            t.get(1).hash(&mut h);
+            acc ^= partition_of(h.finish(), MACHINES);
+        }
+        std::hint::black_box(acc);
+    });
+    let route_chunks = best_rate(n, reps, || {
+        let mut acc = 0usize;
+        for c in &chunks {
+            for h in c.key_hashes(&[1]) {
+                acc ^= partition_of(h, MACHINES);
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    // The bare operator: DBToaster inserts with no runtime around them.
+    let operator = best_rate(n, reps, || {
+        let mut join = DBToasterJoin::new(spec);
+        let mut out = Vec::new();
+        for (rel, rel_data) in data.iter().enumerate() {
+            for t in rel_data {
+                join.insert(rel, t, &mut out);
+                out.clear();
+            }
+        }
+        std::hint::black_box(join.stored());
+    });
+    StageRates { encode_rows, encode_chunks, route_rows, route_chunks, operator }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // Sparse join keys (dom ≫ n): the run is dominated by the data plane
@@ -112,8 +210,25 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"speedup_batch64_vs_1\": {:.2},\n", runs[1].tuples_per_sec / base));
-    json.push_str(&format!("  \"speedup_batch1024_vs_1\": {:.2}\n", runs[2].tuples_per_sec / base));
-    json.push_str("}\n");
+    json.push_str(&format!(
+        "  \"speedup_batch1024_vs_1\": {:.2},\n",
+        runs[2].tuples_per_sec / base
+    ));
+
+    let st = stage_rates(&data, &spec, reps.max(2));
+    json.push_str("  \"stages\": {\n");
+    json.push_str(&format!("    \"encode_row_codec_tuples_per_sec\": {:.0},\n", st.encode_rows));
+    json.push_str(&format!(
+        "    \"encode_chunk_codec_tuples_per_sec\": {:.0},\n",
+        st.encode_chunks
+    ));
+    json.push_str(&format!("    \"route_hash_row_tuples_per_sec\": {:.0},\n", st.route_rows));
+    json.push_str(&format!("    \"route_hash_chunk_tuples_per_sec\": {:.0},\n", st.route_chunks));
+    json.push_str(&format!(
+        "    \"operator_dbtoaster_insert_tuples_per_sec\": {:.0}\n",
+        st.operator
+    ));
+    json.push_str("  }\n}\n");
 
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("{json}");
@@ -125,6 +240,15 @@ fn main() {
             r.elapsed.as_secs_f64() * 1e3
         );
     }
+    eprintln!(
+        "stages: encode row {:.2} M/s vs chunk {:.2} M/s; route row {:.2} M/s vs chunk \
+         {:.2} M/s; operator {:.2} M/s",
+        st.encode_rows / 1e6,
+        st.encode_chunks / 1e6,
+        st.route_rows / 1e6,
+        st.route_chunks / 1e6,
+        st.operator / 1e6,
+    );
     let speedup = runs[1].tuples_per_sec / base;
     if !smoke && speedup < 2.0 {
         eprintln!("WARNING: batch=64 speedup {speedup:.2}x is below the 2x target");

@@ -5,12 +5,14 @@
 //! zipfian sampler used throughout the paper's skewed workloads, plus the
 //! common error type.
 //!
-//! Squall is a main-memory, tuple-at-a-time engine; tuples are replicated to
-//! many machines by the hypercube partitioning schemes, so [`Tuple`] is a
-//! cheaply clonable reference-counted slice of values, and strings are stored
-//! as shared buffers (the paper's Trove-style "primitive collections"
-//! optimization, §3.3).
+//! Tuples are replicated to many machines by the hypercube partitioning
+//! schemes, so [`Tuple`] is a cheaply clonable reference-counted slice of
+//! values, and strings are stored as shared buffers (the paper's Trove-style
+//! "primitive collections" optimization, §3.3). Batches move between tasks as
+//! columnar [`Chunk`]s (typed arrays + validity bitmaps, see [`mod@array`]), with
+//! [`Chunk::rows`] as the row-view fallback for cold paths.
 
+pub mod array;
 pub mod codec;
 pub mod error;
 pub mod hash;
@@ -20,6 +22,7 @@ pub mod tuple;
 pub mod value;
 pub mod zipf;
 
+pub use array::{Array, ArrayBuilder, Bitmap, Chunk, ChunkBuilder};
 pub use error::{Result, SquallError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::SplitMix64;

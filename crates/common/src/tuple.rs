@@ -16,6 +16,15 @@ pub struct Tuple {
     values: Arc<[Value]>,
 }
 
+impl FromIterator<Value> for Tuple {
+    /// Collect values directly into the shared slice — one allocation,
+    /// no intermediate `Vec` (the hot path when materializing rows out of
+    /// a columnar chunk).
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
+        Tuple { values: iter.into_iter().collect() }
+    }
+}
+
 impl Tuple {
     /// Build a tuple from values.
     pub fn new(values: Vec<Value>) -> Tuple {

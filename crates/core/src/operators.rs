@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use squall_common::{FxHashMap, Result, SquallError, Tuple, Value};
+use squall_common::{Chunk, ChunkBuilder, FxHashMap, Result, SquallError, Tuple, Value};
 use squall_expr::ScalarExpr;
 use squall_join::{AggSpec, GroupByAggregator, LocalJoin, WindowJoin, WindowSpec};
 use squall_runtime::{Bolt, NodeId, OutputCollector};
@@ -47,10 +47,73 @@ impl SelectProjectBolt {
     }
 }
 
+impl SelectProjectBolt {
+    /// Evaluate the projection expressions column-at-a-time over `chunk`
+    /// and emit one output row per input row.
+    fn project_chunk(exprs: &[ScalarExpr], chunk: &Chunk, out: &mut OutputCollector) -> Result<()> {
+        let mut arrays = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            arrays.push(e.eval_chunk(chunk)?);
+        }
+        for i in 0..chunk.n_rows() {
+            out.emit(Tuple::new(arrays.iter().map(|a| a.value(i)).collect::<Vec<_>>()));
+        }
+        Ok(())
+    }
+}
+
 impl Bolt for SelectProjectBolt {
     fn execute(&mut self, _origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()> {
         if let Some(t) = self.apply(&tuple)? {
             out.emit(t);
+        }
+        Ok(())
+    }
+
+    fn execute_chunk(
+        &mut self,
+        _origin: NodeId,
+        chunk: &Chunk,
+        out: &mut OutputCollector,
+    ) -> Result<()> {
+        if chunk.n_rows() == 0 {
+            return Ok(());
+        }
+        match (&self.predicate, &self.projections) {
+            (None, None) => {
+                for t in chunk.rows() {
+                    out.emit(t);
+                }
+            }
+            (None, Some(exprs)) => Self::project_chunk(exprs, chunk, out)?,
+            (Some(p), projections) => {
+                let mask = p.eval_bool_chunk(chunk)?;
+                match projections {
+                    None => {
+                        for (i, keep) in mask.iter().enumerate() {
+                            if *keep {
+                                out.emit(chunk.row(i));
+                            }
+                        }
+                    }
+                    Some(exprs) => {
+                        // Compact survivors *before* projecting: the row
+                        // path never evaluates projections on filtered-out
+                        // rows, so neither may we (a projection that only
+                        // fails on dropped rows must stay silent).
+                        let mut survivors = ChunkBuilder::new();
+                        for (i, keep) in mask.iter().enumerate() {
+                            if *keep {
+                                survivors.push(&chunk.row(i));
+                            }
+                        }
+                        let sub = survivors.finish();
+                        if sub.n_rows() > 0 {
+                            Self::project_chunk(exprs, &sub, out)?;
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -191,14 +254,18 @@ impl JoinBolt {
     pub fn results(&self) -> u64 {
         self.results
     }
-}
 
-impl Bolt for JoinBolt {
-    fn execute(&mut self, origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()> {
-        let rel = *self
-            .origin_to_rel
+    fn rel_of(&self, origin: NodeId) -> Result<usize> {
+        self.origin_to_rel
             .get(&origin)
-            .ok_or_else(|| SquallError::Runtime(format!("unknown origin node {origin}")))?;
+            .copied()
+            .ok_or_else(|| SquallError::Runtime(format!("unknown origin node {origin}")))
+    }
+
+    /// Process one arrival whose relation is already resolved — the
+    /// per-tuple body shared by [`Bolt::execute`] and the chunked path
+    /// (which resolves the relation once per chunk).
+    fn step(&mut self, rel: usize, tuple: Tuple, out: &mut OutputCollector) -> Result<()> {
         self.arrivals += 1;
         let ts = match self.ts_cols[rel] {
             Some(c) => tuple.get(c).as_int()? as u64,
@@ -247,6 +314,29 @@ impl Bolt for JoinBolt {
         }
         Ok(())
     }
+}
+
+impl Bolt for JoinBolt {
+    fn execute(&mut self, origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()> {
+        let rel = self.rel_of(origin)?;
+        self.step(rel, tuple, out)
+    }
+
+    fn execute_chunk(
+        &mut self,
+        origin: NodeId,
+        chunk: &Chunk,
+        out: &mut OutputCollector,
+    ) -> Result<()> {
+        // One relation lookup per chunk: every tuple in a batch shares its
+        // origin node, so the per-row hash-map probe of the row path is
+        // pure overhead here.
+        let rel = self.rel_of(origin)?;
+        for tuple in chunk.rows() {
+            self.step(rel, tuple, out)?;
+        }
+        Ok(())
+    }
 
     fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
         if self.wm_granule.is_some() {
@@ -284,6 +374,22 @@ impl Bolt for AggBolt {
             out.emit(row);
         }
         Ok(())
+    }
+
+    fn execute_chunk(
+        &mut self,
+        _origin: NodeId,
+        chunk: &Chunk,
+        out: &mut OutputCollector,
+    ) -> Result<()> {
+        if self.online {
+            let mut emit = |row: Tuple| out.emit(row);
+            self.agg.update_chunk(chunk, Some(&mut emit))
+        } else {
+            // Final-mode aggregation never looks at the per-update output
+            // rows, so the chunked path skips building them entirely.
+            self.agg.update_chunk(chunk, None)
+        }
     }
 
     fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
@@ -404,21 +510,10 @@ impl WindowedAggBolt {
     pub fn open_windows(&self) -> usize {
         self.windows.len()
     }
-}
 
-impl Bolt for WindowedAggBolt {
-    fn execute(&mut self, _origin: NodeId, tuple: Tuple, _out: &mut OutputCollector) -> Result<()> {
-        let (mut lo, mut hi) = (u64::MAX, 0u64);
-        for &c in &self.ts_cols {
-            let v = tuple.get(c).as_int()?;
-            if v < 0 {
-                return Err(SquallError::Runtime(format!(
-                    "negative event-time timestamp {v} in aggregate input"
-                )));
-            }
-            lo = lo.min(v as u64);
-            hi = hi.max(v as u64);
-        }
+    /// Fold one join result, whose constituent-timestamp extrema are
+    /// already known, into every window it belongs to.
+    fn fold(&mut self, lo: u64, hi: u64, tuple: &Tuple) -> Result<()> {
         // The windows this result belongs to (see the type docs).
         let (first, last) = match self.spec {
             WindowSpec::Tumbling { width } => {
@@ -441,7 +536,59 @@ impl Bolt for WindowedAggBolt {
                 .or_insert_with(|| {
                     GroupByAggregator::new(self.group_cols.clone(), self.aggs.clone())
                 })
-                .update(&tuple)?;
+                .update(tuple)?;
+        }
+        Ok(())
+    }
+}
+
+impl Bolt for WindowedAggBolt {
+    fn execute(&mut self, _origin: NodeId, tuple: Tuple, _out: &mut OutputCollector) -> Result<()> {
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for &c in &self.ts_cols {
+            let v = tuple.get(c).as_int()?;
+            if v < 0 {
+                return Err(SquallError::Runtime(format!(
+                    "negative event-time timestamp {v} in aggregate input"
+                )));
+            }
+            lo = lo.min(v as u64);
+            hi = hi.max(v as u64);
+        }
+        self.fold(lo, hi, &tuple)
+    }
+
+    fn execute_chunk(
+        &mut self,
+        _origin: NodeId,
+        chunk: &Chunk,
+        _out: &mut OutputCollector,
+    ) -> Result<()> {
+        // Timestamp extraction runs column-at-a-time (straight over the
+        // i64 slice when the column is a fully-valid Int array); the
+        // window fold stays per row — that is the state boundary.
+        let rows = chunk.n_rows();
+        let mut lo = vec![u64::MAX; rows];
+        let mut hi = vec![0u64; rows];
+        for &c in &self.ts_cols {
+            let col = chunk.column(c);
+            let plain = col.as_i64().filter(|a| a.validity().is_none()).map(|a| a.values());
+            for i in 0..rows {
+                let v = match plain {
+                    Some(vals) => vals[i],
+                    None => col.value(i).as_int()?,
+                };
+                if v < 0 {
+                    return Err(SquallError::Runtime(format!(
+                        "negative event-time timestamp {v} in aggregate input"
+                    )));
+                }
+                lo[i] = lo[i].min(v as u64);
+                hi[i] = hi[i].max(v as u64);
+            }
+        }
+        for i in 0..rows {
+            self.fold(lo[i], hi[i], &chunk.row(i))?;
         }
         Ok(())
     }

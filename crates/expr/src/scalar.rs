@@ -1,8 +1,9 @@
-//! Scalar expressions over tuples.
+//! Scalar expressions over tuples and columnar chunks.
 
 use std::fmt;
 
-use squall_common::{DataType, Date, Result, SquallError, Tuple, Value};
+use squall_common::array::{Array, ArrayBuilder, I64Array, Utf8Array};
+use squall_common::{Chunk, DataType, Date, Result, SquallError, Tuple, Value};
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,6 +157,76 @@ impl ScalarExpr {
         truthy(&self.eval(tuple)?)
     }
 
+    /// Evaluate against every row of a chunk, column-at-a-time.
+    ///
+    /// Column references clone the input column, comparisons and integer
+    /// arithmetic over fully-valid `Int` columns run as tight loops over
+    /// primitive slices, and everything else falls back to per-row
+    /// evaluation over materialized cell values — never whole row tuples.
+    /// On a successful run the result is row-for-row identical to
+    /// [`ScalarExpr::eval`]; when some row errors, the chunk evaluation
+    /// surfaces the same error but may do so before earlier rows' results
+    /// are consumed (the run aborts either way). `AND`/`OR` keep their
+    /// short-circuit contract: the right side is not evaluated at all
+    /// unless some row needs it, and if its vectorized evaluation fails,
+    /// evaluation degrades to exact per-row semantics.
+    pub fn eval_chunk(&self, chunk: &Chunk) -> Result<Array> {
+        match self {
+            ScalarExpr::Column(i) => {
+                if *i >= chunk.n_cols() {
+                    return Err(SquallError::InvalidPlan(format!(
+                        "column {i} out of range for arity {}",
+                        chunk.n_cols()
+                    )));
+                }
+                Ok(chunk.column(*i).clone())
+            }
+            ScalarExpr::Literal(v) => Ok(broadcast(v, chunk.n_rows())),
+            ScalarExpr::Bin { op, lhs, rhs } => match op {
+                BinOp::And | BinOp::Or => eval_logical_chunk(*op, self, lhs, rhs, chunk),
+                _ => {
+                    let l = lhs.eval_chunk(chunk)?;
+                    let r = rhs.eval_chunk(chunk)?;
+                    eval_bin_arrays(*op, &l, &r)
+                }
+            },
+            ScalarExpr::Not(e) => {
+                let a = e.eval_chunk(chunk)?;
+                let mut out = Vec::with_capacity(a.len());
+                for i in 0..a.len() {
+                    out.push(!truthy(&a.value(i))? as i64);
+                }
+                Ok(Array::Int(I64Array::from_values(out)))
+            }
+            ScalarExpr::Cast { expr, to } => {
+                let a = expr.eval_chunk(chunk)?;
+                let mut b = ArrayBuilder::new();
+                for i in 0..a.len() {
+                    b.push(&cast_value(a.value(i), *to)?);
+                }
+                Ok(b.finish())
+            }
+        }
+    }
+
+    /// Evaluate as a predicate over every row of a chunk. `mask[i]` is the
+    /// truthiness of row `i`.
+    pub fn eval_bool_chunk(&self, chunk: &Chunk) -> Result<Vec<bool>> {
+        let a = self.eval_chunk(chunk)?;
+        // Fully-valid Int predicate output (the common case: comparisons
+        // produce exactly this) needs no per-row Value materialization.
+        if let Some(ints) = a.as_i64() {
+            if ints.validity().is_none() {
+                return Ok(ints.values().iter().map(|&v| v != 0).collect());
+            }
+        }
+        let mut mask = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            mask.push(truthy(&a.value(i))?);
+        }
+        Ok(mask)
+    }
+
     /// The set of column indexes this expression reads.
     pub fn referenced_columns(&self, out: &mut Vec<usize>) {
         match self {
@@ -204,6 +275,142 @@ fn truthy(v: &Value) -> Result<bool> {
             Err(SquallError::TypeMismatch { expected: "boolean-like", found: format!("{other:?}") })
         }
     }
+}
+
+/// A column holding `rows` copies of one literal.
+fn broadcast(v: &Value, rows: usize) -> Array {
+    match v {
+        Value::Null => Array::Null(rows),
+        Value::Int(i) => Array::Int(I64Array::from_values(vec![*i; rows])),
+        Value::Float(f) => {
+            Array::Float(squall_common::array::F64Array::from_values(vec![*f; rows]))
+        }
+        Value::Str(s) => {
+            let mut a = Utf8Array::new();
+            for _ in 0..rows {
+                a.push(Some(s));
+            }
+            Array::Str(a)
+        }
+        Value::Date(d) => {
+            Array::Date(squall_common::array::DateArray::from_values(vec![d.0; rows]))
+        }
+    }
+}
+
+/// Chunked `AND`/`OR` preserving the short-circuit contract: the right side
+/// is only evaluated if some row's left side leaves the outcome open, and a
+/// failing vectorized right side degrades to exact per-row evaluation of
+/// the whole expression (so errors surface for precisely the rows that
+/// would reach them row-at-a-time).
+fn eval_logical_chunk(
+    op: BinOp,
+    whole: &ScalarExpr,
+    lhs: &ScalarExpr,
+    rhs: &ScalarExpr,
+    chunk: &Chunk,
+) -> Result<Array> {
+    let l = lhs.eval_chunk(chunk)?;
+    let rows = l.len();
+    let mut lmask = Vec::with_capacity(rows);
+    for i in 0..rows {
+        lmask.push(truthy(&l.value(i))?);
+    }
+    let needs_rhs = match op {
+        BinOp::And => lmask.iter().any(|&b| b),
+        BinOp::Or => lmask.iter().any(|&b| !b),
+        _ => unreachable!("eval_logical_chunk only handles AND/OR"),
+    };
+    if !needs_rhs {
+        let decided = match op {
+            BinOp::And => 0,
+            _ => 1,
+        };
+        return Ok(Array::Int(I64Array::from_values(vec![decided; rows])));
+    }
+    match rhs.eval_chunk(chunk) {
+        Ok(r) => {
+            let mut out = Vec::with_capacity(rows);
+            for (i, &lv) in lmask.iter().enumerate() {
+                let v = match op {
+                    BinOp::And => {
+                        if lv {
+                            truthy(&r.value(i))? as i64
+                        } else {
+                            0
+                        }
+                    }
+                    _ => {
+                        if lv {
+                            1
+                        } else {
+                            truthy(&r.value(i))? as i64
+                        }
+                    }
+                };
+                out.push(v);
+            }
+            Ok(Array::Int(I64Array::from_values(out)))
+        }
+        Err(_) => {
+            // Exact row semantics: rows whose left side decides never touch
+            // the failing right side.
+            let mut b = ArrayBuilder::new();
+            for i in 0..rows {
+                b.push(&whole.eval(&chunk.row(i))?);
+            }
+            Ok(b.finish())
+        }
+    }
+}
+
+/// Element-wise binary evaluation over two columns. Fully-valid `Int`
+/// columns take vectorized loops; everything else falls back to per-cell
+/// [`eval_bin`].
+fn eval_bin_arrays(op: BinOp, l: &Array, r: &Array) -> Result<Array> {
+    debug_assert_eq!(l.len(), r.len(), "operand column lengths differ");
+    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+        if a.validity().is_none() && b.validity().is_none() {
+            if let Some(out) = eval_bin_i64(op, a.values(), b.values()) {
+                return Ok(out);
+            }
+        }
+    }
+    let mut bld = ArrayBuilder::new();
+    for i in 0..l.len() {
+        bld.push(&eval_bin(op, &l.value(i), &r.value(i))?);
+    }
+    Ok(bld.finish())
+}
+
+/// Vectorized `Int × Int` kernels. Returns `None` when the operation can
+/// produce NULL (division by a zero divisor) — the caller then takes the
+/// exact per-cell path.
+fn eval_bin_i64(op: BinOp, a: &[i64], b: &[i64]) -> Option<Array> {
+    use BinOp::*;
+    let zip = a.iter().zip(b.iter());
+    let out: Vec<i64> = match op {
+        Eq => zip.map(|(x, y)| (x == y) as i64).collect(),
+        Ne => zip.map(|(x, y)| (x != y) as i64).collect(),
+        Lt => zip.map(|(x, y)| (x < y) as i64).collect(),
+        Le => zip.map(|(x, y)| (x <= y) as i64).collect(),
+        Gt => zip.map(|(x, y)| (x > y) as i64).collect(),
+        Ge => zip.map(|(x, y)| (x >= y) as i64).collect(),
+        Add => zip.map(|(x, y)| x.wrapping_add(*y)).collect(),
+        Sub => zip.map(|(x, y)| x.wrapping_sub(*y)).collect(),
+        Mul => zip.map(|(x, y)| x.wrapping_mul(*y)).collect(),
+        Div | Mod => {
+            if b.contains(&0) {
+                return None; // NULL rows: take the per-cell path
+            }
+            match op {
+                Div => zip.map(|(x, y)| x.wrapping_div(*y)).collect(),
+                _ => zip.map(|(x, y)| x.wrapping_rem(*y)).collect(),
+            }
+        }
+        And | Or => return None, // handled by eval_logical_chunk
+    };
+    Some(Array::Int(I64Array::from_values(out)))
 }
 
 fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
@@ -402,6 +609,68 @@ mod tests {
         let r = e.remap_columns(&|i| i - 3);
         let t = tuple![7, 0, 7];
         assert!(r.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn eval_chunk_matches_row_eval() {
+        let ts = vec![
+            tuple![10, 3, 2.5, "7", Value::Null],
+            tuple![0, 0, 4.0, " 42 ", 8],
+            tuple![-5, 9, 1.0, "0", Value::Null],
+        ];
+        let chunk = Chunk::from_tuples(&ts);
+        let exprs = vec![
+            ScalarExpr::col(0),
+            ScalarExpr::lit(9),
+            ScalarExpr::bin(BinOp::Add, ScalarExpr::col(0), ScalarExpr::col(1)),
+            ScalarExpr::bin(BinOp::Mod, ScalarExpr::col(0), ScalarExpr::col(1)),
+            ScalarExpr::bin(BinOp::Lt, ScalarExpr::col(0), ScalarExpr::col(1)),
+            ScalarExpr::bin(BinOp::Mul, ScalarExpr::col(0), ScalarExpr::col(2)),
+            ScalarExpr::and(
+                ScalarExpr::bin(BinOp::Ge, ScalarExpr::col(0), ScalarExpr::lit(0)),
+                ScalarExpr::bin(BinOp::Gt, ScalarExpr::col(1), ScalarExpr::lit(1)),
+            ),
+            ScalarExpr::bin(
+                BinOp::Or,
+                ScalarExpr::col(0),
+                ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::lit(0)),
+            ),
+            ScalarExpr::Not(Box::new(ScalarExpr::col(0))),
+            ScalarExpr::cast(ScalarExpr::col(3), DataType::Int),
+            // NULL-bearing column: comparisons use Value's total order.
+            ScalarExpr::bin(BinOp::Le, ScalarExpr::col(4), ScalarExpr::col(0)),
+        ];
+        for e in &exprs {
+            let col = e.eval_chunk(&chunk).unwrap();
+            for (i, t) in ts.iter().enumerate() {
+                assert_eq!(col.value(i), e.eval(t).unwrap(), "expr {e} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_chunk_short_circuit_skips_bad_rhs() {
+        // Every row's lhs is false, so the erroring rhs must never run —
+        // same contract as the row path.
+        let ts = vec![tuple![0], tuple![0]];
+        let chunk = Chunk::from_tuples(&ts);
+        let e = ScalarExpr::and(ScalarExpr::col(0), ScalarExpr::col(99));
+        let col = e.eval_chunk(&chunk).unwrap();
+        assert_eq!(col.value(0), Value::Int(0));
+        assert_eq!(col.value(1), Value::Int(0));
+        // Mixed: one row needs the rhs → the error must surface, exactly as
+        // the row path would at that row.
+        let ts = vec![tuple![0], tuple![1]];
+        let chunk = Chunk::from_tuples(&ts);
+        assert!(e.eval_chunk(&chunk).is_err());
+    }
+
+    #[test]
+    fn eval_bool_chunk_mask() {
+        let ts = vec![tuple![2, 3], tuple![5, 3], tuple![1, 1]];
+        let chunk = Chunk::from_tuples(&ts);
+        let lt = ScalarExpr::bin(BinOp::Lt, ScalarExpr::col(0), ScalarExpr::col(1));
+        assert_eq!(lt.eval_bool_chunk(&chunk).unwrap(), vec![true, false, false]);
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! incremental view maintenance). All three aggregates are also
 //! *subtractable*, which the sliding-window variants exploit.
 
+use squall_common::array::Array;
 use squall_common::codec::{self, Reader};
-use squall_common::{FxHashMap, Result, Tuple, Value};
+use squall_common::{Chunk, FxHashMap, Result, Tuple, Value};
 use squall_expr::{AggFunc, ScalarExpr};
 
 use crate::Snapshot;
@@ -112,6 +113,53 @@ impl GroupByAggregator {
     /// Retract one tuple (sliding windows).
     pub fn retract(&mut self, tuple: &Tuple) -> Result<Tuple> {
         self.apply(tuple, -1)
+    }
+
+    /// Fold a whole columnar chunk in. Aggregate input expressions are
+    /// evaluated column-at-a-time over the chunk; only the group-key
+    /// lookup and accumulator bump happen per row (the state boundary).
+    ///
+    /// `on_row`, when given, receives each group's refreshed output row in
+    /// input order — exactly what per-row [`GroupByAggregator::update`]
+    /// returns (online emission). Pass `None` for final-mode aggregation
+    /// to skip building output rows entirely, which per-row updates cannot
+    /// avoid.
+    pub fn update_chunk(
+        &mut self,
+        chunk: &Chunk,
+        mut on_row: Option<&mut dyn FnMut(Tuple)>,
+    ) -> Result<()> {
+        let mut inputs: Vec<Option<Array>> = Vec::with_capacity(self.aggs.len());
+        for a in &self.aggs {
+            inputs.push(match &a.input {
+                Some(e) => Some(e.eval_chunk(chunk)?),
+                None => None,
+            });
+        }
+        for i in 0..chunk.n_rows() {
+            let key: Vec<Value> =
+                self.group_cols.iter().map(|&c| chunk.column(c).value(i)).collect();
+            let states = self
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| vec![AggState::new(); self.aggs.len()]);
+            for (st, (a, input)) in states.iter_mut().zip(self.aggs.iter().zip(&inputs)) {
+                match a.func {
+                    AggFunc::Count => st.count += 1,
+                    _ => st.add(&input.as_ref().expect("sum/avg need an input").value(i), 1)?,
+                }
+            }
+            // Insertions never empty a group, so no empty-group sweep here
+            // (unlike `apply` with sign = -1).
+            if let Some(emit) = on_row.as_mut() {
+                let mut row = key;
+                for (st, a) in states.iter().zip(&self.aggs) {
+                    row.push(st.value(a.func));
+                }
+                emit(Tuple::new(row));
+            }
+        }
+        Ok(())
     }
 
     fn apply(&mut self, tuple: &Tuple, sign: i64) -> Result<Tuple> {

@@ -70,6 +70,14 @@ pub struct DBToasterJoin {
     arities: Vec<usize>,
     views: Vec<View>,
     plans: Vec<Vec<SubsetPlan>>,
+    /// Probe-key scratch reused across arrivals (amortizes to zero
+    /// allocations on the per-tuple hot path).
+    scratch_key: Vec<Value>,
+    /// Pooled per-component match buffers; inner vectors keep their
+    /// capacity between arrivals.
+    scratch_matches: Vec<Vec<(Tuple, i64)>>,
+    /// Odometer scratch for the cross-combination loop.
+    scratch_idx: Vec<usize>,
 }
 
 impl DBToasterJoin {
@@ -207,7 +215,14 @@ impl DBToasterJoin {
             }
             plans.push(rel_plans);
         }
-        DBToasterJoin { arities, views, plans }
+        DBToasterJoin {
+            arities,
+            views,
+            plans,
+            scratch_key: Vec::new(),
+            scratch_matches: Vec::new(),
+            scratch_idx: Vec::new(),
+        }
     }
 
     /// Stored tuples in a specific intermediate view (diagnostics).
@@ -228,43 +243,54 @@ impl DBToasterJoin {
 
     fn apply_delta(&mut self, rel: usize, tuple: &Tuple, mult: i64, mut out: Sink<'_>) {
         debug_assert_eq!(tuple.arity(), self.arities[rel], "arity mismatch for relation {rel}");
-        let mut key_buf: Vec<Value> = Vec::new();
+        // Scratch buffers move out of `self` for the duration of the call
+        // so the plan iteration below can still borrow `self.plans`; they
+        // are restored (capacity intact) on every exit path.
+        let mut key_buf = std::mem::take(&mut self.scratch_key);
+        let mut match_bufs = std::mem::take(&mut self.scratch_matches);
+        let mut idx = std::mem::take(&mut self.scratch_idx);
         for plan in &self.plans[rel] {
-            // Probe every component; collect owned matches (the views are
-            // mutated afterwards).
-            let mut matches: Vec<Vec<(Tuple, i64)>> = Vec::with_capacity(plan.comps.len());
+            // Probe every component; collect owned matches into pooled
+            // buffers (the views are mutated afterwards).
+            let mut used = 0;
             let mut dead = false;
             for cp in &plan.comps {
                 let view = &self.views[cp.view_id];
                 let filter = |t: &Tuple| {
                     cp.theta.iter().all(|&(mc, op, vc)| op.eval(tuple.get(mc), t.get(vc)))
                 };
-                let found: Vec<(Tuple, i64)> = match cp.index_id {
+                if match_bufs.len() == used {
+                    match_bufs.push(Vec::new());
+                }
+                let found = &mut match_bufs[used];
+                found.clear();
+                match cp.index_id {
                     Some(ix) => {
                         key_buf.clear();
                         key_buf.extend(cp.my_cols.iter().map(|&c| tuple.get(c).clone()));
-                        view.probe(ix, &key_buf)
-                            .filter(|(t, _)| filter(t))
-                            .map(|(t, m)| (t.clone(), m))
-                            .collect()
+                        found.extend(
+                            view.probe(ix, &key_buf)
+                                .filter(|(t, _)| filter(t))
+                                .map(|(t, m)| (t.clone(), m)),
+                        );
                     }
-                    None => view
-                        .scan()
-                        .filter(|(t, _)| filter(t))
-                        .map(|(t, m)| (t.clone(), m))
-                        .collect(),
-                };
+                    None => found.extend(
+                        view.scan().filter(|(t, _)| filter(t)).map(|(t, m)| (t.clone(), m)),
+                    ),
+                }
                 if found.is_empty() {
                     dead = true;
                     break;
                 }
-                matches.push(found);
+                used += 1;
             }
             if dead {
                 continue;
             }
+            let matches = &match_bufs[..used];
             // Cross-combine the component matches.
-            let mut idx = vec![0usize; matches.len()];
+            idx.clear();
+            idx.resize(matches.len(), 0);
             loop {
                 let mut values = Vec::new();
                 let mut delta_mult = mult;
@@ -320,6 +346,9 @@ impl DBToasterJoin {
                 }
             }
         }
+        self.scratch_key = key_buf;
+        self.scratch_matches = match_bufs;
+        self.scratch_idx = idx;
     }
 }
 

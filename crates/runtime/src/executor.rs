@@ -493,16 +493,13 @@ impl TaskCell {
                     }
                     return Poll::Park; // woken by the next push
                 }
-                Some(Message::Batch { origin, tuples }) => {
-                    out.counters().received.fetch_add(tuples.len() as u64, Ordering::Relaxed);
-                    processed += tuples.len();
+                Some(Message::Batch { origin, chunk }) => {
+                    out.counters().received.fetch_add(chunk.n_rows() as u64, Ordering::Relaxed);
+                    processed += chunk.n_rows();
                     if !*failed && !shared.abort.load(Ordering::Relaxed) {
-                        for t in tuples {
-                            if let Err(e) = bolt.execute(origin, t, out) {
-                                shared.raise(e);
-                                *failed = true;
-                                break;
-                            }
+                        if let Err(e) = bolt.execute_chunk(origin, &chunk, out) {
+                            shared.raise(e);
+                            *failed = true;
                         }
                     } // else: drain-and-discard so upstreams terminate
                     if out.park_if_gated(id) {
@@ -951,7 +948,10 @@ impl Topology {
                         grouping: e.grouping.clone(),
                         seq: 0,
                         targets: (0..parallelism[e.to])
-                            .map(|t| EdgeTarget { task: first_task[e.to] + t, buffer: Vec::new() })
+                            .map(|t| EdgeTarget {
+                                task: first_task[e.to] + t,
+                                buffer: squall_common::ChunkBuilder::new(),
+                            })
                             .collect(),
                     })
                     .collect();

@@ -1,6 +1,6 @@
 //! Messages exchanged between tasks.
 
-use squall_common::Tuple;
+use squall_common::Chunk;
 
 /// Identifier of a topology node (spout or bolt). Tasks of a node are
 /// addressed as `(NodeId, task_index)`.
@@ -8,21 +8,29 @@ pub type NodeId = usize;
 
 /// A message on a task's inbox.
 ///
-/// The data plane is *batched*: senders accumulate routed tuples in
-/// per-target scatter buffers (see [`crate::topology::OutputCollector`])
-/// and ship one `Batch` per `batch_size` tuples (or whatever is buffered
-/// when the stream punctuates). Batching amortizes the per-message queue
-/// and scheduling costs without introducing micro-batch *barriers* — a
-/// batch is flushed the moment it fills, so pipelining is preserved
-/// (§8.1's argument against synchronized micro-batching still holds).
+/// The data plane is *batched and columnar*: senders route tuples per-row
+/// into per-target [`ChunkBuilder`](squall_common::ChunkBuilder) scatter
+/// buffers (see [`crate::topology::OutputCollector`]) and ship one
+/// `Batch` — a columnar [`Chunk`] — per `batch_size` rows (or whatever is
+/// buffered when the stream punctuates). Batching amortizes the
+/// per-message queue and scheduling costs without introducing micro-batch
+/// *barriers* — a batch is flushed the moment it fills, so pipelining is
+/// preserved (§8.1's argument against synchronized micro-batching still
+/// holds). Because routing happens per row *before* buffering, chunk
+/// boundaries never affect partitioning, loads, or results.
 #[derive(Debug, Clone)]
 pub enum Message {
-    /// A run of data tuples, tagged with the node that emitted them (bolts
-    /// with several upstream streams — e.g. joiners — dispatch on the
-    /// origin, exactly like Storm bolts dispatch on the source component
-    /// id). All tuples of a batch share one origin and arrive in the
-    /// sender's emission order.
-    Batch { origin: NodeId, tuples: Vec<Tuple> },
+    /// A run of data rows in columnar layout, tagged with the node that
+    /// emitted them (bolts with several upstream streams — e.g. joiners —
+    /// dispatch on the origin, exactly like Storm bolts dispatch on the
+    /// source component id). All rows of a batch share one origin (and one
+    /// arity) and arrive in the sender's emission order.
+    Batch {
+        /// The node that emitted the rows.
+        origin: NodeId,
+        /// The rows, as a columnar chunk.
+        chunk: Chunk,
+    },
     /// End-of-stream punctuation from one upstream *task*. A task finishes
     /// once it has received one `Eos` per upstream task. `Eos` follows all
     /// of that sender's data (scatter buffers are flushed first).

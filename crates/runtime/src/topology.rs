@@ -5,7 +5,7 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
-use squall_common::{Result, SquallError, Tuple};
+use squall_common::{Chunk, ChunkBuilder, Result, SquallError, Tuple};
 
 use crate::executor::{Sched, TaskId};
 use crate::grouping::Grouping;
@@ -59,6 +59,28 @@ pub trait Bolt: Send {
     /// Process one input tuple. `origin` is the upstream node that emitted
     /// it (joiners dispatch on it to tell their relations apart).
     fn execute(&mut self, origin: NodeId, tuple: Tuple, out: &mut OutputCollector) -> Result<()>;
+
+    /// Process one columnar batch of input rows from `origin`.
+    ///
+    /// The default is the row-view fallback: materialize each row via
+    /// [`Chunk::rows`] and call [`Bolt::execute`] — correct for every bolt
+    /// with no migration effort. Hot operators (joins, aggregation)
+    /// override this to resolve per-batch facts once (origin → relation)
+    /// and to read key columns as primitive slices, falling back to rows
+    /// only at their state boundaries. Overrides must be observationally
+    /// identical to the default: same emissions, same errors, in the same
+    /// per-row order.
+    fn execute_chunk(
+        &mut self,
+        origin: NodeId,
+        chunk: &Chunk,
+        out: &mut OutputCollector,
+    ) -> Result<()> {
+        for t in chunk.rows() {
+            self.execute(origin, t, out)?;
+        }
+        Ok(())
+    }
 
     /// Called once after every upstream task has signalled end-of-stream;
     /// used by blocking-at-the-end operators (final aggregation emission).
@@ -390,13 +412,16 @@ impl Topology {
 }
 
 /// One receiving task of an outgoing edge, with its scatter buffer: tuples
-/// routed to this target accumulate here and ship as one
-/// [`Message::Batch`] when `batch_size` is reached (or on punctuation).
-/// Delivery goes through the run's [`Transport`] — the emitter neither
-/// knows nor cares whether the target task lives in this process.
+/// routed to this target accumulate *columnarly* in a [`ChunkBuilder`] and
+/// ship as one [`Message::Batch`] when `batch_size` rows are reached (or on
+/// punctuation, or when a tuple of a different arity arrives — ragged
+/// streams split into uniform chunks, which cannot change results because
+/// routing happened per row before buffering). Delivery goes through the
+/// run's [`Transport`] — the emitter neither knows nor cares whether the
+/// target task lives in this process.
 pub(crate) struct EdgeTarget {
     pub(crate) task: TaskId,
-    pub(crate) buffer: Vec<Tuple>,
+    pub(crate) buffer: ChunkBuilder,
 }
 
 /// One outgoing edge of a running task.
@@ -439,8 +464,8 @@ fn flush_target(
     if target.buffer.is_empty() {
         return;
     }
-    let tuples = std::mem::take(&mut target.buffer);
-    transport.send(target.task, Message::Batch { origin: node, tuples });
+    let chunk = target.buffer.finish();
+    transport.send(target.task, Message::Batch { origin: node, chunk });
     if transport.congested(target.task) {
         *gated = true;
     }
@@ -491,7 +516,10 @@ impl OutputCollector {
             edge.seq += 1;
             for &t in &self.scratch {
                 let target = &mut edge.targets[t];
-                target.buffer.push(tuple.clone());
+                if !target.buffer.accepts(&tuple) {
+                    flush_target(self.node, target, &*self.transport, &mut self.gated);
+                }
+                target.buffer.push(&tuple);
                 sent += 1;
                 if target.buffer.len() >= batch_size {
                     flush_target(self.node, target, &*self.transport, &mut self.gated);

@@ -40,7 +40,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use squall_common::codec::{self, Reader};
-use squall_common::{Result, SquallError, Tuple};
+use squall_common::{Chunk, Result, SquallError, Tuple};
 
 use crate::executor::{Inbox, Sched, Shared, TaskId};
 use crate::message::{Message, NodeId};
@@ -216,8 +216,10 @@ pub enum Frame {
     Hello { peer: usize },
     /// Coordinator → worker: the serialized query plan slice.
     Job { payload: Vec<u8> },
-    /// A routed batch for one target task.
-    Data { to_task: TaskId, origin: NodeId, tuples: Vec<Tuple> },
+    /// A routed batch for one target task, shipped in the columnar chunk
+    /// layout (one length-prefixed column blob per field — see
+    /// [`codec::put_chunk`]).
+    Data { to_task: TaskId, origin: NodeId, chunk: Chunk },
     /// One upstream task's end-of-stream punctuation for one target task.
     Eos { to_task: TaskId },
     /// One upstream task's event-time watermark for one target task: every
@@ -313,11 +315,11 @@ impl Frame {
                 codec::put_u8(&mut buf, FRAME_JOB);
                 codec::put_bytes(&mut buf, payload);
             }
-            Frame::Data { to_task, origin, tuples } => {
+            Frame::Data { to_task, origin, chunk } => {
                 codec::put_u8(&mut buf, FRAME_DATA);
                 codec::put_u32(&mut buf, *to_task as u32);
                 codec::put_u32(&mut buf, *origin as u32);
-                codec::put_tuples(&mut buf, tuples);
+                codec::put_chunk(&mut buf, chunk);
             }
             Frame::Eos { to_task } => {
                 codec::put_u8(&mut buf, FRAME_EOS);
@@ -384,7 +386,7 @@ impl Frame {
             FRAME_DATA => Frame::Data {
                 to_task: r.u32()? as TaskId,
                 origin: r.u32()? as NodeId,
-                tuples: codec::get_tuples(&mut r)?,
+                chunk: codec::get_chunk(&mut r)?,
             },
             FRAME_EOS => Frame::Eos { to_task: r.u32()? as TaskId },
             FRAME_WATERMARK => Frame::Watermark {
@@ -797,7 +799,7 @@ impl Transport for TcpTransport {
         }
         let q = self.egress[peer].as_ref().expect("no link to peer");
         let frame = match msg {
-            Message::Batch { origin, tuples } => Frame::Data { to_task: to, origin, tuples },
+            Message::Batch { origin, chunk } => Frame::Data { to_task: to, origin, chunk },
             Message::Eos => Frame::Eos { to_task: to },
             Message::Watermark { origin, from_task, ts } => {
                 Frame::Watermark { to_task: to, origin, from_task, ts }
@@ -1180,7 +1182,7 @@ impl RecvPump {
                 Ok(Some((frame, n))) => {
                     counters.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
                     match frame {
-                        Frame::Data { to_task, origin, tuples } => {
+                        Frame::Data { to_task, origin, chunk } => {
                             counters.batches_received.fetch_add(1, Ordering::Relaxed);
                             let Some(inbox) = inboxes.get(to_task).and_then(|i| i.as_ref()) else {
                                 shared.raise(SquallError::Runtime(format!(
@@ -1195,7 +1197,7 @@ impl RecvPump {
                             while inbox.over_capacity() && !shared.is_aborted() {
                                 std::thread::sleep(Duration::from_micros(200));
                             }
-                            let depth = inbox.push(Message::Batch { origin, tuples });
+                            let depth = inbox.push(Message::Batch { origin, chunk });
                             sched.record_depth(depth);
                             sched.notify(to_task);
                         }
@@ -1303,7 +1305,11 @@ mod tests {
         let frames = vec![
             Frame::Hello { peer: 3 },
             Frame::Job { payload: vec![1, 2, 3] },
-            Frame::Data { to_task: 7, origin: 2, tuples: vec![tuple![1, "x"], tuple![2.5]] },
+            Frame::Data {
+                to_task: 7,
+                origin: 2,
+                chunk: Chunk::from_tuples(&[tuple![1, "x"], tuple![2, "y"]]),
+            },
             Frame::Eos { to_task: 9 },
             Frame::Watermark { to_task: 11, origin: 2, from_task: 3, ts: 12345 },
             Frame::Barrier { to_task: 5, epoch: 9 },
@@ -1417,7 +1423,7 @@ mod tests {
         let accepted =
             accept_with_deadline(&listener, Instant::now() + Duration::from_secs(1)).unwrap();
         let sent = vec![
-            Frame::Data { to_task: 1, origin: 0, tuples: vec![tuple![1]] },
+            Frame::Data { to_task: 1, origin: 0, chunk: Chunk::from_tuples(&[tuple![1]]) },
             Frame::Watermark { to_task: 1, origin: 0, from_task: 0, ts: 4 },
             Frame::Barrier { to_task: 1, epoch: 4 },
             Frame::Heartbeat { epoch: 4 },
