@@ -57,16 +57,17 @@ pub struct WindowPlan {
 /// `(window, group key)`, windows close on the minimum watermark across
 /// the join tasks, and the result rows are
 /// `(window_start, window_end, group…, agg…)` (bounds inclusive), emitted
-/// in window order. Per-window mode runs at parallelism 1 (the ordering
-/// contract needs a single emitter); `parallelism` applies to the
-/// full-history mode only.
+/// in window order. Both modes shard across `parallelism` tasks by
+/// group hash; per-window mode additionally runs a single ordered merge
+/// sink behind the shards, so the window-order contract holds at any
+/// parallelism with output byte-identical to a 1-task run.
 #[derive(Debug, Clone)]
 pub struct AggPlan {
     /// Group-by columns of the join output schema.
     pub group_cols: Vec<usize>,
     /// The aggregate columns, in output order.
     pub aggs: Vec<AggSpec>,
-    /// Task count of the aggregation component (full-history mode).
+    /// Task count of the aggregation component.
     pub parallelism: usize,
 }
 
@@ -298,6 +299,8 @@ pub(crate) struct RunContext {
     join_node: NodeId,
     source_nodes: Vec<NodeId>,
     agg_node: Option<NodeId>,
+    /// The ordered window-merge sink (windowed aggregation only).
+    merge_node: Option<NodeId>,
     scheme_description: String,
     input_count: u64,
     agg_set: bool,
@@ -443,22 +446,29 @@ pub(crate) fn assemble(
 
     // Optional aggregation.
     let mut agg_node = None;
+    let mut merge_node = None;
     if let Some(agg) = &cfg.agg {
         let group_cols = agg.group_cols.clone();
         let aggs = agg.aggs.clone();
         let node = match &cfg.window {
             Some(w) => {
-                // Per-window aggregation. The event-time columns move to
-                // join-output coordinates (the same mapping the windowed
-                // join uses for its result predicate). One task: closed
-                // windows then stream to the sink in global window order —
-                // the per-window ordering contract — and every join
-                // task's watermark funnels into a single minimum.
+                // Per-window aggregation, group-hash sharded: a `Fields`
+                // grouping on the group columns gives each of the
+                // `parallelism` tasks a disjoint set of groups, so shard
+                // state and shard output never overlap. The event-time
+                // columns move to join-output coordinates (the same
+                // mapping the windowed join uses for its result
+                // predicate); every join task's watermark broadcasts to
+                // every shard, so each shard closes against the same
+                // cross-task minimum. A single merge task downstream
+                // restores the global window-order contract (see
+                // [`crate::operators::WindowMergeBolt`]).
                 let arities: Vec<usize> = spec.relations.iter().map(|r| r.schema.arity()).collect();
                 let ts_cols = squall_join::output_ts_cols(&arities, &w.ts_cols);
                 let wspec = w.spec;
                 let n_upstream = cfg.machines.max(1);
-                let node = b.add_bolt("agg", 1, move |_task| {
+                let shards = agg.parallelism.max(1);
+                let node = b.add_bolt("agg", shards, move |_task| {
                     Box::new(crate::operators::WindowedAggBolt::new(
                         wspec,
                         ts_cols.clone(),
@@ -467,7 +477,15 @@ pub(crate) fn assemble(
                         n_upstream,
                     ))
                 });
-                b.connect(join_node, node, Grouping::Global);
+                // No group columns hashes every row to one shard — the
+                // remaining shards stay idle but still forward watermark
+                // boundaries, so the merge never waits on them.
+                b.connect(join_node, node, Grouping::Fields(agg.group_cols.clone()));
+                let merge = b.add_bolt("agg-merge", 1, move |_task| {
+                    Box::new(crate::operators::WindowMergeBolt::new(shards))
+                });
+                b.connect(node, merge, Grouping::Global);
+                merge_node = Some(merge);
                 node
             }
             None => {
@@ -497,6 +515,7 @@ pub(crate) fn assemble(
             join_node,
             source_nodes,
             agg_node,
+            merge_node,
             scheme_description,
             input_count,
             agg_set: cfg.agg.is_some(),
@@ -529,7 +548,7 @@ fn summarize(
     let loads = join_metrics.received.clone();
     let replication_factor = metrics.replication_factor(ctx.join_node, &ctx.source_nodes);
     let skew_degree = join_metrics.skew_degree();
-    let sinks = [ctx.agg_node.unwrap_or(ctx.join_node)];
+    let sinks = [ctx.merge_node.or(ctx.agg_node).unwrap_or(ctx.join_node)];
     let network_factor = metrics.intermediate_network_factor(&ctx.source_nodes, &sinks);
     let results = match (ctx.agg_set, ctx.collect_results) {
         (false, false) => Vec::new(),
@@ -900,7 +919,7 @@ mod tests {
                 .with_agg(AggPlan {
                     group_cols: vec![0],
                     aggs: vec![AggSpec::count()],
-                    parallelism: 3, // ignored: per-window mode pins to 1 task
+                    parallelism: 3, // sharded: 3 tasks + the ordered merge
                 });
             let report = run_multiway(&spec, data, &cfg).unwrap();
             assert!(report.error.is_none(), "{:?}", report.error);
@@ -934,6 +953,70 @@ mod tests {
         let mut rows = streamed;
         rows.sort();
         assert_eq!(rows, oracle);
+    }
+
+    #[test]
+    fn sharded_windowed_agg_is_byte_identical_to_single_task() {
+        // The tentpole contract: group-hash sharding + the watermark-driven
+        // k-way merge reproduce the 1-task plane's output *byte for byte*,
+        // in the same order — at any parallelism.
+        let spec = two_stream_spec();
+        for (wspec, seed) in
+            [(WindowSpec::Tumbling { width: 10 }, 33u64), (WindowSpec::Sliding { size: 6 }, 34)]
+        {
+            let data = event_streams(80, 5, 4, seed);
+            let run = |parallelism: usize| {
+                let cfg = MultiwayConfig::new(SchemeKind::Hybrid, LocalJoinKind::DBToaster, 4)
+                    .with_window(WindowPlan { spec: wspec, ts_cols: vec![1, 1] })
+                    .with_agg(AggPlan {
+                        group_cols: vec![0],
+                        // COUNT plus SUM of an expression: exercises the
+                        // precomputed-input accumulate path, not just the
+                        // input-less counter bump.
+                        aggs: vec![AggSpec::count(), AggSpec::sum(ScalarExpr::col(1))],
+                        parallelism,
+                    });
+                let mut stream = run_multiway_stream(&spec, data.clone(), &cfg).unwrap();
+                let rows: Vec<Tuple> = stream.by_ref().collect();
+                let report = stream.finish();
+                assert!(report.error.is_none(), "{:?}", report.error);
+                rows
+            };
+            let baseline = run(1);
+            assert!(!baseline.is_empty());
+            for p in [2usize, 8] {
+                assert_eq!(run(p), baseline, "parallelism {p} vs 1, {wspec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_shards_never_strand_the_merge() {
+        // One live group at parallelism 8: seven shards never receive a
+        // data row. They must still close (nothing) on the broadcast join
+        // watermarks, forward their boundaries, and receive the final
+        // u64::MAX watermark at Eos — otherwise the merge sink would hold
+        // every released window until end-of-stream or hang a window open.
+        let spec = two_stream_spec();
+        let wspec = WindowSpec::Tumbling { width: 4 };
+        let data = event_streams(40, 1, 3, 35); // dom = 1: single group key
+        let oracle = window_count_oracle(&data, wspec);
+        assert!(!oracle.is_empty());
+        let cfg = MultiwayConfig::new(SchemeKind::Hash, LocalJoinKind::DBToaster, 3)
+            .with_window(WindowPlan { spec: wspec, ts_cols: vec![1, 1] })
+            .with_agg(AggPlan {
+                group_cols: vec![0],
+                aggs: vec![AggSpec::count()],
+                parallelism: 8,
+            });
+        let mut stream = run_multiway_stream(&spec, data, &cfg).unwrap();
+        let streamed: Vec<Tuple> = stream.by_ref().collect();
+        assert!(stream.report().unwrap().error.is_none());
+        let starts: Vec<i64> = streamed.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "window order survives idle shards");
+        assert_eq!(streamed, oracle, "single-group rows are already window-ordered");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Physical operators: the bolts Squall installs into topologies.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
+use squall_common::array::Array;
 use squall_common::{Chunk, ChunkBuilder, FxHashMap, Result, SquallError, Tuple, Value};
 use squall_expr::ScalarExpr;
 use squall_join::{AggSpec, GroupByAggregator, LocalJoin, WindowJoin, WindowSpec};
@@ -424,8 +426,15 @@ impl Bolt for AggBolt {
 /// windows are emitted in ascending `window_start` order, each row shaped
 /// `(window_start, window_end, group…, agg…)` with both bounds inclusive,
 /// and the remaining windows flush — still in order — at end-of-stream.
-/// The bolt runs at parallelism 1 so this order is the order the query's
-/// sink observes: the streaming per-window contract of `ResultSet`.
+///
+/// The bolt runs **group-hash sharded**: a `Fields` grouping on the group
+/// columns routes every row of a group to one task, so each shard holds
+/// `(window_start, group)` state for its groups only and closes windows
+/// against its own copy of the cross-task join watermark (watermarks
+/// broadcast, so every shard sees every join task's frontier). After
+/// closing below a boundary the shard forwards that boundary downstream —
+/// the promise "all my future rows have `window_start ≥ boundary`" that
+/// [`WindowMergeBolt`] turns back into the global window-order contract.
 pub struct WindowedAggBolt {
     spec: WindowSpec,
     /// Positions of each relation's event-time column in the join-output
@@ -443,6 +452,11 @@ pub struct WindowedAggBolt {
     /// Every window with `start` below this has been emitted; a data row
     /// for such a window would violate the watermark contract.
     closed_before: u64,
+    /// Highest window-start boundary forwarded downstream (to the merge
+    /// sink); forwards are suppressed until the boundary advances.
+    forwarded: u64,
+    /// Scratch for closed-window rows between close and emit.
+    drain: Vec<Tuple>,
 }
 
 impl WindowedAggBolt {
@@ -470,6 +484,8 @@ impl WindowedAggBolt {
             frontiers: FxHashMap::default(),
             n_upstream,
             closed_before: 0,
+            forwarded: 0,
+            drain: Vec::new(),
         }
     }
 
@@ -482,28 +498,25 @@ impl WindowedAggBolt {
         }
     }
 
-    /// Emit and drop every window with `start < boundary`, in window
-    /// order.
-    fn close_below(&mut self, boundary: u64, out: &mut OutputCollector) {
+    /// Close every window with `start < boundary` into `rows`, in window
+    /// order — the collector-free face of the close path, shared by the
+    /// runtime wrapper below and by benchmarks driving the bare kernel.
+    pub fn close_into(&mut self, boundary: u64, rows: &mut Vec<Tuple>) {
         while let Some(entry) = self.windows.first_entry() {
             if *entry.key() >= boundary {
                 break;
             }
             let (start, agg) = entry.remove_entry();
-            self.emit_window(start, &agg, out);
+            let end = self.window_end(start);
+            for row in agg.snapshot() {
+                let mut values = Vec::with_capacity(2 + row.arity());
+                values.push(Value::Int(start as i64));
+                values.push(Value::Int(end as i64));
+                values.extend(row.values().iter().cloned());
+                rows.push(Tuple::new(values));
+            }
         }
         self.closed_before = self.closed_before.max(boundary);
-    }
-
-    fn emit_window(&self, start: u64, agg: &GroupByAggregator, out: &mut OutputCollector) {
-        let end = self.window_end(start);
-        for row in agg.snapshot() {
-            let mut values = Vec::with_capacity(2 + row.arity());
-            values.push(Value::Int(start as i64));
-            values.push(Value::Int(end as i64));
-            values.extend(row.values().iter().cloned());
-            out.emit(Tuple::new(values));
-        }
     }
 
     /// Open windows (testing / introspection).
@@ -511,10 +524,9 @@ impl WindowedAggBolt {
         self.windows.len()
     }
 
-    /// Fold one join result, whose constituent-timestamp extrema are
-    /// already known, into every window it belongs to.
-    fn fold(&mut self, lo: u64, hi: u64, tuple: &Tuple) -> Result<()> {
-        // The windows this result belongs to (see the type docs).
+    /// The window-start range a result with constituent-timestamp extrema
+    /// `[lo, hi]` folds into (see the type docs), with the late-data check.
+    fn window_range(&self, lo: u64, hi: u64) -> Result<(u64, u64)> {
         let (first, last) = match self.spec {
             WindowSpec::Tumbling { width } => {
                 debug_assert_eq!(lo / width, hi / width, "join window predicate violated");
@@ -530,20 +542,12 @@ impl WindowedAggBolt {
                 self.closed_before
             )));
         }
-        for start in first..=last {
-            self.windows
-                .entry(start)
-                .or_insert_with(|| {
-                    GroupByAggregator::new(self.group_cols.clone(), self.aggs.clone())
-                })
-                .update(tuple)?;
-        }
-        Ok(())
+        Ok((first, last))
     }
-}
 
-impl Bolt for WindowedAggBolt {
-    fn execute(&mut self, _origin: NodeId, tuple: Tuple, _out: &mut OutputCollector) -> Result<()> {
+    /// Fold one join result row into every window it belongs to (the
+    /// per-row insert path).
+    pub fn insert_row(&mut self, tuple: &Tuple) -> Result<()> {
         let (mut lo, mut hi) = (u64::MAX, 0u64);
         for &c in &self.ts_cols {
             let v = tuple.get(c).as_int()?;
@@ -555,19 +559,30 @@ impl Bolt for WindowedAggBolt {
             lo = lo.min(v as u64);
             hi = hi.max(v as u64);
         }
-        self.fold(lo, hi, &tuple)
+        let (first, last) = self.window_range(lo, hi)?;
+        for start in first..=last {
+            self.windows
+                .entry(start)
+                .or_insert_with(|| {
+                    GroupByAggregator::new(self.group_cols.clone(), self.aggs.clone())
+                })
+                .update(tuple)?;
+        }
+        Ok(())
     }
 
-    fn execute_chunk(
-        &mut self,
-        _origin: NodeId,
-        chunk: &Chunk,
-        _out: &mut OutputCollector,
-    ) -> Result<()> {
-        // Timestamp extraction runs column-at-a-time (straight over the
-        // i64 slice when the column is a fully-valid Int array); the
-        // window fold stays per row — that is the state boundary.
+    /// Fold one columnar chunk of join results in without materializing a
+    /// single per-row [`Tuple`]: window bounds run over the timestamp
+    /// columns (straight over the i64 slice when fully-valid Int),
+    /// aggregate input expressions evaluate once per chunk, and each row
+    /// folds into its windows from the resulting arrays via
+    /// [`GroupByAggregator::accumulate`] — the columnar insert kernel that
+    /// replaces per-row `chunk.row(i)` + expression re-evaluation.
+    pub fn insert_chunk(&mut self, chunk: &Chunk) -> Result<()> {
         let rows = chunk.n_rows();
+        if rows == 0 {
+            return Ok(());
+        }
         let mut lo = vec![u64::MAX; rows];
         let mut hi = vec![0u64; rows];
         for &c in &self.ts_cols {
@@ -587,10 +602,51 @@ impl Bolt for WindowedAggBolt {
                 hi[i] = hi[i].max(v as u64);
             }
         }
+        // Aggregate inputs, column-at-a-time, once per chunk.
+        let mut inputs: Vec<Option<Array>> = Vec::with_capacity(self.aggs.len());
+        for a in &self.aggs {
+            inputs.push(match &a.input {
+                Some(e) => Some(e.eval_chunk(chunk)?),
+                None => None,
+            });
+        }
+        let mut key: Vec<Value> = Vec::with_capacity(self.group_cols.len());
+        let mut vals: Vec<Option<Value>> = Vec::with_capacity(self.aggs.len());
         for i in 0..rows {
-            self.fold(lo[i], hi[i], &chunk.row(i))?;
+            let (first, last) = self.window_range(lo[i], hi[i])?;
+            key.clear();
+            for &c in &self.group_cols {
+                key.push(chunk.column(c).value(i));
+            }
+            vals.clear();
+            for a in &inputs {
+                vals.push(a.as_ref().map(|arr| arr.value(i)));
+            }
+            for start in first..=last {
+                self.windows
+                    .entry(start)
+                    .or_insert_with(|| {
+                        GroupByAggregator::new(self.group_cols.clone(), self.aggs.clone())
+                    })
+                    .accumulate(&key, &vals)?;
+            }
         }
         Ok(())
+    }
+}
+
+impl Bolt for WindowedAggBolt {
+    fn execute(&mut self, _origin: NodeId, tuple: Tuple, _out: &mut OutputCollector) -> Result<()> {
+        self.insert_row(&tuple)
+    }
+
+    fn execute_chunk(
+        &mut self,
+        _origin: NodeId,
+        chunk: &Chunk,
+        _out: &mut OutputCollector,
+    ) -> Result<()> {
+        self.insert_chunk(chunk)
     }
 
     fn watermark(
@@ -614,13 +670,156 @@ impl Bolt for WindowedAggBolt {
             WindowSpec::Sliding { size } => w.saturating_sub(size),
             WindowSpec::FullHistory => unreachable!("rejected at construction"),
         };
-        self.close_below(boundary, out);
+        let mut rows = std::mem::take(&mut self.drain);
+        self.close_into(boundary, &mut rows);
+        for t in rows.drain(..) {
+            out.emit(t);
+        }
+        self.drain = rows;
+        // Forward the shard's window-start frontier so the merge sink can
+        // release: the rows above were emitted first (and buffers flush
+        // ahead of watermarks), so per-sender FIFO keeps every released
+        // prefix final. Idle shards forward too — with no data for a
+        // group-hash shard, the merge would otherwise wait for it until
+        // end-of-stream.
+        if boundary > self.forwarded {
+            out.emit_watermark(boundary);
+            self.forwarded = boundary;
+        }
         Ok(())
     }
 
     fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
         // All inputs done: every remaining window is final.
-        self.close_below(u64::MAX, out);
+        let mut rows = std::mem::take(&mut self.drain);
+        self.close_into(u64::MAX, &mut rows);
+        for t in rows.drain(..) {
+            out.emit(t);
+        }
+        self.drain = rows;
+        Ok(())
+    }
+}
+
+/// Coordinator-side ordered merge of group-hash-sharded windowed
+/// aggregation: restores the global window-order contract that the
+/// single-task plane provided for free.
+///
+/// Every shard of [`WindowedAggBolt`] emits its closed windows in
+/// ascending `window_start` order and forwards a window-start boundary
+/// watermark after each close ("all my future rows have
+/// `window_start ≥ boundary`"). The merge buffers incoming rows in a
+/// binary min-heap keyed on `(window_start, row)` and releases rows only
+/// while `window_start` is below the **minimum** boundary across all
+/// shards — by then every row of those windows has arrived (per-sender
+/// FIFO puts a shard's rows ahead of its promise), so the released prefix
+/// is final and globally ordered.
+///
+/// Ordering within a window: rows are `(window_start, window_end,
+/// group…, agg…)` and group keys are disjoint across shards (group-hash
+/// routing), so heap order — lexicographic over the row — coincides with
+/// the sorted-by-group-key order a single aggregation task emits.
+/// The merged stream is therefore **byte-identical** to the 1-task plane.
+pub struct WindowMergeBolt {
+    /// Min-heap of buffered rows keyed on `(window_start, row)`.
+    heap: BinaryHeap<Reverse<(u64, Tuple)>>,
+    /// Latest window-start boundary per upstream shard `(node, task)`.
+    frontiers: FxHashMap<(NodeId, usize), u64>,
+    /// Shard count; releasing waits until every shard has promised.
+    n_upstream: usize,
+    /// Every row below this window start has been released; a later
+    /// arrival below it would violate the shard's boundary promise.
+    released_below: u64,
+    /// Scratch for released rows between release and emit.
+    drain: Vec<Tuple>,
+}
+
+impl WindowMergeBolt {
+    /// `n_upstream` is the windowed-aggregation shard count.
+    pub fn new(n_upstream: usize) -> WindowMergeBolt {
+        assert!(n_upstream > 0);
+        WindowMergeBolt {
+            heap: BinaryHeap::new(),
+            frontiers: FxHashMap::default(),
+            n_upstream,
+            released_below: 0,
+            drain: Vec::new(),
+        }
+    }
+
+    /// Buffer one shard row (`window_start` in column 0).
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        let start = tuple.get(0).as_int()?;
+        if start < 0 {
+            return Err(SquallError::Runtime(format!(
+                "negative window start {start} at the merge sink"
+            )));
+        }
+        let start = start as u64;
+        if start < self.released_below {
+            return Err(SquallError::Runtime(format!(
+                "late shard row for window {start} (released below {})",
+                self.released_below
+            )));
+        }
+        self.heap.push(Reverse((start, tuple)));
+        Ok(())
+    }
+
+    /// Release every buffered row with `window_start < boundary` into
+    /// `rows`, in `(window_start, row)` order.
+    pub fn release_below(&mut self, boundary: u64, rows: &mut Vec<Tuple>) {
+        while let Some(Reverse((start, _))) = self.heap.peek() {
+            if *start >= boundary {
+                break;
+            }
+            let Reverse((_, t)) = self.heap.pop().expect("peeked");
+            rows.push(t);
+        }
+        self.released_below = self.released_below.max(boundary);
+    }
+
+    /// Buffered (not yet released) rows — testing / introspection.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl Bolt for WindowMergeBolt {
+    fn execute(&mut self, _origin: NodeId, tuple: Tuple, _out: &mut OutputCollector) -> Result<()> {
+        self.push(tuple)
+    }
+
+    fn watermark(
+        &mut self,
+        origin: NodeId,
+        from_task: usize,
+        ts: u64,
+        out: &mut OutputCollector,
+    ) -> Result<()> {
+        let slot = self.frontiers.entry((origin, from_task)).or_insert(0);
+        *slot = (*slot).max(ts);
+        if self.frontiers.len() < self.n_upstream {
+            return Ok(()); // some shard has made no promise yet
+        }
+        let boundary = self.frontiers.values().copied().min().unwrap_or(0);
+        let mut rows = std::mem::take(&mut self.drain);
+        self.release_below(boundary, &mut rows);
+        for t in rows.drain(..) {
+            out.emit(t);
+        }
+        self.drain = rows;
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut OutputCollector) -> Result<()> {
+        // Every shard has flushed and punctuated: drain the heap.
+        let mut rows = std::mem::take(&mut self.drain);
+        self.release_below(u64::MAX, &mut rows);
+        for t in rows.drain(..) {
+            out.emit(t);
+        }
+        self.drain = rows;
         Ok(())
     }
 }
@@ -654,5 +853,73 @@ mod tests {
             ScalarExpr::bin(BinOp::Add, ScalarExpr::col(0), ScalarExpr::lit(1)),
         ]);
         assert_eq!(b.apply(&tuple![10, 20]).unwrap(), Some(tuple![20, 11]));
+    }
+
+    fn windowed_bolt(spec: WindowSpec) -> WindowedAggBolt {
+        // Join-output rows (k, ts_a, ts_b): group on k, COUNT + SUM(2·ts_a).
+        WindowedAggBolt::new(
+            spec,
+            vec![1, 2],
+            vec![0],
+            vec![
+                AggSpec::count(),
+                AggSpec::sum(ScalarExpr::bin(BinOp::Mul, ScalarExpr::lit(2), ScalarExpr::col(1))),
+            ],
+            1,
+        )
+    }
+
+    fn windowed_rows(n: i64, spread: u64) -> Vec<Tuple> {
+        (0..n).map(|i| tuple![i % 3, i, i + (i as u64 % spread) as i64]).collect()
+    }
+
+    #[test]
+    fn columnar_insert_kernel_matches_row_path() {
+        // insert_chunk must leave byte-identical state to per-row
+        // insert_row — same windows, same groups, same accumulators.
+        for spec in [WindowSpec::Tumbling { width: 64 }, WindowSpec::Sliding { size: 5 }] {
+            let spread = match spec {
+                WindowSpec::Tumbling { .. } => 1, // same bucket per row
+                _ => 4,
+            };
+            let rows = windowed_rows(200, spread);
+            let mut by_row = windowed_bolt(spec);
+            let mut by_chunk = windowed_bolt(spec);
+            for t in &rows {
+                by_row.insert_row(t).unwrap();
+            }
+            for batch in rows.chunks(64) {
+                by_chunk.insert_chunk(&Chunk::from_tuples(batch)).unwrap();
+            }
+            assert_eq!(by_row.open_windows(), by_chunk.open_windows());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            by_row.close_into(u64::MAX, &mut a);
+            by_chunk.close_into(u64::MAX, &mut b);
+            assert!(!a.is_empty());
+            assert_eq!(a, b, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn window_merge_releases_in_order_and_rejects_late_rows() {
+        let mut m = WindowMergeBolt::new(2);
+        // Two shards' window-ordered streams, interleaved out of global
+        // order: shard A has windows 0 and 10, shard B windows 5 and 10.
+        m.push(tuple![10, 19, 2, 7]).unwrap();
+        m.push(tuple![0, 9, 1, 3]).unwrap();
+        m.push(tuple![5, 14, 4, 1]).unwrap();
+        m.push(tuple![10, 19, 1, 2]).unwrap();
+        let mut out = Vec::new();
+        m.release_below(10, &mut out);
+        assert_eq!(out, vec![tuple![0, 9, 1, 3], tuple![5, 14, 4, 1]]);
+        assert_eq!(m.pending(), 2);
+        // A row below the released boundary violates the shard promise.
+        assert!(m.push(tuple![4, 13, 9, 9]).is_err());
+        m.release_below(u64::MAX, &mut out);
+        assert_eq!(
+            out[2..],
+            [tuple![10, 19, 1, 2], tuple![10, 19, 2, 7]],
+            "equal starts order by the remaining row columns (disjoint group keys)"
+        );
     }
 }

@@ -162,6 +162,33 @@ impl GroupByAggregator {
         Ok(())
     }
 
+    /// Fold one row in from *precomputed* values — the group key and one
+    /// input value per aggregate (`None` for COUNT) — without building an
+    /// output row. This is the columnar windowed-insert kernel: the caller
+    /// evaluates agg inputs and key columns column-at-a-time over a chunk
+    /// and folds each row into (possibly several) window states, so no
+    /// per-row [`Tuple`] and no expression re-evaluation per window.
+    pub fn accumulate(&mut self, key: &[Value], inputs: &[Option<Value>]) -> Result<()> {
+        debug_assert_eq!(key.len(), self.group_cols.len());
+        debug_assert_eq!(inputs.len(), self.aggs.len());
+        // Borrow-first: the owned key Vec is only allocated on the first
+        // row of a new group.
+        let states = match self.groups.get_mut(key) {
+            Some(s) => s,
+            None => self
+                .groups
+                .entry(key.to_vec())
+                .or_insert_with(|| vec![AggState::new(); self.aggs.len()]),
+        };
+        for (st, (a, input)) in states.iter_mut().zip(self.aggs.iter().zip(inputs)) {
+            match a.func {
+                AggFunc::Count => st.count += 1,
+                _ => st.add(input.as_ref().expect("sum/avg need an input"), 1)?,
+            }
+        }
+        Ok(())
+    }
+
     fn apply(&mut self, tuple: &Tuple, sign: i64) -> Result<Tuple> {
         let key = tuple.key(&self.group_cols);
         // Evaluate inputs before borrowing the state mutably.
@@ -323,6 +350,30 @@ mod tests {
             agg.update(&tuple![i]).unwrap();
         }
         assert_eq!(agg.snapshot()[0], tuple![4950]);
+    }
+
+    #[test]
+    fn accumulate_matches_update() {
+        // The precomputed-inputs kernel must leave identical state to the
+        // per-row update path (snapshot is byte-comparable: sorted keys).
+        let specs = || {
+            vec![
+                AggSpec::count(),
+                AggSpec::sum(ScalarExpr::bin(BinOp::Mul, ScalarExpr::lit(2), ScalarExpr::col(1))),
+                AggSpec::avg(ScalarExpr::col(1)),
+            ]
+        };
+        let mut by_update = GroupByAggregator::new(vec![0], specs());
+        let mut by_accumulate = GroupByAggregator::new(vec![0], specs());
+        for (k, v) in [(1i64, 10i64), (2, 20), (1, 5), (3, 7), (2, 1)] {
+            let t = tuple![k, v];
+            by_update.update(&t).unwrap();
+            let key = [Value::Int(k)];
+            let inputs =
+                [None, Some(Value::Int(2 * v)), Some(Value::Int(v))];
+            by_accumulate.accumulate(&key, &inputs).unwrap();
+        }
+        assert_eq!(by_update.snapshot(), by_accumulate.snapshot());
     }
 
     #[test]

@@ -1480,7 +1480,8 @@ impl PhysicalQuery {
                 self.group_cols,
                 self.aggs.len(),
                 if self.windowed_agg {
-                    " — per window (window_start, window_end prepended)"
+                    " — per window (window_start, window_end prepended), \
+                     group-hash sharded + ordered window merge"
                 } else {
                     ""
                 }
@@ -1532,10 +1533,16 @@ impl PhysicalQuery {
         is_spout.push(false);
         if self.is_aggregate {
             names.push("agg".into());
-            // Per-window aggregation pins to one task (the window-order
-            // emission contract); full-history aggregation scales.
-            parallelism.push(if self.windowed_agg { 1 } else { cfg.agg_parallelism.max(1) });
+            // Both modes shard by group hash across agg_parallelism tasks;
+            // per-window aggregation adds a single ordered merge sink that
+            // restores the window-order contract behind the shards.
+            parallelism.push(cfg.agg_parallelism.max(1));
             is_spout.push(false);
+            if self.windowed_agg {
+                names.push("agg-merge".into());
+                parallelism.push(1);
+                is_spout.push(false);
+            }
         }
         (names, parallelism, is_spout)
     }

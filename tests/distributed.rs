@@ -210,10 +210,12 @@ const WINDOWED_AGG_SQL: &str = "SELECT I.ad_id, COUNT(*) FROM impressions I, cli
 
 #[test]
 fn windowed_aggregate_split_across_processes_matches_local() {
-    // Per-window GROUP BY: watermarks cross the TCP edges (remote join
-    // tasks → the coordinator's aggregate task), so the per-window rows
-    // must be identical to the single-process run regardless of placement.
-    let base = || Session::builder().machines(6).seed(3);
+    // Per-window GROUP BY sharded 4 ways by group hash: per-shard
+    // watermark frontiers cross the TCP edges (remote join tasks → agg
+    // shards → the coordinator's merge sink), so the per-window rows
+    // must stream byte-identically to the single-process run regardless
+    // of placement.
+    let base = || Session::builder().machines(6).agg_parallelism(4).seed(3);
     let mut local = stream_session(base());
     let mut local_rs = local.sql(WINDOWED_AGG_SQL).unwrap();
     let local_rows = local_rs.rows().to_vec();
@@ -237,9 +239,10 @@ fn windowed_aggregate_split_across_processes_matches_local() {
     let mut sorted = starts.clone();
     sorted.sort_unstable();
     assert_eq!(starts, sorted, "per-window rows must stream in window order");
-    let mut rows = streamed;
-    rows.sort();
-    assert_eq!(rows, local_rows, "per-window rows are placement-independent");
+    // Not just the same multiset: the watermark-driven merge makes the
+    // streamed order deterministic, so the 3-process sharded run must be
+    // byte-identical to the local sharded run.
+    assert_eq!(streamed, local_rows, "per-window rows are placement-independent");
     assert_reports_match(local_rs.report().unwrap(), report);
 }
 
@@ -347,4 +350,18 @@ fn explain_prints_cluster_placement_without_contacting_workers() {
     // Single-table queries stay local and say so.
     let text = s.explain("SELECT R.a FROM R").unwrap();
     assert!(text.contains("runs locally on the coordinator"), "{text}");
+
+    // Windowed aggregates place group-hash shards plus the ordered
+    // merge sink — both must show up in the task→peer map.
+    let s = stream_session(
+        Session::builder()
+            .machines(6)
+            .agg_parallelism(4)
+            .cluster(["127.0.0.1:7401", "127.0.0.1:7402"]),
+    );
+    let text = s.explain(WINDOWED_AGG_SQL).unwrap();
+    assert!(text.contains("agg: tasks 0-1 @coordinator"), "4 agg shards expected: {text}");
+    assert!(text.contains("task 3 @127.0.0.1:7402"), "{text}");
+    assert!(text.contains("agg-merge: task 0 @coordinator"), "{text}");
+    assert!(text.contains("group-hash sharded + ordered window merge"), "{text}");
 }

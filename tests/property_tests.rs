@@ -361,8 +361,10 @@ proptest! {
     /// (window, group) row — tumbling buckets including the exact
     /// `k·width` boundary (timestamps are drawn so multiples of `width`
     /// occur), and sliding windows with their per-time-unit overlap.
-    /// SQL and the builder must agree, and a run split across TCP peers
-    /// must return the identical per-window rows.
+    /// SQL and the builder must agree; the group-hash-sharded plane
+    /// (parallelism ∈ {1, 2, 8}) must be byte-identical to the 1-task
+    /// plane; and a run split across TCP peers must return the identical
+    /// per-window rows.
     #[test]
     fn windowed_aggregates_match_per_window_oracle(
         seed in 0u64..200,
@@ -371,7 +373,9 @@ proptest! {
         size in 1u64..10,
         dom in 2i64..6,
         distribute in 0u8..2,
+        par_pick in 0u8..3,
     ) {
+        let agg_par = [1usize, 2, 8][par_pick as usize];
         // Timestamps step by 0..width, so exact window boundaries (ts a
         // multiple of width) are common — the k·width case must open
         // window k, never leak into k−1.
@@ -387,10 +391,14 @@ proptest! {
         };
         let (a, b) = (gen(30), gen(30));
         let schema = Schema::of(&[("k", DataType::Int), ("ts", DataType::Int)]);
-        let mut session = squall::Session::builder().machines(machines).seed(seed).build();
+        let mut session = squall::Session::builder()
+            .machines(machines)
+            .agg_parallelism(agg_par)
+            .seed(seed)
+            .build();
         session
             .register_stream("A", schema.clone(), a.clone(), "ts").unwrap()
-            .register_stream("B", schema, b.clone(), "ts").unwrap();
+            .register_stream("B", schema.clone(), b.clone(), "ts").unwrap();
 
         // In-memory oracle: per-window COUNT per group key.
         let oracle = |win_of: &dyn Fn(u64, u64) -> (u64, u64), end_of: &dyn Fn(u64) -> u64| {
@@ -441,10 +449,34 @@ proptest! {
         let mut via_sql = session.sql(&sql).unwrap();
         prop_assert_eq!(via_sql.rows(), &sliding_oracle[..], "sliding vs oracle");
 
-        // Placement independence: the same per-window rows over TCP.
+        // Byte-identity: the sharded plane (merge sink behind group-hash
+        // shards) must reproduce the 1-task plane's ordered output
+        // exactly, not just as a multiset.
+        if agg_par != 1 {
+            let mut single = squall::Session::builder()
+                .machines(machines)
+                .agg_parallelism(1)
+                .seed(seed)
+                .build();
+            single
+                .register_stream("A", schema.clone(), a.clone(), "ts").unwrap()
+                .register_stream("B", schema, b.clone(), "ts").unwrap();
+            let mut rs = single.sql(&sql).unwrap();
+            prop_assert_eq!(
+                rs.rows(), via_sql.rows(),
+                "{} shards vs single task (byte identity)", agg_par
+            );
+        }
+
+        // Placement independence: the same per-window rows over TCP, with
+        // the agg shards spread across peers.
         if distribute == 1 {
             let (cluster, handles) = loopback_workers(1);
-            let mut dist = squall::Session::builder().machines(machines).seed(seed).build();
+            let mut dist = squall::Session::builder()
+                .machines(machines)
+                .agg_parallelism(agg_par)
+                .seed(seed)
+                .build();
             std::mem::swap(dist.catalog_mut(), session.catalog_mut());
             dist.config_mut().cluster = Some(cluster);
             let mut rs = dist.sql(&sql).unwrap();
