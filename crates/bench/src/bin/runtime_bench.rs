@@ -12,6 +12,12 @@
 //! the local join operator — so a regression shows *where* it happened,
 //! not just that end-to-end throughput moved.
 //!
+//! The `optimizer` stage runs a skewed 4-way join whose written FROM
+//! order is pessimal (the two big zipf-keyed relations join first, the
+//! selective guards last) under `optimizer(off)` and under the cost-based
+//! search, and reports the wall-clock ratio. `--min-optimizer-speedup X`
+//! turns the ratio into a CI gate.
+//!
 //! ```text
 //! cargo run --release -p squall-bench --bin runtime_bench            # full
 //! cargo run --release -p squall-bench --bin runtime_bench -- --smoke # CI
@@ -20,9 +26,13 @@
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
+use squall::plan::optimizer::OptimizerMode;
+use squall::plan::physical::{execute_query, ExecConfig};
+use squall::plan::{optimize, Catalog, PhysicalQuery, Query};
+use squall::session::{col, count};
 use squall_common::codec::{self, Reader};
 use squall_common::hash::{partition_of, FxHasher};
-use squall_common::{tuple, Chunk, DataType, Schema, SplitMix64, Tuple};
+use squall_common::{tuple, Chunk, DataType, Schema, SplitMix64, Tuple, Zipf};
 use squall_core::driver::{run_multiway, LocalJoinKind, MultiwayConfig};
 use squall_core::{WindowMergeBolt, WindowedAggBolt};
 use squall_expr::{JoinAtom, MultiJoinSpec, RelationDef};
@@ -218,10 +228,8 @@ fn windowed_scaling(n: usize, reps: usize) -> Vec<WindowedRun> {
                 t.get(0).hash(&mut h);
                 parts[partition_of(h.finish(), s)].push(t.clone());
             }
-            let chunks: Vec<Vec<Chunk>> = parts
-                .iter()
-                .map(|p| p.chunks(1024).map(Chunk::from_tuples).collect())
-                .collect();
+            let chunks: Vec<Vec<Chunk>> =
+                parts.iter().map(|p| p.chunks(1024).map(Chunk::from_tuples).collect()).collect();
 
             let mut best = f64::INFINITY;
             let mut merged = Vec::new();
@@ -259,6 +267,133 @@ fn windowed_scaling(n: usize, reps: usize) -> Vec<WindowedRun> {
         .collect()
 }
 
+/// Optimizer-stage verdict: wall-clock for the written order vs the
+/// cost-chosen plan on a skewed 4-way join.
+struct OptStage {
+    written_ms: f64,
+    best_ms: f64,
+    speedup: f64,
+    results: u64,
+    chosen_order: Vec<String>,
+    est_cost_written: f64,
+    est_cost_best: f64,
+    n_big: usize,
+}
+
+/// Skewed 4-way join written in the pessimal FROM order `big1, big2,
+/// guard1, guard2`: the arrival-driven traditional join then expands the
+/// zipf-skewed `big1.j = big2.j` edge first, enumerating every skew pair
+/// before the guards can reject it. Each guard references *both* big
+/// relations (`big1.s = guard1.a`, `big2.t = guard1.b`), so once the
+/// cost-based search moves a guard to the front of the probe cascade,
+/// tuples from either big relation die in one selective lookup before
+/// the explosive edge is touched.
+fn optimizer_stage(n_big: usize, reps: usize) -> OptStage {
+    const DOM_J: usize = 512; // zipf domain of the explosive join key
+    const DOM_S: i64 = 100_000; // sparse guard-key domain
+    const N_GUARD: usize = 512;
+    const PLANTED: usize = 16; // hand-planted full matches so COUNT(*) > 0
+    let mut rng = SplitMix64::new(7);
+    let zipf = Zipf::new(DOM_J, 1.0);
+    let big = |rng: &mut SplitMix64, zipf: &Zipf| -> Vec<Tuple> {
+        (0..n_big)
+            .map(|_| {
+                tuple![zipf.sample(rng) as i64, rng.next_range(0, DOM_S), rng.next_range(0, DOM_S)]
+            })
+            .collect()
+    };
+    let mut b1 = big(&mut rng, &zipf);
+    let mut b2 = big(&mut rng, &zipf);
+    let guard = |rng: &mut SplitMix64| -> Vec<Tuple> {
+        (0..N_GUARD).map(|_| tuple![rng.next_range(0, DOM_S), rng.next_range(0, DOM_S)]).collect()
+    };
+    let mut g1 = guard(&mut rng);
+    let mut g2 = guard(&mut rng);
+    for _ in 0..PLANTED {
+        let j = zipf.sample(&mut rng) as i64;
+        let (s, u) = (rng.next_range(0, DOM_S), rng.next_range(0, DOM_S));
+        let (t, w) = (rng.next_range(0, DOM_S), rng.next_range(0, DOM_S));
+        b1.push(tuple![j, s, u]);
+        b2.push(tuple![j, t, w]);
+        g1.push(tuple![s, t]);
+        g2.push(tuple![u, w]);
+    }
+
+    let b1_schema = Schema::of(&[("j", DataType::Int), ("s", DataType::Int), ("u", DataType::Int)]);
+    let b2_schema = Schema::of(&[("j", DataType::Int), ("t", DataType::Int), ("w", DataType::Int)]);
+    let guard_schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+    let mut catalog = Catalog::new();
+    catalog.register("big1", b1_schema, b1).expect("register big1");
+    catalog.register("big2", b2_schema, b2).expect("register big2");
+    catalog.register("guard1", guard_schema.clone(), g1).expect("register guard1");
+    catalog.register("guard2", guard_schema, g2).expect("register guard2");
+    for t in ["big1", "big2", "guard1", "guard2"] {
+        catalog.analyze(t, 10_000, 7).expect("analyze");
+    }
+
+    let q = Query::from_tables([
+        ("big1", "big1"),
+        ("big2", "big2"),
+        ("guard1", "guard1"),
+        ("guard2", "guard2"),
+    ])
+    .filter(col("big1.j").eq(col("big2.j")))
+    .filter(col("big1.s").eq(col("guard1.a")))
+    .filter(col("big2.t").eq(col("guard1.b")))
+    .filter(col("big1.u").eq(col("guard2.a")))
+    .filter(col("big2.w").eq(col("guard2.b")))
+    .select([count()]);
+
+    let cfg_for = |mode: OptimizerMode| -> ExecConfig {
+        ExecConfig {
+            machines: MACHINES,
+            local: LocalJoinKind::Traditional,
+            optimizer: mode,
+            ..ExecConfig::default()
+        }
+    };
+
+    // The decision itself (for the report): order names + estimated costs.
+    let mut plan = PhysicalQuery::plan(&q, &catalog).expect("plan");
+    optimize(&mut plan, &catalog, &cfg_for(OptimizerMode::On)).expect("optimize");
+    let decision = plan.decision().expect("optimizer on records a decision");
+    let chosen_order: Vec<String> = decision.steps.iter().map(|s| s.relation.clone()).collect();
+    let (est_cost_best, est_cost_written) = (decision.est_cost, decision.written_cost);
+
+    let time_mode = |mode: OptimizerMode| -> (f64, u64) {
+        let mut best = f64::MAX;
+        let mut results = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let mut rs = execute_query(&q, &catalog, &cfg_for(mode)).expect("run");
+            let rows = rs.rows().to_vec();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            results = match rows[0].values()[0] {
+                squall_common::Value::Int(c) => c as u64,
+                ref v => panic!("COUNT(*) returned {v:?}"),
+            };
+        }
+        (best, results)
+    };
+    let (written_ms, written_results) = time_mode(OptimizerMode::Off);
+    let (best_ms, best_results) = time_mode(OptimizerMode::On);
+    assert_eq!(
+        written_results, best_results,
+        "optimizer changed the answer: written {written_results} vs best {best_results}"
+    );
+
+    OptStage {
+        written_ms,
+        best_ms,
+        speedup: written_ms / best_ms,
+        results: best_results,
+        chosen_order,
+        est_cost_written,
+        est_cost_best,
+        n_big,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -266,6 +401,10 @@ fn main() {
         .iter()
         .position(|a| a == "--min-windowed-speedup")
         .map(|i| args[i + 1].parse().expect("--min-windowed-speedup takes a float"));
+    let min_optimizer_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--min-optimizer-speedup")
+        .map(|i| args[i + 1].parse().expect("--min-optimizer-speedup takes a float"));
     // Sparse join keys (dom ≫ n): the run is dominated by the data plane
     // (routing, queues, scheduling) rather than by join products, which is
     // exactly what the batching knob optimizes.
@@ -324,6 +463,28 @@ fn main() {
         "    \"operator_dbtoaster_insert_tuples_per_sec\": {:.0}\n",
         st.operator
     ));
+    json.push_str("  },\n");
+
+    // Cost-based plan search: written (pessimal) order vs the best-found
+    // plan on the skewed 4-way chain.
+    let opt = optimizer_stage(if smoke { 6_000 } else { 16_000 }, reps);
+    json.push_str("  \"optimizer\": {\n");
+    json.push_str(&format!(
+        "    \"workload\": \"skewed 4-way join big1 \\u22c8 big2 on a zipf(1.0) key with two \
+         selective guards referencing both big relations, {} rows per big relation, \
+         traditional locals, COUNT(*)\",\n",
+        opt.n_big
+    ));
+    json.push_str(&format!("    \"join_results\": {},\n", opt.results));
+    json.push_str(&format!("    \"written_order_ms\": {:.3},\n", opt.written_ms));
+    json.push_str(&format!("    \"best_found_ms\": {:.3},\n", opt.best_ms));
+    json.push_str(&format!(
+        "    \"chosen_order\": [{}],\n",
+        opt.chosen_order.iter().map(|r| format!("\"{r}\"")).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str(&format!("    \"est_cost_written\": {:.0},\n", opt.est_cost_written));
+    json.push_str(&format!("    \"est_cost_best\": {:.0},\n", opt.est_cost_best));
+    json.push_str(&format!("    \"speedup_best_vs_written\": {:.2}\n", opt.speedup));
     json.push_str("  },\n");
 
     // Sharded windowed aggregation: group-hash shards + ordered merge.
@@ -386,13 +547,33 @@ fn main() {
         "windowed scaling: {} → {wspeedup:.2}x critical-path speedup at 4 shards vs 1",
         wruns
             .iter()
-            .map(|r| format!("{} shard(s) {:.2} M/s", r.shards, r.critical_path_tuples_per_sec / 1e6))
+            .map(|r| format!(
+                "{} shard(s) {:.2} M/s",
+                r.shards,
+                r.critical_path_tuples_per_sec / 1e6
+            ))
             .collect::<Vec<_>>()
             .join(", "),
+    );
+    eprintln!(
+        "optimizer: written order {:.1} ms vs best-found ({}) {:.1} ms — {:.2}x \
+         (est cost {:.0} vs {:.0})",
+        opt.written_ms,
+        opt.chosen_order.join(" ⋈ "),
+        opt.best_ms,
+        opt.speedup,
+        opt.est_cost_written,
+        opt.est_cost_best,
     );
     if let Some(min) = min_windowed_speedup {
         if wspeedup < min {
             eprintln!("FAIL: windowed 4-shard speedup {wspeedup:.2}x < required {min:.2}x");
+            std::process::exit(1);
+        }
+    }
+    if let Some(min) = min_optimizer_speedup {
+        if opt.speedup < min {
+            eprintln!("FAIL: optimizer speedup {:.2}x < required {min:.2}x", opt.speedup);
             std::process::exit(1);
         }
     }

@@ -49,6 +49,12 @@ pub enum SquallError {
     /// alive at — the input the checkpoint/recovery subsystem plans
     /// re-admission from.
     WorkerLost { addr: String, last_epoch: u64 },
+    /// A join condition references a column that output-scheme pruning
+    /// removed from a relation's join input — caught at plan validation,
+    /// naming the offending column, instead of surfacing as a downstream
+    /// hash mismatch. Checked on every plan execution and re-checked after
+    /// any join-order rewrite.
+    PrunedColumnReference { relation: String, column: String },
 }
 
 impl fmt::Display for SquallError {
@@ -85,6 +91,11 @@ impl fmt::Display for SquallError {
             SquallError::WorkerLost { addr, last_epoch } => {
                 write!(f, "worker {addr} lost (last seen alive at epoch {last_epoch})")
             }
+            SquallError::PrunedColumnReference { relation, column } => write!(
+                f,
+                "plan error: join condition references column {column}, which was pruned \
+                 from {relation}'s output scheme"
+            ),
         }
     }
 }

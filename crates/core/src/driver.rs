@@ -194,6 +194,11 @@ pub struct JoinReport {
     pub result_count: u64,
     /// Input tuples fed by the sources.
     pub input_count: u64,
+    /// Input tuples per relation, in spec order — the per-step "actual
+    /// rows" column of the planner's estimated-vs-actual explain table.
+    /// Empty on paths that do not track per-relation counts (pipeline
+    /// mode, standing views).
+    pub input_counts: Vec<u64>,
     /// Per-join-machine received-tuple loads (Table 1).
     pub loads: Vec<u64>,
     /// Replication factor (§6, Table 2): join input ÷ source output.
@@ -303,6 +308,7 @@ pub(crate) struct RunContext {
     merge_node: Option<NodeId>,
     scheme_description: String,
     input_count: u64,
+    input_counts: Vec<u64>,
     agg_set: bool,
     collect_results: bool,
 }
@@ -357,7 +363,8 @@ pub(crate) fn assemble(
     let scheme: Arc<HypercubeScheme> =
         Arc::new(build_scheme(cfg.scheme, spec, cfg.machines, cfg.seed)?);
     let scheme_description = scheme.describe();
-    let input_count: u64 = data.iter().map(|d| d.len() as u64).sum();
+    let input_counts: Vec<u64> = data.iter().map(|d| d.len() as u64).collect();
+    let input_count: u64 = input_counts.iter().sum();
 
     let mut b = TopologyBuilder::new().batch_size(cfg.batch_size.max(1));
     if let Some(workers) = cfg.worker_threads {
@@ -518,6 +525,7 @@ pub(crate) fn assemble(
             merge_node,
             scheme_description,
             input_count,
+            input_counts,
             agg_set: cfg.agg.is_some(),
             collect_results: cfg.collect_results,
         },
@@ -558,6 +566,7 @@ fn summarize(
         results,
         result_count,
         input_count: ctx.input_count,
+        input_counts: ctx.input_counts,
         loads,
         replication_factor,
         skew_degree,

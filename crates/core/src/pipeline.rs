@@ -211,6 +211,7 @@ pub fn run_pipeline(
         results,
         result_count,
         input_count,
+        input_counts: Vec::new(),
         loads: last_metrics.received.clone(),
         replication_factor: metrics.replication_factor(
             last,

@@ -1323,6 +1323,7 @@ impl StandingHandle {
             results: Vec::new(),
             result_count: join_metrics.total_emitted(),
             input_count,
+            input_counts: Vec::new(),
             loads,
             replication_factor: metrics.replication_factor(layout.join_node, &layout.source_nodes),
             skew_degree: metrics.node(layout.join_node).skew_degree(),

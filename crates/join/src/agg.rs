@@ -369,8 +369,7 @@ mod tests {
             let t = tuple![k, v];
             by_update.update(&t).unwrap();
             let key = [Value::Int(k)];
-            let inputs =
-                [None, Some(Value::Int(2 * v)), Some(Value::Int(v))];
+            let inputs = [None, Some(Value::Int(2 * v)), Some(Value::Int(v))];
             by_accumulate.accumulate(&key, &inputs).unwrap();
         }
         assert_eq!(by_update.snapshot(), by_accumulate.snapshot());

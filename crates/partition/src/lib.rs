@@ -45,5 +45,8 @@ pub use hypercube::{DimRole, Dimension, HypercubeGrouping, HypercubeScheme, Part
 pub use keymap::KeyMapGrouping;
 pub use mbucket::MBucketScheme;
 pub use onebucket::one_bucket;
-pub use optimizer::{hash_hypercube, hybrid_hypercube, random_hypercube, SchemeKind};
-pub use stats::{SkewEstimate, SpaceSaving};
+pub use optimizer::{
+    choose_scheme, estimate_scheme_cost, hash_hypercube, hybrid_hypercube, random_hypercube,
+    CostCalibration, CostEstimate, SchemeKind,
+};
+pub use stats::{collect_table_stats, ColumnStats, SkewEstimate, SpaceSaving, TableStats};

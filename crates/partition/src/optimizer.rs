@@ -222,6 +222,158 @@ pub fn hybrid_with_frequencies(
     hybrid_hypercube(&spec, machines, seed)
 }
 
+/// One scheme's predicted cost on a concrete join spec — the planner's
+/// comparison unit. Built by [`estimate_scheme_cost`] from the analytic
+/// load model of [`HypercubeScheme`]; collapsed to a scalar by
+/// [`CostEstimate::cost`] under a [`CostCalibration`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// The scheme this estimate describes.
+    pub kind: SchemeKind,
+    /// Predicted max per-machine load as a fraction of the total input —
+    /// the paper's `L` (§4), the balance term of the cost.
+    pub max_load: f64,
+    /// Predicted tuples sent ÷ total input (≥ 1; the replication /
+    /// communication term, Table 2's replication factor).
+    pub total_load: f64,
+    /// Machines the sized hypercube actually uses (`∏` dimension sizes).
+    pub machines_used: usize,
+    /// Human-readable dimension vector, e.g. `y:8(hash) × z:8(hash)`.
+    pub description: String,
+}
+
+impl CostEstimate {
+    /// Scalar cost under `calib`: `balance·max_load + comm·total_load/p`.
+    /// `max_load` models the critical-path machine; `total_load/p` the
+    /// per-machine share of network traffic.
+    pub fn cost(&self, calib: &CostCalibration) -> f64 {
+        let p = self.machines_used.max(1) as f64;
+        calib.balance_weight * self.max_load + calib.comm_weight * self.total_load / p
+    }
+}
+
+/// Weights turning a [`CostEstimate`] into a scalar, with a calibration
+/// hook: [`CostCalibration::fit`] regresses the weights from observed
+/// `(estimate, elapsed)` pairs of past runs, so the model can be tuned to
+/// the deployment's actual compute/network balance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostCalibration {
+    /// Weight of the max-per-machine-load (balance / critical path) term.
+    pub balance_weight: f64,
+    /// Weight of the per-machine communication term.
+    pub comm_weight: f64,
+}
+
+impl Default for CostCalibration {
+    /// Balance-dominated default: the critical-path machine sets the
+    /// wall-clock; communication is the tie-breaker.
+    fn default() -> CostCalibration {
+        CostCalibration { balance_weight: 1.0, comm_weight: 0.5 }
+    }
+}
+
+impl CostCalibration {
+    /// Least-squares fit of the two weights to observed wall-clock times:
+    /// each observation pairs a [`CostEstimate`] with the measured seconds
+    /// of the run it predicted. Falls back to the default on a singular or
+    /// degenerate system (fewer than two observations, collinear inputs,
+    /// or non-positive fitted weights).
+    pub fn fit(observations: &[(CostEstimate, f64)]) -> CostCalibration {
+        if observations.len() < 2 {
+            return CostCalibration::default();
+        }
+        // Normal equations for elapsed ≈ w_b·x + w_c·y with
+        // x = max_load, y = total_load / machines.
+        let (mut xx, mut xy, mut yy, mut xt, mut yt) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        for (e, t) in observations {
+            let x = e.max_load;
+            let y = e.total_load / e.machines_used.max(1) as f64;
+            xx += x * x;
+            xy += x * y;
+            yy += y * y;
+            xt += x * t;
+            yt += y * t;
+        }
+        let det = xx * yy - xy * xy;
+        if det.abs() < 1e-12 {
+            return CostCalibration::default();
+        }
+        let balance_weight = (xt * yy - yt * xy) / det;
+        let comm_weight = (yt * xx - xt * xy) / det;
+        if !(balance_weight.is_finite() && comm_weight.is_finite())
+            || balance_weight <= 0.0
+            || comm_weight < 0.0
+        {
+            return CostCalibration::default();
+        }
+        CostCalibration { balance_weight, comm_weight }
+    }
+}
+
+/// Predict one scheme's cost on `spec` without running it: build the sized
+/// hypercube, then read the analytic per-machine max load and total
+/// communication off the load model, normalized by total input size.
+/// `top_freq(rel, col)` is the measured hottest-key share feeding the
+/// skewed-hash-dimension penalty (return `0.0` when unknown). Skew flags
+/// on the spec's schemas steer the Hybrid build exactly as in §4.
+pub fn estimate_scheme_cost(
+    kind: SchemeKind,
+    spec: &MultiJoinSpec,
+    machines: usize,
+    seed: u64,
+    top_freq: &dyn Fn(usize, usize) -> f64,
+) -> Result<CostEstimate> {
+    let hc = build_scheme(kind, spec, machines, seed)?;
+    let total: f64 = spec.relations.iter().map(|r| r.est_size as f64).sum();
+    let total = if total > 0.0 { total } else { 1.0 };
+    let fracs: Vec<f64> = spec.relations.iter().map(|r| r.est_size as f64 / total).collect();
+    Ok(CostEstimate {
+        kind,
+        max_load: hc.max_load(&fracs, top_freq),
+        total_load: hc.total_load(&fracs),
+        machines_used: hc.machines(),
+        description: hc.describe(),
+    })
+}
+
+/// Pick the cheapest scheme for `spec` under `calib`, returning the choice
+/// plus every candidate's estimate (for `explain`). Candidates are tried
+/// in `[Hash, Hybrid, Random]` order and a later candidate must *strictly*
+/// beat the incumbent, so ties resolve to the simplest scheme — in the
+/// skew-free equi case Hybrid builds the very same hypercube as Hash and
+/// the choice reads "Hash". Schemes that cannot express the condition
+/// (Hash under a theta atom) are skipped, not errors.
+pub fn choose_scheme(
+    spec: &MultiJoinSpec,
+    machines: usize,
+    seed: u64,
+    top_freq: &dyn Fn(usize, usize) -> f64,
+    calib: &CostCalibration,
+) -> Result<(SchemeKind, Vec<CostEstimate>)> {
+    let mut candidates = Vec::new();
+    for kind in [SchemeKind::Hash, SchemeKind::Hybrid, SchemeKind::Random] {
+        if let Ok(est) = estimate_scheme_cost(kind, spec, machines, seed, top_freq) {
+            candidates.push(est);
+        }
+    }
+    let mut best: Option<usize> = None;
+    for (i, est) in candidates.iter().enumerate() {
+        let better = match best {
+            None => true,
+            Some(b) => est.cost(calib) < candidates[b].cost(calib) - 1e-9,
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    match best {
+        Some(i) => Ok((candidates[i].kind, candidates)),
+        None => Err(SquallError::InvalidPartitioning(
+            "no partitioning scheme can express this join".into(),
+        )),
+    }
+}
+
 /// The shared integer sizing step. Mutates the `size` field of each
 /// dimension to the load-minimizing assignment with `∏ sizes ≤ machines`.
 fn size_dimensions(
@@ -667,5 +819,116 @@ mod tests {
         .unwrap();
         let t_dim = hy.dims.iter().find(|d| d.members.contains(&(2, 0))).unwrap();
         assert_eq!(t_dim.kind, PartitionKind::Random);
+    }
+
+    /// The documented cost ordering between schemes, table-driven: a model
+    /// regression that flips a row fails loudly here instead of silently
+    /// picking worse plans.
+    #[test]
+    fn cost_ordering_between_schemes() {
+        let calib = CostCalibration::default();
+        // (top frequency on S.z/T.z, skew flags set, expected winner).
+        let table: &[(f64, bool, SchemeKind)] = &[
+            // Skew-free equi joins: Hash-Hypercube replicates least and
+            // balances fine; Hybrid builds the identical cube (tie goes to
+            // the simpler scheme), Random pays 0.75H vs 0.26H (§3.1).
+            (0.0, false, SchemeKind::Hash),
+            (0.001, false, SchemeKind::Hash),
+            // The paper's zipf skew (top key ≈ half the stream): hash's
+            // hot machine holds ≥ 0.5H, hybrid reroutes the skewed
+            // occurrences onto random dims — 0.365H (§4 worked example).
+            (0.5, true, SchemeKind::Hybrid),
+            (0.9, true, SchemeKind::Hybrid),
+        ];
+        for &(f, flag, expected) in table {
+            let spec = rst(100, flag);
+            let top = move |rel: usize, col: usize| {
+                if (rel, col) == (1, 1) || (rel, col) == (2, 0) {
+                    f
+                } else {
+                    0.0
+                }
+            };
+            let (kind, ests) = choose_scheme(&spec, 64, 1, &top, &calib).unwrap();
+            assert_eq!(kind, expected, "top_freq {f}: expected {expected:?}, estimates {ests:?}");
+            assert_eq!(ests.len(), 3, "all three schemes build on an equi join");
+        }
+    }
+
+    /// Hypercube (hash) vs 1-Bucket-style random placement on a plain
+    /// 2-way equi join: the paper's skew thresholds. Uniform keys →
+    /// hash's max load 1/p beats random's 1/√p-ish; a hot key past the
+    /// 1/p + slack threshold flips the ordering.
+    #[test]
+    fn hypercube_beats_one_bucket_until_skew_threshold() {
+        let spec = MultiJoinSpec::new(
+            vec![
+                RelationDef::new("R", Schema::of(&[("k", DataType::Int)]), 100),
+                RelationDef::new("S", Schema::of(&[("k", DataType::Int)]), 100),
+            ],
+            vec![JoinAtom::eq(0, 0, 1, 0)],
+        )
+        .unwrap();
+        let uniform = |_: usize, _: usize| 0.0;
+        let hot = |_: usize, _: usize| 0.5;
+        let hash_u = estimate_scheme_cost(SchemeKind::Hash, &spec, 16, 1, &uniform).unwrap();
+        let rand_u = estimate_scheme_cost(SchemeKind::Random, &spec, 16, 1, &uniform).unwrap();
+        assert!(
+            hash_u.max_load < rand_u.max_load,
+            "uniform: hash {} should beat 1-bucket-style random {}",
+            hash_u.max_load,
+            rand_u.max_load
+        );
+        let hash_s = estimate_scheme_cost(SchemeKind::Hash, &spec, 16, 1, &hot).unwrap();
+        let rand_s = estimate_scheme_cost(SchemeKind::Random, &spec, 16, 1, &hot).unwrap();
+        assert!(
+            rand_s.max_load < hash_s.max_load,
+            "50% hot key: random {} must beat hash {} (hot machine owns half the input)",
+            rand_s.max_load,
+            hash_s.max_load
+        );
+    }
+
+    #[test]
+    fn theta_join_skips_hash_candidate() {
+        let spec = MultiJoinSpec::new(
+            vec![
+                RelationDef::new("R", Schema::of(&[("a", DataType::Int)]), 100),
+                RelationDef::new("S", Schema::of(&[("a", DataType::Int)]), 100),
+            ],
+            vec![JoinAtom { left_rel: 0, left_col: 0, op: CmpOp::Lt, right_rel: 1, right_col: 0 }],
+        )
+        .unwrap();
+        let (kind, ests) =
+            choose_scheme(&spec, 16, 1, &|_, _| 0.0, &CostCalibration::default()).unwrap();
+        assert_eq!(ests.len(), 2, "Hash cannot express a theta atom");
+        assert!(kind == SchemeKind::Hybrid || kind == SchemeKind::Random);
+    }
+
+    #[test]
+    fn calibration_fit_recovers_weights() {
+        // Synthesize observations from known weights; the fit must recover
+        // them (the calibration hook's correctness contract).
+        let truth = CostCalibration { balance_weight: 2.0, comm_weight: 0.3 };
+        let mk = |ml: f64, tl: f64, p: usize| CostEstimate {
+            kind: SchemeKind::Hybrid,
+            max_load: ml,
+            total_load: tl,
+            machines_used: p,
+            description: String::new(),
+        };
+        let obs: Vec<(CostEstimate, f64)> = [(0.3, 1.0, 4), (0.7, 2.5, 8), (0.1, 1.2, 16)]
+            .into_iter()
+            .map(|(ml, tl, p)| {
+                let e = mk(ml, tl, p);
+                let t = e.cost(&truth);
+                (e, t)
+            })
+            .collect();
+        let fit = CostCalibration::fit(&obs);
+        assert!((fit.balance_weight - 2.0).abs() < 1e-6, "{fit:?}");
+        assert!((fit.comm_weight - 0.3).abs() < 1e-6, "{fit:?}");
+        // Degenerate systems fall back to the default.
+        assert_eq!(CostCalibration::fit(&obs[..1]), CostCalibration::default());
     }
 }

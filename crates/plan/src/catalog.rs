@@ -8,7 +8,8 @@
 
 use std::sync::Arc;
 
-use squall_common::{DataType, Result, Schema, SquallError, Tuple, Value};
+use squall_common::{DataType, FxHashMap, Result, Schema, SquallError, Tuple, Value};
+use squall_partition::stats::{collect_table_stats, TableStats};
 
 /// How a registered source behaves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,10 @@ impl SourceDef {
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     sources: Vec<SourceDef>,
+    /// Sampling-based statistics per source name, populated by
+    /// [`Catalog::analyze`] — the cardinality/selectivity inputs of the
+    /// join-order DP. Absent entries fall back to uniform assumptions.
+    stats: FxHashMap<String, TableStats>,
 }
 
 impl Catalog {
@@ -217,10 +222,31 @@ impl Catalog {
 
     /// Drop a source; returns whether it existed. Re-registering under the
     /// same name requires deregistering first (duplicates are rejected).
+    /// Collected statistics for the source are dropped with it.
     pub fn deregister(&mut self, name: &str) -> bool {
         let before = self.sources.len();
         self.sources.retain(|s| s.name != name);
+        self.stats.remove(name);
         self.sources.len() != before
+    }
+
+    /// Collect sampling-based statistics for a registered source
+    /// (per-column distinct counts and top-key frequencies over at most
+    /// `sample_cap` rows, deterministic under `seed`) and store them for
+    /// the planner's join-order DP. Returns the collected stats.
+    ///
+    /// Stats are a snapshot: [`Catalog::append`] / [`Catalog::retract`]
+    /// do not refresh them — re-analyze after bulk changes.
+    pub fn analyze(&mut self, name: &str, sample_cap: usize, seed: u64) -> Result<&TableStats> {
+        let src = self.get(name)?;
+        let stats = collect_table_stats(&src.data, src.schema.arity(), sample_cap, seed);
+        self.stats.insert(name.to_string(), stats);
+        Ok(self.stats.get(name).expect("just inserted"))
+    }
+
+    /// Statistics previously collected by [`Catalog::analyze`], if any.
+    pub fn stats(&self, name: &str) -> Option<&TableStats> {
+        self.stats.get(name)
     }
 
     pub fn get(&self, name: &str) -> Result<&SourceDef> {

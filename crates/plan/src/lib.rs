@@ -25,8 +25,12 @@
 
 pub mod catalog;
 pub mod logical;
+pub mod optimizer;
 pub mod physical;
 
 pub use catalog::{Catalog, SourceDef, SourceKind};
 pub use logical::{agg, col, lit, Expr, Query, Window, WindowKind};
+pub use optimizer::{
+    enumerate_orders, optimize, JoinStep, OptimizerDecision, OptimizerMode, SchemeChoice,
+};
 pub use physical::{ExecConfig, PhysicalQuery, ResultSet};

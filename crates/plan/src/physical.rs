@@ -25,6 +25,7 @@ use squall_partition::SkewEstimate;
 
 use crate::catalog::Catalog;
 use crate::logical::{Expr, Query, WindowKind};
+use crate::optimizer::{OptimizerDecision, OptimizerMode};
 
 /// Execution knobs.
 #[derive(Debug, Clone)]
@@ -58,6 +59,11 @@ pub struct ExecConfig {
     /// Declare a cluster peer lost after this much heartbeat silence, in
     /// milliseconds (`0` disables failure detection). Standing only.
     pub heartbeat_timeout_ms: u64,
+    /// Cost-based plan search ([`crate::optimizer`]): join ordering and
+    /// scheme selection. `Off` preserves the written FROM order and the
+    /// config/default scheme — the pre-optimizer planner. Results are
+    /// identical in every mode; only performance differs.
+    pub optimizer: OptimizerMode,
 }
 
 impl Default for ExecConfig {
@@ -74,6 +80,7 @@ impl Default for ExecConfig {
             cluster: None,
             checkpoint_interval: 16,
             heartbeat_timeout_ms: 2000,
+            optimizer: OptimizerMode::default(),
         }
     }
 }
@@ -345,6 +352,10 @@ struct PhysTable {
     kept: Vec<usize>,
     /// The projected, qualified schema fed to the join.
     schema: Schema,
+    /// Qualified names over the *pre-pruning* original ⊕ derived
+    /// coordinate space — how plan validation names a column that an atom
+    /// references but pruning removed.
+    orig_columns: Vec<String>,
 }
 
 /// How one SELECT item is produced from the engine output.
@@ -476,6 +487,9 @@ pub struct PhysicalQuery {
     /// ORDER BY keys as `(output column, descending)` pairs.
     order_by: Vec<(usize, bool)>,
     limit: Option<usize>,
+    /// What the cost-based optimizer decided for this plan, when it ran —
+    /// feeds scheme selection in `prepare_run` and the explain table.
+    decision: Option<OptimizerDecision>,
 }
 
 impl PhysicalQuery {
@@ -789,6 +803,10 @@ impl PhysicalQuery {
                 all_kept.push(orig_arity + k);
             }
             let filter = pushed[t].iter().cloned().reduce(ScalarExpr::and);
+            let orig_columns: Vec<String> = (0..orig_arity)
+                .map(|c| schemas[t].field(c).name.clone())
+                .chain((0..derived[t].len()).map(|k| format!("{alias}.$expr{k}")))
+                .collect();
             tables.push(PhysTable {
                 name: tname.clone(),
                 alias: alias.clone(),
@@ -796,6 +814,7 @@ impl PhysicalQuery {
                 derived: derived[t].clone(),
                 kept: all_kept,
                 schema: Schema::new(fields),
+                orig_columns,
             });
         }
         // Old (table, col-with-derived) → new join-output coordinates.
@@ -810,16 +829,33 @@ impl PhysicalQuery {
         let new_local = |t: usize, c: usize| -> usize {
             tables[t].kept.iter().position(|&k| k == c).expect("kept column")
         };
+        // Atom columns must have survived output-scheme pruning; a miss
+        // is reported as a typed error naming the pruned column rather
+        // than a panic or a downstream hash mismatch.
+        let checked_local = |t: usize, c: usize| -> Result<usize> {
+            tables[t].kept.iter().position(|&k| k == c).ok_or_else(|| {
+                SquallError::PrunedColumnReference {
+                    relation: tables[t].alias.clone(),
+                    column: tables[t]
+                        .orig_columns
+                        .get(c)
+                        .cloned()
+                        .unwrap_or_else(|| format!("#{c}")),
+                }
+            })
+        };
         let atoms: Vec<JoinAtom> = raw_atoms
             .iter()
-            .map(|&((lt, lc), op, (rt, rc))| JoinAtom {
-                left_rel: lt,
-                left_col: new_local(lt, lc),
-                op,
-                right_rel: rt,
-                right_col: new_local(rt, rc),
+            .map(|&((lt, lc), op, (rt, rc))| {
+                Ok(JoinAtom {
+                    left_rel: lt,
+                    left_col: checked_local(lt, lc)?,
+                    op,
+                    right_rel: rt,
+                    right_col: checked_local(rt, rc)?,
+                })
             })
-            .collect();
+            .collect::<Result<_>>()?;
         let remap_global = |g: usize| -> usize {
             let t = offsets.iter().rposition(|&o| o <= g).expect("offset");
             new_offsets[t] + new_local(t, g - offsets[t])
@@ -1042,6 +1078,7 @@ impl PhysicalQuery {
             window,
             order_by,
             limit: q.limit.map(|n| n as usize),
+            decision: None,
         })
     }
 
@@ -1122,6 +1159,7 @@ impl PhysicalQuery {
     /// front half of [`PhysicalQuery::execute`] and
     /// [`PhysicalQuery::execute_stream`].
     fn prepare_run(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<Prepared> {
+        self.validate_atoms()?;
         let mut data: Vec<Vec<Tuple>> = Vec::with_capacity(self.tables.len());
         for (t, pt) in self.tables.iter().enumerate() {
             let raw = Arc::clone(&catalog.get(&pt.name)?.data);
@@ -1171,8 +1209,13 @@ impl PhysicalQuery {
             ));
         }
 
-        // Scheme & parallelism selection.
-        let scheme = cfg.scheme.unwrap_or(SchemeKind::Hybrid);
+        // Scheme & parallelism selection: an explicit config scheme wins,
+        // then the optimizer's cost-based choice, then the Hybrid default
+        // (it subsumes the others, §3.1).
+        let scheme = cfg
+            .scheme
+            .or_else(|| self.decision.as_ref().and_then(|d| d.scheme_kind()))
+            .unwrap_or(SchemeKind::Hybrid);
         let mut mcfg = MultiwayConfig::new(scheme, cfg.local, cfg.machines);
         mcfg.seed = cfg.seed;
         mcfg.worker_threads = cfg.worker_threads;
@@ -1205,6 +1248,7 @@ impl PhysicalQuery {
     /// that is the only column whose appends the catalog keeps monotonic,
     /// which the window join's eviction contract depends on.
     pub fn prepare_standing(&self, catalog: &Catalog, cfg: &ExecConfig) -> Result<StandingPlan> {
+        self.validate_atoms()?;
         if !self.order_by.is_empty() || self.limit.is_some() {
             return Err(SquallError::InvalidPlan(
                 "ORDER BY / LIMIT are not supported in a materialized view \
@@ -1546,6 +1590,181 @@ impl PhysicalQuery {
         }
         (names, parallelism, is_spout)
     }
+
+    /// Number of FROM relations (in current plan order).
+    pub fn n_relations(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The join atoms over current relation indices and pruned-local
+    /// column coordinates.
+    pub fn join_atoms(&self) -> &[JoinAtom] {
+        &self.atoms
+    }
+
+    /// Relation `t`'s alias (current plan order).
+    pub fn alias(&self, t: usize) -> &str {
+        &self.tables[t].alias
+    }
+
+    /// Relation `t`'s catalog source name (current plan order).
+    pub fn source_name(&self, t: usize) -> &str {
+        &self.tables[t].name
+    }
+
+    /// Relation `t`'s pruned join-input schema.
+    pub fn relation_schema(&self, t: usize) -> &Schema {
+        &self.tables[t].schema
+    }
+
+    /// Map relation `t`'s pruned-local column back to its *source table*
+    /// column index — `None` for derived columns, which no catalog
+    /// statistics describe.
+    pub(crate) fn source_column(&self, t: usize, local: usize) -> Option<usize> {
+        let pt = &self.tables[t];
+        let orig_arity = pt.orig_columns.len() - pt.derived.len();
+        let c = *pt.kept.get(local)?;
+        (c < orig_arity).then_some(c)
+    }
+
+    /// Estimated post-filter cardinality of relation `t`: the catalog row
+    /// count scaled by the pushed filter's selectivity measured over a
+    /// bounded prefix sample (2 000 rows).
+    pub(crate) fn estimated_base_rows(&self, t: usize, catalog: &Catalog) -> Result<f64> {
+        let pt = &self.tables[t];
+        let n = catalog.get(&pt.name)?.data.len();
+        let Some(f) = &pt.filter else {
+            return Ok(n as f64);
+        };
+        let sample = n.min(2_000);
+        if sample == 0 {
+            return Ok(0.0);
+        }
+        let mut pass = 0usize;
+        for tuple in catalog.get(&pt.name)?.data.iter().take(sample) {
+            // An erroring predicate row counts as filtered, mirroring
+            // execution where it fails the run — estimation stays total.
+            if f.eval_bool(tuple).unwrap_or(false) {
+                pass += 1;
+            }
+        }
+        Ok(n as f64 * pass as f64 / sample as f64)
+    }
+
+    /// Every join atom must address a column inside its relation's pruned
+    /// join-input schema. Violations get the typed
+    /// [`SquallError::PrunedColumnReference`], naming the column —
+    /// checked on every execution and re-checked after a join-order
+    /// rewrite.
+    fn validate_atoms(&self) -> Result<()> {
+        for a in &self.atoms {
+            for &(t, c) in &[(a.left_rel, a.left_col), (a.right_rel, a.right_col)] {
+                let pt = self.tables.get(t).ok_or_else(|| {
+                    SquallError::InvalidPlan(format!("join atom references relation #{t}"))
+                })?;
+                if c >= pt.schema.arity() {
+                    return Err(SquallError::PrunedColumnReference {
+                        relation: pt.alias.clone(),
+                        column: pt.orig_columns.get(c).cloned().unwrap_or_else(|| format!("#{c}")),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrite the plan to execute its relations in `order` (indices into
+    /// the current order), remapping every join-output coordinate —
+    /// group-by columns, aggregate inputs, projection expressions, atom
+    /// relation ids and per-relation window metadata — so results are
+    /// byte-identical to the original order. HAVING, ORDER BY and
+    /// aggregate-row indices address post-aggregation rows, whose layout
+    /// the relation order does not affect.
+    pub fn apply_order(&mut self, order: &[usize]) -> Result<()> {
+        let n = self.tables.len();
+        {
+            let mut seen = vec![false; n];
+            if order.len() != n
+                || order.iter().any(|&t| t >= n || std::mem::replace(&mut seen[t], true))
+            {
+                return Err(SquallError::InvalidPlan(format!(
+                    "join order {order:?} is not a permutation of 0..{n}"
+                )));
+            }
+        }
+        if order.iter().enumerate().all(|(i, &t)| i == t) {
+            return Ok(());
+        }
+        // Old join-output offsets and the old→new placement.
+        let mut old_off = Vec::with_capacity(n);
+        {
+            let mut off = 0;
+            for t in &self.tables {
+                old_off.push(off);
+                off += t.schema.arity();
+            }
+        }
+        let mut inv = vec![0usize; n];
+        for (new_t, &old_t) in order.iter().enumerate() {
+            inv[old_t] = new_t;
+        }
+        let mut new_off_by_old = vec![0usize; n];
+        {
+            let mut off = 0;
+            for &old_t in order {
+                new_off_by_old[old_t] = off;
+                off += self.tables[old_t].schema.arity();
+            }
+        }
+        let remap = |g: usize| -> usize {
+            let t = old_off.iter().rposition(|&o| o <= g).expect("offset");
+            new_off_by_old[t] + (g - old_off[t])
+        };
+        self.tables = order.iter().map(|&t| self.tables[t].clone()).collect();
+        for a in &mut self.atoms {
+            a.left_rel = inv[a.left_rel];
+            a.right_rel = inv[a.right_rel];
+        }
+        for g in &mut self.group_cols {
+            *g = remap(*g);
+        }
+        for a in &mut self.aggs {
+            a.input = a.input.as_ref().map(|e| e.remap_columns(&remap));
+        }
+        for item in &mut self.final_items {
+            if let FinalItem::JoinExpr(e) = item {
+                *item = FinalItem::JoinExpr(e.remap_columns(&remap));
+            }
+        }
+        if let Some(w) = &mut self.window {
+            w.ts_cols = order.iter().map(|&t| w.ts_cols[t]).collect();
+            w.presorted = order.iter().map(|&t| w.presorted[t]).collect();
+        }
+        self.validate_atoms()
+    }
+
+    /// Record the optimizer's decision on this plan (scheme selection in
+    /// [`PhysicalQuery::execute`] and the explain table read it).
+    pub fn set_decision(&mut self, d: OptimizerDecision) {
+        self.decision = Some(d);
+    }
+
+    /// The optimizer decision, when [`crate::optimizer::optimize`] ran.
+    pub fn decision(&self) -> Option<&OptimizerDecision> {
+        self.decision.as_ref()
+    }
+
+    /// [`PhysicalQuery::explain`] plus the optimizer block: the chosen
+    /// join order with its estimated-vs-actual cardinality table (actuals
+    /// from a finished run's [`JoinReport`] task counters, dashed when
+    /// `report` is `None`) and the per-scheme cost candidates.
+    pub fn explain_with_actuals(&self, report: Option<&JoinReport>) -> String {
+        let mut s = self.explain();
+        if let Some(d) = &self.decision {
+            s.push_str(&d.render(report));
+        }
+        s
+    }
 }
 
 fn display_name(e: &Expr) -> String {
@@ -1563,14 +1782,21 @@ fn display_name(e: &Expr) -> String {
     }
 }
 
-/// Plan + execute in one call, materializing every row.
+/// Plan + execute in one call, materializing every row. Runs the
+/// cost-based optimizer ([`crate::optimizer::optimize`]) between the two
+/// unless [`ExecConfig::optimizer`] is `Off`.
 pub fn execute_query(q: &Query, catalog: &Catalog, cfg: &ExecConfig) -> Result<ResultSet> {
-    PhysicalQuery::plan(q, catalog)?.execute(catalog, cfg)
+    let mut plan = PhysicalQuery::plan(q, catalog)?;
+    crate::optimizer::optimize(&mut plan, catalog, cfg)?;
+    plan.execute(catalog, cfg)
 }
 
 /// Plan + execute in one call, streaming rows while the topology runs.
+/// Optimized the same way as [`execute_query`].
 pub fn execute_query_stream(q: &Query, catalog: &Catalog, cfg: &ExecConfig) -> Result<ResultSet> {
-    PhysicalQuery::plan(q, catalog)?.execute_stream(catalog, cfg)
+    let mut plan = PhysicalQuery::plan(q, catalog)?;
+    crate::optimizer::optimize(&mut plan, catalog, cfg)?;
+    plan.execute_stream(catalog, cfg)
 }
 
 #[cfg(test)]
@@ -2071,5 +2297,117 @@ mod tests {
         let p = PhysicalQuery::plan(&q, &catalog()).unwrap();
         assert_eq!(p.tables[0].kept, vec![0], "R ships only the join key");
         assert_eq!(p.tables[1].kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn pruned_column_reference_is_typed_and_named() {
+        // R.b is pruned (only the join key R.a survives). Manufacture a
+        // plan whose atom still addresses the pruned coordinate — the
+        // state a buggy rewrite would leave behind — and every execution
+        // surface must reject it with the typed error naming R.b.
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .select([col("S.c")]);
+        let mut p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        p.atoms[0].left_col = 1; // past R's pruned arity of 1
+        let err = p.execute(&catalog(), &ExecConfig::default()).unwrap_err();
+        match &err {
+            SquallError::PrunedColumnReference { relation, column } => {
+                assert_eq!(relation, "R");
+                assert_eq!(column, "R.b");
+            }
+            other => panic!("expected PrunedColumnReference, got {other:?}"),
+        }
+        assert!(err.to_string().contains("R.b"), "message names the column: {err}");
+        assert!(matches!(
+            p.prepare_standing(&catalog(), &ExecConfig::default()),
+            Err(SquallError::PrunedColumnReference { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_order_is_result_invariant() {
+        // The 3-way chain from `three_way_chain_with_count`, executed
+        // under every relation order, must give byte-identical rows.
+        let q = Query::from_tables([("R", "R"), ("S", "S"), ("T", "T")])
+            .filter(col("R.a").eq(col("S.a")))
+            .filter(col("S.c").eq(col("T.c")))
+            .group_by([col("T.d")])
+            .select([col("T.d"), agg(AggFunc::Count, None)]);
+        let cat = catalog();
+        let cfg =
+            ExecConfig { optimizer: crate::optimizer::OptimizerMode::Off, ..ExecConfig::default() };
+        let expected = vec![tuple![7, 2], tuple![8, 1]];
+        for order in crate::optimizer::enumerate_orders(
+            3,
+            PhysicalQuery::plan(&q, &cat).unwrap().join_atoms(),
+            usize::MAX,
+        ) {
+            let mut p = PhysicalQuery::plan(&q, &cat).unwrap();
+            p.apply_order(&order).unwrap();
+            let mut res = p.execute(&cat, &cfg).unwrap();
+            assert_eq!(res.rows(), expected, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn apply_order_rejects_non_permutations() {
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .select([col("S.c")]);
+        let mut p = PhysicalQuery::plan(&q, &catalog()).unwrap();
+        assert!(p.apply_order(&[0]).is_err());
+        assert!(p.apply_order(&[0, 0]).is_err());
+        assert!(p.apply_order(&[0, 2]).is_err());
+        assert!(p.apply_order(&[1, 0]).is_ok());
+    }
+
+    #[test]
+    fn optimizer_modes_agree_on_results() {
+        let q = Query::from_tables([("R", "R"), ("S", "S"), ("T", "T")])
+            .filter(col("R.a").eq(col("S.a")))
+            .filter(col("S.c").eq(col("T.c")))
+            .select([col("R.b"), col("T.d")]);
+        let cat = catalog();
+        let mut expected = None;
+        for mode in [
+            crate::optimizer::OptimizerMode::Off,
+            crate::optimizer::OptimizerMode::On,
+            crate::optimizer::OptimizerMode::Exhaustive,
+        ] {
+            let cfg = ExecConfig { optimizer: mode, ..ExecConfig::default() };
+            let mut res = execute_query(&q, &cat, &cfg).unwrap();
+            let rows = res.rows().to_vec();
+            match &expected {
+                None => expected = Some(rows),
+                Some(e) => assert_eq!(&rows, e, "mode {mode}"),
+            }
+        }
+    }
+
+    #[test]
+    fn explain_with_actuals_prints_estimate_table() {
+        let q = Query::from_tables([("R", "R"), ("S", "S")])
+            .filter(col("R.a").eq(col("S.a")))
+            .select([col("R.b"), col("S.c")]);
+        let cat = catalog();
+        let cfg = ExecConfig::default();
+        let mut p = PhysicalQuery::plan(&q, &cat).unwrap();
+        crate::optimizer::optimize(&mut p, &cat, &cfg).unwrap();
+        let d = p.decision().expect("optimizer ran");
+        assert_eq!(d.steps.len(), 2);
+        let dry = p.explain_with_actuals(None);
+        assert!(dry.contains("est rows"), "{dry}");
+        assert!(dry.contains('—'), "actuals dashed before the run: {dry}");
+        let mut res = p.execute(&cat, &cfg).unwrap();
+        res.rows();
+        let report = res.report().expect("distributed run has a report");
+        let counts = report.input_counts.clone();
+        let wet = p.explain_with_actuals(Some(report));
+        assert!(wet.contains("actual rows"), "{wet}");
+        assert!(!counts.is_empty(), "driver counts per-relation input");
+        for c in &counts {
+            assert!(wet.contains(&c.to_string()), "actual {c} rendered: {wet}");
+        }
     }
 }

@@ -69,8 +69,9 @@ pub use squall_runtime as runtime;
 pub use squall_sql as sql;
 
 pub use session::{
-    agg, avg, col, count, lit, sum, AggFunc, ClusterSpec, ExecConfig, LocalJoinKind, QueryBuilder,
-    ResultSet, SchemeKind, Session, SessionBuilder, SourceDef, SourceKind, Window, WindowKind,
+    agg, avg, col, count, lit, sum, AggFunc, ClusterSpec, ColumnStats, ExecConfig, LocalJoinKind,
+    OptimizerMode, QueryBuilder, ResultSet, SchemeKind, Session, SessionBuilder, SourceDef,
+    SourceKind, TableStats, Window, WindowKind,
 };
 pub use squall_core::driver::MaintenanceStats;
 pub use squall_core::standing::ChangeBatch;

@@ -51,10 +51,15 @@ pub use squall_core::cluster::ClusterSpec;
 pub use squall_core::driver::{JoinReport, LocalJoinKind};
 pub use squall_expr::AggFunc;
 pub use squall_partition::optimizer::SchemeKind;
+pub use squall_partition::{ColumnStats, TableStats};
 pub use squall_plan::catalog::{SourceDef, SourceKind};
 pub use squall_plan::logical::{agg, col, lit, Expr, OrderKey, Query, Window, WindowKind};
+pub use squall_plan::optimizer::{OptimizerDecision, OptimizerMode};
 pub use squall_plan::physical::{ExecConfig, ResultSet};
 pub use squall_runtime::SchedulerStats;
+
+/// Rows sampled per table by [`Session::analyze`] (full scan below it).
+const ANALYZE_SAMPLE_CAP: usize = 10_000;
 
 /// `COUNT(*)`.
 pub fn count() -> Expr {
@@ -191,6 +196,19 @@ impl SessionBuilder {
     /// the view. Standing (resident view) topologies only.
     pub fn heartbeat_timeout_ms(mut self, ms: u64) -> SessionBuilder {
         self.config.heartbeat_timeout_ms = ms;
+        self
+    }
+
+    /// Cost-based plan search per distributed query (default
+    /// [`OptimizerMode::On`]): join ordering by subset dynamic
+    /// programming over [`Session::analyze`] statistics, plus per-scheme
+    /// cost-model selection when no scheme is forced.
+    /// [`OptimizerMode::Off`] preserves the written FROM order — the
+    /// pre-optimizer planner, kept as the equivalence-testing oracle —
+    /// and [`OptimizerMode::Exhaustive`] scores every permutation.
+    /// Results are identical in every mode; only performance differs.
+    pub fn optimizer(mut self, mode: OptimizerMode) -> SessionBuilder {
+        self.config.optimizer = mode;
         self
     }
 
@@ -421,13 +439,26 @@ impl Session {
         self.explain_query(&squall_sql::parse(text)?)
     }
 
+    /// The optimized physical plan for a SQL query *plus the run's
+    /// actuals*: the optimizer's estimated-vs-actual cardinality table is
+    /// filled from the supplied [`JoinReport`]'s per-relation task
+    /// counters (take it from [`ResultSet::report`] after executing the
+    /// same statement on this session).
+    pub fn explain_with(&self, text: &str, report: &JoinReport) -> Result<String> {
+        let query = squall_sql::parse(text)?;
+        let mut plan = PhysicalQuery::plan(&query, &self.catalog)?;
+        squall_plan::optimizer::optimize(&mut plan, &self.catalog, &self.config)?;
+        Ok(plan.explain_with_actuals(Some(report)))
+    }
+
     /// The optimized physical plan for a logical query block, as text,
     /// followed by the executor configuration the session would run it
     /// with — including the task→peer placement when the session runs on
     /// a cluster.
     pub fn explain_query(&self, query: &Query) -> Result<String> {
-        let plan = PhysicalQuery::plan(query, &self.catalog)?;
-        let mut text = plan.explain();
+        let mut plan = PhysicalQuery::plan(query, &self.catalog)?;
+        squall_plan::optimizer::optimize(&mut plan, &self.catalog, &self.config)?;
+        let mut text = plan.explain_with_actuals(None);
         let workers = match self.config.worker_threads {
             Some(n) => n.to_string(),
             None => "auto".to_string(),
@@ -456,6 +487,23 @@ impl Session {
         }
         text.push_str(&self.views.describe(&self.config));
         Ok(text)
+    }
+
+    /// Collect sampling-based statistics for a registered source: row
+    /// count, per-column distinct-count estimates (sample-inverted) and
+    /// heavy-hitter frequencies. Tables at or under 10 000 rows are
+    /// scanned exactly; larger ones are uniformly sampled with the
+    /// session seed. The cost-based optimizer reads these when ordering
+    /// joins and selecting schemes; unanalyzed tables fall back to
+    /// uniform (`V(R,a) = |R|`, no skew) estimates. Statistics are a
+    /// snapshot — re-run after bulk appends/retractions.
+    pub fn analyze(&mut self, name: &str) -> Result<&TableStats> {
+        self.catalog.analyze(name, ANALYZE_SAMPLE_CAP, self.config.seed)
+    }
+
+    /// The statistics [`Session::analyze`] collected for `name`, if any.
+    pub fn stats(&self, name: &str) -> Option<&TableStats> {
+        self.catalog.stats(name)
     }
 
     /// Append rows to a registered source. The catalog is updated (with
